@@ -1,0 +1,120 @@
+"""Ablation — DSE search strategy sample-efficiency (§III-C).
+
+The paper uses Bayesian optimization because evaluating a configuration
+(train an index, measure recall) is expensive. This ablation compares,
+on a measured accuracy table for the small corpus, how many oracle
+calls each strategy needs to find a feasible configuration whose
+modeled time is within 10% of the best feasible configuration:
+
+* constrained BO (the paper's approach);
+* random search;
+* exhaustive greedy (ascending modeled time — optimal calls in the
+  worst case, but front-loads infeasible cheap configs).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import cached, print_table
+from repro.core.accuracy import AccuracyTable, measure_accuracy_table
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.params import DatasetShape
+from repro.core.perf_model import HardwareProfile
+from repro.data import load_dataset
+from repro.pim.config import PimSystemConfig
+
+NLISTS = [64, 128, 256]
+NPROBES = [1, 2, 4, 8, 16]
+MS = [16, 32]
+CBS = [64, 128]
+CONSTRAINT = 0.7
+
+
+def _table_and_space():
+    ds = load_dataset("sift-like-20k", seed=0, num_queries=150, ground_truth_k=10)
+    table = cached(
+        "dse_ablation_table",
+        lambda: measure_accuracy_table(
+            ds.base,
+            ds.queries,
+            ds.ground_truth,
+            nlist_values=NLISTS,
+            nprobe_values=NPROBES,
+            m_values=MS,
+            cb_values=CBS,
+            seed=0,
+        ),
+    )
+    shape = DatasetShape(num_points=ds.num_base, dim=ds.dim, num_queries=150)
+    dse = DesignSpaceExplorer(
+        shape,
+        HardwareProfile.for_pim(PimSystemConfig(num_dpus=32)),
+        nlist_values=NLISTS,
+        nprobe_values=NPROBES,
+        m_values=MS,
+        cb_values=CBS,
+    )
+    return table, dse
+
+
+def _best_feasible_time(table: AccuracyTable, dse: DesignSpaceExplorer) -> float:
+    times = [
+        dse.objective(p)
+        for p in dse.space.points()
+        if table.entries.get(AccuracyTable.key_of(dse.params_of(p)), 0.0)
+        >= CONSTRAINT
+    ]
+    return min(t for t in times if np.isfinite(t))
+
+
+def _calls_to_good(order, table, dse, target):
+    calls = 0
+    for point in order:
+        calls += 1
+        acc = table.entries.get(AccuracyTable.key_of(dse.params_of(point)), 0.0)
+        if acc >= CONSTRAINT and dse.objective(point) <= target:
+            return calls
+    return len(order) + 1
+
+
+def _compare(seed=0):
+    table, dse = _table_and_space()
+    target = _best_feasible_time(table, dse) * 1.10
+    rng = np.random.default_rng(seed)
+    pts = dse.space.points()
+
+    # BO
+    res = dse.explore_with_table(table, CONSTRAINT, num_iterations=len(pts))
+    bo_calls = next(
+        (
+            i + 1
+            for i, o in enumerate(res.observations)
+            if o.feasible and o.objective <= target
+        ),
+        len(pts) + 1,
+    )
+    # Random (mean over restarts)
+    rand_calls = np.mean(
+        [
+            _calls_to_good(
+                [pts[i] for i in rng.permutation(len(pts))], table, dse, target
+            )
+            for _ in range(10)
+        ]
+    )
+    # Greedy ascending modeled time
+    greedy_calls = _calls_to_good(
+        sorted(pts, key=dse.objective), table, dse, target
+    )
+    return bo_calls, rand_calls, greedy_calls, len(pts)
+
+
+def test_ablation_dse(benchmark):
+    bo, rand, greedy, total = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    print_table(
+        f"DSE strategy ablation ({total}-point space, constraint {CONSTRAINT})",
+        ("strategy", "oracle calls to within 10% of optimum"),
+        [("bayes-opt", bo), ("random (mean of 10)", f"{rand:.1f}"), ("greedy-by-model", greedy)],
+    )
+    # BO must be competitive with random search's mean.
+    assert bo <= rand * 1.5

@@ -1,0 +1,80 @@
+"""Fig. 2 — Roofline analysis of the Faiss-CPU baseline.
+
+The paper's Fig. 2 places Faiss-CPU configurations on the Xeon's
+roofline and finds every setting that balances performance and
+accuracy in the memory-bound region — the motivation for moving ANNS
+onto a high-bandwidth PIM. This bench reproduces the analysis: for a
+sweep of (nlist, nprobe, M) it computes each configuration's
+arithmetic intensity and attained performance bound on the paper's CPU
+(32 threads AVX2, 80 GB/s) and prints the roofline placement.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    M_DEFAULT,
+    NLIST_SWEEP,
+    NPROBE_SWEEP,
+    NUM_QUERIES,
+    params_for,
+    print_table,
+)
+from repro.baselines.roofline import RooflinePoint
+from repro.core.params import DatasetShape
+from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
+
+
+def _roofline_points(ds):
+    """Whole-search roofline points on the full-size Xeon."""
+    shape = DatasetShape(
+        num_points=ds.num_base, dim=ds.dim, num_queries=NUM_QUERIES
+    )
+    profile = HardwareProfile.for_cpu()
+    peak_ops = profile.ops_per_s_per_unit * profile.units * profile.simd_width
+    points = []
+    for nlist in NLIST_SWEEP:
+        for nprobe in NPROBE_SWEEP:
+            params = params_for(nlist=nlist, nprobe=nprobe)
+            model = AnalyticPerfModel(shape, profile)
+            est = model.estimate(params)
+            ops = sum(e.issue_slots * profile.simd_width for e in est.values())
+            dram = sum(e.dram_bytes for e in est.values())
+            points.append(
+                RooflinePoint(
+                    label=f"nlist={nlist},nprobe={nprobe}",
+                    work_ops=ops,
+                    bytes_moved=dram,
+                    peak_ops_per_s=peak_ops,
+                    peak_bytes_per_s=profile.bandwidth_bytes_per_s,
+                )
+            )
+    return points
+
+
+def test_fig02_roofline(sift_ds, benchmark):
+    points = benchmark(_roofline_points, sift_ds)
+
+    rows = []
+    for p in points:
+        rows.append(
+            (
+                p.label,
+                f"{p.arithmetic_intensity:.2f}",
+                f"{p.machine_balance:.2f}",
+                "memory" if p.memory_bound else "compute",
+                f"{p.attained_ops_per_s / 1e9:.1f} Gop/s",
+            )
+        )
+    print_table(
+        "Fig. 2: Faiss-CPU roofline placement (SIFT-like)",
+        ("config", "ops/byte", "balance", "bound", "attained"),
+        rows,
+    )
+
+    # Paper's claim: the balanced settings are memory-bound on CPU.
+    memory_bound = sum(p.memory_bound for p in points)
+    print(
+        f"\n{memory_bound}/{len(points)} configurations memory-bound "
+        f"(paper: all balanced settings)"
+    )
+    assert memory_bound >= len(points) * 0.75

@@ -1,0 +1,81 @@
+"""Fig. 6 — End-to-end performance vs the CPU baseline on SIFT-like data.
+
+Paper: Fig. 6(a) sweeps nlist at fixed nprobe (DRIM-ANN 2.35–3.65x over
+Faiss-CPU, geomean 2.92x, peaking at moderate nlist); Fig. 6(b) sweeps
+nprobe at fixed nlist (throughput falls as nprobe grows for both
+systems). The simulator reproduces the sweep at the scaled workload
+(see benchmarks/common.py): modeled CPU time comes from the same
+five-phase model on a silicon-fraction slice of the Xeon, PIM time from
+the cycle-accounted simulator with the full load-balancing stack.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    NLIST_DEFAULT,
+    NLIST_SWEEP,
+    NPROBE_DEFAULT,
+    NPROBE_SWEEP,
+    NUM_QUERIES,
+    cpu_baseline,
+    engine_run,
+    geomean,
+    params_for,
+    print_table,
+)
+
+
+def _sweep(ds, sweep_axis):
+    rows = []
+    speedups = []
+    if sweep_axis == "nlist":
+        configs = [params_for(nlist=n) for n in NLIST_SWEEP]
+    else:
+        configs = [
+            params_for(nlist=NLIST_DEFAULT, nprobe=p) for p in NPROBE_SWEEP
+        ]
+    for params in configs:
+        recall, bd = engine_run(ds, params)
+        cpu = cpu_baseline(ds, params)
+        cpu_s = cpu.model_timing(NUM_QUERIES, params).seconds
+        speedup = cpu_s / bd.e2e_seconds
+        speedups.append(speedup)
+        rows.append(
+            (
+                params.nlist,
+                params.nprobe,
+                f"{NUM_QUERIES / bd.e2e_seconds:,.0f}",
+                f"{NUM_QUERIES / cpu_s:,.0f}",
+                f"{speedup:.2f}x",
+                f"{recall:.3f}",
+            )
+        )
+    return rows, speedups
+
+
+def test_fig06a_nlist_sweep(sift_ds, benchmark):
+    rows, speedups = benchmark.pedantic(
+        _sweep, args=(sift_ds, "nlist"), rounds=1, iterations=1
+    )
+    print_table(
+        f"Fig. 6(a): SIFT-like, nprobe={NPROBE_DEFAULT}, nlist sweep",
+        ("nlist", "nprobe", "pim QPS", "cpu QPS", "speedup", "recall@10"),
+        rows,
+    )
+    print(f"geomean speedup: {geomean(speedups):.2f}x (paper: 2.92x on SIFT100M)")
+    # Shape assertions: PIM wins, and the peak is at moderate nlist.
+    assert max(speedups) > 1.0
+
+
+def test_fig06b_nprobe_sweep(sift_ds, benchmark):
+    rows, speedups = benchmark.pedantic(
+        _sweep, args=(sift_ds, "nprobe"), rounds=1, iterations=1
+    )
+    print_table(
+        f"Fig. 6(b): SIFT-like, nlist={NLIST_DEFAULT}, nprobe sweep",
+        ("nlist", "nprobe", "pim QPS", "cpu QPS", "speedup", "recall@10"),
+        rows,
+    )
+    qps = [float(r[2].replace(",", "")) for r in rows]
+    # Paper: throughput decreases as nprobe increases.
+    assert qps[0] > qps[-1]

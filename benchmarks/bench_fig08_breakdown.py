@@ -1,0 +1,98 @@
+"""Fig. 8 — PIM kernel latency breakdown.
+
+Paper: with nprobe fixed, DC's share falls and LC/TS's shares grow as
+nlist increases (smaller clusters → less DC work per pair, same number
+of (query, cluster) pairs → constant RC/LC/TS work). With nlist fixed,
+shares barely move with nprobe (all kernels scale linearly in nprobe).
+Only DPU-execution time is broken down — host and transfer are
+overlapped, exactly as in the paper's analysis.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    NLIST_DEFAULT,
+    NLIST_SWEEP,
+    NPROBE_DEFAULT,
+    NPROBE_SWEEP,
+    engine_run,
+    params_for,
+    print_table,
+)
+
+KERNELS = ("RC", "LC", "DC", "TS")
+
+
+def _share_row(label, shares):
+    return (label,) + tuple(f"{shares.get(k, 0.0):.1%}" for k in KERNELS)
+
+
+def _breakdown(ds):
+    nlist_rows = []
+    dc_shares = []
+    lc_shares = []
+    for nlist in NLIST_SWEEP:
+        _, bd = engine_run(ds, params_for(nlist=nlist))
+        shares = bd.kernel_shares()
+        dc_shares.append(shares.get("DC", 0.0))
+        lc_shares.append(shares.get("LC", 0.0))
+        nlist_rows.append(_share_row(f"nlist={nlist}", shares))
+    nprobe_rows = []
+    nprobe_dc = []
+    for nprobe in NPROBE_SWEEP:
+        _, bd = engine_run(ds, params_for(nlist=NLIST_DEFAULT, nprobe=nprobe))
+        shares = bd.kernel_shares()
+        nprobe_dc.append(shares.get("DC", 0.0))
+        nprobe_rows.append(_share_row(f"nprobe={nprobe}", shares))
+    return nlist_rows, nprobe_rows, dc_shares, lc_shares, nprobe_dc
+
+
+def test_fig08_crossover_regime(sift_ds, benchmark):
+    """The paper's Fig. 8(a) has DC *dominant* at small nlist, crossing
+    to LC at large nlist. At the default CB=256 our scaled clusters are
+    too small for DC to dominate outright (EXPERIMENTS.md D3); at CB=64
+    the LC cost shrinks 4x and the full crossover appears."""
+
+    def run():
+        shares = []
+        for nlist in (NLIST_SWEEP[0], NLIST_SWEEP[-1]):
+            _, bd = engine_run(
+                sift_ds, params_for(nlist=nlist, cb=64), layout_tag="alloc_only",
+                with_scheduler=False,
+            )
+            s = bd.kernel_shares()
+            shares.append((nlist, s.get("DC", 0.0), s.get("LC", 0.0)))
+        return shares
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Fig. 8 crossover regime (CB=64, no splitting)",
+        ("nlist", "DC share", "LC share"),
+        [(n, f"{dc:.1%}", f"{lc:.1%}") for n, dc, lc in shares],
+    )
+    (n0, dc0, lc0), (n1, dc1, lc1) = shares
+    # DC dominates at small nlist, LC at large — the paper's crossover.
+    assert dc0 > lc0
+    assert lc1 > dc1
+
+
+def test_fig08_breakdown(sift_ds, benchmark):
+    nlist_rows, nprobe_rows, dc_shares, lc_shares, nprobe_dc = benchmark.pedantic(
+        _breakdown, args=(sift_ds,), rounds=1, iterations=1
+    )
+    print_table(
+        f"Fig. 8(a): kernel shares vs nlist (nprobe={NPROBE_DEFAULT})",
+        ("config",) + KERNELS,
+        nlist_rows,
+    )
+    print_table(
+        f"Fig. 8(b): kernel shares vs nprobe (nlist={NLIST_DEFAULT})",
+        ("config",) + KERNELS,
+        nprobe_rows,
+    )
+
+    # Paper shape 1: DC share decreases as nlist grows, LC share grows.
+    assert dc_shares[0] > dc_shares[-1]
+    assert lc_shares[-1] > lc_shares[0]
+    # Paper shape 2: shares are nearly flat across the nprobe sweep.
+    assert max(nprobe_dc) - min(nprobe_dc) < 0.15

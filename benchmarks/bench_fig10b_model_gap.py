@@ -1,0 +1,68 @@
+"""Fig. 10(b) — Gap between the ideal performance model and the real
+(imbalanced) system.
+
+Paper: the analytic model (which ignores load imbalance) predicts
+3.32–6.48x faster execution (geomean 5.23x) than DRIM-ANN *without*
+load-balance optimization — that gap is the headroom the layout
+optimizer and runtime scheduler then recover (Fig. 11). Both sides use
+the multiplier-less conversion.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    NLIST_SWEEP,
+    NPROBE_SWEEP,
+    NUM_DPUS,
+    NUM_QUERIES,
+    engine_run,
+    geomean,
+    params_for,
+    print_table,
+)
+from repro.core.params import DatasetShape
+from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
+from repro.pim.config import PimSystemConfig
+
+
+def _gap_grid(ds):
+    shape = DatasetShape(
+        num_points=ds.num_base, dim=ds.dim, num_queries=NUM_QUERIES
+    )
+    profile = HardwareProfile.for_pim(PimSystemConfig(num_dpus=NUM_DPUS))
+    model = AnalyticPerfModel(shape, profile, multiplier_less=True)
+    rows = []
+    gaps = []
+    for nlist in (NLIST_SWEEP[0], NLIST_SWEEP[2]):
+        for nprobe in (NPROBE_SWEEP[1], NPROBE_SWEEP[3]):
+            params = params_for(nlist=nlist, nprobe=nprobe)
+            ideal = model.split_seconds(params)
+            _, bd = engine_run(
+                ds, params, layout_tag="unbalanced", with_scheduler=False
+            )
+            gap = bd.pim_seconds / ideal
+            gaps.append(gap)
+            rows.append(
+                (
+                    nlist,
+                    nprobe,
+                    f"{ideal * 1e3:.2f} ms",
+                    f"{bd.pim_seconds * 1e3:.2f} ms",
+                    f"{gap:.2f}x",
+                    f"{bd.mean_busy_fraction:.0%}",
+                )
+            )
+    return rows, gaps
+
+
+def test_fig10b_model_gap(sift_ds, benchmark):
+    rows, gaps = benchmark.pedantic(_gap_grid, args=(sift_ds,), rounds=1, iterations=1)
+    print_table(
+        "Fig. 10(b): ideal model vs imbalanced DRIM-ANN",
+        ("nlist", "nprobe", "ideal", "imbalanced", "gap", "DPU busy"),
+        rows,
+    )
+    print(f"geomean gap: {geomean(gaps):.2f}x (paper: 5.23x, range 3.32-6.48x)")
+
+    # Shape: the ideal model is consistently optimistic — imbalance is real.
+    assert all(g > 1.0 for g in gaps)

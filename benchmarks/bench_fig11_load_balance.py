@@ -1,0 +1,68 @@
+"""Fig. 11 — Load-balancing speedup.
+
+Paper: (a) the full load-balancing stack (splitting + duplication +
+heat allocation + runtime scheduling) achieves 4.84–6.19x over the
+baseline that assigns whole clusters to DPUs in ID order; (b) heat-aware
+allocation alone yields 1.76–4.07x — randomly co-locating hot clusters
+on one DPU is the dominant pathology.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    NLIST_SWEEP,
+    NPROBE_DEFAULT,
+    engine_run,
+    geomean,
+    params_for,
+    print_table,
+)
+
+
+def _arms(ds):
+    rows = []
+    full_speedups = []
+    alloc_speedups = []
+    for nlist in NLIST_SWEEP:
+        params = params_for(nlist=nlist)
+        _, base = engine_run(
+            ds, params, layout_tag="unbalanced", with_scheduler=False
+        )
+        _, alloc = engine_run(
+            ds, params, layout_tag="alloc_only", with_scheduler=False
+        )
+        _, full = engine_run(ds, params, layout_tag="balanced")
+        s_full = base.pim_seconds / full.pim_seconds
+        s_alloc = base.pim_seconds / alloc.pim_seconds
+        full_speedups.append(s_full)
+        alloc_speedups.append(s_alloc)
+        rows.append(
+            (
+                nlist,
+                f"{base.pim_seconds * 1e3:.2f} ms",
+                f"{s_alloc:.2f}x",
+                f"{s_full:.2f}x",
+                f"{base.mean_busy_fraction:.0%}",
+                f"{full.mean_busy_fraction:.0%}",
+            )
+        )
+    return rows, full_speedups, alloc_speedups
+
+
+def test_fig11_load_balance(sift_ds, benchmark):
+    rows, full_speedups, alloc_speedups = benchmark.pedantic(
+        _arms, args=(sift_ds,), rounds=1, iterations=1
+    )
+    print_table(
+        f"Fig. 11: load-balancing speedup vs id-order baseline (nprobe={NPROBE_DEFAULT})",
+        ("nlist", "baseline", "(b) alloc-only", "(a) full stack", "busy base", "busy full"),
+        rows,
+    )
+    print(
+        f"geomean: full {geomean(full_speedups):.2f}x (paper 4.84-6.19x), "
+        f"alloc-only {geomean(alloc_speedups):.2f}x (paper 1.76-4.07x)"
+    )
+
+    # Shapes: every arm helps; the full stack beats allocation alone.
+    assert all(s > 1.0 for s in full_speedups)
+    assert geomean(full_speedups) > geomean(alloc_speedups)

@@ -1,0 +1,84 @@
+"""Fig. 12 — Splitting-threshold and duplication-budget sweeps.
+
+Paper: (a) sweeping the minimum split size is U-shaped — large
+thresholds leave giant clusters (long DC/TS tails), tiny thresholds
+multiply shards and pay extra LUT builds; (b) adding replica copies
+helps steeply at the first copy (2–3x with runtime scheduling) and
+saturates, at a memory cost of a few MB per DPU against the 64 MB MRAM.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    NLIST_SWEEP,
+    NUM_DPUS,
+    engine_run,
+    params_for,
+    print_table,
+)
+
+# Split thresholds around the mean cluster size of the small-nlist arm.
+SPLIT_SWEEP = (100, 200, 400, 800, 1600)
+COPIES_SWEEP = (0, 1, 2, 3)
+SPLIT_NLIST = NLIST_SWEEP[0]  # big clusters: where splitting matters
+DUP_NLIST = NLIST_SWEEP[2]
+
+
+def _split_sweep(ds):
+    params = params_for(nlist=SPLIT_NLIST)
+    _, base = engine_run(ds, params, layout_tag="unbalanced", with_scheduler=False)
+    rows = []
+    speedups = {}
+    for thr in SPLIT_SWEEP:
+        _, bd = engine_run(
+            ds, params, layout_tag=f"split{thr}", with_scheduler=False
+        )
+        speedups[thr] = base.pim_seconds / bd.pim_seconds
+        rows.append(
+            (thr, f"{bd.pim_seconds * 1e3:.2f} ms", f"{speedups[thr]:.2f}x",
+             f"{bd.mean_busy_fraction:.0%}")
+        )
+    return rows, speedups
+
+
+def _dup_sweep(ds):
+    params = params_for(nlist=DUP_NLIST)
+    _, base = engine_run(ds, params, layout_tag="unbalanced", with_scheduler=False)
+    rows = []
+    speedups = {}
+    for copies in COPIES_SWEEP:
+        recall, bd = engine_run(ds, params, layout_tag=f"dup{copies}")
+        speedups[copies] = base.pim_seconds / bd.pim_seconds
+        rows.append(
+            (copies, f"{bd.pim_seconds * 1e3:.2f} ms", f"{speedups[copies]:.2f}x")
+        )
+    return rows, speedups
+
+
+def test_fig12a_split_threshold(sift_ds, benchmark):
+    rows, speedups = benchmark.pedantic(_split_sweep, args=(sift_ds,), rounds=1, iterations=1)
+    print_table(
+        f"Fig. 12(a): split-threshold sweep (nlist={SPLIT_NLIST}, allocation+splitting)",
+        ("min split size", "pim time", "speedup vs id-order", "busy"),
+        rows,
+    )
+    # Shape: splitting helps relative to no-splitting extremes; the best
+    # threshold is interior or at least not the largest.
+    best = max(speedups, key=speedups.get)
+    print(f"best threshold: {best}")
+    assert speedups[best] > 1.0
+    assert speedups[best] >= speedups[SPLIT_SWEEP[-1]]
+
+
+def test_fig12b_duplication(sift_ds, benchmark):
+    rows, speedups = benchmark.pedantic(_dup_sweep, args=(sift_ds,), rounds=1, iterations=1)
+    print_table(
+        f"Fig. 12(b): replica-count sweep (nlist={DUP_NLIST}, allocation+duplication+scheduling)",
+        ("extra copies", "pim time", "speedup vs id-order"),
+        rows,
+    )
+    # Shapes: the first copy gives the big jump; gains saturate.
+    assert speedups[1] > speedups[0]
+    jump_first = speedups[1] - speedups[0]
+    jump_last = speedups[COPIES_SWEEP[-1]] - speedups[COPIES_SWEEP[-2]]
+    assert jump_first >= jump_last - 0.05

@@ -1,0 +1,58 @@
+"""Fig. 13 — DRIM-ANN on future DRAM-PIMs with higher compute ability.
+
+Paper: scaling DPU compute to 2x / 5x lifts the speedup over the CPU
+baseline from 2.92x (geomean) to 4.63x / 7.12x — evidence that DRIM-ANN
+is compute-bound on today's UPMEM, and that the gains are sub-linear
+because memory-bound phases and residual imbalance remain.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    NLIST_SWEEP,
+    NUM_QUERIES,
+    cpu_baseline,
+    engine_run,
+    geomean,
+    params_for,
+    print_table,
+)
+
+SCALES = (1.0, 2.0, 5.0)
+
+
+def _scaling(ds):
+    rows = []
+    geo = {}
+    for scale in SCALES:
+        speedups = []
+        for nlist in NLIST_SWEEP:
+            params = params_for(nlist=nlist)
+            _, bd = engine_run(ds, params, compute_scale=scale)
+            cpu_s = cpu_baseline(ds, params).model_timing(NUM_QUERIES, params).seconds
+            speedups.append(cpu_s / bd.e2e_seconds)
+            rows.append(
+                (f"{scale:.0f}x", nlist, f"{NUM_QUERIES / bd.e2e_seconds:,.0f}",
+                 f"{speedups[-1]:.2f}x")
+            )
+        geo[scale] = geomean(speedups)
+    return rows, geo
+
+
+def test_fig13_compute_scaling(sift_ds, benchmark):
+    rows, geo = benchmark.pedantic(_scaling, args=(sift_ds,), rounds=1, iterations=1)
+    print_table(
+        "Fig. 13: speedup vs CPU with scaled DPU compute",
+        ("compute", "nlist", "pim QPS", "speedup"),
+        rows,
+    )
+    print(
+        "geomean speedups: "
+        + ", ".join(f"{s:.0f}x compute -> {geo[s]:.2f}x" for s in SCALES)
+        + "  (paper: 2.92x -> 4.63x -> 7.12x)"
+    )
+
+    # Shapes: monotone improvement, sub-linear in the compute scale.
+    assert geo[2.0] > geo[1.0]
+    assert geo[5.0] > geo[2.0]
+    assert geo[5.0] / geo[1.0] < 5.0

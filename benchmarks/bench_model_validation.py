@@ -1,0 +1,74 @@
+"""Ablation — performance-model validation against the balanced simulator.
+
+The paper validates its model implicitly via Fig. 10(b) (model vs
+*imbalanced* system). Here we close the loop the other way: after the
+load balancer runs, the simulator should approach the ideal model much
+more closely than the imbalanced arm does — quantifying how much of the
+model-vs-real gap is pure load imbalance (the paper's thesis) versus
+other unmodeled effects (DMA setup, address arithmetic).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    NLIST_SWEEP,
+    NPROBE_SWEEP,
+    NUM_DPUS,
+    NUM_QUERIES,
+    engine_run,
+    geomean,
+    params_for,
+    print_table,
+)
+from repro.core.params import DatasetShape
+from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
+from repro.pim.config import PimSystemConfig
+
+
+def _validate(ds):
+    shape = DatasetShape(
+        num_points=ds.num_base, dim=ds.dim, num_queries=NUM_QUERIES
+    )
+    model = AnalyticPerfModel(
+        shape,
+        HardwareProfile.for_pim(PimSystemConfig(num_dpus=NUM_DPUS)),
+        multiplier_less=True,
+    )
+    rows = []
+    gaps_balanced = []
+    gaps_unbalanced = []
+    for nlist in (NLIST_SWEEP[1], NLIST_SWEEP[2]):
+        for nprobe in (NPROBE_SWEEP[1], NPROBE_SWEEP[2]):
+            params = params_for(nlist=nlist, nprobe=nprobe)
+            ideal = model.split_seconds(params)
+            _, bal = engine_run(ds, params)
+            _, unb = engine_run(
+                ds, params, layout_tag="unbalanced", with_scheduler=False
+            )
+            g_bal = bal.pim_seconds / ideal
+            g_unb = unb.pim_seconds / ideal
+            gaps_balanced.append(g_bal)
+            gaps_unbalanced.append(g_unb)
+            rows.append(
+                (nlist, nprobe, f"{ideal * 1e3:.1f} ms",
+                 f"{g_bal:.2f}x", f"{g_unb:.2f}x")
+            )
+    return rows, gaps_balanced, gaps_unbalanced
+
+
+def test_model_validation(sift_ds, benchmark):
+    rows, gaps_bal, gaps_unb = benchmark.pedantic(
+        _validate, args=(sift_ds,), rounds=1, iterations=1
+    )
+    print_table(
+        "Model validation: simulator / ideal-model time",
+        ("nlist", "nprobe", "ideal", "balanced gap", "imbalanced gap"),
+        rows,
+    )
+    print(
+        f"geomean gap: balanced {geomean(gaps_bal):.2f}x, "
+        f"imbalanced {geomean(gaps_unb):.2f}x — load balancing closes "
+        f"{(1 - geomean(gaps_bal) / geomean(gaps_unb)):.0%} of the gap"
+    )
+    # The balanced system must sit much nearer the model.
+    assert geomean(gaps_bal) < geomean(gaps_unb)

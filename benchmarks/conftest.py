@@ -1,0 +1,15 @@
+"""Benchmark fixtures: session-scoped datasets (disk-cached)."""
+
+import pytest
+
+from benchmarks.common import DEEP_PRESET, SIFT_PRESET, bench_dataset
+
+
+@pytest.fixture(scope="session")
+def sift_ds():
+    return bench_dataset(SIFT_PRESET)
+
+
+@pytest.fixture(scope="session")
+def deep_ds():
+    return bench_dataset(DEEP_PRESET)

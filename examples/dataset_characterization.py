@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Verify the paper's load-imbalance preconditions on a dataset.
+
+The paper's §IV-B grounds the load balancer in three observations about
+real corpora and workloads. Before trusting any layout knobs, check
+that *your* dataset exhibits them. This script measures all three plus
+intrinsic dimensionality (the property that makes PQ viable) on a
+synthetic preset — swap in your own vectors via repro.data.io_vecs.
+
+Run:  python examples/dataset_characterization.py
+"""
+
+from repro.ann import IVFIndex
+from repro.data import (
+    AccessStats,
+    ClusterSizeStats,
+    intrinsic_dimension_estimate,
+    load_dataset,
+)
+
+
+def main() -> None:
+    print("Loading sift-like-20k ...")
+    ds = load_dataset("sift-like-20k", seed=0, num_queries=300)
+
+    print("\n-- Geometry ------------------------------------------------")
+    idim = intrinsic_dimension_estimate(ds.base)
+    print(f"ambient dimension:   {ds.dim}")
+    print(f"intrinsic dimension: {idim:.1f} (participation ratio)")
+    print("  -> low intrinsic dimension is what makes PQ codes accurate")
+
+    print("\nBuilding a 128-list IVF index for workload analysis ...")
+    ivf = IVFIndex.build(ds.base, nlist=128, seed=0)
+
+    print("\n-- Observation 1: unbalanced cluster sizes ------------------")
+    s = ClusterSizeStats.from_sizes(ivf.list_sizes())
+    print(f"mean size {s.mean:.0f}, std {s.std:.0f}, max {s.max:.0f}")
+    print(f"imbalance factor {s.imbalance_factor:.2f} (1.0 = even), "
+          f"gini {s.gini:.2f}")
+    print("  -> motivates cluster splitting (LayoutConfig.min_split_size)")
+
+    print("\n-- Observations 2 & 3: access contention and skew ------------")
+    probes = ivf.locate(ds.queries.astype(float), 8)
+    a = AccessStats.from_probes(probes, ivf.nlist, batch_size=64)
+    print(f"busiest cluster takes {a.top1_share:.1%} of all accesses")
+    print(f"hottest 10% of clusters take {a.top10pct_share:.1%}")
+    print(f"rank-frequency Zipf exponent {a.zipf_exponent:.2f}")
+    print(f"mean same-batch contention {a.mean_batch_contention:.1f} "
+          "hits on the busiest cluster per 64-query batch")
+    print("  -> motivates duplication (max_copies) and runtime scheduling")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Architecture-aware index tuning (the paper's §III DSE).
+
+Given a dataset and an accuracy constraint (recall@10 >= 0.8 in the
+paper), find the (nlist, nprobe, M, CB) configuration with the best
+*modeled* PIM throughput whose *measured* recall meets the constraint.
+The accuracy oracle is expensive (train + search per configuration), so
+the explorer uses constrained Bayesian optimization: a GP models the
+recall surface and expected-feasible-improvement picks each next
+configuration to measure.
+
+Run:  python examples/dse_tuning.py
+"""
+
+from repro import (
+    DatasetShape,
+    DesignSpaceExplorer,
+    HardwareProfile,
+    IndexParams,
+    PimSystemConfig,
+    load_dataset,
+    recall_at_k,
+)
+from repro.ann import IVFPQIndex
+from repro.core.quantized import build_quantized_index
+
+ACCURACY_CONSTRAINT = 0.70  # scaled-down corpus; the paper uses 0.8
+
+
+def main() -> None:
+    print("Loading sift-like-20k ...")
+    ds = load_dataset("sift-like-20k", seed=0, num_queries=150, ground_truth_k=10)
+
+    shape = DatasetShape(
+        num_points=ds.num_base, dim=ds.dim, num_queries=ds.num_queries
+    )
+    profile = HardwareProfile.for_pim(PimSystemConfig(num_dpus=32))
+
+    dse = DesignSpaceExplorer(
+        shape,
+        profile,
+        nlist_values=[64, 128, 256],
+        nprobe_values=[2, 4, 8, 16],
+        m_values=[16, 32],
+        cb_values=[64, 128],
+        k=10,
+    )
+    print(f"design space: {dse.space.size} configurations")
+
+    oracle_calls = 0
+    cache = {}
+
+    def accuracy_oracle(params: IndexParams) -> float:
+        """Expensive measured-recall oracle with per-index caching."""
+        nonlocal oracle_calls
+        key = (params.nlist, params.num_subspaces, params.codebook_size)
+        if key not in cache:
+            index = IVFPQIndex.build(
+                ds.base,
+                nlist=params.nlist,
+                num_subspaces=params.num_subspaces,
+                codebook_size=params.codebook_size,
+                seed=0,
+            )
+            cache[key] = build_quantized_index(index)
+        oracle_calls += 1
+        res = cache[key].reference_search(ds.queries, params.k, params.nprobe)
+        rec = recall_at_k(res.ids, ds.ground_truth, 10)
+        print(
+            f"  measured nlist={params.nlist:<4d} nprobe={params.nprobe:<3d} "
+            f"M={params.num_subspaces:<3d} CB={params.codebook_size:<4d} "
+            f"recall@10={rec:.3f}"
+        )
+        return rec
+
+    print(f"\nExploring under recall@10 >= {ACCURACY_CONSTRAINT} ...")
+    result = dse.explore(
+        accuracy_oracle, ACCURACY_CONSTRAINT, num_iterations=14, seed=0
+    )
+
+    print(f"\noracle calls used: {result.oracle_calls} / {dse.space.size} configs")
+    if result.found_feasible:
+        p = result.best_params
+        print(
+            f"best feasible: nlist={p.nlist} nprobe={p.nprobe} "
+            f"M={p.num_subspaces} CB={p.codebook_size}"
+        )
+        print(
+            f"  measured recall@10 = {result.best_accuracy:.3f}, "
+            f"modeled batch time = {result.best_modeled_seconds * 1e3:.2f} ms"
+        )
+    else:
+        print("no feasible configuration found — relax the constraint")
+
+
+if __name__ == "__main__":
+    main()

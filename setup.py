@@ -1,0 +1,16 @@
+"""Setup shim for environments without the `wheel` package.
+
+Lets ``pip install -e . --no-build-isolation --no-use-pep517`` work
+offline; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
+    python_requires=">=3.9",
+)

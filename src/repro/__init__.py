@@ -1,0 +1,77 @@
+"""DRIM-ANN reproduction: an ANN search engine on (simulated) DRAM-PIMs.
+
+Reproduces *DRIM-ANN: An Approximate Nearest Neighbor Search Engine
+based on Commercial DRAM-PIMs* (SC 2025) in pure Python. The paper's
+UPMEM hardware is substituted by a functional + analytic-timing
+simulator (see DESIGN.md §1 for the substitution table); everything
+else — the IVF-PQ engine, multiplier-less LUT conversion, performance
+model, Bayesian-optimization DSE, layout optimizer, runtime scheduler —
+is implemented in full.
+
+Quickstart::
+
+    from repro import DrimAnnEngine, IndexParams, load_dataset
+
+    ds = load_dataset("sift-like-20k", seed=0, ground_truth_k=10)
+    params = IndexParams(nlist=256, nprobe=8, k=10, num_subspaces=32)
+    engine = DrimAnnEngine.build(ds.base, params, seed=0)
+    result, timing = engine.search(ds.queries)
+    print(timing.summary())
+"""
+
+from repro.ann import (
+    FlatIndex,
+    IVFIndex,
+    IVFPQIndex,
+    OPQ,
+    ProductQuantizer,
+    SearchResult,
+    recall_at_k,
+)
+from repro.baselines import CpuIvfPqBaseline, GpuModel
+from repro.core import (
+    AnalyticPerfModel,
+    DatasetShape,
+    DesignSpaceExplorer,
+    DrimAnnEngine,
+    HardwareProfile,
+    IndexParams,
+    LayoutConfig,
+    SearchParams,
+    SquareLut,
+    TimingBreakdown,
+)
+from repro.data import Dataset, load_dataset, list_presets, make_query_workload
+from repro.pim import EnergyModel, PimSystem, PimSystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlatIndex",
+    "IVFIndex",
+    "IVFPQIndex",
+    "OPQ",
+    "ProductQuantizer",
+    "SearchResult",
+    "recall_at_k",
+    "CpuIvfPqBaseline",
+    "GpuModel",
+    "AnalyticPerfModel",
+    "DatasetShape",
+    "DesignSpaceExplorer",
+    "DrimAnnEngine",
+    "HardwareProfile",
+    "IndexParams",
+    "LayoutConfig",
+    "SearchParams",
+    "SquareLut",
+    "TimingBreakdown",
+    "Dataset",
+    "load_dataset",
+    "list_presets",
+    "make_query_workload",
+    "EnergyModel",
+    "PimSystem",
+    "PimSystemConfig",
+    "__version__",
+]

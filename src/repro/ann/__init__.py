@@ -1,0 +1,37 @@
+"""Cluster-based ANNS substrate: the algorithms DRIM-ANN builds on.
+
+This package is a from-scratch, NumPy-vectorized implementation of the
+IVF-PQ family (the paper's "general ANNS engine supporting IVF-PQ and
+its variants including OPQ"): k-means coarse quantization, product
+quantization with asymmetric distance computation (ADC), optimized
+product quantization (OPQ), inverted-file indexes, exact search, top-k
+utilities, and recall metrics.
+"""
+
+from repro.ann.distance import l2_sq, l2_sq_blocked, adc_lookup_distances
+from repro.ann.kmeans import KMeans, kmeans_fit, minibatch_kmeans_fit
+from repro.ann.pq import ProductQuantizer
+from repro.ann.opq import OPQ
+from repro.ann.ivf import IVFIndex
+from repro.ann.ivfpq import IVFPQIndex, SearchResult
+from repro.ann.flat import FlatIndex
+from repro.ann.recall import recall_at_k
+from repro.ann.heap import topk_smallest, BoundedMaxHeap
+
+__all__ = [
+    "l2_sq",
+    "l2_sq_blocked",
+    "adc_lookup_distances",
+    "KMeans",
+    "kmeans_fit",
+    "minibatch_kmeans_fit",
+    "ProductQuantizer",
+    "OPQ",
+    "IVFIndex",
+    "IVFPQIndex",
+    "SearchResult",
+    "FlatIndex",
+    "recall_at_k",
+    "topk_smallest",
+    "BoundedMaxHeap",
+]

@@ -1,0 +1,40 @@
+"""Exact (flat) index — brute-force search used for ground truth and
+for small-scale sanity checks of the approximate indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ann.heap import topk_smallest
+from repro.ann.distance import l2_sq_blocked
+from repro.ann.ivfpq import SearchResult
+from repro.utils import check_2d, check_same_dim
+
+
+@dataclass
+class FlatIndex:
+    """Stores the raw corpus; search is an exact blocked scan."""
+
+    base: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.base = check_2d(self.base, "base")
+
+    @property
+    def num_points(self) -> int:
+        return self.base.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.base.shape[1]
+
+    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+        queries = check_2d(queries, "queries")
+        check_same_dim(self.base, queries, "base", "queries")
+        if not 1 <= k <= self.num_points:
+            raise ValueError(f"k must be in [1, {self.num_points}], got {k}")
+        d = l2_sq_blocked(queries, self.base)
+        idx, vals = topk_smallest(d, k, axis=1)
+        return SearchResult(ids=idx.astype(np.int64), distances=vals)

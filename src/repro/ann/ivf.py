@@ -1,0 +1,110 @@
+"""Inverted-file (IVF) coarse index.
+
+The cluster-locating half of cluster-based ANNS: a k-means coarse
+quantizer over the corpus plus per-cluster inverted lists of member
+point ids. DRIM-ANN's layout optimizer (``repro.core.layout``) consumes
+this structure, splits/duplicates its clusters, and places the pieces on
+simulated DPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ann.distance import l2_sq_blocked
+from repro.ann.heap import topk_smallest
+from repro.ann.kmeans import KMeans, kmeans_fit
+from repro.utils import check_2d
+
+
+@dataclass
+class IVFIndex:
+    """Coarse quantizer + inverted lists.
+
+    Attributes
+    ----------
+    centroids: ``(nlist, d)`` float32 cluster centers.
+    lists: per-cluster int64 arrays of base-point ids.
+    """
+
+    centroids: np.ndarray
+    lists: List[np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.centroids = check_2d(
+            np.asarray(self.centroids, dtype=np.float32), "centroids"
+        )
+        if len(self.lists) != self.centroids.shape[0]:
+            raise ValueError(
+                f"{len(self.lists)} lists != {self.centroids.shape[0]} centroids"
+            )
+        self.lists = [np.asarray(l, dtype=np.int64) for l in self.lists]
+
+    @property
+    def nlist(self) -> int:
+        return self.centroids.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.centroids.shape[1]
+
+    @property
+    def num_points(self) -> int:
+        return int(sum(len(l) for l in self.lists))
+
+    def list_sizes(self) -> np.ndarray:
+        return np.array([len(l) for l in self.lists], dtype=np.int64)
+
+    @classmethod
+    def build(
+        cls,
+        base: np.ndarray,
+        nlist: int,
+        *,
+        max_iter: int = 20,
+        train_sample: Optional[int] = None,
+        seed=None,
+    ) -> "IVFIndex":
+        """Train the coarse quantizer and populate inverted lists."""
+        base = check_2d(base, "base")
+        if train_sample is None:
+            # Faiss-style default: cap training set at ~256 pts/centroid.
+            train_sample = min(base.shape[0], max(nlist * 64, 16384))
+        km = kmeans_fit(
+            base, nlist, max_iter=max_iter, sample_size=train_sample, seed=seed
+        )
+        assign = km.assign(base)
+        order = np.argsort(assign, kind="stable")
+        sorted_assign = assign[order]
+        bounds = np.searchsorted(sorted_assign, np.arange(nlist + 1))
+        lists = [
+            order[bounds[i] : bounds[i + 1]].astype(np.int64) for i in range(nlist)
+        ]
+        return cls(centroids=km.centroids, lists=lists)
+
+    def locate(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
+        """CL phase: the ``nprobe`` nearest cluster ids per query.
+
+        Returns ``(q, nprobe)`` int64, nearest first.
+        """
+        queries = check_2d(queries, "queries")
+        if not 1 <= nprobe <= self.nlist:
+            raise ValueError(f"nprobe must be in [1, {self.nlist}], got {nprobe}")
+        d = l2_sq_blocked(queries, self.centroids)
+        idx, _ = topk_smallest(d, nprobe, axis=1)
+        return idx.astype(np.int64)
+
+    def imbalance_factor(self) -> float:
+        """Faiss's imbalance metric: n * sum(s_i^2) / (sum s_i)^2, >= 1.
+
+        1.0 means perfectly even lists; real corpora typically land in
+        1.2–3 (the heavy tail the paper's splitter attacks).
+        """
+        sizes = self.list_sizes().astype(np.float64)
+        total = sizes.sum()
+        if total == 0:
+            return 1.0
+        return float(len(sizes) * np.square(sizes).sum() / total**2)

@@ -1,0 +1,291 @@
+"""IVF-PQ: the cluster-based ANNS reference implementation.
+
+This is the algorithm of the paper's Fig. 1 in its host-only form —
+the same five phases (CL, RC, LC, DC, TS) executed with vectorized
+NumPy. It serves three roles in the repository:
+
+1. the **functional gold standard** the PIM engine must match exactly
+   (same index state → identical top-k results);
+2. the algorithmic core of the **Faiss-CPU baseline**
+   (``repro.baselines.cpu`` adds the 32-thread roofline timing model);
+3. a usable ANN library in its own right (examples use it directly).
+
+Residual encoding: points are PQ-encoded on their residual to the
+owning coarse centroid (``x - centroid``), matching Faiss's
+IVFPQ-with-residual and the paper's RC phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ann.distance import batched_adc_lookup
+from repro.ann.heap import topk_smallest
+from repro.ann.ivf import IVFIndex
+from repro.ann.opq import OPQ
+from repro.ann.pq import ProductQuantizer
+from repro.utils import check_2d
+
+
+@dataclass
+class SearchResult:
+    """Top-k output of a batched search."""
+
+    ids: np.ndarray  # (q, k) int64, -1 padding when < k candidates
+    distances: np.ndarray  # (q, k) float64, +inf padding
+
+    def __post_init__(self) -> None:
+        if self.ids.shape != self.distances.shape:
+            raise ValueError(
+                f"ids shape {self.ids.shape} != distances shape {self.distances.shape}"
+            )
+
+    @property
+    def k(self) -> int:
+        return self.ids.shape[1]
+
+
+@dataclass
+class IVFPQIndex:
+    """IVF coarse index + per-list PQ codes.
+
+    Attributes
+    ----------
+    ivf: the coarse quantizer and inverted lists (point ids).
+    pq: the trained product quantizer (on residuals).
+    codes: per-cluster ``(len, M)`` code arrays, aligned with
+        ``ivf.lists``.
+    rotation: optional OPQ rotation applied to vectors and queries.
+    """
+
+    ivf: IVFIndex
+    pq: ProductQuantizer
+    codes: List[np.ndarray]
+    rotation: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if len(self.codes) != self.ivf.nlist:
+            raise ValueError(
+                f"{len(self.codes)} code arrays != nlist {self.ivf.nlist}"
+            )
+        for i, (ids, c) in enumerate(zip(self.ivf.lists, self.codes)):
+            if len(ids) != len(c):
+                raise ValueError(
+                    f"cluster {i}: {len(ids)} ids but {len(c)} codes"
+                )
+
+    # ----- construction -------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        base: np.ndarray,
+        *,
+        nlist: int,
+        num_subspaces: int,
+        codebook_size: int = 256,
+        use_opq: bool = False,
+        train_sample: Optional[int] = 65536,
+        seed=None,
+    ) -> "IVFPQIndex":
+        """Train coarse quantizer + (O)PQ and encode the corpus.
+
+        The PQ is trained on residuals (point minus owning centroid),
+        the standard IVFPQ recipe.
+        """
+        base = check_2d(base, "base")
+        rotation = None
+        work = base.astype(np.float64, copy=False)
+        if use_opq:
+            opq = OPQ.train(
+                work,
+                num_subspaces,
+                codebook_size,
+                sample_size=train_sample,
+                seed=seed,
+            )
+            rotation = opq.rotation
+            work = work @ rotation.T
+
+        ivf = IVFIndex.build(work, nlist, seed=seed)
+        assign = np.empty(work.shape[0], dtype=np.int64)
+        for cid, ids in enumerate(ivf.lists):
+            assign[ids] = cid
+        residuals = work - ivf.centroids[assign].astype(np.float64)
+
+        pq = ProductQuantizer.train(
+            residuals,
+            num_subspaces,
+            codebook_size,
+            sample_size=train_sample,
+            seed=seed,
+        )
+        all_codes = pq.encode(residuals)
+        codes = [all_codes[ids] for ids in ivf.lists]
+        return cls(ivf=ivf, pq=pq, codes=codes, rotation=rotation)
+
+    def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Insert new vectors into the index (assign + encode + append).
+
+        Codebooks and centroids are *not* retrained — the standard
+        incremental-update contract (the paper's intro cites SPFresh
+        for the billion-scale version of this problem). Returns the ids
+        assigned to the new vectors. Note that a
+        :class:`~repro.core.engine.DrimAnnEngine` built from this index
+        holds a static layout; rebuild the engine after bulk inserts.
+        """
+        vectors = check_2d(vectors, "vectors")
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"vector dim {vectors.shape[1]} != index dim {self.dim}")
+        n_new = vectors.shape[0]
+        if ids is None:
+            start = max((int(l.max()) for l in self.ivf.lists if len(l)), default=-1) + 1
+            ids = np.arange(start, start + n_new, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n_new,):
+                raise ValueError(f"ids shape {ids.shape} != ({n_new},)")
+
+        work = self._apply_rotation(vectors)
+        assign = self.ivf.locate(work, 1)[:, 0]
+        residuals = work - self.ivf.centroids.astype(np.float64)[assign]
+        codes = self.pq.encode(residuals)
+        for cid in np.unique(assign):
+            mask = assign == cid
+            self.ivf.lists[cid] = np.concatenate([self.ivf.lists[cid], ids[mask]])
+            self.codes[cid] = np.concatenate([self.codes[cid], codes[mask]])
+        return ids
+
+    # ----- properties ----------------------------------------------------
+    @property
+    def nlist(self) -> int:
+        return self.ivf.nlist
+
+    @property
+    def dim(self) -> int:
+        return self.ivf.dim
+
+    @property
+    def num_points(self) -> int:
+        return self.ivf.num_points
+
+    def _apply_rotation(self, x: np.ndarray) -> np.ndarray:
+        if self.rotation is None:
+            return x.astype(np.float64, copy=False)
+        return x.astype(np.float64, copy=False) @ self.rotation.T
+
+    # ----- search ---------------------------------------------------------
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int,
+        *,
+        rerank: int = 0,
+        base: Optional[np.ndarray] = None,
+    ) -> SearchResult:
+        """Batched five-phase search (CL→RC→LC→DC→TS), host-only.
+
+        Vectorized per (query, probed-cluster) pair; results are exact
+        with respect to the quantized representation (ADC distances).
+
+        ``rerank > 0`` retrieves ``max(rerank, k)`` ADC candidates and
+        re-scores them with exact distances against ``base`` (the raw
+        corpus, which must be supplied) — the classic IVFPQ+refine
+        recipe that lifts recall past the PQ ceiling at the cost of
+        ``rerank`` raw-vector reads per query. The PIM engine does not
+        use it (the paper's pipeline is pure ADC); it is a host-side
+        library feature.
+        """
+        queries = check_2d(queries, "queries")
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"query dim {queries.shape[1]} != index dim {self.dim}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if rerank:
+            if base is None:
+                raise ValueError("rerank requires the raw corpus via base=")
+            coarse = self.search(queries, max(rerank, k), nprobe)
+            return self._rerank_exact(queries, coarse, k, base)
+        qrot = self._apply_rotation(queries)
+
+        # CL: locate nprobe clusters per query.
+        probes = self.ivf.locate(qrot, nprobe)
+
+        nq = qrot.shape[0]
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        out_dist = np.full((nq, k), np.inf, dtype=np.float64)
+
+        # RC + LC, batched over all (query, probe) pairs at once.
+        cents = self.ivf.centroids.astype(np.float64)[probes.ravel()]
+        residuals = np.repeat(qrot, nprobe, axis=0) - cents
+        luts = self.pq.build_luts(residuals).reshape(
+            nq, nprobe, self.pq.num_subspaces, self.pq.codebook_size
+        )
+
+        # DC + TS, grouped by cluster id so each cluster's codes are
+        # gathered once per batch (cache-friendly, mirrors Faiss).
+        flat_probe = probes.ravel()
+        flat_query = np.repeat(np.arange(nq), nprobe)
+        order = np.argsort(flat_probe, kind="stable")
+        # Accumulate per-query candidate pools.
+        pool_d: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        pool_i: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        sorted_probe = flat_probe[order]
+        bounds = np.flatnonzero(
+            np.diff(sorted_probe, prepend=-1)
+        )  # start of each cluster-id run
+        for s_idx, start in enumerate(bounds):
+            end = bounds[s_idx + 1] if s_idx + 1 < len(bounds) else len(order)
+            cid = int(sorted_probe[start])
+            ids = self.ivf.lists[cid]
+            if len(ids) == 0:
+                continue
+            codes = self.codes[cid]
+            sel = order[start:end]
+            qids = flat_query[sel]
+            pidx = sel % nprobe
+            qluts = luts[qids, pidx]  # (g, M, CB)
+            d = batched_adc_lookup(qluts, codes)  # (g, n_c)
+            for row, qid in enumerate(qids):
+                pool_d[qid].append(d[row])
+                pool_i[qid].append(ids)
+
+        for qid in range(nq):
+            if not pool_d[qid]:
+                continue
+            dall = np.concatenate(pool_d[qid])
+            iall = np.concatenate(pool_i[qid])
+            kk = min(k, len(dall))
+            idx, vals = topk_smallest(dall, kk)
+            out_ids[qid, :kk] = iall[idx]
+            out_dist[qid, :kk] = vals
+        return SearchResult(ids=out_ids, distances=out_dist)
+
+    def _rerank_exact(
+        self,
+        queries: np.ndarray,
+        coarse: SearchResult,
+        k: int,
+        base: np.ndarray,
+    ) -> SearchResult:
+        """Re-score ADC candidates with exact L2 on raw vectors."""
+        from repro.ann.distance import l2_sq
+
+        base = check_2d(base, "base")
+        nq = queries.shape[0]
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        out_dist = np.full((nq, k), np.inf, dtype=np.float64)
+        qf = queries.astype(np.float64)
+        for qi in range(nq):
+            cand = coarse.ids[qi][coarse.ids[qi] >= 0]
+            if not len(cand):
+                continue
+            d = l2_sq(qf[qi : qi + 1], base[cand].astype(np.float64))[0]
+            kk = min(k, len(d))
+            sel, vals = topk_smallest(d, kk)
+            out_ids[qi, :kk] = cand[sel]
+            out_dist[qi, :kk] = vals
+        return SearchResult(ids=out_ids, distances=out_dist)

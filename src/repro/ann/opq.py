@@ -1,0 +1,110 @@
+"""Optimized Product Quantization (OPQ).
+
+OPQ (Ge et al., ref [16] of the paper) learns an orthogonal rotation
+``R`` applied to vectors before PQ so that variance is balanced across
+sub-spaces and quantization error drops. DRIM-ANN's engine "supports
+IVF-PQ and its variants, including OPQ and DPQ" — rotation is a host-side
+preprocessing step, so on the PIM side nothing changes except that
+queries are rotated before residual computation.
+
+Training alternates (the non-parametric OPQ-NP procedure):
+
+1. fix R, train/encode PQ on rotated data;
+2. fix codes, solve the orthogonal Procrustes problem
+   ``min_R |R x - decode(codes)|`` via SVD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ann.pq import ProductQuantizer
+from repro.utils import check_2d, ensure_rng
+
+
+@dataclass
+class OPQ:
+    """A trained rotation + product quantizer pair."""
+
+    rotation: np.ndarray  # (d, d) orthogonal, float64
+    pq: ProductQuantizer
+
+    def __post_init__(self) -> None:
+        r = np.asarray(self.rotation, dtype=np.float64)
+        if r.ndim != 2 or r.shape[0] != r.shape[1]:
+            raise ValueError(f"rotation must be square, got {r.shape}")
+        if r.shape[0] != self.pq.dim:
+            raise ValueError(
+                f"rotation dim {r.shape[0]} != pq dim {self.pq.dim}"
+            )
+        self.rotation = r
+
+    @property
+    def dim(self) -> int:
+        return self.pq.dim
+
+    def rotate(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned rotation: ``x @ R.T``."""
+        x = check_2d(x, "x").astype(np.float64, copy=False)
+        return x @ self.rotation.T
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        return self.pq.encode(self.rotate(x))
+
+    def decode_rotated(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct in *rotated* space (for error measurement)."""
+        return self.pq.decode(codes)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct in the original space: ``decode_rotated @ R``."""
+        return self.pq.decode(codes).astype(np.float64) @ self.rotation
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        x = check_2d(x, "x").astype(np.float64, copy=False)
+        rec = self.decode(self.encode(x))
+        diff = x - rec
+        return float(np.mean(np.einsum("ij,ij->i", diff, diff)))
+
+    @classmethod
+    def train(
+        cls,
+        x: np.ndarray,
+        num_subspaces: int,
+        codebook_size: int = 256,
+        *,
+        num_rounds: int = 8,
+        pq_iter: int = 8,
+        sample_size: Optional[int] = 32768,
+        seed=None,
+    ) -> "OPQ":
+        """Alternating minimization of rotation and codebooks."""
+        x = check_2d(x, "x").astype(np.float64, copy=False)
+        rng = ensure_rng(seed)
+        n, d = x.shape
+        if sample_size is not None and sample_size < n:
+            idx = rng.choice(n, size=sample_size, replace=False)
+            xt = x[idx]
+        else:
+            xt = x
+
+        rotation = np.eye(d)
+        pq: Optional[ProductQuantizer] = None
+        for _ in range(max(1, num_rounds)):
+            xr = xt @ rotation.T
+            pq = ProductQuantizer.train(
+                xr,
+                num_subspaces,
+                codebook_size,
+                max_iter=pq_iter,
+                sample_size=None,
+                seed=rng,
+            )
+            rec = pq.decode(pq.encode(xr)).astype(np.float64)
+            # Orthogonal Procrustes: R = U V^T of SVD(rec^T xt).
+            u, _s, vt = np.linalg.svd(rec.T @ xt, full_matrices=False)
+            rotation = u @ vt
+        assert pq is not None
+        return cls(rotation=rotation, pq=pq)

@@ -1,0 +1,51 @@
+"""Recall metrics.
+
+The paper's accuracy constraint is ``recall@10 >= 0.8``: the fraction of
+the true top-10 neighbors present in the returned top-10. We implement
+the general ``recall@k`` (a.k.a. k-recall@k) plus the 1-recall@k variant
+(is the single true nearest neighbor in the returned top-k) used by some
+ANN papers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_2d
+
+
+def recall_at_k(
+    result_ids: np.ndarray, ground_truth: np.ndarray, k: int
+) -> float:
+    """k-recall@k: |returned top-k ∩ true top-k| / k, averaged over queries.
+
+    ``result_ids`` may have -1 padding (counted as misses).
+    """
+    result_ids = check_2d(result_ids, "result_ids")
+    ground_truth = check_2d(ground_truth, "ground_truth")
+    if result_ids.shape[0] != ground_truth.shape[0]:
+        raise ValueError(
+            f"{result_ids.shape[0]} result rows != {ground_truth.shape[0]} gt rows"
+        )
+    if result_ids.shape[1] < k:
+        raise ValueError(f"results have {result_ids.shape[1]} cols, need k={k}")
+    if ground_truth.shape[1] < k:
+        raise ValueError(f"ground truth has {ground_truth.shape[1]} cols, need k={k}")
+    hits = 0
+    res = result_ids[:, :k]
+    gt = ground_truth[:, :k]
+    for r, g in zip(res, gt):
+        hits += len(np.intersect1d(r[r >= 0], g, assume_unique=False))
+    return hits / (res.shape[0] * k)
+
+
+def one_recall_at_k(
+    result_ids: np.ndarray, ground_truth: np.ndarray, k: int
+) -> float:
+    """1-recall@k: fraction of queries whose true NN is in the top-k."""
+    result_ids = check_2d(result_ids, "result_ids")
+    ground_truth = check_2d(ground_truth, "ground_truth")
+    if result_ids.shape[1] < k:
+        raise ValueError(f"results have {result_ids.shape[1]} cols, need k={k}")
+    nn = ground_truth[:, 0][:, None]
+    return float(np.mean(np.any(result_ids[:, :k] == nn, axis=1)))

@@ -1,0 +1,22 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.roofline` — shared roofline timing machinery;
+* :mod:`repro.baselines.cpu` — the Faiss-CPU stand-in: a NumPy IVF-PQ
+  (from ``repro.ann``) with an analytic 32-thread AVX2 / 80 GB/s
+  timing model, the paper's primary comparison target;
+* :mod:`repro.baselines.gpu` — the Faiss-GPU (RTX 4090) roofline model
+  used by the paper's §V-D scalability comparison.
+"""
+
+from repro.baselines.roofline import RooflinePoint, roofline_time
+from repro.baselines.cpu import CpuIvfPqBaseline, CpuTimingReport
+from repro.baselines.gpu import GpuModel, GpuTimingReport
+
+__all__ = [
+    "RooflinePoint",
+    "roofline_time",
+    "CpuIvfPqBaseline",
+    "CpuTimingReport",
+    "GpuModel",
+    "GpuTimingReport",
+]

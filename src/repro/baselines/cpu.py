@@ -1,0 +1,109 @@
+"""Faiss-CPU stand-in (the paper's primary baseline).
+
+Functionally this wraps the library's own NumPy IVF-PQ
+(:class:`~repro.ann.ivfpq.IVFPQIndex`) — the same algorithm Faiss runs.
+Timing is analytic: the five-phase op/byte counts from
+:class:`~repro.core.perf_model.AnalyticPerfModel` on a Xeon-class
+profile (paper platform: Intel Xeon Gold 5218, 32 threads, AVX2,
+~80 GB/s DDR4). The paper's own Fig. 2 establishes that Faiss-CPU is
+memory-bound at balanced configurations; that emerges from this model,
+which is why modeled speedups are trustworthy in shape.
+
+Measured wall-clock of the NumPy implementation is also reported by the
+benches (pytest-benchmark) but is *not* used for paper-figure ratios —
+NumPy-vs-simulator wall-clock would compare Python overheads, not
+architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ann.ivfpq import IVFPQIndex, SearchResult
+from repro.core.params import DatasetShape, IndexParams
+from repro.core.perf_model import (
+    PHASES,
+    AnalyticPerfModel,
+    HardwareProfile,
+    PhaseEstimate,
+)
+from repro.utils import check_2d
+
+
+@dataclass
+class CpuTimingReport:
+    """Modeled CPU timing for one batched search."""
+
+    phases: Dict[str, PhaseEstimate]
+    seconds: float
+    num_queries: int
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.num_queries / self.seconds if self.seconds > 0 else float("inf")
+
+
+class CpuIvfPqBaseline:
+    """Functional IVF-PQ search + analytic 32-thread timing."""
+
+    def __init__(
+        self,
+        index: IVFPQIndex,
+        profile: Optional[HardwareProfile] = None,
+    ) -> None:
+        self.index = index
+        self.profile = profile or HardwareProfile.for_cpu()
+
+    @classmethod
+    def build(
+        cls,
+        base: np.ndarray,
+        params: IndexParams,
+        *,
+        profile: Optional[HardwareProfile] = None,
+        seed=None,
+    ) -> "CpuIvfPqBaseline":
+        index = IVFPQIndex.build(
+            base,
+            nlist=params.nlist,
+            num_subspaces=params.num_subspaces,
+            codebook_size=params.codebook_size,
+            seed=seed,
+        )
+        return cls(index, profile)
+
+    def search(
+        self, queries: np.ndarray, params: IndexParams
+    ) -> SearchResult:
+        """Functional search (real results, for recall measurement)."""
+        queries = check_2d(queries, "queries")
+        return self.index.search(queries, k=params.k, nprobe=params.nprobe)
+
+    def model_timing(
+        self, num_queries: int, params: IndexParams
+    ) -> CpuTimingReport:
+        """Modeled batch time: all five phases run on the CPU serially
+        per batch (they share the same cores), so times add."""
+        shape = DatasetShape(
+            num_points=self.index.num_points,
+            dim=self.index.dim,
+            num_queries=num_queries,
+        )
+        model = AnalyticPerfModel(shape, self.profile, multiplier_less=False)
+        est = model.estimate(params)
+        return CpuTimingReport(
+            phases=est,
+            seconds=sum(e.seconds for e in est.values()),
+            num_queries=num_queries,
+        )
+
+    def search_with_timing(
+        self, queries: np.ndarray, params: IndexParams
+    ):
+        """Convenience: (results, modeled timing report)."""
+        res = self.search(queries, params)
+        rep = self.model_timing(queries.shape[0], params)
+        return res, rep

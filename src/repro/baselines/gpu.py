@@ -1,0 +1,84 @@
+"""Faiss-GPU (RTX 4090) roofline model (paper §V-D).
+
+The paper compares DRIM-ANN's throughput against Faiss on an RTX 4090
+(24 GB GDDR6X, ~1 TB/s — "around 40% of the reported bandwidth of
+DRAM-PIMs") and finds DRIM-ANN reaches 10–53% of the 4090. The GPU's
+abundant FLOPs make ANN search purely bandwidth-bound there, so a
+roofline with the 4090's bandwidth reproduces the comparison. The
+model also enforces the GPU's defining *capacity* constraint: corpora
+beyond device memory are rejected, which is the paper's motivation for
+PIM in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.params import DatasetShape, IndexParams
+from repro.core.perf_model import AnalyticPerfModel, HardwareProfile, PhaseEstimate
+from repro.pim.isa import IsaCostModel
+
+
+@dataclass
+class GpuTimingReport:
+    phases: Dict[str, PhaseEstimate]
+    seconds: float
+    num_queries: int
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.num_queries / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """An RTX-4090-class device."""
+
+    name: str = "rtx4090"
+    memory_bytes: int = 24 * 1024**3
+    bandwidth_bytes_per_s: float = 1.008e12
+    # FP32 ALUs: ~82.6 TFLOPs; ANN integer/gather work attains a
+    # fraction of it — the exact value hardly matters because every
+    # balanced ANN configuration is bandwidth-bound on this machine.
+    peak_ops_per_s: float = 40e12
+
+    def profile(self) -> HardwareProfile:
+        return HardwareProfile(
+            name=self.name,
+            ops_per_s_per_unit=self.peak_ops_per_s,
+            units=1,
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+            isa=IsaCostModel(mul_cost=1.0, div_cost=1.0),
+        )
+
+    def index_bytes(self, shape: DatasetShape, params: IndexParams) -> int:
+        """Device footprint: PQ codes + ids + centroids."""
+        codes = shape.num_points * params.num_subspaces
+        ids = shape.num_points * 8
+        cents = params.nlist * shape.dim * 4
+        books = params.num_subspaces * params.codebook_size * (
+            shape.dim // params.num_subspaces
+        ) * 4
+        return codes + ids + cents + books
+
+    def fits(self, shape: DatasetShape, params: IndexParams) -> bool:
+        return self.index_bytes(shape, params) <= self.memory_bytes
+
+    def model_timing(
+        self, shape: DatasetShape, params: IndexParams
+    ) -> GpuTimingReport:
+        """Modeled batch time; raises if the index exceeds device memory."""
+        if not self.fits(shape, params):
+            raise MemoryError(
+                f"index needs {self.index_bytes(shape, params)} B, "
+                f"{self.name} has {self.memory_bytes} B — the capacity "
+                "wall the paper's PIM approach avoids"
+            )
+        model = AnalyticPerfModel(shape, self.profile(), multiplier_less=False)
+        est = model.estimate(params)
+        return GpuTimingReport(
+            phases=est,
+            seconds=sum(e.seconds for e in est.values()),
+            num_queries=shape.num_queries,
+        )

@@ -1,0 +1,72 @@
+"""Roofline timing machinery (paper Fig. 2).
+
+``time = max(work / peak_compute, bytes / peak_bandwidth)`` — the model
+behind both the paper's Fig. 2 roofline analysis of Faiss-CPU and its
+Eq. 11. A :class:`RooflinePoint` carries the arithmetic intensity and
+whether the workload is compute- or memory-bound at a given machine
+balance, which the Fig. 2 bench plots for a sweep of ANN
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload's position on a machine's roofline."""
+
+    label: str
+    work_ops: float
+    bytes_moved: float
+    peak_ops_per_s: float
+    peak_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.peak_ops_per_s <= 0 or self.peak_bytes_per_s <= 0:
+            raise ValueError("peaks must be > 0")
+        if self.work_ops < 0 or self.bytes_moved < 0:
+            raise ValueError("work/bytes must be >= 0")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Ops per byte."""
+        if self.bytes_moved == 0:
+            return float("inf")
+        return self.work_ops / self.bytes_moved
+
+    @property
+    def machine_balance(self) -> float:
+        """Ops per byte at which the machine transitions regimes."""
+        return self.peak_ops_per_s / self.peak_bytes_per_s
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.arithmetic_intensity < self.machine_balance
+
+    @property
+    def seconds(self) -> float:
+        return roofline_time(
+            self.work_ops,
+            self.bytes_moved,
+            self.peak_ops_per_s,
+            self.peak_bytes_per_s,
+        )
+
+    @property
+    def attained_ops_per_s(self) -> float:
+        s = self.seconds
+        return self.work_ops / s if s > 0 else float("inf")
+
+
+def roofline_time(
+    work_ops: float,
+    bytes_moved: float,
+    peak_ops_per_s: float,
+    peak_bytes_per_s: float,
+) -> float:
+    """max(compute time, memory time)."""
+    if peak_ops_per_s <= 0 or peak_bytes_per_s <= 0:
+        raise ValueError("peaks must be > 0")
+    return max(work_ops / peak_ops_per_s, bytes_moved / peak_bytes_per_s)

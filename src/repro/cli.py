@@ -1,0 +1,412 @@
+"""Command-line interface.
+
+::
+
+    python -m repro info
+    python -m repro build  --preset sift-like-20k --nlist 128 --out index.npz
+    python -m repro search --preset sift-like-20k --nlist 128 --nprobe 8
+    python -m repro model  --points 100000000 --dim 128 --queries 10000 \
+                           --nlist 16384 --nprobe 96
+    python -m repro tune   --preset sift-like-20k --constraint 0.7
+
+`build` trains + quantizes an index and writes it with
+:mod:`repro.core.persist`; `search` runs the simulated engine end to
+end and reports recall and the timing breakdown; `model` evaluates the
+analytic performance model at any scale (no simulation); `tune` runs
+the Bayesian-optimization DSE against measured recall.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_index_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nlist", type=int, default=128, help="IVF cluster count")
+    p.add_argument("--nprobe", type=int, default=8, help="clusters probed per query")
+    p.add_argument("--k", type=int, default=10, help="neighbors returned")
+    p.add_argument("--m", type=int, default=32, help="PQ sub-spaces (M)")
+    p.add_argument("--cb", type=int, default=128, help="codebook entries (CB)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DRIM-ANN reproduction: ANN search on simulated DRAM-PIMs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version, presets, default hardware")
+
+    b = sub.add_parser("build", help="train + quantize an index, save to .npz")
+    b.add_argument("--preset", default="sift-like-20k")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--out", required=True, help="output .npz path")
+    _add_index_args(b)
+
+    s = sub.add_parser("search", help="run the simulated engine end to end")
+    s.add_argument("--preset", default="sift-like-20k")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--index", help="prebuilt .npz from `repro build`")
+    s.add_argument("--dpus", type=int, default=32)
+    s.add_argument("--queries", type=int, default=200)
+    s.add_argument("--no-balance", action="store_true",
+                   help="id-order layout, static scheduling (Fig. 11 baseline)")
+    s.add_argument("--opq", action="store_true", help="OPQ preprocessing")
+    _add_index_args(s)
+
+    m = sub.add_parser("model", help="evaluate the analytic model (any scale)")
+    m.add_argument("--points", type=int, required=True)
+    m.add_argument("--dim", type=int, default=128)
+    m.add_argument("--queries", type=int, default=10000)
+    m.add_argument("--dpus", type=int, default=2530)
+    m.add_argument("--compute-scale", type=float, default=1.0)
+    m.add_argument("--with-mul", action="store_true",
+                   help="disable the multiplier-less conversion")
+    _add_index_args(m)
+
+    t = sub.add_parser("tune", help="Bayesian-optimization DSE")
+    t.add_argument("--preset", default="sift-like-20k")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--constraint", type=float, default=0.7,
+                   help="recall@k constraint")
+    t.add_argument("--iterations", type=int, default=16)
+    t.add_argument("--dpus", type=int, default=32)
+
+    v = sub.add_parser("serve", help="simulate an open-loop query stream")
+    v.add_argument("--preset", default="sift-like-20k")
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--rate", type=float, default=5000, help="arrival QPS")
+    v.add_argument("--queries", type=int, default=300)
+    v.add_argument("--dpus", type=int, default=32)
+    v.add_argument("--batch-size", type=int, default=64)
+    v.add_argument("--max-wait-ms", type=float, default=2.0)
+    _add_index_args(v)
+
+    c = sub.add_parser(
+        "characterize", help="measure the paper's Observations 1-3 on a preset"
+    )
+    c.add_argument("--preset", default="sift-like-20k")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--nlist", type=int, default=128)
+    c.add_argument("--nprobe", type=int, default=8)
+
+    f = sub.add_parser(
+        "frontier", help="recall/throughput Pareto frontier over a small grid"
+    )
+    f.add_argument("--preset", default="sift-like-20k")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--dpus", type=int, default=32)
+    return parser
+
+
+# ---------------------------------------------------------------- commands
+def _cmd_info(args) -> int:
+    import repro
+    from repro.data import list_presets
+    from repro.pim.config import DpuConfig, PimSystemConfig
+
+    print(f"repro {repro.__version__} — DRIM-ANN reproduction (SC 2025)")
+    print(f"dataset presets: {', '.join(list_presets())}")
+    dpu = DpuConfig()
+    print(
+        f"default DPU: {dpu.frequency_hz / 1e6:.0f} MHz, "
+        f"{dpu.num_tasklets} tasklets, "
+        f"{dpu.mram_bytes // 2**20} MB MRAM, {dpu.wram_bytes // 1024} KB WRAM, "
+        f"mul={32}x add"
+    )
+    cfg = PimSystemConfig()
+    print(
+        f"default system: {cfg.num_dpus} DPUs, "
+        f"host channel {cfg.transfer.host_bandwidth_bytes_per_s / 1e9:.1f} GB/s"
+    )
+    return 0
+
+
+def _params(args):
+    from repro.core import IndexParams
+
+    return IndexParams(
+        nlist=args.nlist,
+        nprobe=args.nprobe,
+        k=args.k,
+        num_subspaces=args.m,
+        codebook_size=args.cb,
+    )
+
+
+def _cmd_build(args) -> int:
+    from repro.ann import IVFPQIndex
+    from repro.core.persist import save_quantized
+    from repro.core.quantized import build_quantized_index
+    from repro.data import load_dataset
+
+    params = _params(args)
+    print(f"loading {args.preset} ...")
+    ds = load_dataset(args.preset, seed=args.seed)
+    print(f"training IVF-PQ (nlist={params.nlist}, M={params.num_subspaces}, "
+          f"CB={params.codebook_size}) ...")
+    index = IVFPQIndex.build(
+        ds.base,
+        nlist=params.nlist,
+        num_subspaces=params.num_subspaces,
+        codebook_size=params.codebook_size,
+        seed=args.seed,
+    )
+    quant = build_quantized_index(index)
+    save_quantized(quant, args.out)
+    print(f"wrote {args.out}: {quant.num_points} points, "
+          f"{quant.nlist} clusters, dim {quant.dim}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.ann import recall_at_k
+    from repro.core import DrimAnnEngine, LayoutConfig
+    from repro.core.persist import load_quantized
+    from repro.data import load_dataset
+    from repro.pim.config import PimSystemConfig
+
+    params = _params(args)
+    print(f"loading {args.preset} ...")
+    ds = load_dataset(
+        args.preset, seed=args.seed, num_queries=args.queries, ground_truth_k=params.k
+    )
+    quant = load_quantized(args.index) if args.index else None
+    layout = (
+        LayoutConfig(min_split_size=None, max_copies=0, allocation="id_order")
+        if args.no_balance
+        else LayoutConfig()
+    )
+    print(f"building engine ({args.dpus} DPUs) ...")
+    engine = DrimAnnEngine.build(
+        ds.base,
+        params,
+        system_config=PimSystemConfig(num_dpus=args.dpus),
+        layout_config=layout,
+        heat_queries=None if args.no_balance else ds.queries[: args.queries // 4],
+        prebuilt_quantized=quant,
+        use_opq=args.opq,
+        seed=args.seed,
+    )
+    res, bd = engine.search(ds.queries, with_scheduler=not args.no_balance)
+    rec = recall_at_k(res.ids, ds.ground_truth, params.k)
+    print(f"\nrecall@{params.k} = {rec:.3f}")
+    print(bd.summary())
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from repro.core import AnalyticPerfModel, DatasetShape, HardwareProfile
+    from repro.pim.config import PimSystemConfig
+
+    params = _params(args)
+    shape = DatasetShape(
+        num_points=args.points, dim=args.dim, num_queries=args.queries
+    )
+    cfg = PimSystemConfig(num_dpus=args.dpus).with_compute_scale(args.compute_scale)
+    pim = AnalyticPerfModel(
+        shape,
+        HardwareProfile.for_pim(cfg),
+        multiplier_less=not args.with_mul,
+    )
+    cpu = AnalyticPerfModel(shape, HardwareProfile.for_cpu())
+    t_pim = pim.split_seconds(params)
+    t_cpu = cpu.total_seconds(params)
+    print(f"{'phase':>6s} {'pim ms':>10s} {'bound':>8s} {'c2io':>8s}")
+    for phase, est in pim.estimate(params).items():
+        print(
+            f"{phase:>6s} {est.seconds * 1e3:>10.3f} "
+            f"{'compute' if est.compute_bound else 'IO':>8s} {est.c2io:>8.3f}"
+        )
+    print(f"\npim (CL on host, overlapped): {t_pim * 1e3:.2f} ms "
+          f"({args.queries / t_pim:,.0f} QPS)")
+    print(f"cpu baseline:                 {t_cpu * 1e3:.2f} ms "
+          f"({args.queries / t_cpu:,.0f} QPS)")
+    print(f"modeled speedup:              {t_cpu / t_pim:.2f}x")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.ann import IVFPQIndex, recall_at_k
+    from repro.core import DatasetShape, DesignSpaceExplorer, HardwareProfile
+    from repro.core.quantized import build_quantized_index
+    from repro.data import load_dataset
+    from repro.pim.config import PimSystemConfig
+
+    print(f"loading {args.preset} ...")
+    ds = load_dataset(args.preset, seed=args.seed, num_queries=150, ground_truth_k=10)
+    shape = DatasetShape(num_points=ds.num_base, dim=ds.dim, num_queries=150)
+    dse = DesignSpaceExplorer(
+        shape,
+        HardwareProfile.for_pim(PimSystemConfig(num_dpus=args.dpus)),
+        nlist_values=[64, 128, 256],
+        nprobe_values=[2, 4, 8, 16],
+        m_values=[16, 32],
+        cb_values=[64, 128],
+    )
+    cache = {}
+
+    def oracle(params) -> float:
+        key = (params.nlist, params.num_subspaces, params.codebook_size)
+        if key not in cache:
+            idx = IVFPQIndex.build(
+                ds.base,
+                nlist=params.nlist,
+                num_subspaces=params.num_subspaces,
+                codebook_size=params.codebook_size,
+                seed=args.seed,
+            )
+            cache[key] = build_quantized_index(idx)
+        res = cache[key].reference_search(ds.queries, params.k, params.nprobe)
+        rec = recall_at_k(res.ids, ds.ground_truth, params.k)
+        print(f"  nlist={params.nlist} nprobe={params.nprobe} "
+              f"M={params.num_subspaces} CB={params.codebook_size}: recall {rec:.3f}")
+        return rec
+
+    result = dse.explore(
+        oracle, args.constraint, num_iterations=args.iterations, seed=args.seed
+    )
+    if not result.found_feasible:
+        print("no feasible configuration found — relax the constraint")
+        return 1
+    p = result.best_params
+    print(
+        f"\nbest: nlist={p.nlist} nprobe={p.nprobe} M={p.num_subspaces} "
+        f"CB={p.codebook_size} (recall {result.best_accuracy:.3f}, "
+        f"modeled {result.best_modeled_seconds * 1e3:.2f} ms/batch, "
+        f"{result.oracle_calls} oracle calls)"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core import (
+        BatchingPolicy,
+        DrimAnnEngine,
+        PoissonArrivals,
+        simulate_serving,
+    )
+    from repro.data import load_dataset
+    from repro.pim.config import PimSystemConfig
+
+    params = _params(args)
+    print(f"loading {args.preset} ...")
+    ds = load_dataset(args.preset, seed=args.seed, num_queries=args.queries)
+    print(f"building engine ({args.dpus} DPUs) ...")
+    engine = DrimAnnEngine.build(
+        ds.base,
+        params,
+        system_config=PimSystemConfig(num_dpus=args.dpus),
+        heat_queries=ds.queries[: args.queries // 4],
+        seed=args.seed,
+    )
+    arrivals = PoissonArrivals(args.rate).sample(args.queries, seed=args.seed)
+    report = simulate_serving(
+        engine,
+        ds.queries,
+        arrivals,
+        BatchingPolicy(
+            batch_size=args.batch_size, max_wait_s=args.max_wait_ms * 1e-3
+        ),
+    )
+    print(f"\nserving at {args.rate:,.0f} QPS Poisson:")
+    print(report.summary())
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.ann import IVFIndex
+    from repro.data import (
+        AccessStats,
+        ClusterSizeStats,
+        intrinsic_dimension_estimate,
+        load_dataset,
+    )
+
+    print(f"loading {args.preset} ...")
+    ds = load_dataset(args.preset, seed=args.seed, num_queries=300)
+    idim = intrinsic_dimension_estimate(ds.base)
+    print(f"intrinsic dimension: {idim:.1f} of {ds.dim} ambient")
+    ivf = IVFIndex.build(ds.base, nlist=args.nlist, seed=args.seed)
+    s = ClusterSizeStats.from_sizes(ivf.list_sizes())
+    print(
+        f"cluster sizes: mean {s.mean:.0f}, max {s.max:.0f}, "
+        f"imbalance {s.imbalance_factor:.2f}, gini {s.gini:.2f}"
+    )
+    probes = ivf.locate(ds.queries.astype(float), args.nprobe)
+    a = AccessStats.from_probes(probes, ivf.nlist, batch_size=64)
+    print(
+        f"access skew: top cluster {a.top1_share:.1%}, hottest 10% "
+        f"{a.top10pct_share:.1%}, zipf {a.zipf_exponent:.2f}, "
+        f"batch contention {a.mean_batch_contention:.1f}"
+    )
+    return 0
+
+
+def _cmd_frontier(args) -> int:
+    from repro.core import DatasetShape, HardwareProfile
+    from repro.core.accuracy import measure_accuracy_table
+    from repro.core.frontier import knee_point, pareto_frontier
+    from repro.core.perf_model import AnalyticPerfModel
+    from repro.data import load_dataset
+    from repro.pim.config import PimSystemConfig
+
+    print(f"loading {args.preset} ...")
+    ds = load_dataset(args.preset, seed=args.seed, num_queries=150, ground_truth_k=10)
+    print("measuring the accuracy table (one index per nlist/M/CB) ...")
+    table = measure_accuracy_table(
+        ds.base,
+        ds.queries,
+        ds.ground_truth,
+        nlist_values=[64, 128],
+        nprobe_values=[1, 2, 4, 8, 16],
+        m_values=[16, 32],
+        cb_values=[64],
+        seed=args.seed,
+    )
+    model = AnalyticPerfModel(
+        DatasetShape(num_points=ds.num_base, dim=ds.dim, num_queries=150),
+        HardwareProfile.for_pim(PimSystemConfig(num_dpus=args.dpus)),
+        multiplier_less=True,
+    )
+    frontier = pareto_frontier(table, model)
+    print(f"\n{'recall@10':>10s} {'ms/batch':>9s}  configuration")
+    for p in frontier:
+        print(
+            f"{p.recall:>10.3f} {p.modeled_seconds * 1e3:>9.2f}  "
+            f"nlist={p.params.nlist} nprobe={p.params.nprobe} "
+            f"M={p.params.num_subspaces} CB={p.params.codebook_size}"
+        )
+    knee = knee_point(frontier)
+    print(
+        f"\nknee (suggested default): nlist={knee.params.nlist} "
+        f"nprobe={knee.params.nprobe} M={knee.params.num_subspaces} "
+        f"CB={knee.params.codebook_size} (recall {knee.recall:.3f})"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "build": _cmd_build,
+    "search": _cmd_search,
+    "model": _cmd_model,
+    "tune": _cmd_tune,
+    "serve": _cmd_serve,
+    "characterize": _cmd_characterize,
+    "frontier": _cmd_frontier,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Measured accuracy table a(K, P, C, M, CB) (§III-C).
+
+The paper's DSE consults a recall table "fetched from a table [23]" —
+i.e. measured offline per dataset. :func:`measure_accuracy_table`
+builds that table here: for every (nlist, M, CB) it trains one index
+and evaluates recall@k across the nprobe values (amortizing the
+expensive training over the cheap probe sweep), using the *quantized*
+pipeline so the numbers reflect what DPUs actually compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ann.ivfpq import IVFPQIndex
+from repro.ann.recall import recall_at_k
+from repro.core.params import IndexParams
+from repro.core.quantized import build_quantized_index
+from repro.utils import ensure_rng
+
+Key = Tuple[int, int, int, int, int]  # (nlist, nprobe, k, M, CB)
+
+
+@dataclass
+class AccuracyTable:
+    """recall@k lookup for evaluated parameter points."""
+
+    entries: Dict[Key, float] = field(default_factory=dict)
+
+    @staticmethod
+    def key_of(params: IndexParams) -> Key:
+        return (
+            params.nlist,
+            params.nprobe,
+            params.k,
+            params.num_subspaces,
+            params.codebook_size,
+        )
+
+    def record(self, params: IndexParams, recall: float) -> None:
+        if not 0.0 <= recall <= 1.0:
+            raise ValueError(f"recall must be in [0, 1], got {recall}")
+        self.entries[self.key_of(params)] = recall
+
+    def lookup(self, params: IndexParams) -> float:
+        key = self.key_of(params)
+        if key not in self.entries:
+            raise KeyError(f"accuracy not measured for {key}")
+        return self.entries[key]
+
+    def __contains__(self, params: IndexParams) -> bool:
+        return self.key_of(params) in self.entries
+
+    def satisfying(self, threshold: float):
+        """All measured points meeting the constraint."""
+        return {k: v for k, v in self.entries.items() if v >= threshold}
+
+
+def measure_accuracy_table(
+    base: np.ndarray,
+    queries: np.ndarray,
+    ground_truth: np.ndarray,
+    *,
+    nlist_values: Sequence[int],
+    nprobe_values: Sequence[int],
+    m_values: Sequence[int],
+    cb_values: Sequence[int] = (256,),
+    k: int = 10,
+    seed=None,
+) -> AccuracyTable:
+    """Measure recall@k over a parameter grid with the integer pipeline.
+
+    One index is trained per (nlist, M, CB); every nprobe is then a
+    cheap additional search on it.
+    """
+    rng = ensure_rng(seed)
+    table = AccuracyTable()
+    for nlist in nlist_values:
+        for m in m_values:
+            for cb in cb_values:
+                index = IVFPQIndex.build(
+                    base,
+                    nlist=nlist,
+                    num_subspaces=m,
+                    codebook_size=cb,
+                    seed=rng,
+                )
+                quant = build_quantized_index(index)
+                for nprobe in nprobe_values:
+                    if nprobe > nlist:
+                        continue
+                    res = quant.reference_search(queries, k, nprobe)
+                    rec = recall_at_k(res.ids, ground_truth, k)
+                    table.record(
+                        IndexParams(
+                            nlist=nlist,
+                            nprobe=nprobe,
+                            k=k,
+                            num_subspaces=m,
+                            codebook_size=cb,
+                        ),
+                        rec,
+                    )
+    return table

@@ -1,0 +1,106 @@
+"""Batch-size auto-tuning.
+
+The engine's ``batch_size`` trades three effects:
+
+* larger batches amortize per-launch transfer latency and give the
+  scheduler more tasks to balance (better DPU utilization);
+* smaller batches shorten the host-synchronous critical path (lower
+  per-query latency) and let host CL overlap more finely;
+* under an open-loop arrival stream, batch size couples with the
+  queueing delay of the size-or-timeout batching policy.
+
+:func:`tune_batch_size` sweeps candidate sizes against either
+objective — offline throughput (queries/s over a fixed query set) or
+serving p99 latency at a target arrival rate — and returns the best
+setting with the full sweep for inspection. The engine's batch size is
+mutable (`SearchParams` is frozen, so a new instance is installed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import DrimAnnEngine
+from repro.core.serving import BatchingPolicy, PoissonArrivals, simulate_serving
+
+DEFAULT_CANDIDATES = (16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class BatchTuneResult:
+    """Outcome of a batch-size sweep."""
+
+    best_batch_size: int
+    objective: str
+    # (batch_size, score) — score is QPS (higher better) for
+    # "throughput", p99 ms (lower better) for "p99".
+    sweep: Tuple[Tuple[int, float], ...]
+
+    def score_of(self, batch_size: int) -> float:
+        for b, s in self.sweep:
+            if b == batch_size:
+                return s
+        raise KeyError(batch_size)
+
+
+def tune_batch_size(
+    engine: DrimAnnEngine,
+    queries: np.ndarray,
+    *,
+    objective: str = "throughput",
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+    arrival_rate_qps: Optional[float] = None,
+    max_wait_s: float = 2e-3,
+    apply: bool = True,
+    seed=0,
+) -> BatchTuneResult:
+    """Sweep batch sizes and (optionally) install the winner.
+
+    Parameters
+    ----------
+    objective: ``"throughput"`` (offline QPS) or ``"p99"`` (serving
+        tail latency; requires ``arrival_rate_qps``).
+    apply: install the winning batch size into the engine.
+    """
+    if objective not in ("throughput", "p99"):
+        raise ValueError(f"objective must be 'throughput' or 'p99', got {objective!r}")
+    if objective == "p99" and arrival_rate_qps is None:
+        raise ValueError("objective='p99' requires arrival_rate_qps")
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    queries = np.asarray(queries)
+
+    original = engine.search_params
+    sweep: List[Tuple[int, float]] = []
+    try:
+        for bs in candidates:
+            engine.search_params = replace(original, batch_size=int(bs))
+            if objective == "throughput":
+                _, bd = engine.search(queries)
+                sweep.append((int(bs), bd.throughput_qps))
+            else:
+                arrivals = PoissonArrivals(arrival_rate_qps).sample(
+                    len(queries), seed=seed
+                )
+                rep = simulate_serving(
+                    engine,
+                    queries,
+                    arrivals,
+                    BatchingPolicy(batch_size=int(bs), max_wait_s=max_wait_s),
+                )
+                sweep.append((int(bs), rep.percentile_ms(99)))
+    finally:
+        engine.search_params = original
+
+    if objective == "throughput":
+        best = max(sweep, key=lambda t: t[1])[0]
+    else:
+        best = min(sweep, key=lambda t: t[1])[0]
+    if apply:
+        engine.search_params = replace(original, batch_size=best)
+    return BatchTuneResult(
+        best_batch_size=best, objective=objective, sweep=tuple(sweep)
+    )

@@ -1,0 +1,104 @@
+"""Timing breakdowns (paper Fig. 8).
+
+Aggregates :class:`~repro.pim.system.BatchTiming` records over a run
+into per-kernel shares and end-to-end component times. The paper's
+breakdown is over DPU execution only (host and transfer are overlapped)
+— :meth:`TimingBreakdown.kernel_shares` reproduces that view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.pim.system import BatchTiming
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulated timing over a run's batches."""
+
+    pim_seconds: float = 0.0  # sum of per-batch max-DPU times
+    host_seconds: float = 0.0  # modeled host-side phases (CL)
+    transfer_seconds: float = 0.0
+    e2e_seconds: float = 0.0  # with host/transfer overlap
+    kernel_cycles: Dict[str, float] = field(default_factory=dict)
+    per_batch_busy: List[float] = field(default_factory=list)
+    per_batch_seconds: List[float] = field(default_factory=list)
+    num_batches: int = 0
+    num_queries: int = 0
+
+    def add_batch(
+        self,
+        timing: BatchTiming,
+        host_seconds: float,
+        num_queries: int,
+    ) -> None:
+        """Fold one batch in; e2e charges max(PIM, host, transfer)."""
+        self.pim_seconds += timing.pim_seconds
+        self.host_seconds += host_seconds
+        self.transfer_seconds += timing.transfer_seconds
+        self.e2e_seconds += max(
+            timing.pim_seconds, host_seconds, timing.transfer_seconds
+        )
+        for k, v in timing.kernel_cycles.items():
+            self.kernel_cycles[k] = self.kernel_cycles.get(k, 0.0) + v
+        self.per_batch_busy.append(timing.busy_fraction)
+        self.per_batch_seconds.append(timing.pim_seconds)
+        self.num_batches += 1
+        self.num_queries += num_queries
+
+    # ----- derived views ----------------------------------------------------
+    def kernel_shares(self) -> Dict[str, float]:
+        """Fraction of total DPU cycles per kernel (Fig. 8 bars)."""
+        total = sum(self.kernel_cycles.values())
+        if total <= 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.kernel_cycles.items())}
+
+    @property
+    def mean_busy_fraction(self) -> float:
+        """Average DPU utilization across batches (1.0 = balanced)."""
+        if not self.per_batch_busy:
+            return 1.0
+        return float(np.mean(self.per_batch_busy))
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.e2e_seconds <= 0:
+            return float("inf")
+        return self.num_queries / self.e2e_seconds
+
+    def batch_latency_percentile(self, q: float) -> float:
+        """Percentile of per-batch PIM latency (tail-latency view).
+
+        The paper's load balancer targets exactly this tail: a batch
+        finishes with its slowest DPU, so imbalance shows up as a heavy
+        per-batch latency tail. ``q`` in [0, 100].
+        """
+        if not self.per_batch_seconds:
+            return 0.0
+        return float(np.percentile(self.per_batch_seconds, q))
+
+    @property
+    def tail_ratio(self) -> float:
+        """p95 / median of per-batch latency (1.0 = no tail)."""
+        med = self.batch_latency_percentile(50)
+        if med <= 0:
+            return 1.0
+        return self.batch_latency_percentile(95) / med
+
+    def summary(self) -> str:
+        shares = ", ".join(
+            f"{k}={v:.0%}" for k, v in self.kernel_shares().items()
+        )
+        return (
+            f"{self.num_queries} queries / {self.num_batches} batches: "
+            f"e2e={self.e2e_seconds * 1e3:.2f} ms "
+            f"(pim={self.pim_seconds * 1e3:.2f}, host={self.host_seconds * 1e3:.2f}, "
+            f"xfer={self.transfer_seconds * 1e3:.2f}) "
+            f"qps={self.throughput_qps:,.0f} busy={self.mean_busy_fraction:.0%} "
+            f"[{shares}]"
+        )

@@ -1,0 +1,425 @@
+"""The DRIM-ANN engine (§IV-A): end-to-end build + batched search.
+
+Build pipeline (offline):
+
+1. train a float IVF-PQ index on the corpus (optionally OPQ-rotated);
+2. quantize it to the integer form DPUs require;
+3. estimate cluster heat from a sample query set (Eq. 15 weights);
+4. generate the load-balanced layout (split / duplicate / allocate);
+5. instantiate the simulated PIM system, broadcast codebooks and the
+   square LUT, and place every shard into its DPU's MRAM.
+
+Search pipeline (online, per batch):
+
+1. CL on the host (overlapped with DPU execution of the previous
+   batch; its time is modeled with the CPU profile);
+2. map located (query, cluster) pairs — plus tasks the filter deferred
+   from the previous batch — to per-DPU (query, shard) tasks via the
+   runtime scheduler;
+3. execute RC→LC→DC→TS on the DPUs (functional + cycle-counted);
+4. gather and merge per-task partial top-k into per-query results.
+
+The engine's numeric output is invariant to layout and scheduling: for
+any configuration it must equal
+:meth:`~repro.core.quantized.QuantizedIndexData.reference_search`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ann.ivfpq import IVFPQIndex, SearchResult
+from repro.ann.heap import topk_smallest
+from repro.core.breakdown import TimingBreakdown
+from repro.core.layout import (
+    LayoutConfig,
+    LayoutPlan,
+    estimate_cluster_heat,
+    generate_layout,
+)
+from repro.core.opq_preprocess import OpqPreprocessor
+from repro.core.params import DatasetShape, IndexParams, SearchParams
+from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
+from repro.core.quantized import QuantizedIndexData, build_quantized_index
+from repro.core.scheduler import RuntimeScheduler, SchedulerConfig
+from repro.core.square_lut import SquareLut
+from repro.pim.config import PimSystemConfig
+from repro.pim.system import PimSystem, ShardData
+from repro.utils import check_2d, ensure_rng
+
+
+@dataclass
+class EngineReport:
+    """Build-time provenance of an engine instance."""
+
+    params: IndexParams
+    layout_heat_per_dpu: np.ndarray
+    mram_used_per_dpu: np.ndarray
+    num_shards: int
+    offline_transfer_seconds: float
+    replica_counts: Dict[int, int]
+
+
+class DrimAnnEngine:
+    """DRIM-ANN: cluster-based ANN search on a (simulated) DRAM-PIM."""
+
+    def __init__(
+        self,
+        quantized: QuantizedIndexData,
+        params: IndexParams,
+        search_params: SearchParams,
+        system: PimSystem,
+        plan: LayoutPlan,
+        scheduler: RuntimeScheduler,
+        report: EngineReport,
+        cpu_profile: Optional[HardwareProfile] = None,
+        preprocessor: Optional[OpqPreprocessor] = None,
+    ) -> None:
+        self.quantized = quantized
+        self.params = params
+        self.search_params = search_params
+        self.system = system
+        self.plan = plan
+        self.scheduler = scheduler
+        self.report = report
+        self.cpu_profile = cpu_profile or HardwareProfile.for_cpu()
+        self.preprocessor = preprocessor
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        base: np.ndarray,
+        params: IndexParams,
+        *,
+        search_params: SearchParams = SearchParams(),
+        system_config: PimSystemConfig = PimSystemConfig(),
+        layout_config: LayoutConfig = LayoutConfig(),
+        heat_queries: Optional[np.ndarray] = None,
+        use_opq: bool = False,
+        prebuilt_index: Optional[IVFPQIndex] = None,
+        prebuilt_quantized: Optional[QuantizedIndexData] = None,
+        cpu_profile: Optional[HardwareProfile] = None,
+        tracer=None,
+        seed=None,
+    ) -> "DrimAnnEngine":
+        """Train, quantize, lay out, and load the engine.
+
+        ``heat_queries`` is the sample query set used to estimate
+        cluster access frequency (paper: "the accessing frequency of
+        each cluster is estimated by a sample query set"); when absent,
+        heat falls back to cluster sizes (size correlates with access
+        frequency, §IV-C). ``prebuilt_index`` / ``prebuilt_quantized``
+        skip training when sweeping layout/scheduling knobs on a fixed
+        index.
+        """
+        base = check_2d(base, "base")
+        params.validate_for(base.shape[1])
+        rng = ensure_rng(seed)
+
+        # OPQ as a host-side preprocessing transform: the FPU-less DPUs
+        # need uint8 data, so the rotation is folded into a rotate +
+        # requantize step applied to the corpus now and to every query
+        # at search time (see repro.core.opq_preprocess).
+        preprocessor = None
+        if use_opq:
+            if prebuilt_quantized is not None or prebuilt_index is not None:
+                raise ValueError(
+                    "use_opq must train from the raw corpus; do not pass "
+                    "prebuilt indexes with it"
+                )
+            preprocessor = OpqPreprocessor.train(
+                base, params.num_subspaces, seed=rng
+            )
+            base = preprocessor.transform(base)
+            if heat_queries is not None:
+                heat_queries = preprocessor.transform(heat_queries)
+
+        if prebuilt_quantized is not None:
+            quantized = prebuilt_quantized
+        else:
+            index = prebuilt_index
+            if index is None:
+                index = IVFPQIndex.build(
+                    base,
+                    nlist=params.nlist,
+                    num_subspaces=params.num_subspaces,
+                    codebook_size=params.codebook_size,
+                    seed=rng,
+                )
+            quantized = build_quantized_index(index)
+
+        if quantized.nlist != params.nlist:
+            raise ValueError(
+                f"index nlist {quantized.nlist} != params.nlist {params.nlist}"
+            )
+
+        # --- WRAM budget check: per-task ADC LUT + square LUT + reserve.
+        square_lut = SquareLut.for_bit_width(8, levels=3)
+        wram_needed = (
+            search_params.adc_lut_bytes(params)
+            + (square_lut.resident_bytes if search_params.multiplier_less else 0)
+            + search_params.wram_reserve_bytes
+        )
+        if wram_needed > system_config.dpu.wram_bytes:
+            raise ValueError(
+                f"configuration needs {wram_needed} B of WRAM "
+                f"(ADC LUT {search_params.adc_lut_bytes(params)} B + square LUT) "
+                f"but DPUs have {system_config.dpu.wram_bytes} B; "
+                "reduce num_subspaces x codebook_size"
+            )
+
+        # --- Eq. 15 coefficients from the kernel cost model.
+        d = quantized.dim
+        m = params.num_subspaces
+        cb = params.codebook_size
+        lut_latency = 2.0 * d * cb + d * cb + 2.0 * m * cb  # LC slots/task
+        per_point_calc = 3.0 * m - 1.0  # DC slots/point
+        per_point_sort = 2.0  # TS compare + amortized sift
+
+        # --- heat estimation.
+        weights_kw = dict(
+            lut_weight=lut_latency, point_weight=per_point_calc + per_point_sort
+        )
+        if heat_queries is not None:
+            heat = estimate_cluster_heat(
+                quantized, heat_queries, params.nprobe, **weights_kw
+            )
+        else:
+            sizes = quantized.cluster_sizes().astype(np.float64)
+            heat = sizes * (weights_kw["point_weight"]) + weights_kw["lut_weight"]
+
+        plan = generate_layout(
+            quantized, system_config.num_dpus, heat, layout_config, seed=rng
+        )
+
+        # --- load the PIM system.
+        system = PimSystem(system_config, tracer=tracer)
+        offline_xfer = system.load_codebooks(quantized.codebooks)
+        offline_xfer += system.load_square_lut(square_lut)
+        if search_params.cluster_locate_on == "pim":
+            offline_xfer += system.load_centroid_slices(quantized.centroids)
+        for key, shard in plan.shards.items():
+            cid = shard.cluster_id
+            rows = shard.point_rows
+            system.place_shard(
+                plan.placement[key],
+                ShardData(
+                    shard_key=key,
+                    centroid=quantized.centroids[cid],
+                    ids=quantized.cluster_ids[cid][rows],
+                    codes=quantized.cluster_codes[cid][rows],
+                ),
+            )
+        # Shard payloads also traverse the host channel once, offline.
+        total_bytes = float(
+            sum(
+                quantized.cluster_codes[s.cluster_id][s.point_rows].nbytes
+                + len(s.point_rows) * 8
+                + quantized.dim
+                for s in plan.shards.values()
+            )
+        )
+        offline_xfer += system.transfer.scatter("shards", total_bytes)
+
+        scheduler = RuntimeScheduler(
+            plan,
+            SchedulerConfig(
+                lut_latency=lut_latency,
+                per_point_calc=per_point_calc,
+                per_point_sort=per_point_sort,
+            ),
+        )
+        report = EngineReport(
+            params=params,
+            layout_heat_per_dpu=plan.heat_per_dpu(),
+            mram_used_per_dpu=system.mram_usage(),
+            num_shards=len(plan.shards),
+            offline_transfer_seconds=offline_xfer,
+            replica_counts={c: len(g) for c, g in plan.replica_groups.items()},
+        )
+        return cls(
+            quantized=quantized,
+            params=params,
+            search_params=search_params,
+            system=system,
+            plan=plan,
+            scheduler=scheduler,
+            report=report,
+            cpu_profile=cpu_profile,
+            preprocessor=preprocessor,
+        )
+
+    # ------------------------------------------------------------------ search
+    def _host_cl_seconds(self, num_queries: int) -> float:
+        """Modeled host time for the CL phase of one batch."""
+        shape = DatasetShape(
+            num_points=self.quantized.num_points,
+            dim=self.quantized.dim,
+            num_queries=num_queries,
+        )
+        model = AnalyticPerfModel(shape, self.cpu_profile)
+        return model.phase(self.params, "CL").seconds
+
+    def search(
+        self,
+        queries: np.ndarray,
+        *,
+        with_scheduler: bool = True,
+    ) -> Tuple[SearchResult, TimingBreakdown]:
+        """Batched top-k search; returns results + timing breakdown.
+
+        ``with_scheduler=False`` forces the static policy (replica 0,
+        no filter) — the ablation arm of Fig. 11.
+        """
+        queries = check_2d(queries, "queries")
+        if queries.shape[1] != self.quantized.dim:
+            raise ValueError(
+                f"query dim {queries.shape[1]} != index dim {self.quantized.dim}"
+            )
+        if self.preprocessor is not None:
+            queries = self.preprocessor.transform(queries)
+        k = self.params.k
+        nq = queries.shape[0]
+        bs = self.search_params.batch_size
+
+        scheduler = self.scheduler
+        if not with_scheduler:
+            scheduler = RuntimeScheduler(
+                self.plan,
+                SchedulerConfig(
+                    lut_latency=self.scheduler.config.lut_latency,
+                    per_point_calc=self.scheduler.config.per_point_calc,
+                    per_point_sort=self.scheduler.config.per_point_sort,
+                    filter_threshold=None,
+                    policy="static",
+                ),
+            )
+
+        pools_i: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        pools_d: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        breakdown = TimingBreakdown()
+        carried: List[Tuple[int, int]] = []
+
+        cl_on_pim = self.search_params.cluster_locate_on == "pim"
+        batch_starts = list(range(0, nq, bs))
+        for bi, q0 in enumerate(batch_starts):
+            q1 = min(q0 + bs, nq)
+            if cl_on_pim:
+                probes, cl_sec, cl_cycles = self.system.locate_on_pim(
+                    queries[q0:q1], self.params.nprobe
+                )
+                host_s = 0.0
+            else:
+                probes = self.quantized.locate(queries[q0:q1], self.params.nprobe)
+                cl_sec, cl_cycles = 0.0, 0.0
+                host_s = self._host_cl_seconds(q1 - q0)
+            tasks = list(carried)
+            for local, qidx in enumerate(range(q0, q1)):
+                tasks.extend((qidx, int(c)) for c in probes[local])
+            outcome = scheduler.schedule_batch(tasks)
+            carried = list(outcome.deferred)
+            self._execute(
+                outcome.assignments, queries, k, pools_i, pools_d, breakdown,
+                host_seconds=host_s,
+                num_new_queries=q1 - q0,
+                extra_pim_seconds=cl_sec,
+                extra_cl_cycles=cl_cycles,
+            )
+
+        # Drain deferred tasks (filter off so the queue empties).
+        drain_guard = 0
+        while carried:
+            drain_guard += 1
+            if drain_guard > 100:
+                raise RuntimeError("scheduler failed to drain deferred tasks")
+            drain_sched = RuntimeScheduler(
+                self.plan,
+                SchedulerConfig(
+                    lut_latency=scheduler.config.lut_latency,
+                    per_point_calc=scheduler.config.per_point_calc,
+                    per_point_sort=scheduler.config.per_point_sort,
+                    filter_threshold=None,
+                    policy=scheduler.config.policy,
+                ),
+            )
+            outcome = drain_sched.schedule_batch(carried)
+            carried = list(outcome.deferred)
+            self._execute(
+                outcome.assignments, queries, k, pools_i, pools_d, breakdown,
+                host_seconds=0.0, num_new_queries=0,
+            )
+
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        out_dist = np.full((nq, k), np.inf, dtype=np.float64)
+        for qi in range(nq):
+            if not pools_i[qi]:
+                continue
+            ids = np.concatenate(pools_i[qi])
+            dists = np.concatenate(pools_d[qi]).astype(np.float64)
+            kk = min(k, len(ids))
+            sel, vals = topk_smallest(dists, kk)
+            out_ids[qi, :kk] = ids[sel]
+            out_dist[qi, :kk] = vals
+        return SearchResult(ids=out_ids, distances=out_dist), breakdown
+
+    def _execute(
+        self,
+        assignments: Dict[int, List[Tuple[int, str]]],
+        queries: np.ndarray,
+        k: int,
+        pools_i: List[List[np.ndarray]],
+        pools_d: List[List[np.ndarray]],
+        breakdown: TimingBreakdown,
+        *,
+        host_seconds: float,
+        num_new_queries: int,
+        extra_pim_seconds: float = 0.0,
+        extra_cl_cycles: float = 0.0,
+    ) -> None:
+        """Run one PIM batch and fold results/timing in.
+
+        ``extra_pim_seconds`` / ``extra_cl_cycles`` account a preceding
+        CL-on-PIM launch (it cannot overlap with the task batch: its
+        output drives the schedule).
+        """
+        # Compact the active query set so only referenced queries are
+        # broadcast (deferred tasks pull their queries into the batch).
+        active = sorted(
+            {qidx for tasks in assignments.values() for qidx, _ in tasks}
+        )
+        local_of = {qidx: i for i, qidx in enumerate(active)}
+        local_assign = {
+            dpu: [(local_of[qidx], key) for qidx, key in tasks]
+            for dpu, tasks in assignments.items()
+        }
+        if active:
+            partials, timing = self.system.run_batch(
+                local_assign,
+                queries[active],
+                k,
+                multiplier_less=self.search_params.multiplier_less,
+            )
+            for p in partials:
+                gq = active[p.query_index]
+                if len(p.ids):
+                    pools_i[gq].append(p.ids)
+                    pools_d[gq].append(p.distances)
+            if extra_pim_seconds or extra_cl_cycles:
+                timing.pim_seconds += extra_pim_seconds
+                timing.kernel_cycles["CL"] = (
+                    timing.kernel_cycles.get("CL", 0.0) + extra_cl_cycles
+                )
+            breakdown.add_batch(timing, host_seconds, num_new_queries)
+
+    # ---------------------------------------------------------------- helpers
+    def reference_search(self, queries: np.ndarray) -> SearchResult:
+        """Host gold standard with identical integer math."""
+        if self.preprocessor is not None:
+            queries = self.preprocessor.transform(queries)
+        return self.quantized.reference_search(
+            queries, self.params.k, self.params.nprobe
+        )

@@ -1,0 +1,90 @@
+"""Recall-throughput Pareto frontier.
+
+The DSE answers "fastest configuration meeting a recall floor"; users
+often want the whole trade-off curve instead — which configurations are
+*undominated* (no other config is both faster and more accurate). This
+module computes that frontier from a measured
+:class:`~repro.core.accuracy.AccuracyTable` plus the analytic
+performance model, i.e. entirely offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.accuracy import AccuracyTable
+from repro.core.params import IndexParams
+from repro.core.perf_model import AnalyticPerfModel
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One undominated configuration."""
+
+    params: IndexParams
+    recall: float
+    modeled_seconds: float
+
+    @property
+    def qps_per_query_batch(self) -> float:
+        return 1.0 / self.modeled_seconds if self.modeled_seconds > 0 else float("inf")
+
+
+def pareto_frontier(
+    table: AccuracyTable,
+    model: AnalyticPerfModel,
+    *,
+    host_phases: Sequence[str] = ("CL",),
+) -> List[FrontierPoint]:
+    """Undominated (recall, time) points among the table's entries.
+
+    Returns points sorted by ascending modeled time; recall is strictly
+    increasing along the result (the defining property of a frontier).
+    Entries whose parameters are invalid for the model's dataset shape
+    (dimension divisibility) are skipped.
+    """
+    candidates: List[FrontierPoint] = []
+    for (nlist, nprobe, k, m, cb), recall in table.entries.items():
+        params = IndexParams(
+            nlist=nlist, nprobe=nprobe, k=k, num_subspaces=m, codebook_size=cb
+        )
+        if model.shape.dim % m != 0:
+            continue
+        seconds = model.split_seconds(params, host_phases=tuple(host_phases))
+        candidates.append(
+            FrontierPoint(params=params, recall=recall, modeled_seconds=seconds)
+        )
+    if not candidates:
+        return []
+    candidates.sort(key=lambda p: (p.modeled_seconds, -p.recall))
+    frontier: List[FrontierPoint] = []
+    best_recall = -1.0
+    for p in candidates:
+        if p.recall > best_recall:
+            frontier.append(p)
+            best_recall = p.recall
+    return frontier
+
+
+def knee_point(frontier: Sequence[FrontierPoint]) -> FrontierPoint:
+    """The frontier point with the best marginal recall per time.
+
+    Normalizes both axes to [0, 1] over the frontier and picks the
+    point with maximum (recall_gain - time_cost) — a simple knee
+    heuristic for "a good default configuration".
+    """
+    if not frontier:
+        raise ValueError("empty frontier")
+    if len(frontier) == 1:
+        return frontier[0]
+    t = [p.modeled_seconds for p in frontier]
+    r = [p.recall for p in frontier]
+    t0, t1 = min(t), max(t)
+    r0, r1 = min(r), max(r)
+    span_t = max(t1 - t0, 1e-12)
+    span_r = max(r1 - r0, 1e-12)
+    scores = [
+        (r[i] - r0) / span_r - (t[i] - t0) / span_t for i in range(len(frontier))
+    ]
+    return frontier[max(range(len(frontier)), key=scores.__getitem__)]

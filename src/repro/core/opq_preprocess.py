@@ -1,0 +1,96 @@
+"""OPQ preprocessing for the integer PIM pipeline.
+
+The engine "supports IVF-PQ and its variants, including OPQ" (paper
+§I). OPQ learns an orthogonal rotation that balances variance across PQ
+sub-spaces — but the DPUs consume uint8 vectors, and a rotated uint8
+corpus is no longer uint8. The deployable form is therefore a
+*preprocessing* transform applied on the host at index-build time and
+to every query at search time:
+
+    x' = clip(round(scale * (R @ x) + offset), 0, 255)
+
+with ``R`` the learned OPQ rotation and (scale, offset) an affine fit
+that maps the rotated corpus back into the uint8 range with minimal
+clipping (0.1%/99.9% percentile fit). The rotation is orthogonal, so L2
+geometry is preserved exactly up to the affine scale — neighbor ranks
+are unchanged by R and only perturbed by the requantization rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ann.opq import OPQ
+from repro.utils import check_2d, ensure_rng
+
+
+@dataclass
+class OpqPreprocessor:
+    """A learned rotation + uint8 requantization transform."""
+
+    rotation: np.ndarray  # (d, d) orthogonal
+    scale: float
+    offset: float
+
+    def __post_init__(self) -> None:
+        r = np.asarray(self.rotation, dtype=np.float64)
+        if r.ndim != 2 or r.shape[0] != r.shape[1]:
+            raise ValueError(f"rotation must be square, got {r.shape}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be > 0, got {self.scale}")
+        self.rotation = r
+
+    @property
+    def dim(self) -> int:
+        return self.rotation.shape[0]
+
+    @classmethod
+    def train(
+        cls,
+        base: np.ndarray,
+        num_subspaces: int,
+        codebook_size: int = 64,
+        *,
+        sample_size: int = 16384,
+        num_rounds: int = 4,
+        seed=None,
+    ) -> "OpqPreprocessor":
+        """Learn the rotation on a corpus sample and fit the affine map.
+
+        The OPQ training codebook size only shapes the rotation (the
+        engine retrains its own PQ on the transformed corpus), so a
+        small codebook keeps this cheap.
+        """
+        base = check_2d(base, "base")
+        rng = ensure_rng(seed)
+        n = base.shape[0]
+        idx = rng.choice(n, size=min(sample_size, n), replace=False)
+        sample = base[idx].astype(np.float64)
+        opq = OPQ.train(
+            sample,
+            num_subspaces,
+            codebook_size,
+            num_rounds=num_rounds,
+            sample_size=None,
+            seed=rng,
+        )
+        rotated = sample @ opq.rotation.T
+        lo, hi = np.percentile(rotated, [0.1, 99.9])
+        if hi <= lo:
+            raise ValueError("degenerate corpus: rotated range is empty")
+        scale = 255.0 / (hi - lo)
+        offset = -lo * scale
+        return cls(rotation=opq.rotation, scale=float(scale), offset=float(offset))
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Rotate + requantize to uint8."""
+        x = check_2d(x, "x")
+        if x.shape[1] != self.dim:
+            raise ValueError(f"x dim {x.shape[1]} != rotation dim {self.dim}")
+        rot = x.astype(np.float64) @ self.rotation.T
+        return np.clip(
+            np.rint(self.scale * rot + self.offset), 0, 255
+        ).astype(np.uint8)

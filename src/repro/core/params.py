@@ -1,0 +1,104 @@
+"""Parameter bundles for the DRIM-ANN framework (paper Table I).
+
+Three groups, mirroring the paper's notation table:
+
+* :class:`DatasetShape` — N, Q, D and the bit widths ``B_x`` (fixed by
+  the dataset/platform);
+* :class:`IndexParams` — the DSE decision variables K, P, C, M, CB,
+  expressed in the conventional ANN vocabulary (``nlist`` determines C
+  = num_points / nlist; ``nprobe`` is P; ``k`` is K; ``num_subspaces``
+  is M; ``codebook_size`` is CB);
+* :class:`SearchParams` — runtime knobs (batch size, multiplier-less
+  on/off, phase placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DatasetShape:
+    """Shape and bit widths of a dataset as seen by the perf model."""
+
+    num_points: int  # corpus size (N * C in paper terms)
+    dim: int  # D
+    num_queries: int  # Q (per batch)
+    bits_query: int = 8  # B_q
+    bits_centroid: int = 8  # B_c
+    bits_point: int = 8  # B_p
+    bits_codebook: int = 16  # B_cb
+    bits_lut: int = 32  # B_l
+    bits_address: int = 32  # B_a
+
+    def __post_init__(self) -> None:
+        if self.num_points <= 0 or self.dim <= 0 or self.num_queries <= 0:
+            raise ValueError("num_points, dim, num_queries must be > 0")
+        for name in ("bits_query", "bits_centroid", "bits_point",
+                     "bits_codebook", "bits_lut", "bits_address"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+
+@dataclass(frozen=True)
+class IndexParams:
+    """The DSE decision variables (K, P, C, M, CB in paper notation)."""
+
+    nlist: int  # number of clusters → C = num_points / nlist
+    nprobe: int  # P
+    k: int  # K
+    num_subspaces: int  # M
+    codebook_size: int = 256  # CB
+
+    def __post_init__(self) -> None:
+        if self.nlist <= 0:
+            raise ValueError("nlist must be > 0")
+        if not 1 <= self.nprobe <= self.nlist:
+            raise ValueError(
+                f"nprobe must be in [1, nlist={self.nlist}], got {self.nprobe}"
+            )
+        if self.k <= 0:
+            raise ValueError("k must be > 0")
+        if self.num_subspaces <= 0:
+            raise ValueError("num_subspaces must be > 0")
+        if self.codebook_size < 2:
+            raise ValueError("codebook_size must be >= 2")
+
+    def avg_cluster_size(self, num_points: int) -> float:
+        """C in the paper: average points per cluster."""
+        return num_points / self.nlist
+
+    def validate_for(self, dim: int) -> None:
+        if dim % self.num_subspaces != 0:
+            raise ValueError(
+                f"dim {dim} not divisible by num_subspaces {self.num_subspaces}"
+            )
+
+    def replace(self, **kw) -> "IndexParams":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Runtime execution knobs."""
+
+    batch_size: int = 128
+    multiplier_less: bool = True  # §III-A conversion on/off
+    # Which phases run on DPUs ("pim") vs the host ("host"). CL on the
+    # host is the paper's default placement (it overlaps with DPU work).
+    cluster_locate_on: str = "host"
+    # WRAM bytes reserved for stack/staging when checking LUT fit.
+    wram_reserve_bytes: int = 8 * 1024
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be > 0")
+        if self.cluster_locate_on not in ("host", "pim"):
+            raise ValueError(
+                f"cluster_locate_on must be 'host' or 'pim', got {self.cluster_locate_on!r}"
+            )
+
+    def adc_lut_bytes(self, params: IndexParams, bits_lut: int = 32) -> int:
+        """WRAM footprint of one per-task ADC LUT."""
+        return params.num_subspaces * params.codebook_size * (bits_lut // 8)

@@ -1,0 +1,94 @@
+"""Index persistence: save/load the quantized index as a single .npz.
+
+Index construction (k-means + PQ training + encoding) dominates
+engine-build time; deployments build once and serve many times. This
+module serializes :class:`~repro.core.quantized.QuantizedIndexData`
+(the integer, DPU-ready form — everything the engine needs besides
+layout knobs, which are cheap to regenerate) into one compressed
+NumPy archive with a format-version header.
+
+    save_quantized(quant, "index.npz")
+    quant = load_quantized("index.npz")
+    engine = DrimAnnEngine.build(base, params, prebuilt_quantized=quant)
+
+Cluster arrays are stored concatenated with offset tables rather than
+as thousands of tiny npz members (npz per-member overhead is brutal at
+nlist=2^16).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.core.quantized import QuantizedIndexData
+
+FORMAT_VERSION = 1
+_MAGIC = "drimann-quantized-index"
+
+
+def save_quantized(index: QuantizedIndexData, path: str) -> None:
+    """Write the index to ``path`` (.npz, compressed)."""
+    sizes = index.cluster_sizes()
+    offsets = np.zeros(index.nlist + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    ids_flat = (
+        np.concatenate(index.cluster_ids)
+        if index.num_points
+        else np.empty(0, dtype=np.int64)
+    )
+    codes_flat = (
+        np.concatenate(index.cluster_codes)
+        if index.num_points
+        else np.empty((0, index.num_subspaces), dtype=np.uint8)
+    )
+    np.savez_compressed(
+        path,
+        magic=np.array(_MAGIC),
+        version=np.array(FORMAT_VERSION),
+        centroids=index.centroids,
+        codebooks=index.codebooks,
+        offsets=offsets,
+        ids_flat=ids_flat,
+        codes_flat=codes_flat,
+    )
+
+
+def load_quantized(path: str) -> QuantizedIndexData:
+    """Read an index written by :func:`save_quantized`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as z:
+        try:
+            magic = str(z["magic"])
+            version = int(z["version"])
+        except KeyError as e:
+            raise ValueError(f"{path!r} is not a DRIM-ANN index file") from e
+        if magic != _MAGIC:
+            raise ValueError(f"{path!r} is not a DRIM-ANN index file")
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"{path!r} has format version {version}; this build reads "
+                f"<= {FORMAT_VERSION}"
+            )
+        centroids = z["centroids"]
+        codebooks = z["codebooks"]
+        offsets = z["offsets"]
+        ids_flat = z["ids_flat"]
+        codes_flat = z["codes_flat"]
+    nlist = len(offsets) - 1
+    cluster_ids = [
+        ids_flat[offsets[i] : offsets[i + 1]].copy() for i in range(nlist)
+    ]
+    cluster_codes = [
+        codes_flat[offsets[i] : offsets[i + 1]].copy() for i in range(nlist)
+    ]
+    return QuantizedIndexData(
+        centroids=centroids,
+        codebooks=codebooks,
+        cluster_ids=cluster_ids,
+        cluster_codes=cluster_codes,
+    )

@@ -1,0 +1,187 @@
+"""Integer index data as resident on DPUs.
+
+UPMEM DPUs have no floating-point unit, so everything the PIM side
+touches must be integer: queries and centroids are uint8 (the paper's
+datasets are uint8), PQ codebook entries are rounded to int16 (they are
+residual-scale values), LUT entries are int32 partial squared
+distances, and accumulated distances are int64-safe.
+
+:func:`build_quantized_index` converts a float-trained
+:class:`~repro.ann.ivfpq.IVFPQIndex` into :class:`QuantizedIndexData`.
+The rounding slightly perturbs distances relative to the float
+reference — exactly as on the real hardware — so accuracy experiments
+measure the quantized pipeline end to end.
+
+:meth:`QuantizedIndexData.reference_search` is the pure-NumPy gold
+standard of the integer pipeline: the PIM engine must return identical
+top-k sets for any layout/scheduling, which is the key invariance the
+test suite checks (splitting, duplication and deferral must never
+change results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.ann.heap import topk_smallest
+from repro.ann.ivfpq import IVFPQIndex, SearchResult
+from repro.utils import check_2d
+
+# Codebook entries are residual-scale; they are clipped to this bound at
+# quantization time so that (residual - codebook) stays within the
+# 3-level square-LUT range (±765 for 8-bit data).
+CODEBOOK_CLIP = 510
+
+
+@dataclass
+class QuantizedIndexData:
+    """Integer-only IVF-PQ index state."""
+
+    centroids: np.ndarray  # (nlist, D) uint8
+    codebooks: np.ndarray  # (M, CB, dsub) int16
+    cluster_ids: List[np.ndarray]  # per cluster, (n_c,) int64 point ids
+    cluster_codes: List[np.ndarray]  # per cluster, (n_c, M) uint8/uint16
+
+    def __post_init__(self) -> None:
+        self.centroids = check_2d(self.centroids, "centroids")
+        if self.centroids.dtype != np.uint8:
+            raise TypeError(f"centroids must be uint8, got {self.centroids.dtype}")
+        if self.codebooks.ndim != 3:
+            raise ValueError(f"codebooks must be 3-D, got {self.codebooks.shape}")
+        if self.codebooks.dtype != np.int16:
+            raise TypeError(f"codebooks must be int16, got {self.codebooks.dtype}")
+        if len(self.cluster_ids) != len(self.cluster_codes):
+            raise ValueError("cluster_ids and cluster_codes length mismatch")
+        if len(self.cluster_ids) != self.centroids.shape[0]:
+            raise ValueError(
+                f"{len(self.cluster_ids)} clusters != {self.centroids.shape[0]} centroids"
+            )
+
+    # ----- shape ----------------------------------------------------------
+    @property
+    def nlist(self) -> int:
+        return self.centroids.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.centroids.shape[1]
+
+    @property
+    def num_subspaces(self) -> int:
+        return self.codebooks.shape[0]
+
+    @property
+    def codebook_size(self) -> int:
+        return self.codebooks.shape[1]
+
+    @property
+    def dsub(self) -> int:
+        return self.codebooks.shape[2]
+
+    @property
+    def num_points(self) -> int:
+        return int(sum(len(i) for i in self.cluster_ids))
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.array([len(i) for i in self.cluster_ids], dtype=np.int64)
+
+    def codes_nbytes(self, cluster_id: int) -> int:
+        return self.cluster_codes[cluster_id].nbytes
+
+    # ----- integer search pipeline ----------------------------------------
+    def locate(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
+        """CL phase on integer centroids. ``(q, nprobe)`` ids, nearest first."""
+        queries = check_2d(queries, "queries")
+        if not 1 <= nprobe <= self.nlist:
+            raise ValueError(f"nprobe must be in [1, {self.nlist}], got {nprobe}")
+        q = queries.astype(np.int64)
+        c = self.centroids.astype(np.int64)
+        qq = np.einsum("ij,ij->i", q, q)[:, None]
+        cc = np.einsum("ij,ij->i", c, c)[None, :]
+        d = qq + cc - 2 * (q @ c.T)
+        idx, _ = topk_smallest(d, nprobe, axis=1)
+        return idx.astype(np.int64)
+
+    def residual(self, query: np.ndarray, cluster_id: int) -> np.ndarray:
+        """RC phase: int32 residual of one query to one centroid."""
+        return query.astype(np.int32) - self.centroids[cluster_id].astype(np.int32)
+
+    def build_lut(self, residual: np.ndarray) -> np.ndarray:
+        """LC phase: integer ADC LUT, ``(M, CB)`` int64."""
+        m, dsub = self.num_subspaces, self.dsub
+        r = residual.astype(np.int64).reshape(m, 1, dsub)
+        diff = r - self.codebooks.astype(np.int64)
+        return np.einsum("mcd,mcd->mc", diff, diff)
+
+    def build_luts(self, residuals: np.ndarray) -> np.ndarray:
+        """Batched LC: ``(g, D)`` int32 residuals → ``(g, M, CB)`` int64."""
+        residuals = check_2d(residuals, "residuals")
+        g = residuals.shape[0]
+        m, dsub = self.num_subspaces, self.dsub
+        r = residuals.astype(np.int64).reshape(g, m, 1, dsub)
+        diff = r - self.codebooks.astype(np.int64)[None]
+        return np.einsum("gmcd,gmcd->gmc", diff, diff)
+
+    def reference_search(
+        self, queries: np.ndarray, k: int, nprobe: int
+    ) -> SearchResult:
+        """Host-side gold standard of the integer pipeline.
+
+        Identical math to the PIM kernels, with no partitioning — the
+        engine's results must match this for every layout and schedule.
+        """
+        queries = check_2d(queries, "queries")
+        probes = self.locate(queries, nprobe)
+        nq = queries.shape[0]
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        out_dist = np.full((nq, k), np.inf, dtype=np.float64)
+        marange = np.arange(self.num_subspaces)
+        for qi in range(nq):
+            dparts = []
+            iparts = []
+            for cid in probes[qi]:
+                ids = self.cluster_ids[cid]
+                if len(ids) == 0:
+                    continue
+                lut = self.build_lut(self.residual(queries[qi], cid))
+                codes = self.cluster_codes[cid]
+                d = lut[marange[None, :], codes.astype(np.intp)].sum(axis=1)
+                dparts.append(d)
+                iparts.append(ids)
+            if not dparts:
+                continue
+            dall = np.concatenate(dparts)
+            iall = np.concatenate(iparts)
+            kk = min(k, len(dall))
+            sel, vals = topk_smallest(dall, kk)
+            out_ids[qi, :kk] = iall[sel]
+            out_dist[qi, :kk] = vals.astype(np.float64)
+        return SearchResult(ids=out_ids, distances=out_dist)
+
+
+def build_quantized_index(index: IVFPQIndex) -> QuantizedIndexData:
+    """Round a float-trained IVFPQIndex into DPU-resident integer form.
+
+    Requires the index to have been built on uint8-range data (the
+    paper's setting); centroids are rounded into [0, 255] and codebook
+    entries clipped to ±``CODEBOOK_CLIP``.
+    """
+    if index.rotation is not None:
+        raise ValueError(
+            "OPQ-rotated indexes must be quantized on rotated data; "
+            "apply the rotation to the corpus first (the engine does "
+            "this automatically) — got an index with a rotation attached"
+        )
+    cents = np.clip(np.rint(index.ivf.centroids), 0, 255).astype(np.uint8)
+    books = np.clip(
+        np.rint(index.pq.codebooks), -CODEBOOK_CLIP, CODEBOOK_CLIP
+    ).astype(np.int16)
+    return QuantizedIndexData(
+        centroids=cents,
+        codebooks=books,
+        cluster_ids=[ids.copy() for ids in index.ivf.lists],
+        cluster_codes=[c.copy() for c in index.codes],
+    )

@@ -1,0 +1,178 @@
+"""Runtime query scheduling (§IV-D).
+
+At batch time each located (query, cluster) pair must be mapped to
+concrete DPU tasks. Because hot clusters are replicated, there is a
+choice — and because DPU execution ends with the slowest DPU, the
+choice matters.
+
+Two components, as in the paper:
+
+* **Predictor** — Eq. 15 models a task's latency on a DPU as
+  ``l_LUT + x * l_calu + x * l_sortu`` (LUT build plus per-point scan
+  and sort over the shard's ``x`` points). The scheduler walks the
+  batch's tasks and assigns each (query, cluster) to the replica group
+  whose maximum member-DPU predicted load is smallest, then adds the
+  group's per-part latency to those DPUs.
+* **Filter** — after assignment, DPUs predicted to run much longer
+  than average have some of their tasks deferred into the next batch
+  (a DPU slow in this batch is not necessarily slow in the next). The
+  engine carries deferred tasks forward and merges their results when
+  they eventually execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.layout import LayoutPlan
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Runtime-scheduling knobs."""
+
+    # Eq. 15 coefficients, in DPU cycles.
+    lut_latency: float = 0.0  # l_LUT — set from index shape by the engine
+    per_point_calc: float = 0.0  # l_calu
+    per_point_sort: float = 0.0  # l_sortu
+    # Filter: defer tasks from DPUs whose predicted load exceeds
+    # (threshold x mean predicted load). None disables the filter.
+    filter_threshold: Optional[float] = 1.5
+    # Cap on the fraction of a batch's tasks the filter may defer
+    # (avoids starving queries under extreme skew).
+    max_defer_fraction: float = 0.25
+    # Policy: "predictor" (paper), or "static" (always replica 0,
+    # round-robin parts — the no-scheduling baseline).
+    policy: str = "predictor"
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("predictor", "static"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.filter_threshold is not None and self.filter_threshold <= 1.0:
+            raise ValueError("filter_threshold must be > 1.0 or None")
+        if not 0.0 <= self.max_defer_fraction <= 1.0:
+            raise ValueError("max_defer_fraction must be in [0, 1]")
+
+
+@dataclass
+class ScheduleOutcome:
+    """One batch's assignment."""
+
+    assignments: Dict[int, List[Tuple[int, str]]]  # dpu -> [(query, shard)]
+    deferred: List[Tuple[int, int]]  # [(query, cluster)] for next batch
+    predicted_load: np.ndarray  # (num_dpus,) cycles
+
+
+class RuntimeScheduler:
+    """Maps (query, cluster) tasks to per-DPU (query, shard) tasks."""
+
+    def __init__(self, plan: LayoutPlan, config: SchedulerConfig) -> None:
+        self.plan = plan
+        self.config = config
+        # Pre-compute per-replica-group (dpu, latency) footprints.
+        self._group_info: Dict[int, List[List[Tuple[int, str, float]]]] = {}
+        for cid, groups in plan.replica_groups.items():
+            infos = []
+            for group in groups:
+                info = []
+                for key in group:
+                    shard = plan.shards[key]
+                    lat = (
+                        config.lut_latency
+                        + shard.num_points
+                        * (config.per_point_calc + config.per_point_sort)
+                    )
+                    info.append((plan.placement[key], key, lat))
+                infos.append(info)
+            self._group_info[cid] = infos
+
+    def task_latency(self, num_points: int) -> float:
+        """Eq. 15 for one shard of ``num_points`` points."""
+        c = self.config
+        return c.lut_latency + num_points * (c.per_point_calc + c.per_point_sort)
+
+    def schedule_batch(
+        self, tasks: Sequence[Tuple[int, int]]
+    ) -> ScheduleOutcome:
+        """Assign a batch of (query_index, cluster_id) tasks.
+
+        Tasks are processed hottest-cluster-first (largest latency
+        footprint first), the classic greedy makespan heuristic.
+
+        Precondition: task tuples are unique within a batch (the engine
+        guarantees this — a query's probed clusters are distinct, and
+        deferred tasks carry different query indices).
+        """
+        num_dpus = self.plan.num_dpus
+        load = np.zeros(num_dpus)
+        assignments: Dict[int, List[Tuple[int, str]]] = {
+            d: [] for d in range(num_dpus)
+        }
+        # (task, group_latency) — sort descending by footprint.
+        def group_cost(cid: int) -> float:
+            return sum(l for _, _, l in self._group_info[cid][0])
+
+        ordered = sorted(tasks, key=lambda t: -group_cost(t[1]))
+
+        task_record: List[Tuple[int, int, List[Tuple[int, str, float]]]] = []
+        for qidx, cid in ordered:
+            groups = self._group_info[cid]
+            if self.config.policy == "static":
+                chosen = groups[0]
+            else:
+                # Pick the replica group minimizing the resulting max
+                # member-DPU load.
+                best_val = None
+                chosen = groups[0]
+                for info in groups:
+                    val = max(load[d] + lat for d, _, lat in info)
+                    if best_val is None or val < best_val:
+                        best_val = val
+                        chosen = info
+            for d, key, lat in chosen:
+                assignments[d].append((qidx, key))
+                load[d] += lat
+            task_record.append((qidx, cid, chosen))
+
+        deferred: List[Tuple[int, int]] = []
+        cfg = self.config
+        if cfg.filter_threshold is not None and len(ordered) > 1:
+            mean_load = load.mean()
+            if mean_load > 0:
+                hot_dpus = set(
+                    np.flatnonzero(load > cfg.filter_threshold * mean_load)
+                )
+                if hot_dpus:
+                    max_defer = int(cfg.max_defer_fraction * len(ordered))
+                    # Walk tasks smallest-footprint-last (they were
+                    # assigned last and removing them frees exactly the
+                    # load we added); defer tasks touching hot DPUs.
+                    for qidx, cid, info in reversed(task_record):
+                        if len(deferred) >= max_defer:
+                            break
+                        touched = {d for d, _, _ in info}
+                        if touched & hot_dpus:
+                            still_hot = False
+                            for d, key, lat in info:
+                                load[d] -= lat
+                                assignments[d].remove((qidx, key))
+                                if load[d] > cfg.filter_threshold * mean_load:
+                                    still_hot = True
+                            deferred.append((qidx, cid))
+                            if not still_hot:
+                                hot_dpus = set(
+                                    np.flatnonzero(
+                                        load > cfg.filter_threshold * mean_load
+                                    )
+                                )
+                                if not hot_dpus:
+                                    break
+
+        return ScheduleOutcome(
+            assignments={d: a for d, a in assignments.items() if a},
+            deferred=deferred,
+            predicted_load=load,
+        )

@@ -1,0 +1,46 @@
+"""Dataset substrate.
+
+The paper evaluates on SIFT100M / DEEP100M (100 M base vectors extracted
+from SIFT1B / DEEP1B, quantized to uint8). Those corpora are multi-GB
+downloads and are not available offline, so this package provides:
+
+* :mod:`repro.data.synthetic` — Gaussian-mixture clustered vector
+  corpora with SIFT-like (d=128) and DEEP-like (d=96) presets, uint8
+  quantized, whose cluster-size distribution is deliberately skewed the
+  way real embedding corpora are (this skew is what drives the paper's
+  load-imbalance results).
+* :mod:`repro.data.queries` — query workloads drawn near base clusters
+  with Zipf-distributed cluster popularity, reproducing the
+  hot-cluster access pattern of Figs. 11/12.
+* :mod:`repro.data.ground_truth` — exact top-k neighbors by blocked
+  brute force, for recall measurement.
+* :mod:`repro.data.io_vecs` — readers/writers for the standard
+  ``.fvecs/.bvecs/.ivecs`` formats so real SIFT/DEEP slices can be used
+  when present.
+* :mod:`repro.data.registry` — named presets ("sift-like-200k", ...).
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SyntheticSpec, make_clustered_dataset
+from repro.data.queries import QueryWorkload, make_query_workload
+from repro.data.ground_truth import exact_topk
+from repro.data.registry import load_dataset, list_presets
+from repro.data.analysis import (
+    AccessStats,
+    ClusterSizeStats,
+    intrinsic_dimension_estimate,
+)
+
+__all__ = [
+    "Dataset",
+    "SyntheticSpec",
+    "make_clustered_dataset",
+    "QueryWorkload",
+    "make_query_workload",
+    "exact_topk",
+    "load_dataset",
+    "list_presets",
+    "AccessStats",
+    "ClusterSizeStats",
+    "intrinsic_dimension_estimate",
+]

@@ -1,0 +1,123 @@
+"""Dataset and workload characterization.
+
+The paper's load-balancing design rests on three measured properties of
+real corpora/workloads (§IV-B Observations 1–3): unbalanced cluster
+sizes, repeated same-batch access to single clusters, and skewed
+cluster access frequency. This module measures all three on any
+dataset/workload pair — used to verify that the synthetic corpora
+actually exhibit the paper's preconditions (see
+``tests/test_data_analysis.py``) and as a user-facing diagnostic before
+choosing layout knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils import check_2d
+
+
+@dataclass(frozen=True)
+class ClusterSizeStats:
+    """Observation 1 — cluster-size imbalance."""
+
+    mean: float
+    std: float
+    max: float
+    imbalance_factor: float  # n * sum(s^2) / (sum s)^2, 1.0 = even
+    gini: float  # 0 = even, ->1 = concentrated
+
+    @classmethod
+    def from_sizes(cls, sizes: np.ndarray) -> "ClusterSizeStats":
+        s = np.asarray(sizes, dtype=np.float64)
+        if s.size == 0 or s.sum() == 0:
+            raise ValueError("empty cluster sizes")
+        total = s.sum()
+        imb = float(len(s) * np.square(s).sum() / total**2)
+        sorted_s = np.sort(s)
+        n = len(s)
+        gini = float(
+            (2 * np.arange(1, n + 1) - n - 1).dot(sorted_s) / (n * total)
+        )
+        return cls(
+            mean=float(s.mean()),
+            std=float(s.std()),
+            max=float(s.max()),
+            imbalance_factor=imb,
+            gini=gini,
+        )
+
+
+@dataclass(frozen=True)
+class AccessStats:
+    """Observations 2 & 3 — access frequency skew and batch contention."""
+
+    top1_share: float  # busiest cluster's share of all accesses
+    top10pct_share: float  # share of the hottest 10% of clusters
+    zipf_exponent: float  # slope of the log-log rank-frequency fit
+    mean_batch_contention: float  # avg max same-cluster hits per batch
+
+    @classmethod
+    def from_probes(
+        cls, probes: np.ndarray, nlist: int, batch_size: Optional[int] = None
+    ) -> "AccessStats":
+        """``probes``: (q, nprobe) located cluster ids."""
+        probes = check_2d(np.asarray(probes), "probes")
+        freq = np.bincount(probes.ravel(), minlength=nlist).astype(np.float64)
+        total = freq.sum()
+        if total == 0:
+            raise ValueError("no accesses")
+        order = np.sort(freq)[::-1]
+        top1 = float(order[0] / total)
+        k10 = max(1, nlist // 10)
+        top10 = float(order[:k10].sum() / total)
+
+        # Zipf fit over the populated ranks.
+        populated = order[order > 0]
+        ranks = np.arange(1, len(populated) + 1, dtype=np.float64)
+        if len(populated) >= 2:
+            slope, _ = np.polyfit(np.log(ranks), np.log(populated), 1)
+            zipf = float(-slope)
+        else:
+            zipf = 0.0
+
+        # Batch contention: within each batch, the busiest cluster's
+        # same-batch access count (Observation 2's blocking metric).
+        if batch_size is None:
+            batch_size = len(probes)
+        contentions = []
+        for b0 in range(0, len(probes), batch_size):
+            batch = probes[b0 : b0 + batch_size].ravel()
+            if len(batch):
+                contentions.append(np.bincount(batch).max())
+        return cls(
+            top1_share=top1,
+            top10pct_share=top10,
+            zipf_exponent=zipf,
+            mean_batch_contention=float(np.mean(contentions)),
+        )
+
+
+def intrinsic_dimension_estimate(x: np.ndarray, sample: int = 4096, seed=0) -> float:
+    """Participation-ratio intrinsic dimension from the PCA spectrum.
+
+    ``(sum λ)^2 / sum λ^2`` — the effective number of variance
+    directions. Real embeddings score far below their ambient dimension
+    (the property that makes PQ viable; see
+    ``SyntheticSpec.intrinsic_dim``).
+    """
+    x = check_2d(x, "x").astype(np.float64)
+    rng = np.random.default_rng(seed)
+    if len(x) > sample:
+        x = x[rng.choice(len(x), size=sample, replace=False)]
+    xc = x - x.mean(axis=0)
+    cov = xc.T @ xc / max(len(xc) - 1, 1)
+    eig = np.linalg.eigvalsh(cov)
+    eig = np.clip(eig, 0, None)
+    s = eig.sum()
+    if s <= 0:
+        return 0.0
+    return float(s**2 / np.square(eig).sum())

@@ -1,0 +1,84 @@
+"""Dataset container shared by indexes, engines, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils import check_2d
+
+
+@dataclass
+class Dataset:
+    """A base corpus plus (optionally) queries and exact ground truth.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"sift-like-200k"``).
+    base:
+        ``(n, d)`` base vectors. uint8 for SIFT/DEEP-style corpora,
+        float32 also accepted by all indexes.
+    queries:
+        ``(q, d)`` query vectors, or ``None``.
+    ground_truth:
+        ``(q, k_gt)`` int64 indices of exact nearest neighbors in
+        ``base`` (ascending distance), or ``None``.
+    metadata:
+        Free-form provenance (generator parameters, seed, ...).
+    """
+
+    name: str
+    base: np.ndarray
+    queries: Optional[np.ndarray] = None
+    ground_truth: Optional[np.ndarray] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.base = check_2d(self.base, "base")
+        if self.queries is not None:
+            self.queries = check_2d(self.queries, "queries")
+            if self.queries.shape[1] != self.base.shape[1]:
+                raise ValueError(
+                    "queries dimension "
+                    f"{self.queries.shape[1]} != base dimension {self.base.shape[1]}"
+                )
+        if self.ground_truth is not None:
+            self.ground_truth = check_2d(
+                np.asarray(self.ground_truth, dtype=np.int64), "ground_truth"
+            )
+            if self.queries is None:
+                raise ValueError("ground_truth given without queries")
+            if self.ground_truth.shape[0] != self.queries.shape[0]:
+                raise ValueError(
+                    "ground_truth rows "
+                    f"{self.ground_truth.shape[0]} != query count {self.queries.shape[0]}"
+                )
+
+    @property
+    def num_base(self) -> int:
+        return self.base.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.base.shape[1]
+
+    @property
+    def num_queries(self) -> int:
+        return 0 if self.queries is None else self.queries.shape[0]
+
+    def subset_queries(self, n: int) -> "Dataset":
+        """Return a view dataset with only the first ``n`` queries."""
+        if self.queries is None:
+            raise ValueError("dataset has no queries")
+        n = min(n, self.num_queries)
+        gt = None if self.ground_truth is None else self.ground_truth[:n]
+        return Dataset(
+            name=self.name,
+            base=self.base,
+            queries=self.queries[:n],
+            ground_truth=gt,
+            metadata=dict(self.metadata, query_subset=n),
+        )

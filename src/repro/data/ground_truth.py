@@ -1,0 +1,76 @@
+"""Exact top-k ground truth by blocked brute force.
+
+Used to score recall@k for every experiment. Blocked over both queries
+and base vectors so memory stays bounded at
+``block_q * block_n * 8`` bytes regardless of corpus size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.distance import l2_sq_blocked
+from repro.utils import check_2d, check_same_dim
+
+
+def exact_topk(
+    base: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    block_q: int = 256,
+    block_n: int = 65536,
+    return_distances: bool = False,
+):
+    """Exact k nearest neighbors under squared-L2 distance.
+
+    Returns ``(q, k)`` int64 indices sorted by ascending distance, and
+    optionally the matching ``(q, k)`` float64 squared distances.
+    """
+    base = check_2d(base, "base")
+    queries = check_2d(queries, "queries")
+    check_same_dim(base, queries, "base", "queries")
+    n = base.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+
+    nq = queries.shape[0]
+    out_idx = np.empty((nq, k), dtype=np.int64)
+    out_dist = np.empty((nq, k), dtype=np.float64)
+
+    for q0 in range(0, nq, block_q):
+        q1 = min(q0 + block_q, nq)
+        qblk = queries[q0:q1]
+        # Running top-k across base blocks: keep candidate pool of size
+        # k per query, merge each block into it.
+        best_d = np.full((q1 - q0, k), np.inf)
+        best_i = np.full((q1 - q0, k), -1, dtype=np.int64)
+        for n0 in range(0, n, block_n):
+            n1 = min(n0 + block_n, n)
+            d = l2_sq_blocked(qblk, base[n0:n1])
+            m = min(k, n1 - n0)
+            part = np.argpartition(d, m - 1, axis=1)[:, :m]
+            pd = np.take_along_axis(d, part, axis=1)
+            # Merge pools.
+            cand_d = np.concatenate([best_d, pd], axis=1)
+            cand_i = np.concatenate(
+                [best_i, part.astype(np.int64) + n0], axis=1
+            )
+            sel = np.argpartition(cand_d, k - 1, axis=1)[:, :k]
+            best_d = np.take_along_axis(cand_d, sel, axis=1)
+            best_i = np.take_along_axis(cand_i, sel, axis=1)
+        order = np.argsort(best_d, axis=1, kind="stable")
+        out_dist[q0:q1] = np.take_along_axis(best_d, order, axis=1)
+        out_idx[q0:q1] = np.take_along_axis(best_i, order, axis=1)
+
+    if return_distances:
+        return out_idx, out_dist
+    return out_idx
+
+
+def attach_ground_truth(dataset, k: int = 100, **kwargs):
+    """Compute and attach exact ground truth to a Dataset (in place)."""
+    if dataset.queries is None:
+        raise ValueError("dataset has no queries")
+    dataset.ground_truth = exact_topk(dataset.base, dataset.queries, k, **kwargs)
+    return dataset

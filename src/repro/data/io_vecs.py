@@ -1,0 +1,103 @@
+"""Readers/writers for the TEXMEX ``.fvecs / .bvecs / .ivecs`` formats.
+
+These are the on-disk formats of SIFT1B/DEEP1B and friends: each vector
+is stored as a little-endian int32 dimension header followed by ``d``
+payload elements (float32 / uint8 / int32 respectively). Supported so a
+user who *does* have real SIFT/DEEP slices can feed them straight into
+the engine; the repository's own experiments use synthetic data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+_PAYLOAD = {
+    ".fvecs": np.dtype("<f4"),
+    ".bvecs": np.dtype("u1"),
+    ".ivecs": np.dtype("<i4"),
+}
+
+
+def _payload_dtype(path: str) -> np.dtype:
+    ext = os.path.splitext(path)[1].lower()
+    if ext not in _PAYLOAD:
+        raise ValueError(f"unsupported vecs extension {ext!r} (want .fvecs/.bvecs/.ivecs)")
+    return _PAYLOAD[ext]
+
+
+def read_vecs(
+    path: str, *, count: Optional[int] = None, offset: int = 0
+) -> np.ndarray:
+    """Read vectors from a ``.fvecs/.bvecs/.ivecs`` file.
+
+    Parameters
+    ----------
+    count: maximum number of vectors to read (None → all).
+    offset: number of leading vectors to skip.
+    """
+    dtype = _payload_dtype(path)
+    filesize = os.path.getsize(path)
+    if filesize == 0:
+        return np.empty((0, 0), dtype=dtype)
+    with open(path, "rb") as f:
+        header = np.fromfile(f, dtype="<i4", count=1)
+        if len(header) == 0:
+            return np.empty((0, 0), dtype=dtype)
+        d = int(header[0])
+        if d <= 0:
+            raise ValueError(f"corrupt vecs file {path!r}: dimension {d}")
+    record = 4 + d * dtype.itemsize
+    total, rem = divmod(filesize, record)
+    if rem:
+        raise ValueError(
+            f"corrupt vecs file {path!r}: size {filesize} not a multiple of "
+            f"record size {record}"
+        )
+    if offset < 0 or offset > total:
+        raise ValueError(f"offset {offset} out of range [0, {total}]")
+    n = total - offset if count is None else min(count, total - offset)
+    raw = np.fromfile(path, dtype=np.uint8, count=n * record, offset=offset * record)
+    raw = raw.reshape(n, record)
+    dims = raw[:, :4].view("<i4").ravel()
+    if not np.all(dims == d):
+        raise ValueError(f"corrupt vecs file {path!r}: inconsistent dimensions")
+    return raw[:, 4:].copy().view(dtype).reshape(n, d)
+
+
+def iter_vecs(path: str, chunk: int = 65536):
+    """Stream a vecs file in chunks of up to ``chunk`` vectors.
+
+    Lets billion-scale files (SIFT1B's base file is ~132 GB) feed
+    index construction without ever materializing the corpus:
+
+        for block in iter_vecs("bigann_base.bvecs", chunk=1_000_000):
+            process(block)
+    """
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    offset = 0
+    while True:
+        block = read_vecs(path, count=chunk, offset=offset)
+        if block.size == 0:
+            return
+        yield block
+        if len(block) < chunk:
+            return
+        offset += len(block)
+
+
+def write_vecs(path: str, vectors: np.ndarray) -> None:
+    """Write a 2-D array in the format implied by the file extension."""
+    dtype = _payload_dtype(path)
+    vectors = np.ascontiguousarray(vectors, dtype=dtype)
+    if vectors.ndim != 2:
+        raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+    n, d = vectors.shape
+    header = np.full(n, d, dtype="<i4")
+    record = np.empty((n, 4 + d * dtype.itemsize), dtype=np.uint8)
+    record[:, :4] = header.view(np.uint8).reshape(n, 4)
+    record[:, 4:] = vectors.view(np.uint8).reshape(n, d * dtype.itemsize)
+    record.tofile(path)

@@ -1,0 +1,172 @@
+"""Skewed query workloads.
+
+The paper's load-imbalance analysis (§IV-B, Figs. 11/12) rests on three
+observations about how queries land on clusters:
+
+* cluster sizes are unbalanced,
+* several queries in one batch hit the same cluster,
+* cluster access frequency is non-uniform (some clusters are "hot").
+
+This module synthesizes query streams with controllable versions of all
+three: a Zipf exponent for hot-cluster concentration, batch structure,
+and an optional *drift* that moves the hot set between batches (which is
+what makes the paper's inter-batch "filter" useful — a DPU that was slow
+in one batch is not necessarily slow in the next).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils import ensure_rng
+
+
+@dataclass
+class QueryWorkload:
+    """A batched query stream.
+
+    Attributes
+    ----------
+    queries: ``(q, d)`` array of all queries, batch-major.
+    batch_sizes: number of queries per batch (sums to ``q``).
+    hot_components: per-batch array of component ids that were favored
+        when sampling (diagnostic metadata; may be empty).
+    """
+
+    queries: np.ndarray
+    batch_sizes: List[int]
+    hot_components: List[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if sum(self.batch_sizes) != len(self.queries):
+            raise ValueError(
+                f"batch_sizes sum {sum(self.batch_sizes)} != "
+                f"query count {len(self.queries)}"
+            )
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batch_sizes)
+
+    def batches(self):
+        """Yield ``(batch_index, query_array_view)`` pairs."""
+        off = 0
+        for i, b in enumerate(self.batch_sizes):
+            yield i, self.queries[off : off + b]
+            off += b
+
+
+def make_query_workload(
+    dataset: Dataset,
+    *,
+    num_queries: int,
+    batch_size: int,
+    zipf_skew: float = 1.0,
+    hot_fraction: float = 0.1,
+    drift: float = 0.0,
+    noise_scale: float = 1.0,
+    mode: str = "interpolate",
+    interpolate_range: tuple = (0.4, 0.6),
+    seed=None,
+) -> QueryWorkload:
+    """Sample a batched, skewed query workload near the dataset's points.
+
+    Two generation modes:
+
+    * ``"interpolate"`` (default) — each query is the α-blend of two
+      base points from the same component (α ~ U over
+      ``interpolate_range``) plus small jitter. Midpoint queries sit
+      *between* local neighborhoods, so their true top-k straddles IVF
+      cell boundaries; this is what gives the realistic, slowly-rising
+      recall-vs-nprobe curve (a plain jittered base point has its whole
+      neighborhood inside one cell and recall saturates at nprobe≈2).
+    * ``"jitter"`` — a base point plus Gaussian noise of
+      ``noise_scale``; easier workloads, useful for tests.
+
+    Seed points are drawn so that a ``hot_fraction`` of the generator's
+    natural components receives Zipf-concentrated traffic (the paper's
+    hot-cluster skew); ``drift`` in [0, 1] resamples that hot set
+    between batches with the given probability.
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be > 0")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be > 0")
+    if not 0.0 <= drift <= 1.0:
+        raise ValueError("drift must be in [0, 1]")
+    if mode not in ("interpolate", "jitter"):
+        raise ValueError(f"mode must be 'interpolate' or 'jitter', got {mode!r}")
+    lo_a, hi_a = interpolate_range
+    if not 0.0 <= lo_a <= hi_a <= 1.0:
+        raise ValueError(f"interpolate_range must satisfy 0<=lo<=hi<=1, got {interpolate_range}")
+    rng = ensure_rng(seed)
+
+    assign = dataset.metadata.get("component_assignments")
+    if assign is None:
+        # Fall back: treat each point as its own "component".
+        assign = np.arange(dataset.num_base)
+    assign = np.asarray(assign)
+    components = np.unique(assign)
+    n_hot = max(1, int(round(hot_fraction * len(components))))
+
+    # Index base points by component for fast sampling.
+    order = np.argsort(assign, kind="stable")
+    sorted_assign = assign[order]
+    starts = np.searchsorted(sorted_assign, components, side="left")
+    ends = np.searchsorted(sorted_assign, components, side="right")
+
+    def pick_hot() -> np.ndarray:
+        return rng.choice(components, size=n_hot, replace=False)
+
+    hot = pick_hot()
+    batch_sizes: List[int] = []
+    hot_log: List[np.ndarray] = []
+    chunks: List[np.ndarray] = []
+
+    remaining = num_queries
+    while remaining > 0:
+        b = min(batch_size, remaining)
+        remaining -= b
+        if batch_sizes and rng.uniform() < drift:
+            hot = pick_hot()
+        hot_log.append(hot.copy())
+        batch_sizes.append(b)
+
+        # Zipf ranks over the hot set; cold components share leftover mass.
+        ranks = np.arange(1, n_hot + 1, dtype=np.float64)
+        hot_w = ranks ** (-zipf_skew) if zipf_skew > 0 else np.ones(n_hot)
+        hot_w = hot_w / hot_w.sum()
+        comp_choice = rng.choice(len(hot), size=b, p=hot_w)
+        comp_ids = hot[comp_choice]
+
+        # Map each chosen component to random member base points.
+        def draw_member(c) -> int:
+            ci = np.searchsorted(components, c)
+            lo, hi = starts[ci], ends[ci]
+            if hi <= lo:  # empty component: any point
+                return int(rng.integers(0, dataset.num_base))
+            return int(order[rng.integers(lo, hi)])
+
+        idx = np.array([draw_member(c) for c in comp_ids], dtype=np.int64)
+        pts = dataset.base[idx].astype(np.float64)
+        if mode == "interpolate":
+            idx2 = np.array([draw_member(c) for c in comp_ids], dtype=np.int64)
+            alpha = rng.uniform(lo_a, hi_a, size=(b, 1))
+            pts = alpha * pts + (1.0 - alpha) * dataset.base[idx2].astype(np.float64)
+        jitter = rng.standard_normal(pts.shape) * noise_scale
+        q = pts + jitter
+        if dataset.base.dtype == np.uint8:
+            q = np.clip(np.rint(q), 0, 255).astype(np.uint8)
+        else:
+            q = q.astype(dataset.base.dtype)
+        chunks.append(q)
+
+    return QueryWorkload(
+        queries=np.concatenate(chunks, axis=0),
+        batch_sizes=batch_sizes,
+        hot_components=hot_log,
+    )

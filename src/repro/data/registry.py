@@ -1,0 +1,125 @@
+"""Named dataset presets used across examples, tests, and benchmarks.
+
+``load_dataset("sift-like-200k", seed=0)`` is the one-liner every
+benchmark starts from. Presets pin the generator parameters so that
+EXPERIMENTS.md numbers are reproducible bit-for-bit from the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.data.dataset import Dataset
+from repro.data.ground_truth import attach_ground_truth
+from repro.data.queries import make_query_workload
+from repro.data.synthetic import (
+    SyntheticSpec,
+    deep_like_spec,
+    make_clustered_dataset,
+    sift_like_spec,
+)
+
+_PRESETS: Dict[str, Callable[..., Dataset]] = {}
+
+
+def register_preset(name: str):
+    """Decorator registering a dataset factory under ``name``."""
+
+    def deco(fn: Callable[..., Dataset]):
+        if name in _PRESETS:
+            raise ValueError(f"preset {name!r} already registered")
+        _PRESETS[name] = fn
+        return fn
+
+    return deco
+
+
+def list_presets() -> list:
+    """Names of all registered presets."""
+    return sorted(_PRESETS)
+
+
+def load_dataset(
+    name: str,
+    *,
+    seed=0,
+    num_queries: Optional[int] = None,
+    ground_truth_k: int = 0,
+) -> Dataset:
+    """Build a preset dataset.
+
+    Parameters
+    ----------
+    num_queries: override the preset's query count.
+    ground_truth_k: if > 0, compute exact top-k ground truth (costs a
+        brute-force pass; benchmarks cache the result).
+    """
+    if name not in _PRESETS:
+        raise KeyError(f"unknown preset {name!r}; known: {list_presets()}")
+    ds = _PRESETS[name](seed=seed, num_queries=num_queries)
+    if ground_truth_k > 0:
+        attach_ground_truth(ds, k=ground_truth_k)
+    return ds
+
+
+def _make(spec: SyntheticSpec, name, seed, num_queries, default_q, skew=1.0):
+    nq = default_q if num_queries is None else num_queries
+    ds = make_clustered_dataset(spec, seed=seed, name=name)
+    wl = make_query_workload(
+        ds,
+        num_queries=nq,
+        batch_size=max(1, nq // 8),
+        zipf_skew=skew,
+        noise_scale=5.0,
+        seed=None if seed is None else seed + 1,
+    )
+    ds.queries = wl.queries
+    ds.metadata["workload_batches"] = wl.batch_sizes
+    return ds
+
+
+@register_preset("sift-like-20k")
+def _sift20k(seed=0, num_queries=None) -> Dataset:
+    """Small smoke-test corpus: 20k x 128 uint8."""
+    return _make(sift_like_spec(20_000, 64), "sift-like-20k", seed, num_queries, 200)
+
+
+@register_preset("sift-like-100k")
+def _sift100k(seed=0, num_queries=None) -> Dataset:
+    """Mid-size corpus for tests: 100k x 128 uint8."""
+    return _make(sift_like_spec(100_000, 256), "sift-like-100k", seed, num_queries, 500)
+
+
+@register_preset("sift-like-200k")
+def _sift200k(seed=0, num_queries=None) -> Dataset:
+    """Benchmark corpus standing in for SIFT100M: 200k x 128 uint8."""
+    return _make(sift_like_spec(200_000, 512), "sift-like-200k", seed, num_queries, 1000)
+
+
+@register_preset("sift-like-400k")
+def _sift400k(seed=0, num_queries=None) -> Dataset:
+    """Benchmark corpus standing in for SIFT100M: 400k x 128 uint8.
+
+    128 natural components so that the benchmark nlist sweep
+    (256..2048) spans 2..16 k-means cells per component — the regime
+    where recall responds to nprobe (see DESIGN.md §1, dataset row).
+    """
+    return _make(sift_like_spec(400_000, 128), "sift-like-400k", seed, num_queries, 1000)
+
+
+@register_preset("deep-like-400k")
+def _deep400k(seed=0, num_queries=None) -> Dataset:
+    """Benchmark corpus standing in for DEEP100M: 400k x 96 uint8."""
+    return _make(deep_like_spec(400_000, 128), "deep-like-400k", seed, num_queries, 1000)
+
+
+@register_preset("deep-like-20k")
+def _deep20k(seed=0, num_queries=None) -> Dataset:
+    """Small smoke-test corpus: 20k x 96 uint8."""
+    return _make(deep_like_spec(20_000, 64), "deep-like-20k", seed, num_queries, 200)
+
+
+@register_preset("deep-like-200k")
+def _deep200k(seed=0, num_queries=None) -> Dataset:
+    """Benchmark corpus standing in for DEEP100M: 200k x 96 uint8."""
+    return _make(deep_like_spec(200_000, 512), "deep-like-200k", seed, num_queries, 1000)

@@ -1,0 +1,50 @@
+"""UPMEM DRAM-PIM system model.
+
+The paper runs on a real UPMEM server; no PIM hardware exists here, so
+this package is the substituted substrate: a **functional + analytic-
+timing simulator** of an UPMEM-style DIMM-PIM system.
+
+Functional: every kernel computes real numeric results over the data
+resident in each simulated DPU's MRAM, so accuracy (recall) measured on
+the simulator is genuine, not modeled.
+
+Timing: kernels report instruction counts by class and MRAM/WRAM
+traffic; :class:`~repro.pim.dpu.Dpu` converts these to cycles using the
+published UPMEM characteristics (450 MHz, in-order pipeline that
+sustains ~1 instruction/cycle once ≥11 tasklets are resident, 32-cycle
+software multiplication, DMA-based MRAM access with sequential/random
+bandwidth derating — Gómez-Luna et al., IEEE Access 2022, the paper's
+ref [19]). A PIM batch finishes when the *slowest* DPU finishes,
+matching UPMEM's host-synchronous execution model that drives the
+paper's load-balancing work.
+"""
+
+from repro.pim.config import DpuConfig, PimSystemConfig, TransferConfig
+from repro.pim.isa import InstructionMix, IsaCostModel
+from repro.pim.memory import MemoryTraffic, Mram, Wram
+from repro.pim.dpu import Dpu, KernelCost
+from repro.pim.transfer import HostTransferModel, TransferEvent
+from repro.pim.system import PimSystem, BatchTiming
+from repro.pim.energy import EnergyModel, EnergyReport
+from repro.pim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "DpuConfig",
+    "PimSystemConfig",
+    "TransferConfig",
+    "InstructionMix",
+    "IsaCostModel",
+    "MemoryTraffic",
+    "Mram",
+    "Wram",
+    "Dpu",
+    "KernelCost",
+    "HostTransferModel",
+    "TransferEvent",
+    "PimSystem",
+    "BatchTiming",
+    "EnergyModel",
+    "EnergyReport",
+    "TraceEvent",
+    "Tracer",
+]

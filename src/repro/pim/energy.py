@@ -1,0 +1,105 @@
+"""Energy model (paper Fig. 9).
+
+The paper measures energy with Intel RAPL on the CPU baseline and
+derives the UPMEM server's power from the per-DIMM figure (13.92 W per
+PIM-DIMM, §V-B). With measured power unavailable here, energy is
+``power x modeled time``:
+
+* PIM side: DIMM power for the active DIMMs plus the host CPU which
+  orchestrates (idle-ish during DPU execution);
+* CPU baseline: package + DRAM power under load.
+
+Defaults follow the paper's platforms (Xeon Gold 5218, 125 W TDP,
+dual-socket baseline server; UPMEM host Xeon Silver 4216).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pim.config import PimSystemConfig
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules and derived efficiency for one workload run."""
+
+    seconds: float
+    watts: float
+    label: str
+
+    @property
+    def joules(self) -> float:
+        return self.seconds * self.watts
+
+    def queries_per_joule(self, num_queries: int) -> float:
+        if self.joules <= 0:
+            raise ValueError("non-positive energy")
+        return num_queries / self.joules
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Power parameters for both platforms.
+
+    ``mram_gating`` models the paper's forward-looking note (§V-B):
+    "the energy efficiency of DRIM-ANN would be further improved if
+    dynamic gating of unused UPMEM MRAM were supported." With gating
+    on, the MRAM-array share of DIMM power scales with the fraction of
+    MRAM actually holding live data; the logic/DPU share stays fixed.
+    """
+
+    cpu_package_watts: float = 125.0  # Xeon Gold 5218 TDP
+    cpu_sockets: int = 2
+    cpu_dram_watts: float = 35.0  # loaded DDR4 power, RAPL DRAM domain
+    pim_host_package_watts: float = 100.0  # Xeon Silver 4216 TDP
+    pim_host_active_fraction: float = 0.5  # host mostly waits on DPUs
+    mram_gating: bool = False
+    # Share of DIMM power drawn by the DRAM arrays (gateable); the rest
+    # is DPU logic + interface, always on.
+    mram_power_share: float = 0.6
+
+    def cpu_power(self) -> float:
+        """Baseline server power under ANNS load."""
+        return self.cpu_sockets * self.cpu_package_watts + self.cpu_dram_watts
+
+    def pim_power(
+        self,
+        config: PimSystemConfig,
+        mram_utilization: Optional[float] = None,
+    ) -> float:
+        """UPMEM server power: PIM DIMMs + (partially busy) host.
+
+        ``mram_utilization`` in [0, 1] is the live-data fraction of
+        MRAM (from ``PimSystem.mram_usage()``); only used when
+        ``mram_gating`` is enabled.
+        """
+        dimm = config.total_power_watts
+        if self.mram_gating:
+            if mram_utilization is None:
+                raise ValueError(
+                    "mram_gating requires mram_utilization (0..1)"
+                )
+            if not 0.0 <= mram_utilization <= 1.0:
+                raise ValueError(
+                    f"mram_utilization must be in [0, 1], got {mram_utilization}"
+                )
+            gated = self.mram_power_share * (1.0 - mram_utilization)
+            dimm = dimm * (1.0 - gated)
+        return dimm + self.pim_host_active_fraction * self.pim_host_package_watts
+
+    def cpu_run(self, seconds: float) -> EnergyReport:
+        return EnergyReport(seconds=seconds, watts=self.cpu_power(), label="cpu")
+
+    def pim_run(
+        self,
+        seconds: float,
+        config: PimSystemConfig,
+        mram_utilization: Optional[float] = None,
+    ) -> EnergyReport:
+        return EnergyReport(
+            seconds=seconds,
+            watts=self.pim_power(config, mram_utilization),
+            label="pim",
+        )

@@ -1,0 +1,72 @@
+"""Instruction-cost model of the UPMEM DPU ISA.
+
+The DPU is a 32-bit in-order RISC core with no hardware multiplier or
+divider and no vector unit. The paper's key numbers:
+
+* add/sub/logic/compare/load-from-WRAM: 1 cycle each (pipelined);
+* 32-bit multiplication: ~32 cycles (software ``mul_step`` sequence);
+* division: modeled at 64 cycles.
+
+Kernels report an :class:`InstructionMix` (counts per class);
+:class:`IsaCostModel` folds it into issue slots. The multiplier-less
+conversion (``repro.core.square_lut``) works precisely by moving counts
+out of the ``mul`` bucket and into ``load`` + WRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class InstructionMix:
+    """Instruction counts by cost class for one kernel execution."""
+
+    add: float = 0.0  # add/sub/accumulate
+    mul: float = 0.0  # 32-bit multiply
+    div: float = 0.0  # divide
+    compare: float = 0.0  # compare/branch
+    load: float = 0.0  # WRAM load (LUT gathers land here)
+    store: float = 0.0  # WRAM store
+    control: float = 0.0  # loop/address bookkeeping
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        return InstructionMix(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        return InstructionMix(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def total(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass(frozen=True)
+class IsaCostModel:
+    """Issue-slot cost of each instruction class, in pipeline slots."""
+
+    add_cost: float = 1.0
+    mul_cost: float = 32.0  # paper: "multiplication is ~32x an addition"
+    div_cost: float = 64.0
+    compare_cost: float = 1.0
+    load_cost: float = 1.0
+    store_cost: float = 1.0
+    control_cost: float = 1.0
+
+    def issue_slots(self, mix: InstructionMix) -> float:
+        """Total issue slots consumed by a mix (cycles at IPC=1)."""
+        return (
+            mix.add * self.add_cost
+            + mix.mul * self.mul_cost
+            + mix.div * self.div_cost
+            + mix.compare * self.compare_cost
+            + mix.load * self.load_cost
+            + mix.store * self.store_cost
+            + mix.control * self.control_cost
+        )

@@ -1,0 +1,24 @@
+"""DPU kernels: functional + cycle-counted implementations of the five
+cluster-search phases.
+
+Each kernel returns ``(numeric_result, KernelCost)``. Results are exact
+integer math over the DPU-resident data (vectorized NumPy stands in for
+the tasklet loops); costs are the instruction mixes and MRAM traffic
+those loops would incur on real DPUs, derived operation-by-operation
+from the algorithms in the paper's Fig. 1.
+"""
+
+from repro.pim.kernels.cluster_locate import run_cluster_locate
+from repro.pim.kernels.residual import run_residual
+from repro.pim.kernels.lut_build import run_lut_build
+from repro.pim.kernels.distance_scan import run_distance_scan
+from repro.pim.kernels.topk_sort import run_topk_sort, expected_heap_updates
+
+__all__ = [
+    "run_cluster_locate",
+    "run_residual",
+    "run_lut_build",
+    "run_distance_scan",
+    "run_topk_sort",
+    "expected_heap_updates",
+]

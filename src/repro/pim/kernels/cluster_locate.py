@@ -1,0 +1,87 @@
+"""CL kernel: nearest-centroid selection.
+
+Cluster locating runs on the host by default (the paper places it
+there: its C2IO is relatively high after multiplier-less conversion,
+and host execution overlaps with DPU work). This kernel exists for the
+``cluster_locate_on="pim"`` placement variant: each DPU holds a slice
+of the centroid table and returns its local top-nprobe per query; the
+host merges the partial lists.
+
+Cost per (query, centroid) pair: D subtractions, D squares (mul or
+square-LUT load), D-1 accumulates, plus a log2(nprobe) heap update for
+improving candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ann.heap import topk_smallest
+from repro.core.square_lut import SquareLut
+from repro.pim.dpu import KernelCost
+from repro.pim.isa import InstructionMix
+from repro.pim.memory import MemoryTraffic
+from repro.pim.kernels.topk_sort import expected_heap_updates
+
+
+def run_cluster_locate(
+    queries: np.ndarray,
+    centroids: np.ndarray,
+    nprobe: int,
+    square_lut: Optional[SquareLut] = None,
+) -> Tuple[Tuple[np.ndarray, np.ndarray], KernelCost]:
+    """Top-nprobe centroids for each query over a centroid slice.
+
+    Parameters
+    ----------
+    queries: ``(q, D)`` uint8.
+    centroids: ``(n_local, D)`` uint8 — this DPU's slice.
+    nprobe: clusters to keep per query (capped at the slice size).
+
+    Returns
+    -------
+    ``((probe_idx, probe_dist), cost)`` where ``probe_idx`` is
+    ``(q, min(nprobe, n_local))`` int64 *local* indices into the slice.
+    """
+    queries = np.asarray(queries)
+    centroids = np.asarray(centroids)
+    if queries.ndim != 2 or centroids.ndim != 2:
+        raise ValueError("queries and centroids must be 2-D")
+    if queries.shape[1] != centroids.shape[1]:
+        raise ValueError(
+            f"dim mismatch: queries {queries.shape[1]} vs centroids {centroids.shape[1]}"
+        )
+    if nprobe < 1:
+        raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+    nq, d = queries.shape
+    nc = centroids.shape[0]
+    keep = min(nprobe, nc)
+
+    diff = queries.astype(np.int64)[:, None, :] - centroids.astype(np.int64)[None]
+    if square_lut is not None:
+        squares, _misses = square_lut.square(diff)
+    else:
+        squares = diff * diff
+    dist = squares.sum(axis=2)
+    idx, vals = topk_smallest(dist, keep, axis=1)
+
+    pairs = float(nq * nc)
+    updates = nq * expected_heap_updates(nc, keep)
+    mix = InstructionMix(
+        add=pairs * (2 * d - 1),
+        compare=pairs + updates * math.log2(max(keep, 2)),
+    )
+    if square_lut is None:
+        mix.mul = pairs * d
+    else:
+        mix.load = pairs * d
+    traffic = MemoryTraffic(
+        sequential_read=float(nq * centroids.nbytes),
+        transactions=float(nq),
+    )
+    return (idx.astype(np.int64), vals), KernelCost(
+        kernel="CL", instructions=mix, traffic=traffic
+    )

@@ -1,0 +1,58 @@
+"""DC kernel: ADC distance scan over a cluster's PQ codes.
+
+Per task the tasklet streams the cluster's ``(n, M)`` codes from MRAM
+in sequential DMA bursts and, per point, gathers M LUT entries from
+WRAM and accumulates them: M WRAM loads + (M-1) adds + M address
+computations per point. This is the paper's dominant kernel at small
+``nlist`` (Fig. 8: DC shrinks as nlist grows and LC takes over).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.pim.dpu import KernelCost
+from repro.pim.isa import InstructionMix
+from repro.pim.memory import MemoryTraffic
+
+
+def run_distance_scan(
+    luts: np.ndarray, codes: np.ndarray
+) -> Tuple[np.ndarray, KernelCost]:
+    """Scan one cluster's codes with ``g`` per-query LUTs.
+
+    Parameters
+    ----------
+    luts: ``(g, M, CB)`` int64 (LC output).
+    codes: ``(n, M)`` uint8/uint16 PQ codes of the cluster's points.
+
+    Returns
+    -------
+    ``(g, n)`` int64 distances and the kernel cost.
+    """
+    luts = np.asarray(luts)
+    codes = np.asarray(codes)
+    if luts.ndim != 3:
+        raise ValueError(f"luts must be 3-D (g, M, CB), got {luts.shape}")
+    if codes.ndim != 2:
+        raise ValueError(f"codes must be 2-D (n, M), got {codes.shape}")
+    g, m, _cb = luts.shape
+    n = codes.shape[0]
+    if codes.shape[1] != m:
+        raise ValueError(f"codes have {codes.shape[1]} sub-codes, luts have {m}")
+
+    gathered = luts[:, np.arange(m)[None, :], codes.astype(np.intp)]
+    dists = gathered.sum(axis=2)
+
+    mix = InstructionMix(
+        add=float(g * n * (m - 1)),
+        load=float(g * n * m),
+        control=float(g * n * m),  # address calc + MRAM masking (paper §V-B)
+    )
+    traffic = MemoryTraffic(
+        sequential_read=float(g * codes.nbytes),
+        transactions=float(g * max(1, codes.nbytes // 2048)),
+    )
+    return dists, KernelCost(kernel="DC", instructions=mix, traffic=traffic)

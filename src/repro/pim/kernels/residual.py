@@ -1,0 +1,50 @@
+"""RC kernel: residual of queries against one cluster centroid.
+
+Per task (one query × one cluster): the tasklet streams the centroid's
+D bytes from MRAM, subtracts it from the query held in WRAM, and keeps
+the residual in WRAM for the LC kernel. D subtractions, 2D WRAM loads,
+D stores, one DMA transaction of D bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.pim.dpu import KernelCost
+from repro.pim.isa import InstructionMix
+from repro.pim.memory import MemoryTraffic
+
+
+def run_residual(
+    queries: np.ndarray, centroid: np.ndarray
+) -> Tuple[np.ndarray, KernelCost]:
+    """Compute int32 residuals of ``g`` queries to one centroid.
+
+    Parameters
+    ----------
+    queries: ``(g, D)`` uint8 — this batch's queries probing the cluster.
+    centroid: ``(D,)`` uint8.
+    """
+    queries = np.asarray(queries)
+    centroid = np.asarray(centroid)
+    if queries.ndim != 2:
+        raise ValueError(f"queries must be 2-D, got {queries.shape}")
+    if centroid.shape != (queries.shape[1],):
+        raise ValueError(
+            f"centroid shape {centroid.shape} incompatible with queries {queries.shape}"
+        )
+    g, d = queries.shape
+    residuals = queries.astype(np.int32) - centroid.astype(np.int32)
+
+    cost = KernelCost(
+        kernel="RC",
+        instructions=InstructionMix(
+            add=float(g * d), load=float(2 * g * d), store=float(g * d)
+        ),
+        traffic=MemoryTraffic(
+            sequential_read=float(g * centroid.nbytes), transactions=float(g)
+        ),
+    )
+    return residuals, cost

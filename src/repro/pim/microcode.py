@@ -1,0 +1,142 @@
+"""Instruction-level micro-interpreter for kernel-cost validation.
+
+The analytic :class:`~repro.pim.isa.InstructionMix` counts that the
+kernels report are *claims* about what a DPU tasklet would execute.
+This module backs those claims: it provides a tiny register machine
+with the UPMEM-relevant instruction classes and hand-written micro
+programs for the inner loops of the RC/LC/DC kernels. Executing a
+micro program on real (small) inputs counts instructions *by running
+them one at a time*; the test suite asserts these measured counts match
+the kernels' analytic mixes exactly.
+
+This is deliberately a validation tool, not a performance path: the
+interpreter is thousands of times slower than the vectorized kernels
+and is only ever run on tiny shapes.
+
+Instruction classes mirror ``IsaCostModel``: ``add`` (add/sub/acc),
+``mul`` (32-bit multiply — one logical instruction here; the 32-cycle
+cost lives in the ISA table), ``load``/``store`` (WRAM), ``compare``,
+``control`` (loop/address bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.square_lut import SquareLut
+from repro.pim.isa import InstructionMix
+
+
+@dataclass
+class MicroMachine:
+    """Counts instructions as helper methods execute them."""
+
+    counts: InstructionMix = field(default_factory=InstructionMix)
+
+    # -- arithmetic -----------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        self.counts.add += 1
+        return a + b
+
+    def sub(self, a: int, b: int) -> int:
+        self.counts.add += 1  # sub shares the adder
+        return a - b
+
+    def mul(self, a: int, b: int) -> int:
+        self.counts.mul += 1
+        return a * b
+
+    def compare(self, a: int, b: int) -> bool:
+        self.counts.compare += 1
+        return a < b
+
+    # -- memory ----------------------------------------------------------
+    def load(self, array: np.ndarray, index: int) -> int:
+        self.counts.load += 1
+        return int(array[index])
+
+    def store(self, array: np.ndarray, index: int, value: int) -> None:
+        self.counts.store += 1
+        array[index] = value
+
+    # -- bookkeeping -------------------------------------------------------
+    def control(self, n: int = 1) -> None:
+        self.counts.control += n
+
+
+def run_rc_micro(
+    machine: MicroMachine, query: np.ndarray, centroid: np.ndarray
+) -> np.ndarray:
+    """RC inner loop: residual[d] = query[d] - centroid[d].
+
+    Per dim: load query, load centroid, subtract, store.
+    """
+    d = len(query)
+    out = np.zeros(d, dtype=np.int64)
+    for i in range(d):
+        q = machine.load(query, i)
+        c = machine.load(centroid, i)
+        r = machine.sub(q, c)
+        machine.store(out, i, r)
+    return out
+
+
+def run_lc_micro(
+    machine: MicroMachine,
+    residual: np.ndarray,
+    codebooks: np.ndarray,
+    square_lut: Optional[SquareLut] = None,
+) -> np.ndarray:
+    """LC inner loop: lut[m, e] = sum_d (residual - codebook)^2.
+
+    Per (m, e, d): subtract + square (mul or square-LUT load) +
+    accumulate; per (m, e): one LUT store and one loop-bookkeeping op.
+    Loads of the residual/codebook operands are *not* counted — they
+    stream via DMA and are charged as MRAM traffic by the kernel, the
+    same split the analytic mix uses.
+    """
+    m, cb, dsub = codebooks.shape
+    out = np.zeros((m, cb), dtype=np.int64)
+    table = square_lut.table if square_lut is not None else None
+    offset = square_lut.max_abs if square_lut is not None else 0
+    flat = out.reshape(-1)
+    for j in range(m):
+        for e in range(cb):
+            acc = 0
+            for d in range(dsub):
+                diff = machine.sub(
+                    int(residual[j * dsub + d]), int(codebooks[j, e, d])
+                )
+                if table is not None:
+                    sq = machine.load(table, diff + offset)
+                else:
+                    sq = machine.mul(diff, diff)
+                acc = machine.add(acc, sq)
+            machine.store(flat, j * cb + e, acc)
+            machine.control()
+    return out
+
+
+def run_dc_micro(
+    machine: MicroMachine, lut: np.ndarray, codes: np.ndarray
+) -> np.ndarray:
+    """DC inner loop: dist[i] = sum_j lut[j, codes[i, j]].
+
+    Per (point, sub-space): one address computation (control), one WRAM
+    gather (load); per point: M-1 accumulates.
+    """
+    n, m = codes.shape
+    out = np.zeros(n, dtype=np.int64)
+    flat = lut.reshape(-1)
+    cb = lut.shape[1]
+    for i in range(n):
+        acc = None
+        for j in range(m):
+            machine.control()  # address: j * CB + code
+            v = machine.load(flat, j * cb + int(codes[i, j]))
+            acc = v if acc is None else machine.add(acc, v)
+        out[i] = acc
+    return out

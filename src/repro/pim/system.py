@@ -1,0 +1,333 @@
+"""The PIM system: DPUs + host transfer channel + batch execution.
+
+Execution semantics mirror UPMEM's host-synchronous model, the root of
+the paper's load-balancing problem: the host launches a kernel on *all*
+DPUs and must wait for the slowest one before it can gather results or
+submit the next batch. Batch time is therefore
+
+    t_batch = max_over_dpus(dpu_cycles) / f_dpu
+
+plus any host<->PIM transfer time that is not overlapped.
+
+:meth:`PimSystem.run_batch` takes per-DPU task lists (produced by the
+runtime scheduler), executes the RC→LC→DC→TS kernel chain over each
+DPU's resident cluster shards, and returns per-(query, shard) partial
+top-k lists plus a :class:`BatchTiming` with the per-DPU, per-kernel
+cycle ledger that Figs. 8/10/11/12 are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.square_lut import SquareLut
+from repro.pim.config import PimSystemConfig
+from repro.pim.dpu import Dpu
+from repro.pim.kernels import (
+    run_cluster_locate,
+    run_distance_scan,
+    run_lut_build,
+    run_residual,
+    run_topk_sort,
+)
+from repro.pim.transfer import HostTransferModel
+
+
+@dataclass
+class ShardData:
+    """One cluster shard resident on a DPU."""
+
+    shard_key: str
+    centroid: np.ndarray  # (D,) uint8
+    ids: np.ndarray  # (n,) int64
+    codes: np.ndarray  # (n, M) uint8/uint16
+
+
+@dataclass
+class BatchTiming:
+    """Timing/provenance record for one PIM batch."""
+
+    per_dpu_cycles: np.ndarray  # (num_dpus,)
+    kernel_cycles: Dict[str, float]  # summed over DPUs
+    pim_seconds: float  # max-DPU time (the batch's critical path)
+    transfer_seconds: float  # host<->PIM traffic for this batch
+    num_tasks: int
+
+    @property
+    def busy_fraction(self) -> float:
+        """Mean DPU utilization: avg cycles / max cycles (1 = balanced)."""
+        mx = self.per_dpu_cycles.max() if len(self.per_dpu_cycles) else 0.0
+        if mx <= 0:
+            return 1.0
+        return float(self.per_dpu_cycles.mean() / mx)
+
+
+@dataclass
+class PartialResult:
+    """One (query, shard) task's local top-k."""
+
+    query_index: int
+    ids: np.ndarray
+    distances: np.ndarray
+
+
+class PimSystem:
+    """A collection of simulated DPUs behind a host channel.
+
+    Pass a :class:`~repro.pim.trace.Tracer` to record every kernel
+    execution on a per-DPU cycle timeline (Fig. 5-style execution
+    traces, exportable to Chrome trace JSON).
+    """
+
+    def __init__(self, config: PimSystemConfig, tracer=None) -> None:
+        self.config = config
+        self.dpus: List[Dpu] = [
+            Dpu(i, config.dpu) for i in range(config.num_dpus)
+        ]
+        self.transfer = HostTransferModel(config.transfer)
+        self._shards: Dict[str, Tuple[int, ShardData]] = {}
+        self.codebooks: Optional[np.ndarray] = None
+        self.square_lut: Optional[SquareLut] = None
+        self.tracer = tracer
+
+    def _charge(self, dpu: Dpu, cost, detail: str = "") -> float:
+        """Charge a kernel cost, recording a trace event if tracing."""
+        start = dpu.total_cycles
+        cycles = dpu.charge(cost)
+        if self.tracer is not None:
+            self.tracer.record(
+                cost.kernel, dpu.dpu_id, start, start + cycles, detail
+            )
+        return cycles
+
+    # ----- offline loading ------------------------------------------------
+    def place_shard(self, dpu_id: int, shard: ShardData) -> None:
+        """Store a shard's data in a DPU's MRAM (raises on overflow)."""
+        if not 0 <= dpu_id < len(self.dpus):
+            raise ValueError(f"dpu_id {dpu_id} out of range [0, {len(self.dpus)})")
+        if shard.shard_key in self._shards:
+            raise ValueError(f"shard {shard.shard_key!r} already placed")
+        dpu = self.dpus[dpu_id]
+        dpu.mram.store(f"codes:{shard.shard_key}", shard.codes)
+        dpu.mram.store(f"ids:{shard.shard_key}", shard.ids)
+        dpu.mram.store(f"centroid:{shard.shard_key}", shard.centroid)
+        self._shards[shard.shard_key] = (dpu_id, shard)
+
+    def shard_location(self, shard_key: str) -> int:
+        return self._shards[shard_key][0]
+
+    def get_shard(self, shard_key: str) -> ShardData:
+        return self._shards[shard_key][1]
+
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def load_codebooks(self, codebooks: np.ndarray) -> float:
+        """Broadcast the PQ codebooks into every DPU's MRAM.
+
+        Returns modeled transfer seconds (offline cost).
+        """
+        codebooks = np.asarray(codebooks)
+        for dpu in self.dpus:
+            dpu.mram.store("codebooks", codebooks)
+        self.codebooks = codebooks
+        return self.transfer.broadcast(
+            "codebooks", codebooks.nbytes, len(self.dpus)
+        )
+
+    def load_square_lut(self, lut: SquareLut) -> float:
+        """Broadcast the square LUT's resident window into WRAM."""
+        for dpu in self.dpus:
+            dpu.wram.store("square_lut", lut.table[: 2 * lut.resident_max_abs + 1])
+        self.square_lut = lut
+        return self.transfer.broadcast(
+            "square_lut", lut.resident_bytes, len(self.dpus)
+        )
+
+    def mram_usage(self) -> np.ndarray:
+        """Per-DPU MRAM bytes in use."""
+        return np.array([d.mram.used_bytes for d in self.dpus], dtype=np.int64)
+
+    # ----- CL on PIM (cluster_locate_on="pim" placement) --------------------
+    def load_centroid_slices(self, centroids: np.ndarray) -> float:
+        """Distribute the centroid table across DPUs in contiguous slices.
+
+        Enables :meth:`locate_on_pim`. Returns offline transfer seconds.
+        """
+        centroids = np.asarray(centroids)
+        num = len(self.dpus)
+        bounds = np.linspace(0, centroids.shape[0], num + 1).astype(int)
+        self._centroid_bounds = bounds
+        for i, dpu in enumerate(self.dpus):
+            sl = centroids[bounds[i] : bounds[i + 1]]
+            if len(sl):
+                dpu.mram.store("centroid_slice", sl)
+        return self.transfer.scatter("centroid_slices", centroids.nbytes)
+
+    def locate_on_pim(self, queries: np.ndarray, nprobe: int):
+        """CL phase executed on the DPUs over their centroid slices.
+
+        Each DPU returns its slice-local top-nprobe per query; the host
+        merges the partial lists (cheap: num_dpus*nprobe candidates per
+        query) — the paper's alternative placement when CL's C2IO makes
+        host execution the bottleneck. The candidate gather pays the
+        narrow host channel, which is why CL defaults to the host.
+
+        Returns ``(probes, cl_seconds, cl_kernel_cycles)``.
+        """
+        if not hasattr(self, "_centroid_bounds"):
+            raise RuntimeError(
+                "centroid slices not loaded; call load_centroid_slices first"
+            )
+        queries = np.asarray(queries)
+        nq = queries.shape[0]
+        cycles_before = np.array([d.total_cycles for d in self.dpus])
+        cand_ids = []
+        cand_dists = []
+        gather_bytes = 0
+        bounds = self._centroid_bounds
+        for i, dpu in enumerate(self.dpus):
+            if bounds[i + 1] <= bounds[i]:
+                continue
+            sl = dpu.mram.load("centroid_slice")
+            (idx, vals), cost = run_cluster_locate(
+                queries, sl, nprobe, self.square_lut
+            )
+            self._charge(dpu, cost, "centroid_slice")
+            cand_ids.append(idx + bounds[i])
+            cand_dists.append(vals)
+            gather_bytes += idx.size * 12  # id + distance per candidate
+        ids = np.concatenate(cand_ids, axis=1)
+        dists = np.concatenate(cand_dists, axis=1)
+        order = np.argsort(dists, axis=1, kind="stable")[:, :nprobe]
+        probes = np.take_along_axis(ids, order, axis=1)
+
+        cycles_after = np.array([d.total_cycles for d in self.dpus])
+        delta = cycles_after - cycles_before
+        cl_seconds = float(delta.max(initial=0.0)) / self.config.dpu.frequency_hz
+        cl_seconds += self.transfer.gather("cl_candidates", gather_bytes)
+        return probes, cl_seconds, float(delta.sum())
+
+    # ----- batch execution --------------------------------------------------
+    def run_batch(
+        self,
+        assignments: Dict[int, Sequence[Tuple[int, str]]],
+        queries: np.ndarray,
+        k: int,
+        *,
+        multiplier_less: bool = True,
+    ) -> Tuple[List[PartialResult], BatchTiming]:
+        """Execute one batch of (query, shard) tasks.
+
+        Parameters
+        ----------
+        assignments: dpu_id → list of (query_index, shard_key) tasks.
+            Every shard_key must be resident on that dpu.
+        queries: ``(q, D)`` uint8 — the batch's queries (broadcast).
+        k: local top-k each task returns.
+        multiplier_less: use the square LUT in LC (must be loaded).
+
+        Returns
+        -------
+        (partials, timing): all tasks' local top-k lists plus the batch
+        timing record.
+        """
+        if self.codebooks is None:
+            raise RuntimeError("codebooks not loaded; call load_codebooks first")
+        sq = None
+        if multiplier_less:
+            if self.square_lut is None:
+                raise RuntimeError(
+                    "multiplier_less requested but no square LUT loaded"
+                )
+            sq = self.square_lut
+
+        queries = np.asarray(queries)
+        num_tasks = sum(len(t) for t in assignments.values())
+        if self.tracer is not None:
+            self.tracer.next_batch()
+
+        # Host->PIM: queries are broadcast, per-DPU task lists scattered.
+        xfer = self.transfer.broadcast("queries", queries.nbytes, len(self.dpus))
+        xfer += self.transfer.scatter("task_lists", num_tasks * 8)
+
+        cycles_before = np.array([d.total_cycles for d in self.dpus])
+        kernel_before: Dict[str, float] = {}
+        for d in self.dpus:
+            for kname, c in d.cycles_by_kernel.items():
+                kernel_before[kname] = kernel_before.get(kname, 0.0) + c
+
+        partials: List[PartialResult] = []
+        result_bytes = 0
+        for dpu_id, tasks in assignments.items():
+            if not tasks:
+                continue
+            dpu = self.dpus[dpu_id]
+            # Group this DPU's tasks by shard so RC/LC/DC batch across
+            # the queries probing the same shard (as tasklets would
+            # share the streamed cluster data).
+            by_shard: Dict[str, List[int]] = {}
+            for qidx, skey in tasks:
+                owner, _ = self._shards[skey]
+                if owner != dpu_id:
+                    raise ValueError(
+                        f"task references shard {skey!r} on DPU {owner}, "
+                        f"assigned to DPU {dpu_id}"
+                    )
+                by_shard.setdefault(skey, []).append(qidx)
+
+            for skey, qidxs in by_shard.items():
+                shard = self._shards[skey][1]
+                qarr = queries[qidxs]
+                residuals, rc = run_residual(qarr, shard.centroid)
+                self._charge(dpu, rc, skey)
+                luts, lc = run_lut_build(residuals, self.codebooks, sq)
+                self._charge(dpu, lc, skey)
+                if len(shard.ids):
+                    dists, dc = run_distance_scan(luts, shard.codes)
+                    self._charge(dpu, dc, skey)
+                    rows, ts = run_topk_sort(dists, shard.ids, k)
+                    self._charge(dpu, ts, skey)
+                else:
+                    rows = [
+                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                    ] * len(qidxs)
+                for qidx, (rids, rdists) in zip(qidxs, rows):
+                    partials.append(
+                        PartialResult(
+                            query_index=qidx, ids=rids, distances=rdists
+                        )
+                    )
+                    result_bytes += len(rids) * 16  # id + distance
+
+        # PIM->host: gather per-task top-k results.
+        xfer += self.transfer.gather("results", result_bytes)
+
+        cycles_after = np.array([d.total_cycles for d in self.dpus])
+        per_dpu = cycles_after - cycles_before
+        kernel_after: Dict[str, float] = {}
+        for d in self.dpus:
+            for kname, c in d.cycles_by_kernel.items():
+                kernel_after[kname] = kernel_after.get(kname, 0.0) + c
+        kernel_cycles = {
+            kname: kernel_after.get(kname, 0.0) - kernel_before.get(kname, 0.0)
+            for kname in set(kernel_before) | set(kernel_after)
+        }
+
+        timing = BatchTiming(
+            per_dpu_cycles=per_dpu,
+            kernel_cycles=kernel_cycles,
+            pim_seconds=float(per_dpu.max(initial=0.0))
+            / self.config.dpu.frequency_hz,
+            transfer_seconds=xfer,
+            num_tasks=num_tasks,
+        )
+        return partials, timing
+
+    def reset_ledgers(self) -> None:
+        for d in self.dpus:
+            d.reset_ledger()
+        self.transfer.reset()

@@ -1,0 +1,21 @@
+"""Bayesian-optimization substrate for the DSE (§III-C).
+
+The paper tunes (K, P, C, M, CB) with Bayesian optimization [6]; no BO
+library is available offline, so this package implements the pieces
+from scratch: a Gaussian-process regressor with an RBF kernel
+(:mod:`repro.tuning.gp`), a discrete parameter space with unit-cube
+encoding (:mod:`repro.tuning.space`), and a constrained
+expected-improvement optimizer (:mod:`repro.tuning.bayesopt`).
+"""
+
+from repro.tuning.gp import GaussianProcess, rbf_kernel
+from repro.tuning.space import DiscreteSpace
+from repro.tuning.bayesopt import ConstrainedBayesOpt, Observation
+
+__all__ = [
+    "GaussianProcess",
+    "rbf_kernel",
+    "DiscreteSpace",
+    "ConstrainedBayesOpt",
+    "Observation",
+]

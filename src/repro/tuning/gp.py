@@ -1,0 +1,104 @@
+"""Minimal Gaussian-process regression (RBF kernel, Cholesky solve).
+
+Just enough GP for constrained Bayesian optimization: fit on a handful
+of observations, predict mean and variance at candidate points. The
+lengthscale defaults to the median pairwise distance of the training
+inputs (the standard heuristic), avoiding hyperparameter optimization
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+from repro.utils import check_2d
+
+
+def rbf_kernel(
+    a: np.ndarray, b: np.ndarray, lengthscale: float, variance: float = 1.0
+) -> np.ndarray:
+    """Squared-exponential kernel matrix between row sets a and b."""
+    a = check_2d(a, "a")
+    b = check_2d(b, "b")
+    if lengthscale <= 0:
+        raise ValueError(f"lengthscale must be > 0, got {lengthscale}")
+    aa = np.einsum("ij,ij->i", a, a)[:, None]
+    bb = np.einsum("ij,ij->i", b, b)[None, :]
+    d2 = np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
+    return variance * np.exp(-0.5 * d2 / (lengthscale**2))
+
+
+def median_heuristic(x: np.ndarray) -> float:
+    """Median pairwise distance; 1.0 when degenerate."""
+    x = check_2d(x, "x")
+    if x.shape[0] < 2:
+        return 1.0
+    xx = np.einsum("ij,ij->i", x, x)
+    d2 = np.maximum(xx[:, None] + xx[None, :] - 2.0 * (x @ x.T), 0.0)
+    upper = d2[np.triu_indices(x.shape[0], k=1)]
+    med = float(np.sqrt(np.median(upper)))
+    return med if med > 0 else 1.0
+
+
+class GaussianProcess:
+    """GP regressor with RBF kernel and observation noise."""
+
+    def __init__(
+        self,
+        lengthscale: Optional[float] = None,
+        signal_variance: float = 1.0,
+        noise: float = 1e-4,
+    ) -> None:
+        if signal_variance <= 0:
+            raise ValueError("signal_variance must be > 0")
+        if noise <= 0:
+            raise ValueError("noise must be > 0")
+        self.lengthscale = lengthscale
+        self.signal_variance = signal_variance
+        self.noise = noise
+        self._x: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._alpha: Optional[np.ndarray] = None
+        self._chol = None
+        self._ls = 1.0
+
+    @property
+    def num_observations(self) -> int:
+        return 0 if self._x is None else self._x.shape[0]
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        x = check_2d(x, "x").astype(np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.shape[0] != x.shape[0]:
+            raise ValueError(f"{x.shape[0]} inputs but {y.shape[0]} targets")
+        self._x = x
+        self._y_mean = float(y.mean()) if len(y) else 0.0
+        yc = y - self._y_mean
+        self._ls = (
+            self.lengthscale
+            if self.lengthscale is not None
+            else median_heuristic(x)
+        )
+        k = rbf_kernel(x, x, self._ls, self.signal_variance)
+        k[np.diag_indices_from(k)] += self.noise
+        self._chol = cho_factor(k, lower=True)
+        self._alpha = cho_solve(self._chol, yc)
+        return self
+
+    def predict(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at the given points."""
+        x = check_2d(x, "x").astype(np.float64)
+        if self._x is None or self._alpha is None:
+            # Prior: zero mean, unit-ish variance.
+            return (
+                np.zeros(x.shape[0]),
+                np.full(x.shape[0], np.sqrt(self.signal_variance)),
+            )
+        ks = rbf_kernel(self._x, x, self._ls, self.signal_variance)
+        mean = self._y_mean + ks.T @ self._alpha
+        v = cho_solve(self._chol, ks)
+        var = self.signal_variance - np.einsum("ij,ij->j", ks, v)
+        return mean, np.sqrt(np.maximum(var, 1e-12))

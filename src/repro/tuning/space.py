@@ -1,0 +1,69 @@
+"""Discrete parameter space with unit-cube encoding.
+
+DSE dimensions are small ordered sets (powers of two mostly); the GP
+operates on a log-ish [0, 1] embedding of each dimension's index, which
+respects the ordinal structure (nlist=2^14 is "between" 2^13 and 2^15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DiscreteSpace:
+    """An ordered product of named discrete dimensions."""
+
+    dims: Tuple[Tuple[str, Tuple[float, ...]], ...]
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Sequence]) -> "DiscreteSpace":
+        dims = []
+        for name, values in spec.items():
+            vals = tuple(float(v) for v in values)
+            if len(vals) == 0:
+                raise ValueError(f"dimension {name!r} has no values")
+            if len(set(vals)) != len(vals):
+                raise ValueError(f"dimension {name!r} has duplicate values")
+            dims.append((name, tuple(sorted(vals))))
+        return cls(dims=tuple(dims))
+
+    @property
+    def names(self) -> List[str]:
+        return [n for n, _ in self.dims]
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for _, vals in self.dims:
+            out *= len(vals)
+        return out
+
+    def points(self) -> List[Dict[str, float]]:
+        """Enumerate all points (cartesian product)."""
+        out: List[Dict[str, float]] = [{}]
+        for name, vals in self.dims:
+            out = [dict(p, **{name: v}) for p in out for v in vals]
+        return out
+
+    def encode(self, point: Dict[str, float]) -> np.ndarray:
+        """Map a point to [0, 1]^d by per-dimension rank."""
+        coords = []
+        for name, vals in self.dims:
+            if name not in point:
+                raise KeyError(f"point missing dimension {name!r}")
+            try:
+                rank = vals.index(float(point[name]))
+            except ValueError:
+                raise ValueError(
+                    f"value {point[name]} not in dimension {name!r}: {vals}"
+                ) from None
+            denom = max(len(vals) - 1, 1)
+            coords.append(rank / denom)
+        return np.array(coords, dtype=np.float64)
+
+    def encode_many(self, points: Sequence[Dict[str, float]]) -> np.ndarray:
+        return np.stack([self.encode(p) for p in points]) if points else np.empty((0, len(self.dims)))

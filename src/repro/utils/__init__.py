@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG helpers, validation, timers, logging."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_2d,
+    check_dtype,
+    check_positive,
+    check_same_dim,
+)
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_2d",
+    "check_dtype",
+    "check_positive",
+    "check_same_dim",
+    "Stopwatch",
+]

@@ -1,0 +1,45 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library accepts ``seed`` (an int, an
+existing :class:`numpy.random.Generator`, or ``None``) and normalizes it
+through :func:`ensure_rng`, so that whole-system runs are exactly
+reproducible from one integer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Passing an existing generator returns it unchanged (shared state),
+    which lets callers thread one RNG through a pipeline deliberately.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Used when work is fanned out (e.g. one RNG per simulated DPU or per
+    dataset shard) so that changing the fan-out width does not perturb
+    streams of unrelated components.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        ss = seed
+    elif isinstance(seed, np.random.Generator):
+        # Derive a child sequence from the generator's own stream.
+        ss = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,59 @@
+"""Wall-clock stopwatch for host-side phases.
+
+The PIM side of the system is timed in *modeled cycles* (see
+``repro.pim``); the host side of an end-to-end run can be timed either
+with this stopwatch (real seconds, for pytest-benchmark) or with the
+analytic host model (for paper-figure reproduction). Keeping both lets
+benchmarks report measured wall-clock alongside modeled time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+
+class Stopwatch:
+    """Accumulating named-section stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> with sw.section("locate"):
+    ...     pass
+    >>> sw.total() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._acc: Dict[str, float] = {}
+
+    def section(self, name: str):
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._acc[name] = self._acc.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self._acc.get(name, 0.0)
+
+    def total(self) -> float:
+        return sum(self._acc.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._acc)
+
+    def reset(self) -> None:
+        self._acc.clear()
+
+
+class _Section:
+    def __init__(self, sw: Stopwatch, name: str) -> None:
+        self._sw = sw
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sw.add(self._name, time.perf_counter() - self._t0)

@@ -1,0 +1,43 @@
+"""Lightweight argument validation helpers.
+
+Raise early with precise messages instead of letting NumPy broadcast
+errors surface deep inside kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_2d(arr: np.ndarray, name: str) -> np.ndarray:
+    """Require a 2-D array; returns the array for chaining."""
+    arr = np.asarray(arr)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_dtype(arr: np.ndarray, dtypes, name: str) -> np.ndarray:
+    """Require one of the given dtypes (names or dtype objects)."""
+    arr = np.asarray(arr)
+    allowed = tuple(np.dtype(d) for d in np.atleast_1d(dtypes))
+    if arr.dtype not in allowed:
+        names = ", ".join(str(d) for d in allowed)
+        raise TypeError(f"{name} must have dtype in ({names}), got {arr.dtype}")
+    return arr
+
+
+def check_positive(value, name: str):
+    """Require a strictly positive scalar."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_same_dim(a: np.ndarray, b: np.ndarray, name_a: str, name_b: str) -> None:
+    """Require two 2-D arrays to share their trailing (feature) dimension."""
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(
+            f"{name_a} and {name_b} must share the feature dimension: "
+            f"{a.shape[-1]} != {b.shape[-1]}"
+        )

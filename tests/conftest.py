@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Expensive artifacts (datasets with ground truth, trained indexes,
+built engines) are session-scoped: many test modules reuse one small
+corpus and one engine configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import IVFPQIndex
+from repro.core import (
+    DrimAnnEngine,
+    IndexParams,
+    LayoutConfig,
+    SearchParams,
+)
+from repro.core.quantized import build_quantized_index
+from repro.data import load_dataset
+from repro.pim.config import PimSystemConfig
+
+
+@pytest.fixture(scope="session")
+def small_ds():
+    """20k x 128 uint8 corpus, 150 queries, exact top-10 ground truth."""
+    return load_dataset(
+        "sift-like-20k", seed=0, num_queries=150, ground_truth_k=10
+    )
+
+
+@pytest.fixture(scope="session")
+def small_index(small_ds):
+    """IVF-PQ trained on the small corpus (nlist=64, M=16, CB=64)."""
+    return IVFPQIndex.build(
+        small_ds.base, nlist=64, num_subspaces=16, codebook_size=64, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def small_quantized(small_index):
+    return build_quantized_index(small_index)
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    return IndexParams(nlist=64, nprobe=8, k=10, num_subspaces=16, codebook_size=64)
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_ds, small_quantized, small_params):
+    """Engine over 16 simulated DPUs with splitting + duplication on."""
+    return DrimAnnEngine.build(
+        small_ds.base,
+        small_params,
+        search_params=SearchParams(batch_size=64),
+        system_config=PimSystemConfig(num_dpus=16),
+        layout_config=LayoutConfig(min_split_size=400, max_copies=2),
+        heat_queries=small_ds.queries[:50],
+        prebuilt_quantized=small_quantized,
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

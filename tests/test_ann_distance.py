@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.ann.distance import (
+    adc_lookup_distances,
+    batched_adc_lookup,
+    l2_sq,
+    l2_sq_blocked,
+)
+
+
+class TestL2Sq:
+    def test_matches_naive(self, rng):
+        q = rng.normal(size=(5, 7))
+        x = rng.normal(size=(11, 7))
+        naive = ((q[:, None, :] - x[None]) ** 2).sum(-1)
+        np.testing.assert_allclose(l2_sq(q, x), naive, rtol=1e-10)
+
+    def test_zero_distance_to_self(self, rng):
+        x = rng.integers(0, 255, size=(6, 9)).astype(np.uint8)
+        d = l2_sq(x, x)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+    def test_nonnegative(self, rng):
+        q = rng.normal(size=(20, 3)) * 1e-8  # stress cancellation
+        assert (l2_sq(q, q) >= 0).all()
+
+    def test_uint8_exact(self, rng):
+        q = rng.integers(0, 255, size=(4, 16)).astype(np.uint8)
+        x = rng.integers(0, 255, size=(9, 16)).astype(np.uint8)
+        naive = ((q[:, None].astype(np.int64) - x[None].astype(np.int64)) ** 2).sum(-1)
+        np.testing.assert_array_equal(l2_sq(q, x).astype(np.int64), naive)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            l2_sq(rng.normal(size=(2, 3)), rng.normal(size=(2, 4)))
+
+
+class TestBlocked:
+    def test_equals_unblocked(self, rng):
+        q = rng.normal(size=(4, 5))
+        x = rng.normal(size=(333, 5))
+        np.testing.assert_allclose(
+            l2_sq_blocked(q, x, block=50), l2_sq(q, x), rtol=1e-10
+        )
+
+    def test_single_block_path(self, rng):
+        q = rng.normal(size=(4, 5))
+        x = rng.normal(size=(10, 5))
+        np.testing.assert_allclose(l2_sq_blocked(q, x, block=100), l2_sq(q, x))
+
+
+class TestAdcLookup:
+    def test_matches_manual_sum(self, rng):
+        m, cb, n = 4, 8, 12
+        lut = rng.normal(size=(m, cb))
+        codes = rng.integers(0, cb, size=(n, m))
+        got = adc_lookup_distances(lut, codes)
+        want = np.array(
+            [sum(lut[j, codes[i, j]] for j in range(m)) for i in range(n)]
+        )
+        np.testing.assert_allclose(got, want)
+
+    def test_integer_lut_exact(self, rng):
+        lut = rng.integers(0, 1000, size=(3, 4)).astype(np.int64)
+        codes = rng.integers(0, 4, size=(5, 3))
+        got = adc_lookup_distances(lut, codes)
+        want = lut[0, codes[:, 0]] + lut[1, codes[:, 1]] + lut[2, codes[:, 2]]
+        np.testing.assert_array_equal(got.astype(np.int64), want)
+
+    def test_code_width_mismatch(self, rng):
+        with pytest.raises(ValueError, match="sub-codes"):
+            adc_lookup_distances(rng.normal(size=(4, 8)), rng.integers(0, 8, (5, 3)))
+
+    def test_batched_matches_single(self, rng):
+        q, m, cb, n = 3, 4, 16, 20
+        luts = rng.normal(size=(q, m, cb))
+        codes = rng.integers(0, cb, size=(n, m))
+        got = batched_adc_lookup(luts, codes)
+        for qi in range(q):
+            np.testing.assert_allclose(
+                got[qi], adc_lookup_distances(luts[qi], codes)
+            )
+
+    def test_batched_shape_checks(self, rng):
+        with pytest.raises(ValueError, match="3-D"):
+            batched_adc_lookup(rng.normal(size=(4, 8)), rng.integers(0, 8, (5, 4)))

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex, recall_at_k
+from repro.ann.recall import one_recall_at_k
+
+
+class TestFlatIndex:
+    def test_perfect_recall(self, small_ds):
+        res = FlatIndex(small_ds.base).search(small_ds.queries, 10)
+        assert recall_at_k(res.ids, small_ds.ground_truth, 10) == 1.0
+
+    def test_self_query(self, rng):
+        base = rng.integers(0, 255, size=(100, 8)).astype(np.uint8)
+        res = FlatIndex(base).search(base[:5], 1)
+        # each point's nearest neighbor is itself (distance 0)
+        np.testing.assert_allclose(res.distances[:, 0], 0.0)
+
+    def test_k_bounds(self, rng):
+        idx = FlatIndex(rng.normal(size=(10, 4)))
+        with pytest.raises(ValueError):
+            idx.search(np.zeros((1, 4)), 0)
+        with pytest.raises(ValueError):
+            idx.search(np.zeros((1, 4)), 11)
+
+
+class TestRecallAtK:
+    def test_perfect(self):
+        gt = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(gt, gt, 3) == 1.0
+
+    def test_zero(self):
+        res = np.array([[7, 8, 9]])
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(res, gt, 3) == 0.0
+
+    def test_partial(self):
+        res = np.array([[1, 8, 9]])
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(res, gt, 3) == pytest.approx(1 / 3)
+
+    def test_order_irrelevant(self):
+        res = np.array([[3, 1, 2]])
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(res, gt, 3) == 1.0
+
+    def test_padding_counts_as_miss(self):
+        res = np.array([[1, -1, -1]])
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(res, gt, 3) == pytest.approx(1 / 3)
+
+    def test_k_wider_than_results_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((1, 2), dtype=int), np.zeros((1, 5), dtype=int), 5)
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((2, 3), dtype=int), np.zeros((1, 3), dtype=int), 3)
+
+
+class TestOneRecallAtK:
+    def test_hit(self):
+        res = np.array([[9, 5, 1]])
+        gt = np.array([[1, 2, 3]])
+        assert one_recall_at_k(res, gt, 3) == 1.0
+
+    def test_miss(self):
+        res = np.array([[9, 5, 4]])
+        gt = np.array([[1, 2, 3]])
+        assert one_recall_at_k(res, gt, 3) == 0.0

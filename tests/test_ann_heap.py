@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.ann.heap import BoundedMaxHeap, topk_smallest
+
+
+class TestTopkSmallest:
+    def test_matches_argsort(self, rng):
+        v = rng.normal(size=(6, 40))
+        idx, vals = topk_smallest(v, 7, axis=1)
+        want = np.sort(v, axis=1)[:, :7]
+        np.testing.assert_allclose(vals, want)
+
+    def test_indices_point_to_values(self, rng):
+        v = rng.normal(size=(3, 20))
+        idx, vals = topk_smallest(v, 5, axis=1)
+        np.testing.assert_allclose(np.take_along_axis(v, idx, axis=1), vals)
+
+    def test_k_larger_than_size_clamped(self, rng):
+        v = rng.normal(size=(2, 4))
+        idx, vals = topk_smallest(v, 10, axis=1)
+        assert idx.shape == (2, 4)
+
+    def test_sorted_ascending(self, rng):
+        _, vals = topk_smallest(rng.normal(size=(5, 30)), 6, axis=1)
+        assert (np.diff(vals, axis=1) >= 0).all()
+
+    def test_1d(self, rng):
+        v = rng.normal(size=50)
+        idx, vals = topk_smallest(v, 3)
+        np.testing.assert_allclose(vals, np.sort(v)[:3])
+
+    def test_k_zero_rejected(self, rng):
+        with pytest.raises(ValueError):
+            topk_smallest(rng.normal(size=10), 0)
+
+
+class TestBoundedMaxHeap:
+    def test_keeps_k_smallest(self, rng):
+        vals = rng.normal(size=100)
+        h = BoundedMaxHeap(8)
+        for i, v in enumerate(vals):
+            h.push(float(v), i)
+        ids, dists = h.result()
+        np.testing.assert_allclose(dists, np.sort(vals)[:8])
+
+    def test_ids_track_distances(self, rng):
+        vals = rng.permutation(50).astype(float)
+        h = BoundedMaxHeap(5)
+        for i, v in enumerate(vals):
+            h.push(float(v), i)
+        ids, dists = h.result()
+        np.testing.assert_allclose(vals[ids], dists)
+
+    def test_worst_property(self):
+        h = BoundedMaxHeap(3)
+        assert h.worst == np.inf
+        for v in (5.0, 1.0, 3.0):
+            h.push(v, 0)
+        assert h.worst == 5.0
+        h.push(2.0, 0)
+        assert h.worst == 3.0
+
+    def test_push_returns_op_counts(self):
+        h = BoundedMaxHeap(4)
+        ops = h.push(1.0, 0)
+        assert ops >= 1
+
+    def test_rejecting_push_is_cheap(self):
+        h = BoundedMaxHeap(2)
+        h.push(1.0, 0)
+        h.push(2.0, 1)
+        assert h.push(10.0, 2) == 1  # only the root comparison
+
+    def test_fewer_than_capacity(self):
+        h = BoundedMaxHeap(10)
+        h.push(3.0, 7)
+        ids, dists = h.result()
+        assert ids.tolist() == [7] and dists.tolist() == [3.0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(0)
+
+    def test_len(self):
+        h = BoundedMaxHeap(3)
+        assert len(h) == 0
+        h.push(1.0, 0)
+        assert len(h) == 1

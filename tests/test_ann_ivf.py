@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.ann import IVFIndex
+from repro.ann.distance import l2_sq
+
+
+@pytest.fixture(scope="module")
+def built(small_ds):
+    return IVFIndex.build(small_ds.base, nlist=32, seed=0)
+
+
+class TestBuild:
+    def test_all_points_assigned_once(self, built, small_ds):
+        all_ids = np.concatenate(built.lists)
+        assert len(all_ids) == small_ds.num_base
+        assert len(np.unique(all_ids)) == small_ds.num_base
+
+    def test_points_in_nearest_list(self, built, small_ds):
+        d = l2_sq(
+            small_ds.base[:200].astype(np.float64),
+            built.centroids.astype(np.float64),
+        )
+        nearest = d.argmin(axis=1)
+        member_of = np.empty(small_ds.num_base, dtype=np.int64)
+        for cid, ids in enumerate(built.lists):
+            member_of[ids] = cid
+        np.testing.assert_array_equal(member_of[:200], nearest)
+
+    def test_shapes(self, built, small_ds):
+        assert built.nlist == 32
+        assert built.dim == small_ds.dim
+        assert built.num_points == small_ds.num_base
+
+    def test_list_count_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="lists"):
+            IVFIndex(centroids=rng.normal(size=(4, 8)), lists=[np.array([0])])
+
+
+class TestLocate:
+    def test_probes_sorted_by_distance(self, built, small_ds):
+        q = small_ds.queries[:10].astype(np.float64)
+        probes = built.locate(q, 5)
+        d = l2_sq(q, built.centroids.astype(np.float64))
+        pd = np.take_along_axis(d, probes, axis=1)
+        assert (np.diff(pd, axis=1) >= 0).all()
+
+    def test_first_probe_is_nearest(self, built, small_ds):
+        q = small_ds.queries[:10].astype(np.float64)
+        probes = built.locate(q, 3)
+        d = l2_sq(q, built.centroids.astype(np.float64))
+        np.testing.assert_array_equal(probes[:, 0], d.argmin(axis=1))
+
+    def test_nprobe_bounds(self, built, small_ds):
+        with pytest.raises(ValueError):
+            built.locate(small_ds.queries[:1], 0)
+        with pytest.raises(ValueError):
+            built.locate(small_ds.queries[:1], 33)
+
+
+class TestImbalance:
+    def test_imbalance_at_least_one(self, built):
+        assert built.imbalance_factor() >= 1.0
+
+    def test_even_lists_give_one(self):
+        idx = IVFIndex(
+            centroids=np.zeros((4, 2), dtype=np.float32),
+            lists=[np.arange(5)] * 4,
+        )
+        assert idx.imbalance_factor() == pytest.approx(1.0)
+
+    def test_skewed_lists_exceed_one(self):
+        idx = IVFIndex(
+            centroids=np.zeros((2, 2), dtype=np.float32),
+            lists=[np.arange(100), np.arange(2)],
+        )
+        assert idx.imbalance_factor() > 1.5

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex, IVFPQIndex, recall_at_k
+from repro.ann.ivfpq import SearchResult
+
+
+class TestBuild:
+    def test_codes_aligned_with_lists(self, small_index):
+        for ids, codes in zip(small_index.ivf.lists, small_index.codes):
+            assert len(ids) == len(codes)
+
+    def test_all_points_encoded(self, small_index, small_ds):
+        assert small_index.num_points == small_ds.num_base
+
+    def test_properties(self, small_index, small_ds):
+        assert small_index.nlist == 64
+        assert small_index.dim == small_ds.dim
+
+    def test_misaligned_codes_rejected(self, small_index):
+        bad_codes = list(small_index.codes)
+        bad_codes[0] = bad_codes[0][:-1]
+        with pytest.raises(ValueError, match="ids but"):
+            IVFPQIndex(
+                ivf=small_index.ivf, pq=small_index.pq, codes=bad_codes
+            )
+
+
+class TestSearch:
+    def test_result_shapes(self, small_index, small_ds):
+        res = small_index.search(small_ds.queries[:20], k=10, nprobe=4)
+        assert res.ids.shape == (20, 10)
+        assert res.distances.shape == (20, 10)
+
+    def test_distances_ascending(self, small_index, small_ds):
+        res = small_index.search(small_ds.queries[:20], k=10, nprobe=4)
+        d = res.distances
+        assert (np.diff(d, axis=1) >= 0).all()
+
+    def test_reasonable_recall(self, small_index, small_ds):
+        res = small_index.search(small_ds.queries, k=10, nprobe=16)
+        rec = recall_at_k(res.ids, small_ds.ground_truth, 10)
+        assert rec > 0.5
+
+    def test_recall_grows_with_nprobe(self, small_index, small_ds):
+        r1 = recall_at_k(
+            small_index.search(small_ds.queries, k=10, nprobe=1).ids,
+            small_ds.ground_truth,
+            10,
+        )
+        r16 = recall_at_k(
+            small_index.search(small_ds.queries, k=10, nprobe=16).ids,
+            small_ds.ground_truth,
+            10,
+        )
+        assert r16 >= r1
+
+    def test_candidates_come_from_probed_clusters(self, small_index, small_ds):
+        q = small_ds.queries[:5]
+        nprobe = 3
+        res = small_index.search(q, k=10, nprobe=nprobe)
+        probes = small_index.ivf.locate(q.astype(np.float64), nprobe)
+        for qi in range(5):
+            allowed = np.concatenate(
+                [small_index.ivf.lists[c] for c in probes[qi]]
+            )
+            got = res.ids[qi][res.ids[qi] >= 0]
+            assert np.isin(got, allowed).all()
+
+    def test_k_larger_than_candidates_pads(self, small_ds):
+        idx = IVFPQIndex.build(
+            small_ds.base[:500], nlist=8, num_subspaces=8, codebook_size=16, seed=0
+        )
+        res = idx.search(small_ds.queries[:3], k=200, nprobe=1)
+        assert (res.ids == -1).any() or np.isfinite(res.distances).all()
+
+    def test_query_dim_mismatch(self, small_index):
+        with pytest.raises(ValueError, match="dim"):
+            small_index.search(np.zeros((2, 7)), k=5, nprobe=2)
+
+    def test_invalid_k(self, small_index, small_ds):
+        with pytest.raises(ValueError):
+            small_index.search(small_ds.queries[:1], k=0, nprobe=2)
+
+
+class TestOpqVariant:
+    def test_opq_build_and_search(self, small_ds):
+        idx = IVFPQIndex.build(
+            small_ds.base[:2000],
+            nlist=16,
+            num_subspaces=16,
+            codebook_size=32,
+            use_opq=True,
+            seed=0,
+        )
+        assert idx.rotation is not None
+        res = idx.search(small_ds.queries[:10], k=5, nprobe=4)
+        assert res.ids.shape == (10, 5)
+
+
+class TestSearchResult:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            SearchResult(ids=np.zeros((2, 3), dtype=np.int64), distances=np.zeros((2, 4)))
+
+    def test_k_property(self):
+        r = SearchResult(
+            ids=np.zeros((2, 7), dtype=np.int64), distances=np.zeros((2, 7))
+        )
+        assert r.k == 7

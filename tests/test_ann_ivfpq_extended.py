@@ -1,0 +1,95 @@
+"""Incremental insertion and exact re-ranking (IVFPQIndex extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.ann import IVFPQIndex, recall_at_k
+
+
+class TestAdd:
+    @pytest.fixture()
+    def idx(self, small_ds):
+        return IVFPQIndex.build(
+            small_ds.base[:5000], nlist=16, num_subspaces=16, codebook_size=32, seed=0
+        )
+
+    def test_count_grows(self, idx, small_ds):
+        before = idx.num_points
+        new_ids = idx.add(small_ds.base[5000:5100])
+        assert idx.num_points == before + 100
+        assert len(new_ids) == 100
+
+    def test_auto_ids_are_fresh(self, idx, small_ds):
+        new_ids = idx.add(small_ds.base[5000:5050])
+        existing = np.concatenate(idx.ivf.lists)
+        assert len(np.unique(existing)) == len(existing)
+        assert new_ids.min() >= 5000
+
+    def test_explicit_ids(self, idx, small_ds):
+        ids = np.arange(90_000, 90_020)
+        got = idx.add(small_ds.base[5000:5020], ids=ids)
+        np.testing.assert_array_equal(got, ids)
+
+    def test_added_vectors_are_findable(self, idx, small_ds):
+        """A query identical to an inserted vector should retrieve it."""
+        new = small_ds.base[5000:5040]
+        ids = idx.add(new)
+        res = idx.search(new, k=5, nprobe=8)
+        hit = np.mean([ids[i] in res.ids[i] for i in range(len(new))])
+        assert hit > 0.8
+
+    def test_codes_lists_stay_aligned(self, idx, small_ds):
+        idx.add(small_ds.base[5000:5200])
+        for lst, codes in zip(idx.ivf.lists, idx.codes):
+            assert len(lst) == len(codes)
+
+    def test_dim_mismatch(self, idx):
+        with pytest.raises(ValueError, match="dim"):
+            idx.add(np.zeros((2, 7), dtype=np.uint8))
+
+    def test_id_shape_mismatch(self, idx, small_ds):
+        with pytest.raises(ValueError, match="ids shape"):
+            idx.add(small_ds.base[5000:5002], ids=np.arange(3))
+
+
+class TestRerank:
+    @pytest.fixture(scope="class")
+    def idx(self, small_ds):
+        return IVFPQIndex.build(
+            small_ds.base, nlist=64, num_subspaces=8, codebook_size=32, seed=0
+        )
+
+    def test_rerank_improves_recall(self, idx, small_ds):
+        """Coarse PQ (M=8) has a low ceiling; refine must lift it."""
+        plain = idx.search(small_ds.queries, k=10, nprobe=8)
+        refined = idx.search(
+            small_ds.queries, k=10, nprobe=8, rerank=100, base=small_ds.base
+        )
+        r_plain = recall_at_k(plain.ids, small_ds.ground_truth, 10)
+        r_refined = recall_at_k(refined.ids, small_ds.ground_truth, 10)
+        assert r_refined > r_plain + 0.1
+
+    def test_rerank_distances_are_exact(self, idx, small_ds):
+        from repro.ann.distance import l2_sq
+
+        res = idx.search(
+            small_ds.queries[:5], k=5, nprobe=4, rerank=50, base=small_ds.base
+        )
+        for qi in range(5):
+            ids = res.ids[qi][res.ids[qi] >= 0]
+            d = l2_sq(
+                small_ds.queries[qi : qi + 1].astype(np.float64),
+                small_ds.base[ids].astype(np.float64),
+            )[0]
+            np.testing.assert_allclose(res.distances[qi][: len(ids)], d)
+
+    def test_rerank_requires_base(self, idx, small_ds):
+        with pytest.raises(ValueError, match="base"):
+            idx.search(small_ds.queries[:2], k=5, nprobe=2, rerank=20)
+
+    def test_rerank_smaller_than_k_still_returns_k(self, idx, small_ds):
+        res = idx.search(
+            small_ds.queries[:3], k=10, nprobe=4, rerank=5, base=small_ds.base
+        )
+        assert res.ids.shape == (3, 10)
+        assert (res.ids >= 0).all()  # max(rerank, k) candidates fetched

@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.ann import kmeans_fit
+from repro.ann.kmeans import minibatch_kmeans_fit
+from repro.ann.distance import l2_sq
+
+
+def _blobs(rng, k=4, per=50, d=8, sep=20.0):
+    centers = rng.normal(size=(k, d)) * sep
+    pts = np.concatenate(
+        [centers[i] + rng.normal(size=(per, d)) for i in range(k)]
+    )
+    return pts, centers
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        pts, centers = _blobs(rng)
+        km = kmeans_fit(pts, 4, seed=0)
+        # Every true center must have a fitted centroid nearby.
+        d = l2_sq(centers, km.centroids.astype(np.float64))
+        assert (d.min(axis=1) < 5.0).all()
+
+    def test_assign_consistent_with_centroids(self, rng):
+        pts, _ = _blobs(rng)
+        km = kmeans_fit(pts, 4, seed=0)
+        assign = km.assign(pts)
+        d = l2_sq(pts, km.centroids.astype(np.float64))
+        np.testing.assert_array_equal(assign, d.argmin(axis=1))
+
+    def test_inertia_decreases_with_k(self, rng):
+        pts, _ = _blobs(rng)
+        i2 = kmeans_fit(pts, 2, seed=0).inertia
+        i8 = kmeans_fit(pts, 8, seed=0).inertia
+        assert i8 < i2
+
+    def test_deterministic_with_seed(self, rng):
+        pts, _ = _blobs(rng)
+        a = kmeans_fit(pts, 4, seed=7).centroids
+        b = kmeans_fit(pts, 4, seed=7).centroids
+        np.testing.assert_array_equal(a, b)
+
+    def test_k_equals_n(self, rng):
+        pts = rng.normal(size=(5, 3))
+        km = kmeans_fit(pts, 5, seed=0)
+        assert km.k == 5
+        assert km.inertia < 1e-9
+
+    def test_k_bounds(self, rng):
+        pts = rng.normal(size=(5, 3))
+        with pytest.raises(ValueError):
+            kmeans_fit(pts, 0)
+        with pytest.raises(ValueError):
+            kmeans_fit(pts, 6)
+
+    def test_sampled_training(self, rng):
+        pts, centers = _blobs(rng, per=200)
+        km = kmeans_fit(pts, 4, sample_size=200, seed=0)
+        d = l2_sq(centers, km.centroids.astype(np.float64))
+        assert (d.min(axis=1) < 10.0).all()
+
+    def test_duplicate_points_no_crash(self):
+        pts = np.ones((20, 4))
+        km = kmeans_fit(pts, 3, seed=0)
+        assert km.k == 3
+
+    def test_empty_cluster_repair(self, rng):
+        # Heavily imbalanced data tends to produce empty clusters.
+        pts = np.concatenate([np.zeros((50, 2)), np.ones((1, 2)) * 100])
+        km = kmeans_fit(pts, 4, seed=0)
+        assert km.centroids.shape == (4, 2)
+        assert np.isfinite(km.centroids).all()
+
+
+class TestMiniBatchKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        pts, centers = _blobs(rng, per=400)
+        km = minibatch_kmeans_fit(pts, 4, batch_size=256, seed=0)
+        d = l2_sq(centers, km.centroids.astype(np.float64))
+        assert (d.min(axis=1) < 10.0).all()
+
+    def test_quality_close_to_full_lloyd(self, rng):
+        pts, _ = _blobs(rng, k=8, per=300, sep=10.0)
+        full = kmeans_fit(pts, 8, seed=0)
+        mb = minibatch_kmeans_fit(pts, 8, batch_size=512, max_iter=80, seed=0)
+        # Mini-batch is allowed to be somewhat worse, not catastrophically.
+        assert mb.inertia < full.inertia * 2.0
+
+    def test_deterministic(self, rng):
+        pts, _ = _blobs(rng)
+        a = minibatch_kmeans_fit(pts, 4, seed=5).centroids
+        b = minibatch_kmeans_fit(pts, 4, seed=5).centroids
+        np.testing.assert_array_equal(a, b)
+
+    def test_assign_works(self, rng):
+        pts, _ = _blobs(rng)
+        km = minibatch_kmeans_fit(pts, 4, seed=0)
+        assert km.assign(pts).shape == (len(pts),)
+
+    def test_validation(self, rng):
+        pts = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            minibatch_kmeans_fit(pts, 0)
+        with pytest.raises(ValueError):
+            minibatch_kmeans_fit(pts, 2, batch_size=0)

@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.ann import OPQ, ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def skewed_data():
+    """Data whose variance is concentrated in a few dims — the case
+    where plain PQ wastes sub-quantizers and OPQ's rotation helps."""
+    rng = np.random.default_rng(0)
+    z = rng.normal(size=(4000, 16))
+    scales = np.array([30, 25, 20, 15, 1, 1, 1, 1, 30, 25, 1, 1, 1, 1, 1, 1.0])
+    return z * scales
+
+
+class TestTrain:
+    def test_rotation_is_orthogonal(self, skewed_data):
+        opq = OPQ.train(skewed_data, num_subspaces=4, codebook_size=16, seed=0)
+        r = opq.rotation
+        np.testing.assert_allclose(r @ r.T, np.eye(16), atol=1e-8)
+
+    def test_opq_beats_plain_pq(self, skewed_data):
+        pq = ProductQuantizer.train(skewed_data, 4, codebook_size=16, seed=0)
+        opq = OPQ.train(skewed_data, 4, codebook_size=16, num_rounds=6, seed=0)
+        assert opq.quantization_error(skewed_data) < pq.quantization_error(
+            skewed_data
+        )
+
+    def test_dim_property(self, skewed_data):
+        opq = OPQ.train(skewed_data, 4, codebook_size=8, num_rounds=2, seed=0)
+        assert opq.dim == 16
+
+
+class TestEncodeDecode:
+    def test_roundtrip_shapes(self, skewed_data):
+        opq = OPQ.train(skewed_data, 4, codebook_size=8, num_rounds=2, seed=0)
+        codes = opq.encode(skewed_data[:10])
+        assert codes.shape == (10, 4)
+        rec = opq.decode(codes)
+        assert rec.shape == (10, 16)
+
+    def test_decode_in_original_space(self, skewed_data):
+        """decode must invert the rotation: error measured in the
+        original space is the same as in rotated space."""
+        opq = OPQ.train(skewed_data, 4, codebook_size=16, num_rounds=3, seed=0)
+        x = skewed_data[:50]
+        rec = opq.decode(opq.encode(x))
+        err_orig = np.mean(((x - rec) ** 2).sum(axis=1))
+        xr = opq.rotate(x)
+        rec_r = opq.decode_rotated(opq.encode(x)).astype(np.float64)
+        err_rot = np.mean(((xr - rec_r) ** 2).sum(axis=1))
+        np.testing.assert_allclose(err_orig, err_rot, rtol=1e-8)
+
+
+class TestValidation:
+    def test_rotation_must_be_square(self):
+        pq = ProductQuantizer(codebooks=np.zeros((2, 4, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="square"):
+            OPQ(rotation=np.zeros((6, 5)), pq=pq)
+
+    def test_rotation_dim_must_match(self):
+        pq = ProductQuantizer(codebooks=np.zeros((2, 4, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="dim"):
+            OPQ(rotation=np.eye(5), pq=pq)

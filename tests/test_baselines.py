@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.ann import recall_at_k
+from repro.baselines import CpuIvfPqBaseline, GpuModel
+from repro.baselines.roofline import RooflinePoint, roofline_time
+from repro.core.params import DatasetShape, IndexParams
+
+
+class TestRoofline:
+    def test_time_is_max(self):
+        assert roofline_time(100, 10, 10, 1) == pytest.approx(10.0)
+        assert roofline_time(10, 100, 10, 1) == pytest.approx(100.0)
+
+    def test_point_regimes(self):
+        mem = RooflinePoint("m", work_ops=1, bytes_moved=100, peak_ops_per_s=1e9, peak_bytes_per_s=1e9)
+        comp = RooflinePoint("c", work_ops=100, bytes_moved=1, peak_ops_per_s=1e9, peak_bytes_per_s=1e9)
+        assert mem.memory_bound and not comp.memory_bound
+
+    def test_attained_below_peak(self):
+        p = RooflinePoint("x", work_ops=10, bytes_moved=100, peak_ops_per_s=1e9, peak_bytes_per_s=1e9)
+        assert p.attained_ops_per_s <= p.peak_ops_per_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roofline_time(1, 1, 0, 1)
+        with pytest.raises(ValueError):
+            RooflinePoint("x", work_ops=-1, bytes_moved=0, peak_ops_per_s=1, peak_bytes_per_s=1)
+
+
+class TestCpuBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self, small_ds, small_params):
+        return CpuIvfPqBaseline.build(small_ds.base, small_params, seed=0)
+
+    def test_functional_recall(self, baseline, small_ds, small_params):
+        res = baseline.search(small_ds.queries, small_params)
+        assert recall_at_k(res.ids, small_ds.ground_truth, 10) > 0.4
+
+    def test_modeled_timing_positive(self, baseline, small_params):
+        rep = baseline.model_timing(100, small_params)
+        assert rep.seconds > 0
+        assert rep.throughput_qps > 0
+        assert set(rep.phases) == {"CL", "RC", "LC", "DC", "TS"}
+
+    def test_timing_scales_with_queries(self, baseline, small_params):
+        t1 = baseline.model_timing(100, small_params).seconds
+        t2 = baseline.model_timing(200, small_params).seconds
+        assert t2 > t1
+
+    def test_search_with_timing(self, baseline, small_ds, small_params):
+        res, rep = baseline.search_with_timing(small_ds.queries[:10], small_params)
+        assert res.ids.shape == (10, 10)
+        assert rep.num_queries == 10
+
+
+class TestGpuModel:
+    def test_fits_small_index(self):
+        shape = DatasetShape(num_points=1_000_000, dim=128, num_queries=100)
+        p = IndexParams(nlist=1024, nprobe=8, k=10, num_subspaces=16)
+        assert GpuModel().fits(shape, p)
+
+    def test_capacity_wall(self):
+        """The paper's motivation: billion-scale exceeds GPU memory."""
+        shape = DatasetShape(num_points=2_000_000_000, dim=128, num_queries=100)
+        p = IndexParams(nlist=2**16, nprobe=8, k=10, num_subspaces=16)
+        gpu = GpuModel()
+        assert not gpu.fits(shape, p)
+        with pytest.raises(MemoryError, match="capacity"):
+            gpu.model_timing(shape, p)
+
+    def test_timing(self):
+        shape = DatasetShape(num_points=10_000_000, dim=128, num_queries=1000)
+        p = IndexParams(nlist=4096, nprobe=16, k=10, num_subspaces=16)
+        rep = GpuModel().model_timing(shape, p)
+        assert rep.seconds > 0
+
+    def test_gpu_faster_than_cpu_model(self):
+        """Paper §V-D: the 4090 outruns both CPU and DRIM-ANN."""
+        from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
+
+        shape = DatasetShape(num_points=10_000_000, dim=128, num_queries=1000)
+        p = IndexParams(nlist=4096, nprobe=16, k=10, num_subspaces=16)
+        t_gpu = GpuModel().model_timing(shape, p).seconds
+        t_cpu = AnalyticPerfModel(shape, HardwareProfile.for_cpu()).total_seconds(p)
+        assert t_gpu < t_cpu

@@ -1,0 +1,153 @@
+"""CLI tests — invoke cli.main() directly and inspect stdout."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "sift-like-20k" in out
+        assert "MRAM" in out
+
+
+class TestModel:
+    def test_model_paper_scale(self, capsys):
+        rc = main(
+            [
+                "model",
+                "--points", "100000000",
+                "--queries", "10000",
+                "--nlist", "16384",
+                "--nprobe", "96",
+                "--m", "16",
+                "--cb", "256",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modeled speedup" in out
+        assert "QPS" in out
+
+    def test_model_with_mul_slower(self, capsys):
+        common = [
+            "model", "--points", "1000000", "--queries", "100",
+            "--nlist", "1024", "--nprobe", "8", "--m", "16",
+        ]
+        main(common)
+        fast = capsys.readouterr().out
+        main(common + ["--with-mul"])
+        slow = capsys.readouterr().out
+
+        def pim_ms(s):
+            line = [l for l in s.splitlines() if l.startswith("pim ")][0]
+            return float(line.split(":")[1].strip().split()[0])
+
+        assert pim_ms(slow) >= pim_ms(fast)
+
+
+class TestBuildSearch:
+    def test_build_then_search(self, tmp_path, capsys):
+        out_path = str(tmp_path / "idx.npz")
+        rc = main(
+            [
+                "build", "--preset", "sift-like-20k", "--out", out_path,
+                "--nlist", "64", "--m", "16", "--cb", "32",
+            ]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+
+        rc = main(
+            [
+                "search", "--preset", "sift-like-20k", "--index", out_path,
+                "--nlist", "64", "--nprobe", "4", "--m", "16", "--cb", "32",
+                "--dpus", "4", "--queries", "30",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recall@10" in out
+        assert "qps=" in out
+
+    def test_search_no_balance(self, capsys):
+        rc = main(
+            [
+                "search", "--preset", "sift-like-20k", "--nlist", "32",
+                "--nprobe", "4", "--m", "16", "--cb", "32",
+                "--dpus", "4", "--queries", "20", "--no-balance",
+            ]
+        )
+        assert rc == 0
+
+
+class TestTune:
+    def test_tune_finds_config(self, capsys):
+        rc = main(
+            [
+                "tune", "--preset", "sift-like-20k", "--constraint", "0.5",
+                "--iterations", "4", "--dpus", "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best:" in out
+
+    def test_tune_infeasible(self, capsys):
+        rc = main(
+            [
+                "tune", "--preset", "sift-like-20k", "--constraint", "0.999",
+                "--iterations", "2", "--dpus", "8",
+            ]
+        )
+        assert rc == 1
+
+
+class TestServe:
+    def test_serve_reports_latency(self, capsys):
+        rc = main(
+            [
+                "serve", "--preset", "sift-like-20k", "--rate", "5000",
+                "--queries", "60", "--dpus", "4", "--nlist", "32",
+                "--nprobe", "4", "--m", "16", "--cb", "32",
+                "--batch-size", "16",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "utilization" in out
+
+
+class TestCharacterize:
+    def test_characterize(self, capsys):
+        rc = main(
+            ["characterize", "--preset", "sift-like-20k", "--nlist", "32"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "intrinsic dimension" in out
+        assert "imbalance" in out
+        assert "zipf" in out
+
+
+class TestFrontier:
+    def test_frontier_prints_knee(self, capsys):
+        rc = main(["frontier", "--preset", "sift-like-20k", "--dpus", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "knee" in out
+        assert "recall@10" in out
+
+
+class TestParser:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_required(self):
+        with pytest.raises(SystemExit):
+            main(["build", "--preset", "x"])  # --out missing

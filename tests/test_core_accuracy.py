@@ -1,0 +1,70 @@
+import pytest
+
+from repro.core.accuracy import AccuracyTable, measure_accuracy_table
+from repro.core.params import IndexParams
+
+
+class TestAccuracyTable:
+    def test_record_and_lookup(self):
+        t = AccuracyTable()
+        p = IndexParams(nlist=64, nprobe=8, k=10, num_subspaces=16)
+        t.record(p, 0.85)
+        assert t.lookup(p) == 0.85
+        assert p in t
+
+    def test_lookup_missing(self):
+        t = AccuracyTable()
+        p = IndexParams(nlist=64, nprobe=8, k=10, num_subspaces=16)
+        with pytest.raises(KeyError):
+            t.lookup(p)
+
+    def test_invalid_recall(self):
+        t = AccuracyTable()
+        p = IndexParams(nlist=64, nprobe=8, k=10, num_subspaces=16)
+        with pytest.raises(ValueError):
+            t.record(p, 1.2)
+
+    def test_satisfying(self):
+        t = AccuracyTable()
+        p1 = IndexParams(nlist=64, nprobe=8, k=10, num_subspaces=16)
+        p2 = p1.replace(nprobe=16)
+        t.record(p1, 0.7)
+        t.record(p2, 0.9)
+        assert len(t.satisfying(0.8)) == 1
+
+
+class TestMeasure:
+    @pytest.fixture(scope="class")
+    def table(self, small_ds):
+        return measure_accuracy_table(
+            small_ds.base,
+            small_ds.queries[:60],
+            small_ds.ground_truth[:60],
+            nlist_values=[32],
+            nprobe_values=[2, 8],
+            m_values=[16],
+            cb_values=[64],
+            k=10,
+            seed=0,
+        )
+
+    def test_grid_covered(self, table):
+        assert len(table.entries) == 2
+
+    def test_recall_monotone_in_nprobe(self, table):
+        p2 = IndexParams(nlist=32, nprobe=2, k=10, num_subspaces=16, codebook_size=64)
+        p8 = p2.replace(nprobe=8)
+        assert table.lookup(p8) >= table.lookup(p2) - 0.02
+
+    def test_nprobe_beyond_nlist_skipped(self, small_ds):
+        t = measure_accuracy_table(
+            small_ds.base[:2000],
+            small_ds.queries[:20],
+            small_ds.ground_truth[:20],
+            nlist_values=[4],
+            nprobe_values=[2, 8],
+            m_values=[16],
+            cb_values=[16],
+            seed=0,
+        )
+        assert len(t.entries) == 1  # nprobe=8 > nlist=4 skipped

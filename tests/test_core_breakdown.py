@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.core.breakdown import TimingBreakdown
+from repro.pim.system import BatchTiming
+
+
+def _batch(cycles, kernels=None, xfer=0.001, tasks=10):
+    return BatchTiming(
+        per_dpu_cycles=np.asarray(cycles, dtype=float),
+        kernel_cycles=kernels or {"DC": float(sum(cycles))},
+        pim_seconds=max(cycles) / 450e6,
+        transfer_seconds=xfer,
+        num_tasks=tasks,
+    )
+
+
+class TestAddBatch:
+    def test_accumulates(self):
+        bd = TimingBreakdown()
+        bd.add_batch(_batch([100, 200]), host_seconds=0.0001, num_queries=5)
+        bd.add_batch(_batch([300, 100]), host_seconds=0.0001, num_queries=5)
+        assert bd.num_batches == 2
+        assert bd.num_queries == 10
+        assert bd.pim_seconds == pytest.approx((200 + 300) / 450e6)
+
+    def test_e2e_overlap_semantics(self):
+        """e2e charges the max of PIM, host, transfer per batch."""
+        bd = TimingBreakdown()
+        bd.add_batch(_batch([450_000], xfer=0.0005), host_seconds=0.01, num_queries=1)
+        assert bd.e2e_seconds == pytest.approx(0.01)  # host dominates
+
+    def test_kernel_shares_sum_to_one(self):
+        bd = TimingBreakdown()
+        bd.add_batch(
+            _batch([100], kernels={"LC": 60.0, "DC": 40.0}), 0.0, 1
+        )
+        shares = bd.kernel_shares()
+        assert shares["LC"] == pytest.approx(0.6)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_shares(self):
+        assert TimingBreakdown().kernel_shares() == {}
+
+    def test_busy_fraction_tracking(self):
+        bd = TimingBreakdown()
+        bd.add_batch(_batch([100, 100]), 0.0, 1)  # perfectly balanced
+        assert bd.mean_busy_fraction == pytest.approx(1.0)
+        bd.add_batch(_batch([100, 0]), 0.0, 1)  # half idle
+        assert bd.mean_busy_fraction == pytest.approx(0.75)
+
+    def test_throughput(self):
+        bd = TimingBreakdown()
+        bd.add_batch(_batch([450e6]), 0.0, 100)  # 1 second batch
+        assert bd.throughput_qps == pytest.approx(100.0, rel=1e-2)
+
+    def test_summary_contains_key_numbers(self):
+        bd = TimingBreakdown()
+        bd.add_batch(_batch([450_000]), 0.0001, 7)
+        s = bd.summary()
+        assert "7 queries" in s and "qps=" in s
+
+
+class TestTailLatency:
+    def test_percentiles(self):
+        bd = TimingBreakdown()
+        for c in (100, 100, 100, 1000):  # one straggler batch
+            bd.add_batch(_batch([c]), 0.0, 1)
+        p50 = bd.batch_latency_percentile(50)
+        p95 = bd.batch_latency_percentile(95)
+        assert p95 > p50
+
+    def test_tail_ratio_balanced(self):
+        bd = TimingBreakdown()
+        for _ in range(10):
+            bd.add_batch(_batch([100]), 0.0, 1)
+        assert bd.tail_ratio == pytest.approx(1.0)
+
+    def test_tail_ratio_skewed(self):
+        bd = TimingBreakdown()
+        for c in [100] * 19 + [2000]:
+            bd.add_batch(_batch([c]), 0.0, 1)
+        assert bd.tail_ratio > 1.5
+
+    def test_empty(self):
+        bd = TimingBreakdown()
+        assert bd.batch_latency_percentile(95) == 0.0
+        assert bd.tail_ratio == 1.0

@@ -1,0 +1,94 @@
+import pytest
+
+from repro.core.accuracy import AccuracyTable
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.params import DatasetShape, IndexParams
+from repro.core.perf_model import HardwareProfile
+from repro.pim.config import PimSystemConfig
+
+
+@pytest.fixture(scope="module")
+def dse():
+    shape = DatasetShape(num_points=1_000_000, dim=128, num_queries=1000)
+    return DesignSpaceExplorer(
+        shape,
+        HardwareProfile.for_pim(PimSystemConfig(num_dpus=256)),
+        nlist_values=[512, 1024, 2048],
+        nprobe_values=[4, 8, 16, 32],
+        m_values=[16, 32],
+        cb_values=[256],
+        k=10,
+    )
+
+
+def _fake_accuracy(params: IndexParams) -> float:
+    """Synthetic but realistically-shaped accuracy surface."""
+    base = 0.45 + 0.1 * (params.num_subspaces / 32)
+    probe_gain = 0.35 * min(params.nprobe / 16, 1.0)
+    nlist_penalty = 0.05 * (params.nlist / 2048)
+    return min(base + probe_gain - nlist_penalty, 0.99)
+
+
+class TestObjective:
+    def test_invalid_m_pruned(self):
+        shape = DatasetShape(num_points=1000, dim=100, num_queries=10)
+        d = DesignSpaceExplorer(
+            shape,
+            HardwareProfile.for_cpu(),
+            nlist_values=[16],
+            nprobe_values=[2],
+            m_values=[3, 10, 20],  # only 10 and 20 divide 100
+        )
+        assert d.space.size == 2
+
+    def test_all_m_invalid_raises(self):
+        shape = DatasetShape(num_points=1000, dim=100, num_queries=10)
+        with pytest.raises(ValueError, match="divide"):
+            DesignSpaceExplorer(
+                shape,
+                HardwareProfile.for_cpu(),
+                nlist_values=[16],
+                nprobe_values=[2],
+                m_values=[3],
+            )
+
+    def test_wram_infeasible_scored_inf(self, dse):
+        assert dse.objective({"nlist": 512, "nprobe": 4, "m": 32, "cb": 99999}) == float("inf")
+
+    def test_nprobe_gt_nlist_infeasible(self, dse):
+        assert dse.objective({"nlist": 512, "nprobe": 1024, "m": 16, "cb": 256}) == float("inf")
+
+    def test_objective_positive(self, dse):
+        assert 0 < dse.objective({"nlist": 1024, "nprobe": 8, "m": 16, "cb": 256}) < 10
+
+
+class TestExplore:
+    def test_finds_feasible_configuration(self, dse):
+        res = dse.explore(_fake_accuracy, 0.8, num_iterations=16)
+        assert res.found_feasible
+        assert res.best_accuracy >= 0.8
+        assert res.oracle_calls <= 16
+
+    def test_best_is_cheapest_among_observed_feasible(self, dse):
+        res = dse.explore(_fake_accuracy, 0.8, num_iterations=16)
+        feas = [o for o in res.observations if o.feasible]
+        assert res.best_modeled_seconds == min(o.objective for o in feas)
+
+    def test_impossible_constraint(self, dse):
+        res = dse.explore(lambda p: 0.1, 0.95, num_iterations=6)
+        assert not res.found_feasible
+        assert res.best_params is None
+
+    def test_explore_with_table(self, dse):
+        table = AccuracyTable()
+        for point in dse.space.points():
+            p = dse.params_of(point)
+            table.record(p, _fake_accuracy(p))
+        res = dse.explore_with_table(table, 0.8, num_iterations=16)
+        assert res.found_feasible
+
+    def test_prefers_cheap_configs(self, dse):
+        """The chosen config should avoid needlessly large nprobe."""
+        res = dse.explore(_fake_accuracy, 0.8, num_iterations=24)
+        # accuracy saturates at nprobe=16; 32 is never needed
+        assert res.best_params.nprobe <= 16

@@ -1,0 +1,84 @@
+import pytest
+
+from repro.core.accuracy import AccuracyTable
+from repro.core.frontier import FrontierPoint, knee_point, pareto_frontier
+from repro.core.params import DatasetShape, IndexParams
+from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
+from repro.pim.config import PimSystemConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    shape = DatasetShape(num_points=1_000_000, dim=128, num_queries=100)
+    return AnalyticPerfModel(
+        shape,
+        HardwareProfile.for_pim(PimSystemConfig(num_dpus=64)),
+        multiplier_less=True,
+    )
+
+
+def _table():
+    t = AccuracyTable()
+    # recall grows with nprobe; time does too -> a real trade-off.
+    for nprobe, rec in ((2, 0.6), (4, 0.72), (8, 0.8), (16, 0.84), (32, 0.85)):
+        t.record(
+            IndexParams(nlist=1024, nprobe=nprobe, k=10, num_subspaces=16),
+            rec,
+        )
+    return t
+
+
+class TestParetoFrontier:
+    def test_recall_strictly_increasing(self, model):
+        f = pareto_frontier(_table(), model)
+        recalls = [p.recall for p in f]
+        assert recalls == sorted(recalls)
+        assert len(set(recalls)) == len(recalls)
+
+    def test_time_ascending(self, model):
+        f = pareto_frontier(_table(), model)
+        times = [p.modeled_seconds for p in f]
+        assert times == sorted(times)
+
+    def test_dominated_points_removed(self, model):
+        t = _table()
+        # A strictly dominated point: same nprobe=32 cost but lower recall
+        # than the nprobe=16 point (cheaper AND better exists).
+        t.record(
+            IndexParams(nlist=1024, nprobe=32, k=10, num_subspaces=32),
+            0.5,
+        )
+        f = pareto_frontier(t, model)
+        assert all(p.recall > 0.5 for p in f)
+
+    def test_empty_table(self, model):
+        assert pareto_frontier(AccuracyTable(), model) == []
+
+    def test_invalid_m_skipped(self, model):
+        t = AccuracyTable()
+        t.record(
+            IndexParams(nlist=64, nprobe=2, k=10, num_subspaces=7), 0.9
+        )  # 128 % 7 != 0
+        assert pareto_frontier(t, model) == []
+
+
+class TestKnee:
+    def test_knee_in_frontier(self, model):
+        f = pareto_frontier(_table(), model)
+        knee = knee_point(f)
+        assert knee in f
+
+    def test_knee_prefers_elbow(self, model):
+        """Diminishing returns: the knee shouldn't be the most expensive
+        point (nprobe=32 buys +0.01 recall for 2x the time)."""
+        f = pareto_frontier(_table(), model)
+        knee = knee_point(f)
+        assert knee.params.nprobe < 32
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point([])
+
+    def test_singleton(self, model):
+        f = pareto_frontier(_table(), model)[:1]
+        assert knee_point(f) == f[0]

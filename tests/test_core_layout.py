@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+
+from repro.core.layout import (
+    LayoutConfig,
+    estimate_cluster_heat,
+    generate_layout,
+)
+
+
+@pytest.fixture(scope="module")
+def heat(small_quantized, small_ds):
+    return estimate_cluster_heat(
+        small_quantized,
+        small_ds.queries[:50],
+        nprobe=8,
+        lut_weight=1000.0,
+        point_weight=10.0,
+    )
+
+
+class TestHeat:
+    def test_shape_and_nonneg(self, heat, small_quantized):
+        assert heat.shape == (small_quantized.nlist,)
+        assert (heat >= 0).all()
+
+    def test_probed_clusters_have_heat(self, heat, small_quantized, small_ds):
+        probes = small_quantized.locate(small_ds.queries[:50], 8)
+        touched = np.unique(probes)
+        assert (heat[touched] > 0).all()
+
+
+class TestLayoutGeneration:
+    def test_every_point_covered_once_per_replica(self, small_quantized, heat):
+        plan = generate_layout(
+            small_quantized, 8, heat, LayoutConfig(min_split_size=300, max_copies=1)
+        )
+        for cid in range(small_quantized.nlist):
+            n = len(small_quantized.cluster_ids[cid])
+            for group in plan.replica_groups[cid]:
+                rows = np.concatenate(
+                    [plan.shards[k].point_rows for k in group]
+                ) if group else np.array([], dtype=int)
+                assert sorted(rows.tolist()) == list(range(n))
+
+    def test_splitting_respects_threshold(self, small_quantized, heat):
+        plan = generate_layout(
+            small_quantized, 8, heat, LayoutConfig(min_split_size=200, max_copies=0)
+        )
+        for shard in plan.shards.values():
+            assert shard.num_points <= 200 or (
+                len(plan.replica_groups[shard.cluster_id][0]) == 1
+            )
+
+    def test_no_splitting_when_disabled(self, small_quantized, heat):
+        plan = generate_layout(
+            small_quantized, 8, heat, LayoutConfig(min_split_size=None, max_copies=0)
+        )
+        assert len(plan.shards) == small_quantized.nlist
+
+    def test_duplication_respects_max_copies(self, small_quantized, heat):
+        plan = generate_layout(
+            small_quantized,
+            8,
+            heat,
+            LayoutConfig(min_split_size=None, max_copies=2),
+        )
+        for cid in range(small_quantized.nlist):
+            assert 1 <= plan.replica_count(cid) <= 3
+
+    def test_zero_budget_means_no_copies(self, small_quantized, heat):
+        plan = generate_layout(
+            small_quantized,
+            8,
+            heat,
+            LayoutConfig(min_split_size=None, max_copies=2, dup_budget_per_dpu=0),
+        )
+        assert all(plan.replica_count(c) == 1 for c in range(small_quantized.nlist))
+
+    def test_hottest_clusters_duplicated_first(self, small_quantized, heat):
+        plan = generate_layout(
+            small_quantized,
+            8,
+            heat,
+            LayoutConfig(min_split_size=None, max_copies=1, dup_budget_per_dpu=4096),
+        )
+        dup = [c for c in range(small_quantized.nlist) if plan.replica_count(c) > 1]
+        if dup:
+            not_dup = [
+                c for c in range(small_quantized.nlist) if plan.replica_count(c) == 1
+            ]
+            assert min(heat[dup]) >= np.median(heat[not_dup]) * 0.5
+
+    def test_heat_greedy_balances_better_than_id_order(
+        self, small_quantized, heat
+    ):
+        greedy = generate_layout(
+            small_quantized,
+            8,
+            heat,
+            LayoutConfig(min_split_size=300, max_copies=0, allocation="heat_greedy"),
+        )
+        id_order = generate_layout(
+            small_quantized,
+            8,
+            heat,
+            LayoutConfig(min_split_size=300, max_copies=0, allocation="id_order"),
+        )
+        assert greedy.heat_per_dpu().max() <= id_order.heat_per_dpu().max()
+
+    def test_sibling_repulsion(self, small_quantized, heat):
+        """Copies / parts of one cluster should land on distinct DPUs
+        whenever DPUs are plentiful."""
+        plan = generate_layout(
+            small_quantized,
+            16,
+            heat,
+            LayoutConfig(min_split_size=400, max_copies=1),
+        )
+        for cid, groups in plan.replica_groups.items():
+            keys = [k for g in groups for k in g]
+            dpus = [plan.placement[k] for k in keys]
+            if len(keys) <= 16:
+                assert len(set(dpus)) == len(dpus), f"cluster {cid} collides"
+
+    def test_heat_shape_validated(self, small_quantized):
+        with pytest.raises(ValueError, match="cluster_heat"):
+            generate_layout(small_quantized, 4, np.zeros(3), LayoutConfig())
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LayoutConfig(min_split_size=0)
+        with pytest.raises(ValueError):
+            LayoutConfig(max_copies=-1)
+        with pytest.raises(ValueError):
+            LayoutConfig(allocation="random")
+
+    def test_shards_on(self, small_quantized, heat):
+        plan = generate_layout(
+            small_quantized, 4, heat, LayoutConfig(min_split_size=None, max_copies=0)
+        )
+        total = sum(len(plan.shards_on(d)) for d in range(4))
+        assert total == len(plan.shards)

@@ -1,0 +1,77 @@
+import pytest
+
+from repro.core.params import DatasetShape, IndexParams, SearchParams
+
+
+class TestDatasetShape:
+    def test_defaults(self):
+        s = DatasetShape(num_points=1000, dim=128, num_queries=10)
+        assert s.bits_query == 8 and s.bits_lut == 32
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(num_points=0, dim=8, num_queries=1),
+            dict(num_points=10, dim=0, num_queries=1),
+            dict(num_points=10, dim=8, num_queries=0),
+            dict(num_points=10, dim=8, num_queries=1, bits_lut=0),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            DatasetShape(**kw)
+
+
+class TestIndexParams:
+    def test_valid(self):
+        p = IndexParams(nlist=64, nprobe=8, k=10, num_subspaces=16)
+        assert p.codebook_size == 256
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(nlist=0, nprobe=1, k=1, num_subspaces=1),
+            dict(nlist=4, nprobe=5, k=1, num_subspaces=1),
+            dict(nlist=4, nprobe=0, k=1, num_subspaces=1),
+            dict(nlist=4, nprobe=1, k=0, num_subspaces=1),
+            dict(nlist=4, nprobe=1, k=1, num_subspaces=0),
+            dict(nlist=4, nprobe=1, k=1, num_subspaces=1, codebook_size=1),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            IndexParams(**kw)
+
+    def test_avg_cluster_size(self):
+        p = IndexParams(nlist=100, nprobe=1, k=1, num_subspaces=1)
+        assert p.avg_cluster_size(10_000) == 100.0
+
+    def test_validate_for_dim(self):
+        p = IndexParams(nlist=4, nprobe=1, k=1, num_subspaces=3)
+        with pytest.raises(ValueError, match="divisible"):
+            p.validate_for(16)
+        p.validate_for(12)
+
+    def test_replace(self):
+        p = IndexParams(nlist=64, nprobe=8, k=10, num_subspaces=16)
+        q = p.replace(nprobe=16)
+        assert q.nprobe == 16 and q.nlist == 64 and p.nprobe == 8
+
+
+class TestSearchParams:
+    def test_defaults(self):
+        s = SearchParams()
+        assert s.multiplier_less and s.cluster_locate_on == "host"
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            SearchParams(batch_size=0)
+
+    def test_invalid_placement(self):
+        with pytest.raises(ValueError):
+            SearchParams(cluster_locate_on="gpu")
+
+    def test_adc_lut_bytes(self):
+        s = SearchParams()
+        p = IndexParams(nlist=4, nprobe=1, k=1, num_subspaces=16, codebook_size=256)
+        assert s.adc_lut_bytes(p) == 16 * 256 * 4

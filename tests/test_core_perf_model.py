@@ -1,0 +1,176 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import DatasetShape, IndexParams
+from repro.core.perf_model import PHASES, AnalyticPerfModel, HardwareProfile
+from repro.pim.config import PimSystemConfig, paper_system_config
+
+
+@pytest.fixture(scope="module")
+def shape():
+    return DatasetShape(num_points=1_000_000, dim=128, num_queries=1000)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return IndexParams(nlist=1024, nprobe=16, k=10, num_subspaces=16, codebook_size=256)
+
+
+@pytest.fixture(scope="module")
+def pim_profile():
+    return HardwareProfile.for_pim(PimSystemConfig(num_dpus=256))
+
+
+@pytest.fixture(scope="module")
+def cpu_profile():
+    return HardwareProfile.for_cpu()
+
+
+class TestPhaseEstimates:
+    def test_all_phases_present(self, shape, params, pim_profile):
+        est = AnalyticPerfModel(shape, pim_profile).estimate(params)
+        assert set(est) == set(PHASES)
+        assert all(e.seconds > 0 for e in est.values())
+
+    def test_time_is_max_of_compute_io(self, shape, params, pim_profile):
+        est = AnalyticPerfModel(shape, pim_profile).estimate(params)
+        for e in est.values():
+            assert e.seconds == pytest.approx(max(e.compute_seconds, e.io_seconds))
+
+    def test_unknown_phase_rejected(self, shape, params, pim_profile):
+        with pytest.raises(ValueError, match="unknown phase"):
+            AnalyticPerfModel(shape, pim_profile).phase(params, "XX")
+
+    def test_c2io_positive(self, shape, params, pim_profile):
+        est = AnalyticPerfModel(shape, pim_profile).estimate(params)
+        assert all(e.c2io > 0 for e in est.values())
+
+    def test_io_mode_validation(self, shape, pim_profile):
+        with pytest.raises(ValueError):
+            AnalyticPerfModel(shape, pim_profile, io_mode="bogus")
+
+
+class TestScalingLaws:
+    def test_dc_scales_linearly_with_nprobe(self, shape, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile)
+        p1 = IndexParams(nlist=1024, nprobe=8, k=10, num_subspaces=16)
+        p2 = p1.replace(nprobe=16)
+        t1 = m.phase(p1, "DC").issue_slots
+        t2 = m.phase(p2, "DC").issue_slots
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_dc_shrinks_with_nlist(self, shape, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile)
+        p1 = IndexParams(nlist=512, nprobe=8, k=10, num_subspaces=16)
+        p2 = IndexParams(nlist=2048, nprobe=8, k=10, num_subspaces=16)
+        assert m.phase(p2, "DC").issue_slots < m.phase(p1, "DC").issue_slots
+
+    def test_lc_independent_of_nlist(self, shape, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile)
+        p1 = IndexParams(nlist=512, nprobe=8, k=10, num_subspaces=16)
+        p2 = IndexParams(nlist=2048, nprobe=8, k=10, num_subspaces=16)
+        assert m.phase(p1, "LC").issue_slots == pytest.approx(
+            m.phase(p2, "LC").issue_slots
+        )
+
+    def test_lc_scales_with_codebook(self, shape, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile)
+        p1 = IndexParams(nlist=1024, nprobe=8, k=10, num_subspaces=16, codebook_size=128)
+        p2 = p1.replace(codebook_size=256)
+        assert m.phase(p2, "LC").issue_slots == pytest.approx(
+            2 * m.phase(p1, "LC").issue_slots
+        )
+
+    def test_ts_only_depends_on_k_via_log(self, shape, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile)
+        p1 = IndexParams(nlist=1024, nprobe=8, k=4, num_subspaces=16)
+        p2 = p1.replace(k=16)
+        r = m.phase(p2, "TS").issue_slots / m.phase(p1, "TS").issue_slots
+        assert r == pytest.approx((math.log2(16) - 1) / (math.log2(4) - 1))
+
+
+class TestMultiplierLess:
+    def test_lc_faster_on_pim(self, shape, params, pim_profile):
+        with_mul = AnalyticPerfModel(shape, pim_profile, multiplier_less=False)
+        without = AnalyticPerfModel(shape, pim_profile, multiplier_less=True)
+        assert without.phase(params, "LC").seconds < with_mul.phase(params, "LC").seconds
+
+    def test_no_mul_instructions_when_converted(self, shape, params, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile, multiplier_less=True)
+        assert m.phase(params, "LC").ops.mul == 0
+
+    def test_conversion_neutral_on_cpu(self, shape, params, cpu_profile):
+        """On a uniform-cost ISA the conversion gains nothing."""
+        with_mul = AnalyticPerfModel(shape, cpu_profile, multiplier_less=False)
+        without = AnalyticPerfModel(shape, cpu_profile, multiplier_less=True)
+        assert (
+            without.phase(params, "LC").compute_seconds
+            >= with_mul.phase(params, "LC").compute_seconds * 0.99
+        )
+
+
+class TestAggregates:
+    def test_total_is_sum(self, shape, params, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile)
+        est = m.estimate(params)
+        assert m.total_seconds(params) == pytest.approx(
+            sum(e.seconds for e in est.values())
+        )
+
+    def test_split_overlaps_host(self, shape, params, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile)
+        split = m.split_seconds(params, host_phases=("CL",))
+        pim_only = sum(
+            m.phase(params, ph).seconds for ph in PHASES if ph != "CL"
+        )
+        assert split >= pim_only
+
+    def test_throughput(self, shape, params, pim_profile):
+        m = AnalyticPerfModel(shape, pim_profile)
+        qps = m.throughput_qps(params)
+        assert qps == pytest.approx(shape.num_queries / m.split_seconds(params))
+
+    def test_paper_mode_more_pessimistic(self, shape, params, pim_profile):
+        split = AnalyticPerfModel(shape, pim_profile, io_mode="split")
+        paper = AnalyticPerfModel(shape, pim_profile, io_mode="paper")
+        assert paper.total_seconds(params) >= split.total_seconds(params)
+
+
+class TestPaperScaleSanity:
+    """Coarse checks that the model reproduces the paper's regimes."""
+
+    def test_cpu_is_memory_bound_at_balanced_configs(self):
+        """Paper Fig. 2: Faiss-CPU balanced settings are memory-bound."""
+        shape = DatasetShape(num_points=100_000_000, dim=128, num_queries=10_000)
+        m = AnalyticPerfModel(shape, HardwareProfile.for_cpu())
+        p = IndexParams(nlist=2**14, nprobe=96, k=10, num_subspaces=16)
+        dc = m.phase(p, "DC")
+        assert not dc.compute_bound
+
+    def test_pim_speedup_in_paper_range(self):
+        """Ideal-model speedup at the paper's scale lands in single digits."""
+        shape = DatasetShape(num_points=100_000_000, dim=128, num_queries=10_000)
+        pim = HardwareProfile.for_pim(paper_system_config())
+        cpu = HardwareProfile.for_cpu()
+        p = IndexParams(nlist=2**14, nprobe=96, k=10, num_subspaces=16)
+        tp = AnalyticPerfModel(shape, pim, multiplier_less=True).split_seconds(p)
+        tc = AnalyticPerfModel(shape, cpu).total_seconds(p)
+        assert 1.5 < tc / tp < 20
+
+    def test_compute_scaling_helps(self):
+        """Fig. 13: scaling DPU compute increases the ideal speedup."""
+        shape = DatasetShape(num_points=100_000_000, dim=128, num_queries=10_000)
+        p = IndexParams(nlist=2**14, nprobe=96, k=10, num_subspaces=16)
+        t1 = AnalyticPerfModel(
+            shape,
+            HardwareProfile.for_pim(paper_system_config()),
+            multiplier_less=True,
+        ).split_seconds(p)
+        t5 = AnalyticPerfModel(
+            shape,
+            HardwareProfile.for_pim(paper_system_config().with_compute_scale(5)),
+            multiplier_less=True,
+        ).split_seconds(p)
+        assert t5 < t1

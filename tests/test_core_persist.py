@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.core.persist import load_quantized, save_quantized
+
+
+class TestRoundTrip:
+    def test_roundtrip_identity(self, small_quantized, tmp_path):
+        path = str(tmp_path / "index.npz")
+        save_quantized(small_quantized, path)
+        back = load_quantized(path)
+        np.testing.assert_array_equal(back.centroids, small_quantized.centroids)
+        np.testing.assert_array_equal(back.codebooks, small_quantized.codebooks)
+        assert back.nlist == small_quantized.nlist
+        for a, b in zip(back.cluster_ids, small_quantized.cluster_ids):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(back.cluster_codes, small_quantized.cluster_codes):
+            np.testing.assert_array_equal(a, b)
+
+    def test_loaded_index_searches_identically(
+        self, small_quantized, small_ds, tmp_path
+    ):
+        path = str(tmp_path / "index.npz")
+        save_quantized(small_quantized, path)
+        back = load_quantized(path)
+        q = small_ds.queries[:20]
+        a = small_quantized.reference_search(q, 10, 4)
+        b = back.reference_search(q, 10, 4)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+    def test_engine_from_loaded_index(self, small_quantized, small_ds, small_params, tmp_path):
+        from repro.core import DrimAnnEngine
+        from repro.pim.config import PimSystemConfig
+
+        path = str(tmp_path / "index.npz")
+        save_quantized(small_quantized, path)
+        eng = DrimAnnEngine.build(
+            small_ds.base,
+            small_params,
+            system_config=PimSystemConfig(num_dpus=4),
+            prebuilt_quantized=load_quantized(path),
+            seed=0,
+        )
+        res, _ = eng.search(small_ds.queries[:10])
+        assert res.ids.shape == (10, 10)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_quantized(str(tmp_path / "nope.npz"))
+
+    def test_not_an_index(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError, match="not a DRIM-ANN index"):
+            load_quantized(path)
+
+    def test_future_version_rejected(self, small_quantized, tmp_path):
+        import repro.core.persist as persist
+
+        path = str(tmp_path / "index.npz")
+        old = persist.FORMAT_VERSION
+        try:
+            persist.FORMAT_VERSION = 99
+            save_quantized(small_quantized, path)
+        finally:
+            persist.FORMAT_VERSION = old
+        with pytest.raises(ValueError, match="format version"):
+            load_quantized(path)
+
+    def test_empty_cluster_roundtrip(self, tmp_path):
+        from repro.core.quantized import QuantizedIndexData
+
+        quant = QuantizedIndexData(
+            centroids=np.zeros((2, 4), dtype=np.uint8),
+            codebooks=np.zeros((2, 4, 2), dtype=np.int16),
+            cluster_ids=[np.array([5, 7], dtype=np.int64), np.empty(0, dtype=np.int64)],
+            cluster_codes=[
+                np.zeros((2, 2), dtype=np.uint8),
+                np.empty((0, 2), dtype=np.uint8),
+            ],
+        )
+        path = str(tmp_path / "index.npz")
+        save_quantized(quant, path)
+        back = load_quantized(path)
+        assert len(back.cluster_ids[1]) == 0
+        np.testing.assert_array_equal(back.cluster_ids[0], [5, 7])

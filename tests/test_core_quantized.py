@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.ann import recall_at_k
+from repro.core.quantized import (
+    CODEBOOK_CLIP,
+    QuantizedIndexData,
+    build_quantized_index,
+)
+
+
+class TestBuild:
+    def test_dtypes(self, small_quantized):
+        q = small_quantized
+        assert q.centroids.dtype == np.uint8
+        assert q.codebooks.dtype == np.int16
+        assert np.abs(q.codebooks).max() <= CODEBOOK_CLIP
+
+    def test_shape_passthrough(self, small_quantized, small_index):
+        assert small_quantized.nlist == small_index.nlist
+        assert small_quantized.num_points == small_index.num_points
+        assert small_quantized.num_subspaces == small_index.pq.num_subspaces
+
+    def test_cluster_sizes(self, small_quantized, small_index):
+        np.testing.assert_array_equal(
+            small_quantized.cluster_sizes(), small_index.ivf.list_sizes()
+        )
+
+    def test_rotated_index_rejected(self, small_ds):
+        from repro.ann import IVFPQIndex
+
+        idx = IVFPQIndex.build(
+            small_ds.base[:2000],
+            nlist=8,
+            num_subspaces=16,
+            codebook_size=16,
+            use_opq=True,
+            seed=0,
+        )
+        with pytest.raises(ValueError, match="rotation"):
+            build_quantized_index(idx)
+
+    def test_validation_dtype(self, small_quantized):
+        with pytest.raises(TypeError, match="uint8"):
+            QuantizedIndexData(
+                centroids=small_quantized.centroids.astype(np.float32),
+                codebooks=small_quantized.codebooks,
+                cluster_ids=small_quantized.cluster_ids,
+                cluster_codes=small_quantized.cluster_codes,
+            )
+
+
+class TestIntegerPipeline:
+    def test_locate_is_exact_integer_l2(self, small_quantized, small_ds):
+        q = small_ds.queries[:10]
+        probes = small_quantized.locate(q, 5)
+        d = (
+            (q[:, None].astype(np.int64) - small_quantized.centroids[None].astype(np.int64))
+            ** 2
+        ).sum(-1)
+        want = np.argsort(d, axis=1, kind="stable")[:, :5]
+        dw = np.take_along_axis(d, want, 1)
+        dg = np.take_along_axis(d, probes, 1)
+        np.testing.assert_array_equal(dg, dw)
+
+    def test_lut_is_exact(self, small_quantized, small_ds):
+        res = small_quantized.residual(small_ds.queries[0], 3)
+        lut = small_quantized.build_lut(res)
+        m, cb, dsub = small_quantized.codebooks.shape
+        want = (
+            (
+                res.astype(np.int64).reshape(m, 1, dsub)
+                - small_quantized.codebooks.astype(np.int64)
+            )
+            ** 2
+        ).sum(-1)
+        np.testing.assert_array_equal(lut, want)
+
+    def test_build_luts_batched(self, small_quantized, small_ds):
+        rs = np.stack(
+            [small_quantized.residual(small_ds.queries[i], 0) for i in range(4)]
+        )
+        luts = small_quantized.build_luts(rs)
+        for i in range(4):
+            np.testing.assert_array_equal(
+                luts[i], small_quantized.build_lut(rs[i])
+            )
+
+    def test_reference_search_recall(self, small_quantized, small_ds):
+        res = small_quantized.reference_search(small_ds.queries, 10, 16)
+        rec = recall_at_k(res.ids, small_ds.ground_truth, 10)
+        assert rec > 0.5
+
+    def test_quantization_close_to_float_reference(
+        self, small_quantized, small_index, small_ds
+    ):
+        """Integer rounding should cost only a little recall."""
+        rq = small_quantized.reference_search(small_ds.queries, 10, 8)
+        rf = small_index.search(small_ds.queries, 10, 8)
+        rec_q = recall_at_k(rq.ids, small_ds.ground_truth, 10)
+        rec_f = recall_at_k(rf.ids, small_ds.ground_truth, 10)
+        assert abs(rec_q - rec_f) < 0.1
+
+    def test_nprobe_bounds(self, small_quantized, small_ds):
+        with pytest.raises(ValueError):
+            small_quantized.locate(small_ds.queries[:1], 0)

@@ -1,0 +1,121 @@
+import numpy as np
+import pytest
+
+from repro.core.layout import LayoutConfig, generate_layout
+from repro.core.scheduler import RuntimeScheduler, SchedulerConfig
+
+
+@pytest.fixture(scope="module")
+def plan(small_quantized):
+    heat = small_quantized.cluster_sizes().astype(float)
+    return generate_layout(
+        small_quantized,
+        8,
+        heat,
+        LayoutConfig(min_split_size=400, max_copies=2),
+        seed=0,
+    )
+
+
+def _cfg(**kw):
+    base = dict(lut_latency=5000.0, per_point_calc=50.0, per_point_sort=2.0)
+    base.update(kw)
+    return SchedulerConfig(**base)
+
+
+class TestPredictor:
+    def test_task_latency_eq15(self):
+        sched_cfg = _cfg()
+        from repro.core.layout import LayoutPlan
+
+        # latency = l_lut + x * (l_calu + l_sortu)
+        lat = sched_cfg.lut_latency + 100 * (
+            sched_cfg.per_point_calc + sched_cfg.per_point_sort
+        )
+        plan = LayoutPlan(shards={}, placement={}, replica_groups={}, num_dpus=1)
+        s = RuntimeScheduler(plan, sched_cfg)
+        assert s.task_latency(100) == pytest.approx(lat)
+
+    def test_all_tasks_assigned(self, plan):
+        s = RuntimeScheduler(plan, _cfg(filter_threshold=None))
+        tasks = [(q, c) for q in range(10) for c in range(5)]
+        out = s.schedule_batch(tasks)
+        assigned = sum(len(v) for v in out.assignments.values())
+        parts = sum(
+            len(plan.replica_groups[c][0]) for _, c in tasks
+        )
+        assert assigned == parts
+        assert out.deferred == []
+
+    def test_tasks_only_on_resident_dpus(self, plan):
+        s = RuntimeScheduler(plan, _cfg(filter_threshold=None))
+        out = s.schedule_batch([(0, 3), (1, 7)])
+        for dpu, items in out.assignments.items():
+            for _, key in items:
+                assert plan.placement[key] == dpu
+
+    def test_predictor_beats_static_on_makespan(self, plan):
+        tasks = [(q, 0) for q in range(40)]  # everyone hits cluster 0
+        pred = RuntimeScheduler(plan, _cfg(filter_threshold=None))
+        stat = RuntimeScheduler(
+            plan, _cfg(filter_threshold=None, policy="static")
+        )
+        mp = pred.schedule_batch(tasks).predicted_load.max()
+        ms = stat.schedule_batch(tasks).predicted_load.max()
+        if plan.replica_count(0) > 1:
+            assert mp < ms
+        else:
+            assert mp <= ms
+
+    def test_deterministic(self, plan):
+        tasks = [(q, c) for q in range(6) for c in (1, 2, 3)]
+        a = RuntimeScheduler(plan, _cfg()).schedule_batch(tasks)
+        b = RuntimeScheduler(plan, _cfg()).schedule_batch(tasks)
+        assert a.assignments == b.assignments
+
+
+class TestFilter:
+    def test_filter_defers_from_hot_dpus(self, plan):
+        s = RuntimeScheduler(plan, _cfg(filter_threshold=1.05, max_defer_fraction=0.5))
+        # All queries hammer one cluster: its DPUs overload.
+        tasks = [(q, 0) for q in range(50)]
+        out = s.schedule_batch(tasks)
+        assert len(out.deferred) > 0
+        assert all(c == 0 for _, c in out.deferred)
+
+    def test_filter_respects_cap(self, plan):
+        s = RuntimeScheduler(plan, _cfg(filter_threshold=1.01, max_defer_fraction=0.1))
+        tasks = [(q, 0) for q in range(50)]
+        out = s.schedule_batch(tasks)
+        assert len(out.deferred) <= 5
+
+    def test_no_filter_when_disabled(self, plan):
+        s = RuntimeScheduler(plan, _cfg(filter_threshold=None))
+        out = s.schedule_batch([(q, 0) for q in range(50)])
+        assert out.deferred == []
+
+    def test_deferred_tasks_not_in_assignments(self, plan):
+        s = RuntimeScheduler(plan, _cfg(filter_threshold=1.05, max_defer_fraction=0.5))
+        tasks = [(q, 0) for q in range(30)]
+        out = s.schedule_batch(tasks)
+        deferred_q = {q for q, _ in out.deferred}
+        for items in out.assignments.values():
+            for q, key in items:
+                assert (
+                    q not in deferred_q
+                    or plan.shards[key].cluster_id != 0
+                )
+
+
+class TestConfigValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(policy="bogus")
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(filter_threshold=0.9)
+
+    def test_bad_defer_fraction(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_defer_fraction=1.5)

@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.core.serving import (
+    BatchingPolicy,
+    PoissonArrivals,
+    ServingReport,
+    simulate_serving,
+)
+
+
+class TestArrivals:
+    def test_sorted_and_positive(self):
+        t = PoissonArrivals(1000).sample(100, seed=0)
+        assert (np.diff(t) >= 0).all()
+        assert (t > 0).all()
+
+    def test_rate_controls_density(self):
+        fast = PoissonArrivals(10_000).sample(500, seed=0)
+        slow = PoissonArrivals(100).sample(500, seed=0)
+        assert fast[-1] < slow[-1]
+
+    def test_deterministic(self):
+        a = PoissonArrivals(100).sample(10, seed=3)
+        b = PoissonArrivals(100).sample(10, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_wait_s=-1)
+
+
+class TestSimulateServing:
+    @pytest.fixture(scope="class")
+    def served(self, small_engine, small_ds):
+        queries = small_ds.queries[:100]
+        arrivals = PoissonArrivals(rate_qps=20_000).sample(100, seed=0)
+        report = simulate_serving(
+            small_engine,
+            queries,
+            arrivals,
+            BatchingPolicy(batch_size=32, max_wait_s=1e-3),
+        )
+        return report
+
+    def test_every_query_served(self, served):
+        assert served.num_queries == 100
+        assert sum(served.batch_sizes) == 100
+
+    def test_latencies_positive(self, served):
+        assert (served.latencies_s > 0).all()
+
+    def test_batches_bounded(self, served):
+        assert max(served.batch_sizes) <= 32
+
+    def test_percentiles_ordered(self, served):
+        assert (
+            served.percentile_ms(50)
+            <= served.percentile_ms(95)
+            <= served.percentile_ms(99)
+        )
+
+    def test_summary(self, served):
+        s = served.summary()
+        assert "p99" in s and "QPS" in s
+
+    def test_low_load_has_low_latency(self, small_engine, small_ds):
+        """At trivial arrival rates, latency ~ max_wait + one batch."""
+        queries = small_ds.queries[:20]
+        arrivals = np.arange(20) * 1.0  # one query per second
+        report = simulate_serving(
+            small_engine,
+            queries,
+            arrivals,
+            BatchingPolicy(batch_size=32, max_wait_s=1e-3),
+        )
+        # Each query rides its own batch: latency = wait + service.
+        assert all(s == 1 for s in report.batch_sizes)
+        assert report.percentile_ms(99) < 50.0
+
+    def test_overload_latency_grows(self, small_engine, small_ds):
+        """Arrivals faster than service capacity queue up."""
+        queries = small_ds.queries[:100]
+        slow = simulate_serving(
+            small_engine,
+            queries,
+            PoissonArrivals(2_000).sample(100, seed=0),
+            BatchingPolicy(batch_size=16, max_wait_s=1e-4),
+        )
+        crushed = simulate_serving(
+            small_engine,
+            queries,
+            PoissonArrivals(500_000).sample(100, seed=0),
+            BatchingPolicy(batch_size=16, max_wait_s=1e-4),
+        )
+        assert crushed.mean_ms > slow.mean_ms * 0.5  # queueing visible
+
+    def test_mismatched_lengths(self, small_engine, small_ds):
+        with pytest.raises(ValueError, match="arrivals"):
+            simulate_serving(
+                small_engine, small_ds.queries[:5], np.zeros(4)
+            )
+
+    def test_unsorted_arrivals(self, small_engine, small_ds):
+        with pytest.raises(ValueError, match="sorted"):
+            simulate_serving(
+                small_engine,
+                small_ds.queries[:3],
+                np.array([3.0, 1.0, 2.0]),
+            )

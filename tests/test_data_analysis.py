@@ -1,0 +1,87 @@
+"""Dataset characterization — and verification that the synthetic
+corpora exhibit the paper's three load-imbalance preconditions."""
+
+import numpy as np
+import pytest
+
+from repro.data.analysis import (
+    AccessStats,
+    ClusterSizeStats,
+    intrinsic_dimension_estimate,
+)
+
+
+class TestClusterSizeStats:
+    def test_even_sizes(self):
+        s = ClusterSizeStats.from_sizes(np.full(10, 100))
+        assert s.imbalance_factor == pytest.approx(1.0)
+        assert s.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_skewed_sizes(self):
+        s = ClusterSizeStats.from_sizes(np.array([1000, 10, 10, 10]))
+        assert s.imbalance_factor > 2.0
+        assert s.gini > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSizeStats.from_sizes(np.array([]))
+
+    def test_observation1_holds_on_synthetic(self, small_index):
+        """Paper Observation 1: cluster sizes are unbalanced."""
+        s = ClusterSizeStats.from_sizes(small_index.ivf.list_sizes())
+        assert s.imbalance_factor > 1.2
+
+
+class TestAccessStats:
+    def test_uniform_accesses(self, rng):
+        probes = rng.permutation(np.repeat(np.arange(20), 5)).reshape(20, 5)
+        s = AccessStats.from_probes(probes, 20)
+        assert s.top1_share == pytest.approx(1 / 20)
+
+    def test_concentrated_accesses(self):
+        probes = np.zeros((50, 4), dtype=int)  # everyone hits cluster 0
+        s = AccessStats.from_probes(probes, 16)
+        assert s.top1_share == pytest.approx(1.0)
+        assert s.mean_batch_contention == 200
+
+    def test_zipf_exponent_detects_skew(self, rng):
+        ranks = np.arange(1, 33)
+        weights = 1.0 / ranks**1.2
+        weights /= weights.sum()
+        probes = rng.choice(32, size=(500, 8), p=weights)
+        s = AccessStats.from_probes(probes, 32)
+        assert 0.6 < s.zipf_exponent < 2.5
+
+    def test_observations_2_3_hold_on_synthetic(self, small_ds, small_quantized):
+        """Paper Observations 2/3: same-batch contention and skewed
+        cluster access frequency."""
+        probes = small_quantized.locate(small_ds.queries, 8)
+        s = AccessStats.from_probes(probes, small_quantized.nlist, batch_size=32)
+        assert s.mean_batch_contention > 1.5  # repeated same-batch hits
+        assert s.top10pct_share > 0.15  # hot clusters exist
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AccessStats.from_probes(np.zeros((0, 2), dtype=int), 4)
+
+
+class TestIntrinsicDimension:
+    def test_low_rank_data(self, rng):
+        z = rng.normal(size=(2000, 5))
+        basis = rng.normal(size=(5, 64))
+        x = z @ basis
+        est = intrinsic_dimension_estimate(x)
+        assert est < 10
+
+    def test_full_rank_data(self, rng):
+        x = rng.normal(size=(2000, 32))
+        est = intrinsic_dimension_estimate(x)
+        assert est > 25
+
+    def test_synthetic_corpus_is_low_rank(self, small_ds):
+        """The generator's intrinsic_dim must actually materialize."""
+        est = intrinsic_dimension_estimate(small_ds.base)
+        assert est < small_ds.dim / 2
+
+    def test_degenerate(self):
+        assert intrinsic_dimension_estimate(np.zeros((10, 4))) == 0.0

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+
+
+def _mk(n=10, d=4, q=3, gt_k=2):
+    base = np.zeros((n, d), dtype=np.uint8)
+    queries = np.zeros((q, d), dtype=np.uint8)
+    gt = np.zeros((q, gt_k), dtype=np.int64)
+    return base, queries, gt
+
+
+class TestDatasetValidation:
+    def test_minimal(self):
+        base, _, _ = _mk()
+        ds = Dataset(name="t", base=base)
+        assert ds.num_base == 10 and ds.dim == 4 and ds.num_queries == 0
+
+    def test_with_queries_and_gt(self):
+        base, q, gt = _mk()
+        ds = Dataset(name="t", base=base, queries=q, ground_truth=gt)
+        assert ds.num_queries == 3
+
+    def test_query_dim_mismatch(self):
+        base, _, _ = _mk()
+        with pytest.raises(ValueError, match="dimension"):
+            Dataset(name="t", base=base, queries=np.zeros((3, 5)))
+
+    def test_gt_without_queries(self):
+        base, _, gt = _mk()
+        with pytest.raises(ValueError, match="without queries"):
+            Dataset(name="t", base=base, ground_truth=gt)
+
+    def test_gt_row_mismatch(self):
+        base, q, _ = _mk()
+        with pytest.raises(ValueError, match="query count"):
+            Dataset(name="t", base=base, queries=q, ground_truth=np.zeros((4, 2)))
+
+    def test_base_must_be_2d(self):
+        with pytest.raises(ValueError):
+            Dataset(name="t", base=np.zeros(5))
+
+
+class TestSubsetQueries:
+    def test_subset(self):
+        base, q, gt = _mk()
+        ds = Dataset(name="t", base=base, queries=q, ground_truth=gt)
+        sub = ds.subset_queries(2)
+        assert sub.num_queries == 2
+        assert sub.ground_truth.shape[0] == 2
+        assert sub.base is ds.base
+
+    def test_subset_clamps(self):
+        base, q, gt = _mk()
+        ds = Dataset(name="t", base=base, queries=q, ground_truth=gt)
+        assert ds.subset_queries(99).num_queries == 3
+
+    def test_subset_requires_queries(self):
+        base, _, _ = _mk()
+        with pytest.raises(ValueError, match="no queries"):
+            Dataset(name="t", base=base).subset_queries(1)

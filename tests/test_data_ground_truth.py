@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.data.ground_truth import attach_ground_truth, exact_topk
+from repro.data import Dataset
+
+
+class TestExactTopk:
+    def test_matches_naive(self, rng):
+        base = rng.integers(0, 255, size=(200, 8)).astype(np.uint8)
+        queries = rng.integers(0, 255, size=(7, 8)).astype(np.uint8)
+        idx = exact_topk(base, queries, 5)
+        d = ((queries[:, None, :].astype(float) - base[None].astype(float)) ** 2).sum(-1)
+        naive = np.argsort(d, axis=1, kind="stable")[:, :5]
+        naive_d = np.take_along_axis(d, naive, axis=1)
+        got_d = np.take_along_axis(d, idx, axis=1)
+        np.testing.assert_allclose(got_d, naive_d)
+
+    def test_blocked_equals_unblocked(self, rng):
+        base = rng.integers(0, 255, size=(500, 6)).astype(np.uint8)
+        queries = rng.integers(0, 255, size=(9, 6)).astype(np.uint8)
+        a = exact_topk(base, queries, 7, block_n=64, block_q=3)
+        b = exact_topk(base, queries, 7)
+        da = ((queries[:, None].astype(float) - base[a].astype(float)) ** 2).sum(-1)
+        db = ((queries[:, None].astype(float) - base[b].astype(float)) ** 2).sum(-1)
+        np.testing.assert_allclose(da, db)
+
+    def test_self_query_is_own_nn(self, rng):
+        base = rng.integers(0, 255, size=(50, 8)).astype(np.uint8)
+        idx = exact_topk(base, base[:5], 1)
+        d = ((base[:5, None].astype(float) - base[None].astype(float)) ** 2).sum(-1)
+        np.testing.assert_array_equal(
+            np.take_along_axis(d, idx, 1).ravel(), d.min(axis=1)
+        )
+
+    def test_return_distances_sorted(self, rng):
+        base = rng.normal(size=(100, 4)).astype(np.float32)
+        _, dist = exact_topk(base, base[:3], 10, return_distances=True)
+        assert np.all(np.diff(dist, axis=1) >= 0)
+
+    def test_k_bounds(self, rng):
+        base = rng.normal(size=(10, 4))
+        with pytest.raises(ValueError):
+            exact_topk(base, base[:1], 0)
+        with pytest.raises(ValueError):
+            exact_topk(base, base[:1], 11)
+
+    def test_k_equals_n(self, rng):
+        base = rng.normal(size=(10, 4))
+        idx = exact_topk(base, base[:2], 10)
+        assert sorted(idx[0].tolist()) == list(range(10))
+
+
+class TestAttach:
+    def test_attach(self, rng):
+        base = rng.integers(0, 255, size=(50, 4)).astype(np.uint8)
+        ds = Dataset(name="t", base=base, queries=base[:3])
+        attach_ground_truth(ds, k=5)
+        assert ds.ground_truth.shape == (3, 5)
+
+    def test_attach_requires_queries(self, rng):
+        ds = Dataset(name="t", base=rng.normal(size=(10, 4)))
+        with pytest.raises(ValueError):
+            attach_ground_truth(ds, k=2)

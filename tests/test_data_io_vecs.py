@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.data.io_vecs import iter_vecs, read_vecs, write_vecs
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "ext,dtype",
+        [(".fvecs", np.float32), (".bvecs", np.uint8), (".ivecs", np.int32)],
+    )
+    def test_roundtrip(self, tmp_path, rng, ext, dtype):
+        path = str(tmp_path / f"x{ext}")
+        if dtype == np.float32:
+            data = rng.normal(size=(17, 9)).astype(dtype)
+        else:
+            data = rng.integers(0, 100, size=(17, 9)).astype(dtype)
+        write_vecs(path, data)
+        back = read_vecs(path)
+        np.testing.assert_array_equal(back, data)
+
+    def test_offset_and_count(self, tmp_path, rng):
+        path = str(tmp_path / "x.bvecs")
+        data = rng.integers(0, 255, size=(20, 4)).astype(np.uint8)
+        write_vecs(path, data)
+        np.testing.assert_array_equal(read_vecs(path, count=5, offset=3), data[3:8])
+
+    def test_count_beyond_end_clamped(self, tmp_path, rng):
+        path = str(tmp_path / "x.bvecs")
+        data = rng.integers(0, 255, size=(5, 4)).astype(np.uint8)
+        write_vecs(path, data)
+        assert read_vecs(path, count=100).shape == (5, 4)
+
+
+class TestIterVecs:
+    def test_chunks_reassemble(self, tmp_path, rng):
+        path = str(tmp_path / "x.bvecs")
+        data = rng.integers(0, 255, size=(23, 6)).astype(np.uint8)
+        write_vecs(path, data)
+        blocks = list(iter_vecs(path, chunk=7))
+        assert [len(b) for b in blocks] == [7, 7, 7, 2]
+        np.testing.assert_array_equal(np.concatenate(blocks), data)
+
+    def test_exact_multiple(self, tmp_path, rng):
+        path = str(tmp_path / "x.fvecs")
+        data = rng.normal(size=(10, 3)).astype(np.float32)
+        write_vecs(path, data)
+        blocks = list(iter_vecs(path, chunk=5))
+        assert [len(b) for b in blocks] == [5, 5]
+
+    def test_chunk_larger_than_file(self, tmp_path, rng):
+        path = str(tmp_path / "x.bvecs")
+        data = rng.integers(0, 9, size=(4, 2)).astype(np.uint8)
+        write_vecs(path, data)
+        blocks = list(iter_vecs(path, chunk=100))
+        assert len(blocks) == 1
+
+    def test_invalid_chunk(self, tmp_path):
+        with pytest.raises(ValueError):
+            list(iter_vecs(str(tmp_path / "x.bvecs"), chunk=0))
+
+
+class TestErrors:
+    def test_bad_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            read_vecs(str(tmp_path / "x.dat"))
+
+    def test_write_bad_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            write_vecs(str(tmp_path / "x.dat"), np.zeros((2, 2)))
+
+    def test_write_1d_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            write_vecs(str(tmp_path / "x.fvecs"), np.zeros(4, dtype=np.float32))
+
+    def test_corrupt_size(self, tmp_path):
+        path = tmp_path / "x.fvecs"
+        path.write_bytes(b"\x04\x00\x00\x00" + b"\x00" * 10)  # wrong payload len
+        with pytest.raises(ValueError, match="corrupt"):
+            read_vecs(str(path))
+
+    def test_offset_out_of_range(self, tmp_path, rng):
+        path = str(tmp_path / "x.bvecs")
+        write_vecs(path, rng.integers(0, 9, size=(3, 2)).astype(np.uint8))
+        with pytest.raises(ValueError, match="offset"):
+            read_vecs(path, offset=10)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "x.fvecs"
+        path.write_bytes(b"")
+        assert read_vecs(str(path)).size == 0

@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.data import make_query_workload
+from repro.data.synthetic import SyntheticSpec, make_clustered_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    spec = SyntheticSpec(num_vectors=2000, dim=16, num_components=16)
+    return make_clustered_dataset(spec, seed=0)
+
+
+class TestWorkloadStructure:
+    def test_batching(self, ds):
+        wl = make_query_workload(ds, num_queries=100, batch_size=32, seed=0)
+        assert sum(wl.batch_sizes) == 100
+        assert wl.batch_sizes == [32, 32, 32, 4]
+        assert wl.num_batches == 4
+
+    def test_batches_iterator(self, ds):
+        wl = make_query_workload(ds, num_queries=10, batch_size=4, seed=0)
+        seen = 0
+        for i, batch in wl.batches():
+            seen += len(batch)
+        assert seen == 10
+
+    def test_query_dtype_matches_base(self, ds):
+        wl = make_query_workload(ds, num_queries=10, batch_size=5, seed=0)
+        assert wl.queries.dtype == ds.base.dtype
+
+    def test_deterministic(self, ds):
+        a = make_query_workload(ds, num_queries=20, batch_size=10, seed=3).queries
+        b = make_query_workload(ds, num_queries=20, batch_size=10, seed=3).queries
+        np.testing.assert_array_equal(a, b)
+
+    def test_hot_components_logged(self, ds):
+        wl = make_query_workload(ds, num_queries=20, batch_size=10, seed=0)
+        assert len(wl.hot_components) == wl.num_batches
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(num_queries=0, batch_size=4),
+            dict(num_queries=4, batch_size=0),
+            dict(num_queries=4, batch_size=2, drift=1.5),
+            dict(num_queries=4, batch_size=2, mode="bogus"),
+            dict(num_queries=4, batch_size=2, interpolate_range=(0.8, 0.2)),
+        ],
+    )
+    def test_invalid_args(self, ds, kw):
+        with pytest.raises(ValueError):
+            make_query_workload(ds, seed=0, **kw)
+
+    def test_batch_size_mismatch_rejected(self):
+        from repro.data.queries import QueryWorkload
+
+        with pytest.raises(ValueError, match="batch_sizes"):
+            QueryWorkload(queries=np.zeros((5, 4)), batch_sizes=[2, 2])
+
+
+class TestSkewAndDrift:
+    def test_drift_changes_hot_set(self, ds):
+        wl = make_query_workload(
+            ds, num_queries=400, batch_size=40, drift=1.0, seed=0
+        )
+        hots = [tuple(sorted(h)) for h in wl.hot_components]
+        assert len(set(hots)) > 1
+
+    def test_no_drift_keeps_hot_set(self, ds):
+        wl = make_query_workload(
+            ds, num_queries=400, batch_size=40, drift=0.0, seed=0
+        )
+        hots = [tuple(sorted(h)) for h in wl.hot_components]
+        assert len(set(hots)) == 1
+
+    def test_jitter_mode_stays_near_seed(self, ds):
+        wl = make_query_workload(
+            ds,
+            num_queries=50,
+            batch_size=25,
+            mode="jitter",
+            noise_scale=0.5,
+            seed=0,
+        )
+        # Every jittered query must have a very close base neighbor.
+        from repro.ann.distance import l2_sq
+
+        d = l2_sq(wl.queries, ds.base).min(axis=1)
+        assert np.median(d) < 100.0
+
+    def test_interpolate_mode_sits_between_points(self, ds):
+        wl = make_query_workload(
+            ds,
+            num_queries=50,
+            batch_size=25,
+            mode="interpolate",
+            noise_scale=0.5,
+            seed=0,
+        )
+        from repro.ann.distance import l2_sq
+
+        d_interp = np.median(l2_sq(wl.queries, ds.base).min(axis=1))
+        wl2 = make_query_workload(
+            ds, num_queries=50, batch_size=25, mode="jitter",
+            noise_scale=0.5, seed=0,
+        )
+        d_jit = np.median(l2_sq(wl2.queries, ds.base).min(axis=1))
+        assert d_interp > d_jit  # interpolation moves off base points

@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro.data import list_presets, load_dataset
+from repro.data.registry import register_preset
+
+
+class TestRegistry:
+    def test_presets_listed(self):
+        names = list_presets()
+        assert "sift-like-20k" in names
+        assert "deep-like-20k" in names
+        assert "sift-like-200k" in names
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown preset"):
+            load_dataset("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_preset("sift-like-20k")
+            def dup(seed=0, num_queries=None):
+                raise AssertionError
+
+    def test_load_small(self, small_ds):
+        assert small_ds.base.shape == (20_000, 128)
+        assert small_ds.base.dtype == np.uint8
+        assert small_ds.num_queries == 150
+        assert small_ds.ground_truth.shape == (150, 10)
+
+    def test_num_queries_override(self):
+        ds = load_dataset("deep-like-20k", seed=0, num_queries=17)
+        assert ds.num_queries == 17
+        assert ds.dim == 96
+
+    def test_deterministic(self):
+        a = load_dataset("deep-like-20k", seed=1, num_queries=5)
+        b = load_dataset("deep-like-20k", seed=1, num_queries=5)
+        np.testing.assert_array_equal(a.base, b.base)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_workload_metadata(self):
+        ds = load_dataset("deep-like-20k", seed=0, num_queries=16)
+        assert sum(ds.metadata["workload_batches"]) == 16

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticSpec,
+    deep_like_spec,
+    make_clustered_dataset,
+    sift_like_spec,
+)
+
+
+class TestSpecValidation:
+    def test_defaults_ok(self):
+        SyntheticSpec(num_vectors=100, dim=16)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(num_vectors=0, dim=16),
+            dict(num_vectors=10, dim=0),
+            dict(num_vectors=10, dim=16, num_components=0),
+            dict(num_vectors=10, dim=16, dtype="int32"),
+            dict(num_vectors=10, dim=16, intrinsic_dim=0),
+            dict(num_vectors=10, dim=16, micro_per_component=0),
+            dict(num_vectors=10, dim=16, micro_spread_ratio=0.0),
+            dict(num_vectors=10, dim=16, size_skew=-1),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            SyntheticSpec(**kw)
+
+    def test_presets(self):
+        assert sift_like_spec(1000).dim == 128
+        assert deep_like_spec(1000).dim == 96
+
+
+class TestGeneration:
+    def test_shapes_and_dtype(self):
+        spec = SyntheticSpec(num_vectors=500, dim=32, num_components=8)
+        ds = make_clustered_dataset(spec, num_queries=20, seed=0)
+        assert ds.base.shape == (500, 32)
+        assert ds.base.dtype == np.uint8
+        assert ds.queries.shape == (20, 32)
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(num_vectors=200, dim=16, num_components=4)
+        a = make_clustered_dataset(spec, seed=5).base
+        b = make_clustered_dataset(spec, seed=5).base
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self):
+        spec = SyntheticSpec(num_vectors=200, dim=16, num_components=4)
+        a = make_clustered_dataset(spec, seed=5).base
+        b = make_clustered_dataset(spec, seed=6).base
+        assert not np.array_equal(a, b)
+
+    def test_value_range_respected(self):
+        spec = SyntheticSpec(
+            num_vectors=300, dim=16, num_components=4, value_range=(10, 100)
+        )
+        ds = make_clustered_dataset(spec, seed=0)
+        assert ds.base.min() >= 10 and ds.base.max() <= 100
+
+    def test_float32_mode(self):
+        spec = SyntheticSpec(num_vectors=100, dim=8, num_components=4, dtype="float32")
+        assert make_clustered_dataset(spec, seed=0).base.dtype == np.float32
+
+    def test_metadata_assignments(self):
+        spec = SyntheticSpec(num_vectors=100, dim=8, num_components=4)
+        ds = make_clustered_dataset(spec, seed=0)
+        assign = ds.metadata["component_assignments"]
+        assert assign.shape == (100,)
+        assert assign.min() >= 0 and assign.max() < 4
+
+    def test_size_skew_creates_imbalance(self):
+        even = SyntheticSpec(num_vectors=5000, dim=8, num_components=16, size_skew=0.0)
+        skew = SyntheticSpec(num_vectors=5000, dim=8, num_components=16, size_skew=1.5)
+        ceven = np.bincount(
+            make_clustered_dataset(even, seed=0).metadata["component_assignments"],
+            minlength=16,
+        )
+        cskew = np.bincount(
+            make_clustered_dataset(skew, seed=0).metadata["component_assignments"],
+            minlength=16,
+        )
+        assert cskew.std() > 2 * ceven.std()
+
+    def test_clusters_are_separable(self):
+        """Points of one component should be nearer their own mates."""
+        spec = SyntheticSpec(num_vectors=1000, dim=32, num_components=4, spread=0.5)
+        ds = make_clustered_dataset(spec, seed=0)
+        assign = ds.metadata["component_assignments"]
+        x = ds.base.astype(np.float64)
+        cents = np.stack([x[assign == c].mean(axis=0) for c in range(4)])
+        d = ((x[:, None, :] - cents[None]) ** 2).sum(-1)
+        nearest = d.argmin(axis=1)
+        assert (nearest == assign).mean() > 0.9
+
+    def test_full_rank_mode(self):
+        spec = SyntheticSpec(
+            num_vectors=100, dim=8, num_components=4, intrinsic_dim=None
+        )
+        ds = make_clustered_dataset(spec, seed=0)
+        assert ds.base.shape == (100, 8)
+
+    def test_query_skew_tilts_distribution(self):
+        spec = SyntheticSpec(num_vectors=100, dim=8, num_components=8)
+        ds = make_clustered_dataset(spec, num_queries=500, query_skew=2.0, seed=0)
+        assert ds.queries is not None

@@ -1,0 +1,86 @@
+"""Documentation consistency: paths named in the docs must exist.
+
+Keeps DESIGN.md's system inventory and per-experiment index, and the
+README's example table, from silently rotting as the code moves.
+"""
+
+import os
+import re
+
+import pytest
+
+ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+
+
+def _read(name: str) -> str:
+    with open(os.path.join(ROOT, name)) as f:
+        return f.read()
+
+
+class TestDesignMd:
+    def test_module_paths_exist(self):
+        text = _read("DESIGN.md")
+        # Paths like `repro/core/layout.py` inside backticks.
+        paths = set(re.findall(r"`(repro/[\w/]+\.py)`", text))
+        assert paths, "DESIGN.md inventory should name module paths"
+        for p in paths:
+            full = os.path.join(ROOT, "src", p)
+            assert os.path.exists(full), f"DESIGN.md names missing module {p}"
+
+    def test_bench_targets_exist(self):
+        text = _read("DESIGN.md")
+        benches = set(re.findall(r"`(benchmarks/[\w]+\.py)`", text))
+        assert benches
+        for b in benches:
+            assert os.path.exists(os.path.join(ROOT, b)), f"missing {b}"
+
+    def test_every_paper_figure_has_a_bench(self):
+        """Figures 2 and 6-13 each map to a bench file."""
+        have = set(os.listdir(os.path.join(ROOT, "benchmarks")))
+        for fig in ("02", "06", "07", "08", "09", "10a", "10b", "11", "12", "13"):
+            assert any(
+                f.startswith(f"bench_fig{fig}") for f in have
+            ), f"no bench for figure {fig}"
+
+
+class TestReadme:
+    def test_example_scripts_exist(self):
+        text = _read("README.md")
+        scripts = set(re.findall(r"`(\w+\.py)`", text))
+        for s in scripts:
+            assert os.path.exists(
+                os.path.join(ROOT, "examples", s)
+            ), f"README names missing example {s}"
+
+    def test_docs_files_exist(self):
+        for doc in (
+            "architecture.md",
+            "performance_model.md",
+            "simulator_fidelity.md",
+            "usage.md",
+            "data_model.md",
+            "api.md",
+        ):
+            assert os.path.exists(os.path.join(ROOT, "docs", doc))
+
+    def test_top_level_files(self):
+        for f in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
+                  "CONTRIBUTING.md", "pyproject.toml"):
+            assert os.path.exists(os.path.join(ROOT, f))
+
+
+class TestExperimentsMd:
+    def test_every_figure_row_present(self):
+        text = _read("EXPERIMENTS.md")
+        for token in (
+            "Fig. 2", "Fig. 6(a)", "Fig. 6(b)", "Fig. 7", "Fig. 8(a)",
+            "Fig. 8(b)", "Fig. 9", "Fig. 10(a)", "Fig. 10(b)",
+            "Fig. 11(a)", "Fig. 11(b)", "Fig. 12(a)", "Fig. 12(b)",
+            "Fig. 13", "GPU comparison",
+        ):
+            assert token in text, f"EXPERIMENTS.md missing {token}"
+
+    def test_deviations_documented(self):
+        text = _read("EXPERIMENTS.md")
+        for d in ("D1", "D2", "D3", "D4", "D5", "D6"):
+            assert f"**{d}" in text

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script imports and exposes main().
+
+Full example executions take minutes; importability catches API drift
+(the errors that actually break examples) at test-suite cost of
+milliseconds. The benchmark suite and docs cover behavior.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_imports_and_has_main(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    spec = importlib.util.spec_from_file_location(f"example_{script[:-3]}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert callable(getattr(mod, "main", None)), f"{script} lacks main()"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 6

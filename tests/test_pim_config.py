@@ -1,0 +1,76 @@
+import pytest
+
+from repro.pim.config import (
+    DpuConfig,
+    PimSystemConfig,
+    TransferConfig,
+    paper_system_config,
+    scaled_system_config,
+)
+
+
+class TestDpuConfig:
+    def test_defaults(self):
+        c = DpuConfig()
+        assert c.frequency_hz == 450e6
+        assert c.wram_bytes == 64 * 1024
+        assert c.mram_bytes == 64 * 1024 * 1024
+
+    def test_effective_ipc_full_pipeline(self):
+        assert DpuConfig(num_tasklets=16, pipeline_depth=11).effective_ipc == 1.0
+
+    def test_effective_ipc_underfilled(self):
+        c = DpuConfig(num_tasklets=4, pipeline_depth=11)
+        assert c.effective_ipc == pytest.approx(4 / 11)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(num_tasklets=0),
+            dict(num_tasklets=25),
+            dict(frequency_hz=0),
+            dict(compute_scale=0),
+            dict(mram_random_derate=0.0),
+            dict(mram_random_derate=1.5),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            DpuConfig(**kw)
+
+
+class TestSystemConfig:
+    def test_paper_config(self):
+        c = paper_system_config()
+        assert c.num_dpus == 2530
+        assert c.num_dimms == 20
+        assert c.combined_mram_bandwidth == pytest.approx(2530 * 1e9)
+
+    def test_scaled_config(self):
+        assert scaled_system_config(64).num_dpus == 64
+
+    def test_dimm_count_ceil(self):
+        assert PimSystemConfig(num_dpus=129).num_dimms == 2
+
+    def test_total_power(self):
+        c = PimSystemConfig(num_dpus=256)
+        assert c.total_power_watts == pytest.approx(2 * 13.92)
+
+    def test_with_compute_scale(self):
+        c = PimSystemConfig(num_dpus=8).with_compute_scale(5.0)
+        assert c.dpu.compute_scale == 5.0
+        assert c.num_dpus == 8
+
+    def test_invalid_num_dpus(self):
+        with pytest.raises(ValueError):
+            PimSystemConfig(num_dpus=0)
+
+    def test_transfer_validation(self):
+        with pytest.raises(ValueError):
+            TransferConfig(host_bandwidth_bytes_per_s=0)
+
+    def test_host_bandwidth_fraction(self):
+        """Paper: host bandwidth is ~0.75% of combined PIM bandwidth."""
+        c = paper_system_config()
+        frac = c.transfer.host_bandwidth_bytes_per_s / c.combined_mram_bandwidth
+        assert 0.005 < frac < 0.01

@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.pim.config import DpuConfig
+from repro.pim.dpu import Dpu, KernelCost
+from repro.pim.isa import InstructionMix
+from repro.pim.memory import MemoryTraffic
+
+
+@pytest.fixture()
+def dpu():
+    return Dpu(0, DpuConfig())
+
+
+class TestComputeCycles:
+    def test_add_costs_one_cycle(self, dpu):
+        assert dpu.compute_cycles(InstructionMix(add=100)) == 100
+
+    def test_mul_costs_32(self, dpu):
+        assert dpu.compute_cycles(InstructionMix(mul=1)) == 32
+
+    def test_underfilled_pipeline_slower(self):
+        full = Dpu(0, DpuConfig(num_tasklets=16))
+        under = Dpu(1, DpuConfig(num_tasklets=4))
+        mix = InstructionMix(add=1000)
+        assert under.compute_cycles(mix) > full.compute_cycles(mix)
+
+    def test_compute_scale_speeds_up(self):
+        base = Dpu(0, DpuConfig())
+        fast = Dpu(1, DpuConfig(compute_scale=2.0))
+        mix = InstructionMix(add=1000, mul=10)
+        assert fast.compute_cycles(mix) == base.compute_cycles(mix) / 2
+
+
+class TestMramCycles:
+    def test_sequential_bandwidth(self, dpu):
+        cfg = dpu.config
+        t = MemoryTraffic(sequential_read=cfg.mram_bandwidth_bytes_per_s / cfg.frequency_hz * 100)
+        assert dpu.mram_cycles(t) == pytest.approx(100)
+
+    def test_random_is_derated(self, dpu):
+        seq = MemoryTraffic(sequential_read=1e6)
+        rand = MemoryTraffic(random_read=1e6)
+        assert dpu.mram_cycles(rand) > dpu.mram_cycles(seq)
+
+    def test_transaction_setup_charged(self, dpu):
+        t = MemoryTraffic(transactions=10)
+        assert dpu.mram_cycles(t) == 10 * dpu.config.mram_dma_setup_cycles
+
+
+class TestCharge:
+    def test_max_of_compute_and_memory(self, dpu):
+        compute_heavy = KernelCost(
+            kernel="DC", instructions=InstructionMix(add=1_000_000)
+        )
+        cycles = dpu.charge(compute_heavy)
+        assert cycles == pytest.approx(1_000_000)
+
+    def test_memory_bound_kernel(self, dpu):
+        mem_heavy = KernelCost(
+            kernel="DC",
+            instructions=InstructionMix(add=10),
+            traffic=MemoryTraffic(sequential_read=1e9),
+        )
+        cycles = dpu.charge(mem_heavy)
+        assert cycles == pytest.approx(dpu.mram_cycles(mem_heavy.traffic))
+
+    def test_ledger_accumulates_per_kernel(self, dpu):
+        dpu.charge(KernelCost(kernel="LC", instructions=InstructionMix(add=100)))
+        dpu.charge(KernelCost(kernel="LC", instructions=InstructionMix(add=50)))
+        dpu.charge(KernelCost(kernel="DC", instructions=InstructionMix(add=25)))
+        assert dpu.cycles_by_kernel["LC"] == 150
+        assert dpu.cycles_by_kernel["DC"] == 25
+        assert dpu.total_cycles == 175
+
+    def test_total_seconds(self, dpu):
+        dpu.charge(KernelCost(kernel="X", instructions=InstructionMix(add=450)))
+        assert dpu.total_seconds == pytest.approx(1e-6)
+
+    def test_reset_keeps_memory(self, dpu):
+        dpu.mram.store("a", np.zeros(10, dtype=np.uint8))
+        dpu.charge(KernelCost(kernel="X", instructions=InstructionMix(add=1)))
+        dpu.reset_ledger()
+        assert dpu.total_cycles == 0
+        assert "a" in dpu.mram
+
+
+class TestKernelCost:
+    def test_merge(self):
+        a = KernelCost(kernel="LC", instructions=InstructionMix(add=1))
+        b = KernelCost(kernel="LC", instructions=InstructionMix(add=2))
+        assert a.merged_with(b).instructions.add == 3
+
+    def test_merge_different_kernels_rejected(self):
+        a = KernelCost(kernel="LC")
+        b = KernelCost(kernel="DC")
+        with pytest.raises(ValueError):
+            a.merged_with(b)

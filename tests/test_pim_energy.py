@@ -1,0 +1,80 @@
+import pytest
+
+from repro.pim.config import PimSystemConfig, paper_system_config
+from repro.pim.energy import EnergyModel, EnergyReport
+
+
+class TestEnergyModel:
+    def test_cpu_power(self):
+        m = EnergyModel()
+        assert m.cpu_power() == pytest.approx(2 * 125 + 35)
+
+    def test_pim_power_scales_with_dimms(self):
+        m = EnergyModel()
+        small = m.pim_power(PimSystemConfig(num_dpus=128))
+        big = m.pim_power(PimSystemConfig(num_dpus=2560))
+        assert big > small
+
+    def test_paper_server_power(self):
+        """Paper: per-DIMM 13.92 W, 20 DIMMs -> ~278 W of DIMM power."""
+        m = EnergyModel()
+        cfg = paper_system_config()
+        dimm_power = cfg.total_power_watts
+        assert dimm_power == pytest.approx(20 * 13.92)
+        assert m.pim_power(cfg) > dimm_power
+
+    def test_energy_reports(self):
+        m = EnergyModel()
+        r = m.cpu_run(2.0)
+        assert r.joules == pytest.approx(2.0 * m.cpu_power())
+        assert r.label == "cpu"
+
+    def test_queries_per_joule(self):
+        r = EnergyReport(seconds=1.0, watts=100.0, label="x")
+        assert r.queries_per_joule(1000) == pytest.approx(10.0)
+
+    def test_queries_per_joule_zero_energy(self):
+        with pytest.raises(ValueError):
+            EnergyReport(seconds=0.0, watts=10.0, label="x").queries_per_joule(1)
+
+    def test_pim_run_label(self):
+        m = EnergyModel()
+        r = m.pim_run(1.0, PimSystemConfig(num_dpus=64))
+        assert r.label == "pim"
+
+
+class TestMramGating:
+    """Paper §V-B future work: gate unused MRAM arrays."""
+
+    def test_gating_reduces_power_at_low_utilization(self):
+        cfg = PimSystemConfig(num_dpus=256)
+        base = EnergyModel().pim_power(cfg)
+        gated = EnergyModel(mram_gating=True).pim_power(cfg, mram_utilization=0.1)
+        assert gated < base
+
+    def test_full_utilization_matches_ungated(self):
+        cfg = PimSystemConfig(num_dpus=256)
+        base = EnergyModel().pim_power(cfg)
+        gated = EnergyModel(mram_gating=True).pim_power(cfg, mram_utilization=1.0)
+        assert gated == pytest.approx(base)
+
+    def test_gating_monotone_in_utilization(self):
+        cfg = PimSystemConfig(num_dpus=64)
+        m = EnergyModel(mram_gating=True)
+        powers = [m.pim_power(cfg, u) for u in (0.0, 0.3, 0.7, 1.0)]
+        assert powers == sorted(powers)
+
+    def test_gating_requires_utilization(self):
+        m = EnergyModel(mram_gating=True)
+        with pytest.raises(ValueError, match="utilization"):
+            m.pim_power(PimSystemConfig(num_dpus=8))
+
+    def test_utilization_bounds(self):
+        m = EnergyModel(mram_gating=True)
+        with pytest.raises(ValueError):
+            m.pim_power(PimSystemConfig(num_dpus=8), mram_utilization=1.5)
+
+    def test_ungated_ignores_utilization(self):
+        cfg = PimSystemConfig(num_dpus=8)
+        m = EnergyModel()
+        assert m.pim_power(cfg, 0.1) == m.pim_power(cfg, None)

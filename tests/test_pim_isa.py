@@ -1,0 +1,40 @@
+import pytest
+
+from repro.pim.isa import InstructionMix, IsaCostModel
+
+
+class TestInstructionMix:
+    def test_add(self):
+        a = InstructionMix(add=3, mul=1)
+        b = InstructionMix(add=2, load=4)
+        c = a + b
+        assert c.add == 5 and c.mul == 1 and c.load == 4
+
+    def test_scaled(self):
+        m = InstructionMix(add=2, compare=3).scaled(2.5)
+        assert m.add == 5.0 and m.compare == 7.5
+
+    def test_total(self):
+        assert InstructionMix(add=1, mul=2, load=3).total() == 6
+
+
+class TestIsaCostModel:
+    def test_mul_is_32x_add(self):
+        """The paper's headline ISA fact."""
+        isa = IsaCostModel()
+        only_add = IsaCostModel().issue_slots(InstructionMix(add=1))
+        only_mul = isa.issue_slots(InstructionMix(mul=1))
+        assert only_mul == 32 * only_add
+
+    def test_issue_slots_linear(self):
+        isa = IsaCostModel()
+        m = InstructionMix(add=10, mul=2, load=5, store=3, compare=4, control=1)
+        expect = 10 + 2 * 32 + 5 + 3 + 4 + 1
+        assert isa.issue_slots(m) == expect
+
+    def test_uniform_isa_for_cpu(self):
+        isa = IsaCostModel(mul_cost=1.0)
+        assert isa.issue_slots(InstructionMix(mul=7)) == 7
+
+    def test_div_cost(self):
+        assert IsaCostModel().issue_slots(InstructionMix(div=1)) == 64

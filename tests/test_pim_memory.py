@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.pim.memory import CapacityError, MemoryTraffic, Mram, Wram
+
+
+class TestBudgetedStore:
+    def test_store_and_load(self):
+        m = Mram(1024)
+        arr = np.arange(10, dtype=np.int64)
+        m.store("a", arr)
+        np.testing.assert_array_equal(m.load("a"), arr)
+        assert m.used_bytes == 80
+
+    def test_capacity_enforced(self):
+        m = Wram(64)
+        with pytest.raises(CapacityError, match="WRAM"):
+            m.store("big", np.zeros(100, dtype=np.uint8))
+
+    def test_replace_adjusts_usage(self):
+        m = Mram(1024)
+        m.store("a", np.zeros(64, dtype=np.uint8))
+        m.store("a", np.zeros(32, dtype=np.uint8))
+        assert m.used_bytes == 32
+
+    def test_replace_respects_budget(self):
+        m = Wram(64)
+        m.store("a", np.zeros(60, dtype=np.uint8))
+        with pytest.raises(CapacityError):
+            m.store("a", np.zeros(65, dtype=np.uint8))
+
+    def test_delete_frees(self):
+        m = Mram(1024)
+        m.store("a", np.zeros(100, dtype=np.uint8))
+        m.delete("a")
+        assert m.used_bytes == 0
+        assert "a" not in m
+
+    def test_missing_key(self):
+        m = Mram(64)
+        with pytest.raises(KeyError):
+            m.load("nope")
+        with pytest.raises(KeyError):
+            m.delete("nope")
+
+    def test_clear(self):
+        m = Mram(1024)
+        m.store("a", np.zeros(10, dtype=np.uint8))
+        m.clear()
+        assert m.used_bytes == 0
+
+    def test_default_capacities(self):
+        assert Mram().capacity_bytes == 64 * 1024 * 1024
+        assert Wram().capacity_bytes == 64 * 1024
+
+    def test_free_bytes(self):
+        m = Wram(100)
+        m.store("a", np.zeros(30, dtype=np.uint8))
+        assert m.free_bytes == 70
+
+
+class TestMemoryTraffic:
+    def test_add(self):
+        a = MemoryTraffic(sequential_read=10, random_read=5, transactions=1)
+        b = MemoryTraffic(sequential_read=2, sequential_write=3, transactions=2)
+        c = a + b
+        assert c.sequential_read == 12
+        assert c.sequential_write == 3
+        assert c.random_read == 5
+        assert c.transactions == 3
+
+    def test_total_bytes(self):
+        t = MemoryTraffic(
+            sequential_read=1, sequential_write=2, random_read=3, random_write=4
+        )
+        assert t.total_bytes() == 10

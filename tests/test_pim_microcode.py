@@ -1,0 +1,114 @@
+"""Cross-validation: the kernels' analytic instruction mixes must match
+what an instruction-by-instruction execution of the same inner loops
+actually performs."""
+
+import numpy as np
+import pytest
+
+from repro.core.square_lut import SquareLut
+from repro.pim.kernels import run_distance_scan, run_lut_build, run_residual
+from repro.pim.microcode import (
+    MicroMachine,
+    run_dc_micro,
+    run_lc_micro,
+    run_rc_micro,
+)
+
+
+@pytest.fixture()
+def shapes(rng):
+    d, m, cb, dsub, n = 16, 4, 8, 4, 12
+    query = rng.integers(0, 255, size=d).astype(np.uint8)
+    centroid = rng.integers(0, 255, size=d).astype(np.uint8)
+    books = rng.integers(-100, 100, size=(m, cb, dsub)).astype(np.int16)
+    codes = rng.integers(0, cb, size=(n, m)).astype(np.uint8)
+    return query, centroid, books, codes
+
+
+class TestRcValidation:
+    def test_results_match(self, shapes):
+        query, centroid, *_ = shapes
+        mm = MicroMachine()
+        micro = run_rc_micro(mm, query.astype(np.int64), centroid.astype(np.int64))
+        vec, _ = run_residual(query[None], centroid)
+        np.testing.assert_array_equal(micro, vec[0].astype(np.int64))
+
+    def test_counts_match_kernel_mix(self, shapes):
+        query, centroid, *_ = shapes
+        mm = MicroMachine()
+        run_rc_micro(mm, query.astype(np.int64), centroid.astype(np.int64))
+        _, cost = run_residual(query[None], centroid)
+        assert mm.counts.add == cost.instructions.add
+        assert mm.counts.load == cost.instructions.load
+        assert mm.counts.store == cost.instructions.store
+
+
+class TestLcValidation:
+    @pytest.mark.parametrize("use_lut", [False, True])
+    def test_results_match(self, shapes, use_lut):
+        query, centroid, books, _ = shapes
+        residual = query.astype(np.int32) - centroid.astype(np.int32)
+        sq = SquareLut.for_bit_width(8, levels=3) if use_lut else None
+        mm = MicroMachine()
+        micro = run_lc_micro(mm, residual.astype(np.int64), books, sq)
+        vec, _ = run_lut_build(residual[None], books, sq)
+        np.testing.assert_array_equal(micro, vec[0])
+
+    @pytest.mark.parametrize("use_lut", [False, True])
+    def test_counts_match_kernel_mix(self, shapes, use_lut):
+        query, centroid, books, _ = shapes
+        residual = (query.astype(np.int32) - centroid.astype(np.int32))
+        sq = SquareLut.for_bit_width(8, levels=3) if use_lut else None
+        mm = MicroMachine()
+        run_lc_micro(mm, residual.astype(np.int64), books, sq)
+        _, cost = run_lut_build(residual[None], books, sq)
+        mix = cost.instructions
+        assert mm.counts.add == mix.add
+        assert mm.counts.mul == mix.mul
+        assert mm.counts.load == mix.load
+        assert mm.counts.store == mix.store
+        assert mm.counts.control == mix.control
+
+
+class TestDcValidation:
+    def test_results_match(self, shapes):
+        query, centroid, books, codes = shapes
+        residual = query.astype(np.int32) - centroid.astype(np.int32)
+        luts, _ = run_lut_build(residual[None], books)
+        mm = MicroMachine()
+        micro = run_dc_micro(mm, luts[0], codes)
+        vec, _ = run_distance_scan(luts, codes)
+        np.testing.assert_array_equal(micro, vec[0])
+
+    def test_counts_match_kernel_mix(self, shapes):
+        query, centroid, books, codes = shapes
+        residual = query.astype(np.int32) - centroid.astype(np.int32)
+        luts, _ = run_lut_build(residual[None], books)
+        mm = MicroMachine()
+        run_dc_micro(mm, luts[0], codes)
+        _, cost = run_distance_scan(luts, codes)
+        mix = cost.instructions
+        assert mm.counts.add == mix.add
+        assert mm.counts.load == mix.load
+        assert mm.counts.control == mix.control
+
+
+class TestMachine:
+    def test_counters_start_zero(self):
+        mm = MicroMachine()
+        assert mm.counts.total() == 0
+
+    def test_each_op_counts_once(self):
+        mm = MicroMachine()
+        arr = np.zeros(4, dtype=np.int64)
+        mm.add(1, 2)
+        mm.sub(3, 1)
+        mm.mul(2, 2)
+        mm.compare(1, 2)
+        mm.load(arr, 0)
+        mm.store(arr, 0, 7)
+        mm.control(2)
+        c = mm.counts
+        assert (c.add, c.mul, c.compare, c.load, c.store, c.control) == (
+            2, 1, 1, 1, 1, 2,
+        )

@@ -1,0 +1,145 @@
+import numpy as np
+import pytest
+
+from repro.core.square_lut import SquareLut
+from repro.pim import PimSystem, PimSystemConfig
+from repro.pim.memory import CapacityError
+from repro.pim.system import ShardData
+
+
+@pytest.fixture()
+def sys4(rng):
+    cfg = PimSystemConfig(num_dpus=4)
+    s = PimSystem(cfg)
+    books = rng.integers(-100, 100, size=(8, 16, 4)).astype(np.int16)
+    s.load_codebooks(books)
+    s.load_square_lut(SquareLut.for_bit_width(8, levels=3))
+    for i in range(4):
+        s.place_shard(
+            i,
+            ShardData(
+                shard_key=f"s{i}",
+                centroid=rng.integers(0, 255, size=32).astype(np.uint8),
+                ids=np.arange(i * 20, i * 20 + 20, dtype=np.int64),
+                codes=rng.integers(0, 16, size=(20, 8)).astype(np.uint8),
+            ),
+        )
+    return s
+
+
+class TestPlacement:
+    def test_shard_location(self, sys4):
+        assert sys4.shard_location("s2") == 2
+        assert sys4.num_shards() == 4
+
+    def test_duplicate_key_rejected(self, sys4, rng):
+        with pytest.raises(ValueError, match="already placed"):
+            sys4.place_shard(
+                0,
+                ShardData(
+                    shard_key="s0",
+                    centroid=np.zeros(32, dtype=np.uint8),
+                    ids=np.zeros(1, dtype=np.int64),
+                    codes=np.zeros((1, 8), dtype=np.uint8),
+                ),
+            )
+
+    def test_bad_dpu_id(self, sys4):
+        with pytest.raises(ValueError, match="out of range"):
+            sys4.place_shard(
+                9,
+                ShardData(
+                    shard_key="x",
+                    centroid=np.zeros(32, dtype=np.uint8),
+                    ids=np.zeros(1, dtype=np.int64),
+                    codes=np.zeros((1, 8), dtype=np.uint8),
+                ),
+            )
+
+    def test_mram_capacity_enforced(self):
+        from repro.pim.config import DpuConfig
+
+        cfg = PimSystemConfig(num_dpus=1, dpu=DpuConfig(mram_bytes=1024))
+        s = PimSystem(cfg)
+        with pytest.raises(CapacityError):
+            s.place_shard(
+                0,
+                ShardData(
+                    shard_key="big",
+                    centroid=np.zeros(32, dtype=np.uint8),
+                    ids=np.zeros(100, dtype=np.int64),
+                    codes=np.zeros((100, 8), dtype=np.uint8),
+                ),
+            )
+
+    def test_mram_usage_reported(self, sys4):
+        usage = sys4.mram_usage()
+        assert usage.shape == (4,)
+        assert (usage > 0).all()
+
+
+class TestRunBatch:
+    def test_results_match_manual_math(self, sys4, rng):
+        queries = rng.integers(0, 255, size=(2, 32)).astype(np.uint8)
+        partials, timing = sys4.run_batch(
+            {0: [(0, "s0")], 1: [(1, "s1")]}, queries, k=5
+        )
+        assert len(partials) == 2
+        books = sys4.codebooks.astype(np.int64)
+        for p in partials:
+            skey = "s0" if p.query_index == 0 else "s1"
+            shard = sys4.get_shard(skey)
+            r = queries[p.query_index].astype(np.int64) - shard.centroid.astype(np.int64)
+            lut = ((r.reshape(8, 1, 4) - books) ** 2).sum(-1)
+            d = lut[np.arange(8)[None, :], shard.codes.astype(int)].sum(1)
+            want = np.sort(d)[:5]
+            np.testing.assert_array_equal(np.sort(p.distances), want)
+
+    def test_requires_codebooks(self, rng):
+        s = PimSystem(PimSystemConfig(num_dpus=1))
+        with pytest.raises(RuntimeError, match="codebooks"):
+            s.run_batch({}, np.zeros((1, 8), dtype=np.uint8), k=1)
+
+    def test_requires_square_lut_when_multiplier_less(self, rng):
+        s = PimSystem(PimSystemConfig(num_dpus=1))
+        s.load_codebooks(rng.integers(-5, 5, size=(2, 4, 4)).astype(np.int16))
+        with pytest.raises(RuntimeError, match="square LUT"):
+            s.run_batch({}, np.zeros((1, 8), dtype=np.uint8), k=1)
+
+    def test_wrong_dpu_task_rejected(self, sys4, rng):
+        queries = rng.integers(0, 255, size=(1, 32)).astype(np.uint8)
+        with pytest.raises(ValueError, match="assigned to DPU"):
+            sys4.run_batch({0: [(0, "s1")]}, queries, k=3)
+
+    def test_timing_max_semantics(self, sys4, rng):
+        """Batch time equals the busiest DPU's cycles / frequency."""
+        queries = rng.integers(0, 255, size=(4, 32)).astype(np.uint8)
+        assignments = {0: [(0, "s0"), (1, "s0"), (2, "s0"), (3, "s0")]}
+        _, timing = sys4.run_batch(assignments, queries, k=3)
+        freq = sys4.config.dpu.frequency_hz
+        assert timing.pim_seconds == pytest.approx(
+            timing.per_dpu_cycles.max() / freq
+        )
+        # only DPU 0 worked
+        assert timing.per_dpu_cycles[1:].sum() == 0
+        assert timing.busy_fraction < 0.5
+
+    def test_kernel_cycles_recorded(self, sys4, rng):
+        queries = rng.integers(0, 255, size=(1, 32)).astype(np.uint8)
+        _, timing = sys4.run_batch({0: [(0, "s0")]}, queries, k=3)
+        assert set(timing.kernel_cycles) >= {"RC", "LC", "DC", "TS"}
+        assert all(v >= 0 for v in timing.kernel_cycles.values())
+
+    def test_multiplier_toggle_changes_time(self, sys4, rng):
+        queries = rng.integers(0, 255, size=(2, 32)).astype(np.uint8)
+        assignments = {0: [(0, "s0"), (1, "s0")]}
+        _, t_ml = sys4.run_batch(assignments, queries, k=3, multiplier_less=True)
+        sys4.reset_ledgers()
+        _, t_mul = sys4.run_batch(assignments, queries, k=3, multiplier_less=False)
+        assert t_mul.kernel_cycles["LC"] > t_ml.kernel_cycles["LC"]
+
+    def test_reset_ledgers(self, sys4, rng):
+        queries = rng.integers(0, 255, size=(1, 32)).astype(np.uint8)
+        sys4.run_batch({0: [(0, "s0")]}, queries, k=3)
+        sys4.reset_ledgers()
+        assert all(d.total_cycles == 0 for d in sys4.dpus)

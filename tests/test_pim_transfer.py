@@ -1,0 +1,80 @@
+import pytest
+
+from repro.pim.config import TransferConfig
+from repro.pim.transfer import HostTransferModel
+
+
+@pytest.fixture()
+def xfer():
+    return HostTransferModel(TransferConfig(host_bandwidth_bytes_per_s=1e9, launch_latency_s=1e-5))
+
+
+class TestPricing:
+    def test_scatter_time(self, xfer):
+        t = xfer.scatter("x", 1e9)
+        assert t == pytest.approx(1.0 + 1e-5)
+
+    def test_broadcast_charged_once(self, xfer):
+        t = xfer.broadcast("lut", 1000, num_dpus=64)
+        assert t == pytest.approx(1000 / 1e9 + 1e-5)
+
+    def test_gather(self, xfer):
+        t = xfer.gather("results", 2e9)
+        assert t == pytest.approx(2.0 + 1e-5)
+
+    def test_launch_latency_floor(self, xfer):
+        assert xfer.scatter("tiny", 0) == pytest.approx(1e-5)
+
+    def test_negative_rejected(self, xfer):
+        with pytest.raises(ValueError):
+            xfer.scatter("bad", -1)
+
+
+class TestChannels:
+    def test_scatter_scales_with_channels(self):
+        one = HostTransferModel(
+            TransferConfig(host_bandwidth_bytes_per_s=1e9, num_channels=1, launch_latency_s=0.0)
+        )
+        four = HostTransferModel(
+            TransferConfig(host_bandwidth_bytes_per_s=1e9, num_channels=4, launch_latency_s=0.0)
+        )
+        assert four.scatter("x", 4e9) == pytest.approx(one.scatter("x", 4e9) / 4)
+
+    def test_broadcast_bounded_by_one_channel(self):
+        four = HostTransferModel(
+            TransferConfig(host_bandwidth_bytes_per_s=1e9, num_channels=4, launch_latency_s=0.0)
+        )
+        assert four.broadcast("lut", 1e9, num_dpus=8) == pytest.approx(1.0)
+
+    def test_gather_channel_parallel(self):
+        four = HostTransferModel(
+            TransferConfig(host_bandwidth_bytes_per_s=1e9, num_channels=4, launch_latency_s=0.0)
+        )
+        assert four.gather("r", 4e9) == pytest.approx(1.0)
+
+    def test_channel_validation(self):
+        with pytest.raises(ValueError):
+            TransferConfig(num_channels=0)
+
+    def test_aggregate_bandwidth(self):
+        cfg = TransferConfig(host_bandwidth_bytes_per_s=2e9, num_channels=3)
+        assert cfg.aggregate_bandwidth == pytest.approx(6e9)
+
+
+class TestLog:
+    def test_events_logged(self, xfer):
+        xfer.scatter("a", 100)
+        xfer.gather("b", 200)
+        assert len(xfer.events) == 2
+        assert xfer.events[0].kind == "scatter"
+        assert xfer.total_bytes == 300
+
+    def test_total_seconds(self, xfer):
+        xfer.scatter("a", 1e9)
+        xfer.scatter("b", 1e9)
+        assert xfer.total_seconds == pytest.approx(2.0 + 2e-5)
+
+    def test_reset(self, xfer):
+        xfer.scatter("a", 100)
+        xfer.reset()
+        assert xfer.events == [] and xfer.total_seconds == 0

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ann.distance import adc_lookup_distances, l2_sq
+from repro.ann.heap import BoundedMaxHeap, topk_smallest
+from repro.core.square_lut import SquareLut
+from repro.pim.isa import InstructionMix, IsaCostModel
+from repro.tuning.space import DiscreteSpace
+
+SMALL_FLOATS = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+class TestDistanceProperties:
+    @given(
+        hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8), elements=SMALL_FLOATS)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_self_distance_zero(self, x):
+        d = l2_sq(x, x)
+        assert np.all(np.diag(d) <= 1e-6 * (1 + np.abs(d).max()))
+
+    @given(
+        st.integers(1, 6), st.integers(1, 6), st.integers(1, 6),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, nq, nx, d, rnd):
+        rng = np.random.default_rng(rnd.randint(0, 2**31))
+        a = rng.normal(size=(nq, d))
+        b = rng.normal(size=(nx, d))
+        np.testing.assert_allclose(l2_sq(a, b), l2_sq(b, a).T, atol=1e-8)
+
+    @given(st.integers(1, 5), st.integers(1, 16), st.integers(2, 8), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_adc_nonnegative_for_squared_luts(self, m, n, cb, rnd):
+        rng = np.random.default_rng(rnd.randint(0, 2**31))
+        lut = rng.normal(size=(m, cb)) ** 2
+        codes = rng.integers(0, cb, size=(n, m))
+        assert (adc_lookup_distances(lut, codes) >= 0).all()
+
+
+class TestHeapProperties:
+    @given(
+        st.lists(SMALL_FLOATS, min_size=1, max_size=200),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_heap_equals_sort(self, values, k):
+        h = BoundedMaxHeap(k)
+        for i, v in enumerate(values):
+            h.push(float(v), i)
+        _, dists = h.result()
+        want = np.sort(np.asarray(values))[: min(k, len(values))]
+        np.testing.assert_allclose(dists, want)
+
+    @given(
+        st.lists(SMALL_FLOATS, min_size=1, max_size=100),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topk_smallest_equals_sort(self, values, k):
+        v = np.asarray(values)
+        _, vals = topk_smallest(v, k)
+        np.testing.assert_allclose(vals, np.sort(v)[: min(k, len(v))])
+
+    @given(st.lists(SMALL_FLOATS, min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_heap_result_sorted(self, values):
+        h = BoundedMaxHeap(7)
+        for i, v in enumerate(values):
+            h.push(float(v), i)
+        _, dists = h.result()
+        assert (np.diff(dists) >= 0).all()
+
+
+class TestSquareLutProperties:
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.integers(1, 64).map(lambda n: (n,)),
+            elements=st.integers(-765, 765),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lossless(self, v):
+        lut = SquareLut.for_bit_width(8, levels=3)
+        sq, _ = lut.square(v)
+        np.testing.assert_array_equal(sq, v**2)
+
+    @given(
+        hnp.arrays(
+            np.int64, st.integers(1, 64).map(lambda n: (n,)),
+            elements=st.integers(-765, 765),
+        ),
+        st.integers(0, 765),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partial_miss_count(self, v, window):
+        lut = SquareLut.for_bit_width(8, levels=3).partial(window)
+        sq, misses = lut.square(v)
+        np.testing.assert_array_equal(sq, v**2)  # still exact
+        assert misses == int(np.count_nonzero(np.abs(v) > window))
+
+
+class TestIsaProperties:
+    mixes = st.builds(
+        InstructionMix,
+        add=st.floats(0, 1e6),
+        mul=st.floats(0, 1e6),
+        load=st.floats(0, 1e6),
+        store=st.floats(0, 1e6),
+        compare=st.floats(0, 1e6),
+        control=st.floats(0, 1e6),
+    )
+
+    @given(mixes, mixes)
+    @settings(max_examples=40, deadline=None)
+    def test_issue_slots_additive(self, a, b):
+        isa = IsaCostModel()
+        assert isa.issue_slots(a + b) == pytest.approx(
+            isa.issue_slots(a) + isa.issue_slots(b)
+        )
+
+    @given(mixes, st.floats(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_issue_slots_homogeneous(self, m, f):
+        isa = IsaCostModel()
+        assert isa.issue_slots(m.scaled(f)) == pytest.approx(
+            isa.issue_slots(m) * f, rel=1e-9, abs=1e-6
+        )
+
+
+class TestSpaceProperties:
+    @given(
+        st.dictionaries(
+            st.text(st.characters(categories=("Ll",)), min_size=1, max_size=4),
+            st.lists(st.integers(0, 100), min_size=1, max_size=5, unique=True),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_encode_in_unit_cube(self, spec):
+        space = DiscreteSpace.from_dict(spec)
+        for p in space.points():
+            x = space.encode(p)
+            assert ((x >= 0) & (x <= 1)).all()
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=2, max_size=8, unique=True)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_encoding_order_preserving(self, values):
+        space = DiscreteSpace.from_dict({"v": values})
+        svals = sorted(values)
+        codes = [space.encode({"v": v})[0] for v in svals]
+        assert codes == sorted(codes)

@@ -1,0 +1,98 @@
+"""Property-based sanity of the analytic performance model.
+
+Monotonicity laws the model must satisfy regardless of parameters:
+more work (higher nprobe, bigger corpus) can never be faster; more
+hardware (more units, more bandwidth) can never be slower.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import DatasetShape, IndexParams
+from repro.core.perf_model import PHASES, AnalyticPerfModel, HardwareProfile
+from repro.pim.config import PimSystemConfig
+
+shape_strategy = st.builds(
+    DatasetShape,
+    num_points=st.integers(10_000, 10_000_000),
+    dim=st.sampled_from([64, 128, 256]),
+    num_queries=st.integers(10, 10_000),
+)
+
+params_strategy = st.builds(
+    lambda nlist_log, nprobe_log, k, m_log, cb_log: IndexParams(
+        nlist=2**nlist_log,
+        nprobe=min(2**nprobe_log, 2**nlist_log),
+        k=k,
+        num_subspaces=2**m_log,
+        codebook_size=2**cb_log,
+    ),
+    nlist_log=st.integers(4, 14),
+    nprobe_log=st.integers(0, 7),
+    k=st.sampled_from([1, 10, 100]),
+    m_log=st.integers(2, 5),
+    cb_log=st.integers(4, 8),
+)
+
+
+def _model(shape, num_dpus=64, **kw):
+    return AnalyticPerfModel(
+        shape, HardwareProfile.for_pim(PimSystemConfig(num_dpus=num_dpus)), **kw
+    )
+
+
+class TestMonotonicity:
+    @given(shape=shape_strategy, params=params_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_all_phases_positive(self, shape, params):
+        m = _model(shape)
+        for ph in PHASES:
+            est = m.phase(params, ph)
+            assert est.seconds > 0
+            # TS compute is 0 at k=1 (Eq. 9's logK-1 factor); every
+            # other phase must do work.
+            if ph == "TS" and params.k == 1:
+                assert est.issue_slots >= 0
+            else:
+                assert est.issue_slots > 0
+
+    @given(shape=shape_strategy, params=params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_more_nprobe_never_faster(self, shape, params):
+        if params.nprobe * 2 > params.nlist:
+            return
+        m = _model(shape)
+        t1 = m.total_seconds(params)
+        t2 = m.total_seconds(params.replace(nprobe=params.nprobe * 2))
+        assert t2 >= t1 * 0.999
+
+    @given(shape=shape_strategy, params=params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_more_dpus_never_slower(self, shape, params):
+        t64 = _model(shape, num_dpus=64).total_seconds(params)
+        t256 = _model(shape, num_dpus=256).total_seconds(params)
+        assert t256 <= t64 * 1.001
+
+    @given(shape=shape_strategy, params=params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplier_less_never_slower_on_pim(self, shape, params):
+        with_mul = _model(shape, multiplier_less=False).phase(params, "LC")
+        without = _model(shape, multiplier_less=True).phase(params, "LC")
+        assert without.seconds <= with_mul.seconds * 1.001
+
+    @given(shape=shape_strategy, params=params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_split_never_exceeds_total(self, shape, params):
+        m = _model(shape)
+        assert m.split_seconds(params) <= m.total_seconds(params) * 1.5 + 1.0
+        # with no host phases, split == pim-side sum
+        assert m.split_seconds(params, host_phases=()) == pytest.approx(
+            m.total_seconds(params)
+        )
+
+    @given(shape=shape_strategy, params=params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_paper_io_mode_never_faster(self, shape, params):
+        split = _model(shape, io_mode="split").total_seconds(params)
+        paper = _model(shape, io_mode="paper").total_seconds(params)
+        assert paper >= split * 0.999

@@ -1,0 +1,70 @@
+"""Property-based tests on the serving simulator's queueing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.serving import BatchingPolicy, PoissonArrivals, simulate_serving
+
+
+@pytest.fixture(scope="module")
+def engine_and_queries(small_engine, small_ds):
+    return small_engine, small_ds.queries
+
+
+arrival_strategy = st.fixed_dictionaries(
+    {
+        "rate": st.floats(100.0, 1e6),
+        "n": st.integers(1, 60),
+        "batch_size": st.integers(1, 64),
+        "max_wait_ms": st.floats(0.0, 10.0),
+        "seed": st.integers(0, 1000),
+    }
+)
+
+
+class TestServingInvariants:
+    @given(cfg=arrival_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_queueing_invariants(self, engine_and_queries, cfg):
+        engine, queries = engine_and_queries
+        n = cfg["n"]
+        arrivals = PoissonArrivals(cfg["rate"]).sample(n, seed=cfg["seed"])
+        report = simulate_serving(
+            engine,
+            queries[:n],
+            arrivals,
+            BatchingPolicy(
+                batch_size=cfg["batch_size"],
+                max_wait_s=cfg["max_wait_ms"] * 1e-3,
+            ),
+        )
+        # Conservation: every query served exactly once.
+        assert report.num_queries == n
+        assert sum(report.batch_sizes) == n
+        # Causality: completion after arrival.
+        assert (report.latencies_s > 0).all()
+        # Batch-size cap respected.
+        assert max(report.batch_sizes) <= cfg["batch_size"]
+        # Utilization is a fraction.
+        assert 0.0 <= report.utilization <= 1.0
+
+    @given(
+        rate=st.floats(1000.0, 1e5),
+        n=st.integers(2, 40),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_fifo_completion_order(self, engine_and_queries, rate, n, seed):
+        """Batches execute in order: completion times are non-decreasing
+        in arrival order (single-tenant host-synchronous PIM)."""
+        engine, queries = engine_and_queries
+        arrivals = PoissonArrivals(rate).sample(n, seed=seed)
+        report = simulate_serving(
+            engine,
+            queries[:n],
+            arrivals,
+            BatchingPolicy(batch_size=8, max_wait_s=1e-3),
+        )
+        completions = arrivals + report.latencies_s
+        assert (np.diff(completions) >= -1e-12).all()

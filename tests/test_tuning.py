@@ -1,0 +1,179 @@
+import numpy as np
+import pytest
+
+from repro.tuning import (
+    ConstrainedBayesOpt,
+    DiscreteSpace,
+    GaussianProcess,
+    rbf_kernel,
+)
+from repro.tuning.gp import median_heuristic
+
+
+class TestRbfKernel:
+    def test_unit_diagonal(self, rng):
+        x = rng.normal(size=(5, 3))
+        k = rbf_kernel(x, x, lengthscale=1.0)
+        np.testing.assert_allclose(np.diag(k), 1.0)
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=(5, 3))
+        k = rbf_kernel(x, x, lengthscale=0.7)
+        np.testing.assert_allclose(k, k.T)
+
+    def test_decay_with_distance(self):
+        a = np.array([[0.0]])
+        b = np.array([[0.1], [3.0]])
+        k = rbf_kernel(a, b, lengthscale=1.0)
+        assert k[0, 0] > k[0, 1]
+
+    def test_invalid_lengthscale(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 1)), np.zeros((1, 1)), lengthscale=0)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self, rng):
+        x = rng.uniform(size=(10, 2))
+        y = np.sin(x[:, 0] * 3) + x[:, 1]
+        gp = GaussianProcess(noise=1e-8).fit(x, y)
+        mean, std = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert (std < 0.1).all()
+
+    def test_uncertainty_grows_away_from_data(self, rng):
+        x = np.zeros((3, 1))
+        y = np.array([1.0, 1.1, 0.9])
+        gp = GaussianProcess(lengthscale=0.3).fit(x, y)
+        _, near = gp.predict(np.array([[0.01]]))
+        _, far = gp.predict(np.array([[5.0]]))
+        assert far[0] > near[0]
+
+    def test_prior_prediction(self):
+        gp = GaussianProcess()
+        mean, std = gp.predict(np.zeros((2, 3)))
+        np.testing.assert_allclose(mean, 0.0)
+        assert (std > 0).all()
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(rng.normal(size=(4, 2)), np.zeros(3))
+
+    def test_median_heuristic_degenerate(self):
+        assert median_heuristic(np.zeros((1, 2))) == 1.0
+        assert median_heuristic(np.zeros((5, 2))) == 1.0
+
+
+class TestDiscreteSpace:
+    def test_points_enumeration(self):
+        s = DiscreteSpace.from_dict({"a": [1, 2], "b": [10, 20, 30]})
+        assert s.size == 6
+        assert len(s.points()) == 6
+
+    def test_encode_unit_cube(self):
+        s = DiscreteSpace.from_dict({"a": [1, 2, 4]})
+        np.testing.assert_allclose(s.encode({"a": 1}), [0.0])
+        np.testing.assert_allclose(s.encode({"a": 2}), [0.5])
+        np.testing.assert_allclose(s.encode({"a": 4}), [1.0])
+
+    def test_encode_unknown_value(self):
+        s = DiscreteSpace.from_dict({"a": [1, 2]})
+        with pytest.raises(ValueError):
+            s.encode({"a": 3})
+
+    def test_missing_dim(self):
+        s = DiscreteSpace.from_dict({"a": [1], "b": [2]})
+        with pytest.raises(KeyError):
+            s.encode({"a": 1})
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteSpace.from_dict({"a": [1, 1]})
+
+    def test_empty_dim_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteSpace.from_dict({"a": []})
+
+
+class TestConstrainedBayesOpt:
+    def _make(self, threshold=0.8, greedy=2):
+        space = DiscreteSpace.from_dict(
+            {"x": list(range(10)), "y": list(range(5))}
+        )
+        # objective: cheaper at small x; accuracy: grows with x + y.
+        calls = []
+
+        def oracle(p):
+            calls.append(p)
+            return (p["x"] / 9 + p["y"] / 4) / 2 + 0.3
+
+        bo = ConstrainedBayesOpt(
+            space=space,
+            objective_fn=lambda p: p["x"] + 0.1 * p["y"],
+            accuracy_oracle=oracle,
+            accuracy_threshold=threshold,
+            greedy_budget=greedy,
+        )
+        return bo, calls
+
+    def test_finds_feasible_optimum_region(self):
+        bo, _ = self._make()
+        best = bo.run(30)
+        assert best is not None
+        assert best.accuracy >= 0.8
+        # true cheapest feasible: accuracy >= 0.8 -> x/9 + y/4 >= 1.0
+        # objective favors small x, so optimum has y = 4.
+        assert best.point["y"] == 4
+
+    def test_respects_oracle_budget(self):
+        bo, calls = self._make()
+        bo.run(5)
+        assert len(calls) <= 5
+
+    def test_no_feasible_returns_none(self):
+        space = DiscreteSpace.from_dict({"x": [0, 1]})
+        bo = ConstrainedBayesOpt(
+            space=space,
+            objective_fn=lambda p: p["x"],
+            accuracy_oracle=lambda p: 0.1,
+            accuracy_threshold=0.9,
+            greedy_budget=1,
+        )
+        assert bo.run(4) is None
+
+    def test_exhausts_small_space(self):
+        space = DiscreteSpace.from_dict({"x": [0, 1, 2]})
+        bo = ConstrainedBayesOpt(
+            space=space,
+            objective_fn=lambda p: -p["x"],
+            accuracy_oracle=lambda p: 1.0,
+            accuracy_threshold=0.5,
+            greedy_budget=1,
+        )
+        best = bo.run(10)
+        assert len(bo.observations) == 3
+        assert best.point["x"] == 2
+
+    def test_invalid_iterations(self):
+        bo, _ = self._make()
+        with pytest.raises(ValueError):
+            bo.run(0)
+
+    def test_more_sample_efficient_than_random(self, rng):
+        """BO should need no more oracle calls than random search to
+        find a feasible point of comparable quality (statistical, fixed
+        seed)."""
+        bo, _ = self._make(greedy=3)
+        best_bo = bo.run(12)
+        # random search with the same budget
+        space_pts = bo.space.points()
+        picks = rng.choice(len(space_pts), size=12, replace=False)
+        feas = [
+            space_pts[i]
+            for i in picks
+            if (space_pts[i]["x"] / 9 + space_pts[i]["y"] / 4) / 2 + 0.3 >= 0.8
+        ]
+        best_rand = min(
+            (p["x"] + 0.1 * p["y"] for p in feas), default=float("inf")
+        )
+        assert best_bo.objective <= best_rand + 2.0

@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1 << 30, size=8)
+        b = ensure_rng(42).integers(0, 1 << 30, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1 << 30, size=8)
+        b = ensure_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.array_equal(
+            a.integers(0, 1 << 30, size=16), b.integers(0, 1 << 30, size=16)
+        )
+
+    def test_deterministic_from_seed(self):
+        x = [g.integers(0, 1 << 30) for g in spawn_rngs(3, 4)]
+        y = [g.integers(0, 1 << 30) for g in spawn_rngs(3, 4)]
+        assert x == y
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(0), 3)
+        assert len(rngs) == 3

@@ -1,0 +1,39 @@
+import time
+
+from repro.utils import Stopwatch
+
+
+class TestStopwatch:
+    def test_section_accumulates(self):
+        sw = Stopwatch()
+        with sw.section("a"):
+            time.sleep(0.01)
+        assert sw.get("a") >= 0.005
+
+    def test_multiple_sections_sum_to_total(self):
+        sw = Stopwatch()
+        sw.add("x", 1.0)
+        sw.add("y", 2.0)
+        assert sw.total() == 3.0
+
+    def test_repeat_section_accumulates(self):
+        sw = Stopwatch()
+        sw.add("x", 1.0)
+        sw.add("x", 0.5)
+        assert sw.get("x") == 1.5
+
+    def test_unknown_section_zero(self):
+        assert Stopwatch().get("nope") == 0.0
+
+    def test_reset(self):
+        sw = Stopwatch()
+        sw.add("x", 1.0)
+        sw.reset()
+        assert sw.total() == 0.0
+
+    def test_as_dict_copy(self):
+        sw = Stopwatch()
+        sw.add("x", 1.0)
+        d = sw.as_dict()
+        d["x"] = 99.0
+        assert sw.get("x") == 1.0

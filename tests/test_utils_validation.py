@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.utils import check_2d, check_dtype, check_positive, check_same_dim
+
+
+class TestCheck2d:
+    def test_passes_2d(self):
+        a = np.zeros((3, 4))
+        assert check_2d(a, "a") is a
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_2d(np.zeros(3), "a")
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="a must be 2-D"):
+            check_2d(np.zeros((2, 2, 2)), "a")
+
+    def test_converts_lists(self):
+        out = check_2d([[1, 2], [3, 4]], "a")
+        assert out.shape == (2, 2)
+
+
+class TestCheckDtype:
+    def test_accepts_matching(self):
+        a = np.zeros(3, dtype=np.uint8)
+        assert check_dtype(a, "uint8", "a") is a
+
+    def test_accepts_one_of_many(self):
+        a = np.zeros(3, dtype=np.float32)
+        check_dtype(a, ["uint8", "float32"], "a")
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="dtype"):
+            check_dtype(np.zeros(3, dtype=np.int64), "uint8", "a")
+
+
+class TestCheckPositive:
+    def test_positive_ok(self):
+        assert check_positive(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_nonpositive_raises(self, bad):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive(bad, "x")
+
+
+class TestCheckSameDim:
+    def test_matching(self):
+        check_same_dim(np.zeros((2, 5)), np.zeros((9, 5)), "a", "b")
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError, match="feature dimension"):
+            check_same_dim(np.zeros((2, 5)), np.zeros((9, 4)), "a", "b")
