@@ -1,0 +1,49 @@
+"""Static analysis of the DRIM-ANN reproduction (``repro lint``).
+
+Three checker families validate, *without running the simulator*, the
+claims the simulator's credibility rests on:
+
+* :mod:`repro.analysis.resources` — evaluates each PIM kernel's
+  declared :class:`~repro.analysis.contracts.ResourceContract` against
+  a ``DpuConfig``/``IndexParams`` combination (or a whole DSE grid):
+  WRAM fit, MRAM capacity under duplication, UPMEM DMA alignment and
+  transfer-size constraints, tasklet pipeline underfill.
+* :mod:`repro.analysis.costcheck` — cross-checks the kernels' analytic
+  instruction mixes and memory traffic against the contracts and
+  against instruction-by-instruction execution on the
+  :mod:`repro.pim.microcode` micro-interpreter.
+* :mod:`repro.analysis.astlint` — stdlib-``ast`` lint rules over the
+  package source (kernel traffic accounting, RNG discipline, float
+  arithmetic in integer paths, mutable dataclass defaults).
+
+Plus a trace-invariant checker (:mod:`repro.analysis.tracecheck`) for
+recorded or exported execution traces.
+
+:func:`repro.analysis.runner.run_lint` orchestrates the families; the
+CLI entry point is ``python -m repro lint``.
+"""
+
+from repro.analysis.contracts import KernelShape, ResourceContract, WramTerm
+from repro.analysis.findings import Finding, Report, Severity
+
+__all__ = [
+    "Finding",
+    "KernelShape",
+    "LintOptions",
+    "Report",
+    "ResourceContract",
+    "Severity",
+    "WramTerm",
+    "run_lint",
+]
+
+
+def __getattr__(name):
+    # The runner pulls in the kernel modules (which themselves declare
+    # contracts from this package), so it is loaded lazily to keep
+    # ``repro.pim.kernels -> repro.analysis.contracts`` cycle-free.
+    if name in ("run_lint", "LintOptions"):
+        from repro.analysis import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,181 @@
+"""Symbolic resource contracts for PIM kernels.
+
+A :class:`ResourceContract` is a kernel's *claim*, in closed form, of
+what it consumes as a function of its shape parameters: the
+instruction mix it executes, the MRAM traffic it moves, the WRAM it
+keeps resident, and the DMA transfer granularities it issues. Each
+kernel module under :mod:`repro.pim.kernels` declares a ``CONTRACT``;
+the checkers in :mod:`repro.analysis.resources` and
+:mod:`repro.analysis.costcheck` evaluate those claims against hardware
+configurations (ahead of any simulation) and against measured
+instruction counts from the :mod:`repro.pim.microcode` interpreter.
+
+Shape parameters use the paper's Table I vocabulary: ``g`` tasks
+(query × cluster pairs) per invocation, ``d`` ambient dimension, ``m``
+PQ sub-spaces, ``cb`` codebook entries, ``dsub = d / m`` dims per
+sub-space, ``n`` candidate points (or centroids) scanned, ``k`` heap
+size kept.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.pim.isa import InstructionMix
+from repro.pim.memory import MemoryTraffic
+
+# UPMEM DMA engine constraints (Gómez-Luna et al. characterization):
+# MRAM<->WRAM transfers must be 8-byte aligned and between 8 and 2048
+# bytes; larger streams are split into bursts, smaller ones padded.
+DMA_MIN_BYTES = 8
+DMA_MAX_BYTES = 2048
+DMA_ALIGN_BYTES = 8
+
+# Resident square-LUT footprint for the multiplier-less conversion on
+# 8-bit operands: after codebook subtraction the residual range is
+# ±(3 * 255) = ±765, so the table holds 2*765+1 entries of 4 bytes
+# (§III-A; see repro.core.square_lut.SquareLut.for_bit_width).
+SQUARE_LUT_MAX_ABS_8BIT = 3 * 255
+SQUARE_LUT_ENTRY_BYTES = 4
+
+
+def square_lut_bytes(operand_bits: int = 8, levels: int = 3) -> int:
+    """WRAM bytes of a resident square LUT for ``operand_bits`` data."""
+    max_abs = levels * (2**operand_bits - 1)
+    return (2 * max_abs + 1) * SQUARE_LUT_ENTRY_BYTES
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Shape parameters a contract is evaluated at."""
+
+    g: int = 1  # tasks (query × cluster pairs) in this invocation
+    d: int = 0  # ambient dimension D
+    m: int = 0  # PQ sub-spaces M
+    cb: int = 0  # codebook entries CB
+    dsub: int = 0  # dims per sub-space (d == m * dsub)
+    n: int = 0  # points (DC/TS) or centroids (CL) scanned
+    k: int = 0  # heap size kept (K for TS, nprobe for CL)
+    code_bytes: int = 1  # bytes per PQ code element (1 iff CB <= 256)
+    bits_lut: int = 32  # ADC LUT entry width B_l
+    # Per-tasklet MRAM streaming buffer the engine stages DMA bursts
+    # through (<= DMA_MAX_BYTES; one buffer, reused across phases).
+    dma_burst: int = 1024
+    multiplier_less: bool = True  # §III-A square-LUT conversion on/off
+    square_lut_misses: int = 0  # out-of-window lookups (16-bit operands)
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if f.type == "int" and v < 0:
+                raise ValueError(f"{f.name} must be >= 0, got {v}")
+        if self.m and self.dsub and self.d and self.m * self.dsub != self.d:
+            raise ValueError(
+                f"inconsistent shape: m*dsub = {self.m * self.dsub} != d = {self.d}"
+            )
+
+    @property
+    def lut_entry_bytes(self) -> int:
+        return self.bits_lut // 8
+
+    @property
+    def adc_lut_bytes(self) -> int:
+        """One per-task ADC LUT: M × CB entries of B_l bits."""
+        return self.m * self.cb * self.lut_entry_bytes
+
+    def replace(self, **kw) -> "KernelShape":
+        return replace(self, **kw)
+
+    @classmethod
+    def from_index_params(
+        cls,
+        params,
+        *,
+        dim: int,
+        g: int = 1,
+        n: int = 0,
+        multiplier_less: bool = True,
+        bits_lut: int = 32,
+    ) -> "KernelShape":
+        """Shape for one task under :class:`~repro.core.params.IndexParams`."""
+        m = params.num_subspaces
+        cb = params.codebook_size
+        if dim % m != 0:
+            raise ValueError(f"dim {dim} not divisible by num_subspaces {m}")
+        return cls(
+            g=g,
+            d=dim,
+            m=m,
+            cb=cb,
+            dsub=dim // m,
+            n=n,
+            k=params.k,
+            code_bytes=1 if cb <= 256 else 2,
+            bits_lut=bits_lut,
+            multiplier_less=multiplier_less,
+        )
+
+
+@dataclass(frozen=True)
+class WramTerm:
+    """One named WRAM allocation a kernel keeps resident."""
+
+    label: str
+    bytes: float
+    per_tasklet: bool = False  # replicated per resident tasklet?
+
+
+@dataclass(frozen=True)
+class ResourceContract:
+    """A kernel's closed-form resource claim.
+
+    All four callables take a :class:`KernelShape`; the analyzer never
+    executes the kernel to evaluate them.
+    """
+
+    kernel: str  # "RC" | "LC" | "DC" | "CL" | "TS" (or a fixture name)
+    instruction_mix: Callable[[KernelShape], InstructionMix]
+    memory_traffic: Callable[[KernelShape], MemoryTraffic]
+    wram_terms: Callable[[KernelShape], List[WramTerm]] = lambda shape: []
+    dma_transfers: Callable[[KernelShape], Dict[str, float]] = lambda shape: {}
+    notes: str = ""
+
+    def wram_bytes(self, shape: KernelShape, num_tasklets: int) -> float:
+        """Total resident WRAM at ``num_tasklets`` concurrent tasklets."""
+        total = 0.0
+        for term in self.wram_terms(shape):
+            total += term.bytes * (num_tasklets if term.per_tasklet else 1)
+        return total
+
+
+# ---------------------------------------------------------------- diffs
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-6
+
+
+def mix_delta(
+    claimed: InstructionMix, measured: InstructionMix
+) -> Dict[str, Tuple[float, float]]:
+    """Per-class ``{name: (claimed, measured)}`` for classes that differ."""
+    out: Dict[str, Tuple[float, float]] = {}
+    for f in fields(InstructionMix):
+        c = getattr(claimed, f.name)
+        m = getattr(measured, f.name)
+        if not math.isclose(c, m, rel_tol=_REL_TOL, abs_tol=_ABS_TOL):
+            out[f.name] = (c, m)
+    return out
+
+
+def traffic_delta(
+    claimed: MemoryTraffic, measured: MemoryTraffic
+) -> Dict[str, Tuple[float, float]]:
+    """Per-counter ``{name: (claimed, measured)}`` for counters that differ."""
+    out: Dict[str, Tuple[float, float]] = {}
+    for f in fields(MemoryTraffic):
+        c = getattr(claimed, f.name)
+        m = getattr(measured, f.name)
+        if not math.isclose(c, m, rel_tol=_REL_TOL, abs_tol=_ABS_TOL):
+            out[f.name] = (c, m)
+    return out

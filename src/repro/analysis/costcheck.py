@@ -1,0 +1,321 @@
+"""Cost-claim cross-check: contracts vs kernels vs the micro-interpreter.
+
+Each kernel reports an analytic :class:`InstructionMix`/:class:`MemoryTraffic`
+and declares the same quantities in closed form in its
+:class:`~repro.analysis.contracts.ResourceContract`. This checker turns
+the scattered "counts must match" test assertions into one uniform
+pass:
+
+* **contract vs kernel** — run each vectorized kernel on small
+  canonical shapes and diff its reported cost against the contract's
+  closed form (all five kernels, both multiplier variants);
+* **contract vs microcode** — execute the hand-written micro programs
+  in :mod:`repro.pim.microcode` instruction-by-instruction on the same
+  shapes and diff the *measured* counts against the contract (RC, LC,
+  DC — the kernels with micro programs).
+
+Any per-class delta is an error-severity finding carrying the full
+``{class: (claimed, measured)}`` payload. External contract modules
+(e.g. the deliberately-broken test fixture) are checked with
+:func:`check_contract_module`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.contracts import (
+    KernelShape,
+    ResourceContract,
+    mix_delta,
+    traffic_delta,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.core.square_lut import SquareLut
+from repro.pim.kernels import KERNEL_CONTRACTS
+from repro.pim.kernels.cluster_locate import run_cluster_locate
+from repro.pim.kernels.distance_scan import run_distance_scan
+from repro.pim.kernels.lut_build import run_lut_build
+from repro.pim.kernels.residual import run_residual
+from repro.pim.kernels.topk_sort import run_topk_sort
+from repro.pim.microcode import (
+    MicroMachine,
+    run_dc_micro,
+    run_lc_micro,
+    run_rc_micro,
+)
+
+#: Small deterministic shapes every claim is evaluated at. Two shapes
+#: per kernel guard against formulas that happen to agree at one point.
+CANONICAL_SHAPES: Dict[str, Tuple[KernelShape, ...]] = {
+    "RC": (
+        KernelShape(g=1, d=16),
+        KernelShape(g=3, d=8),
+    ),
+    "LC": (
+        KernelShape(g=1, d=16, m=4, cb=8, dsub=4),
+        KernelShape(g=2, d=8, m=2, cb=4, dsub=4),
+    ),
+    "DC": (
+        KernelShape(g=1, d=16, m=4, cb=8, dsub=4, n=12),
+        KernelShape(g=2, d=8, m=2, cb=4, dsub=4, n=5),
+    ),
+    "CL": (
+        KernelShape(g=2, d=16, n=12, k=3),
+        KernelShape(g=1, d=8, n=5, k=2),
+    ),
+    "TS": (
+        KernelShape(g=2, n=12, k=3),
+        KernelShape(g=1, n=5, k=2),
+    ),
+}
+
+# Kernels with hand-written micro programs (measured ground truth).
+_MICRO_KERNELS = ("RC", "LC", "DC")
+
+
+# -------------------------------------------------- canonical operands
+def _pattern(n: int, mult: int, mod: int) -> np.ndarray:
+    """Deterministic pseudo-varied integers (no RNG: lint must not
+    depend on random state, and the analyzer itself obeys the
+    rng-bypass rule it enforces)."""
+    return (np.arange(n, dtype=np.int64) * mult) % mod
+
+
+def _queries(shape: KernelShape) -> np.ndarray:
+    return _pattern(shape.g * shape.d, 7, 251).astype(np.uint8).reshape(
+        shape.g, shape.d
+    )
+
+
+def _centroid(shape: KernelShape) -> np.ndarray:
+    return _pattern(shape.d, 13, 251).astype(np.uint8)
+
+
+def _codebooks(shape: KernelShape) -> np.ndarray:
+    flat = _pattern(shape.m * shape.cb * shape.dsub, 17, 199) - 99
+    return flat.astype(np.int16).reshape(shape.m, shape.cb, shape.dsub)
+
+
+def _codes(shape: KernelShape) -> np.ndarray:
+    flat = _pattern(shape.n * shape.m, 5, shape.cb)
+    return flat.astype(np.uint8).reshape(shape.n, shape.m)
+
+
+def _square_lut(shape: KernelShape) -> Optional[SquareLut]:
+    # levels=3 covers the full post-subtraction range: zero misses,
+    # matching shape.square_lut_misses = 0.
+    return SquareLut.for_bit_width(8, levels=3) if shape.multiplier_less else None
+
+
+# -------------------------------------------------- measured quantities
+def _kernel_cost(kernel: str, shape: KernelShape):
+    """Run the vectorized kernel at ``shape``; return its KernelCost."""
+    if kernel == "RC":
+        _, cost = run_residual(_queries(shape), _centroid(shape))
+    elif kernel == "LC":
+        q = _queries(shape)
+        residuals = q.astype(np.int32) - _centroid(shape).astype(np.int32)
+        _, cost = run_lut_build(residuals, _codebooks(shape), _square_lut(shape))
+    elif kernel == "DC":
+        q = _queries(shape)
+        residuals = q.astype(np.int32) - _centroid(shape).astype(np.int32)
+        luts, _ = run_lut_build(residuals, _codebooks(shape))
+        _, cost = run_distance_scan(luts, _codes(shape))
+    elif kernel == "CL":
+        centroids = (
+            _pattern(shape.n * shape.d, 11, 251)
+            .astype(np.uint8)
+            .reshape(shape.n, shape.d)
+        )
+        _, cost = run_cluster_locate(
+            _queries(shape), centroids, shape.k, _square_lut(shape)
+        )
+    elif kernel == "TS":
+        dists = _pattern(shape.g * shape.n, 23, 997).reshape(shape.g, shape.n)
+        ids = np.arange(shape.n, dtype=np.int64)
+        _, cost = run_topk_sort(dists, ids, shape.k)
+    else:
+        raise ValueError(f"no canonical driver for kernel {kernel!r}")
+    return cost
+
+
+def _micro_counts(kernel: str, shape: KernelShape):
+    """Instruction counts measured by the micro-interpreter."""
+    machine = MicroMachine()
+    if kernel == "RC":
+        q = _queries(shape).astype(np.int64)
+        c = _centroid(shape).astype(np.int64)
+        for row in range(shape.g):
+            run_rc_micro(machine, q[row], c)
+    elif kernel == "LC":
+        q = _queries(shape)
+        residuals = (q.astype(np.int32) - _centroid(shape).astype(np.int32)).astype(
+            np.int64
+        )
+        books = _codebooks(shape)
+        sq = _square_lut(shape)
+        for row in range(shape.g):
+            run_lc_micro(machine, residuals[row], books, sq)
+    elif kernel == "DC":
+        q = _queries(shape)
+        residuals = q.astype(np.int32) - _centroid(shape).astype(np.int32)
+        luts, _ = run_lut_build(residuals, _codebooks(shape))
+        codes = _codes(shape)
+        for row in range(shape.g):
+            run_dc_micro(machine, luts[row], codes)
+    else:
+        raise ValueError(f"kernel {kernel!r} has no micro program")
+    return machine.counts
+
+
+def _delta_finding(
+    kernel: str,
+    shape: KernelShape,
+    quantity: str,
+    source: str,
+    deltas: Dict[str, Tuple[float, float]],
+) -> Finding:
+    detail = ", ".join(
+        f"{klass}: claimed {c:g} vs {source} {m:g}"
+        for klass, (c, m) in sorted(deltas.items())
+    )
+    return Finding(
+        checker="costs",
+        rule=f"{quantity}-drift",
+        severity=Severity.ERROR,
+        message=(
+            f"{kernel} contract {quantity} disagrees with {source} at "
+            f"shape g={shape.g} d={shape.d} m={shape.m} cb={shape.cb} "
+            f"n={shape.n} k={shape.k} "
+            f"(multiplier_less={shape.multiplier_less}): {detail}"
+        ),
+        data={
+            "kernel": kernel,
+            "quantity": quantity,
+            "source": source,
+            "deltas": {k: list(v) for k, v in deltas.items()},
+            "shape": {
+                "g": shape.g, "d": shape.d, "m": shape.m, "cb": shape.cb,
+                "n": shape.n, "k": shape.k,
+                "multiplier_less": shape.multiplier_less,
+            },
+        },
+    )
+
+
+def check_contract(
+    contract: ResourceContract,
+    shapes: Optional[Tuple[KernelShape, ...]] = None,
+) -> List[Finding]:
+    """Cross-check one contract at its canonical shapes.
+
+    Multiplier-sensitive kernels (LC, CL) are checked in both the
+    software-multiply and square-LUT variants.
+    """
+    kernel = contract.kernel
+    if shapes is None:
+        if kernel not in CANONICAL_SHAPES:
+            return [
+                Finding(
+                    checker="costs",
+                    rule="unknown-kernel",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"contract kernel {kernel!r} has no canonical shapes; "
+                        f"known kernels: {sorted(CANONICAL_SHAPES)}"
+                    ),
+                    data={"kernel": kernel},
+                )
+            ]
+        shapes = CANONICAL_SHAPES[kernel]
+
+    variants = (True, False) if kernel in ("LC", "CL") else (True,)
+    findings: List[Finding] = []
+    for base in shapes:
+        for multiplier_less in variants:
+            shape = base.replace(multiplier_less=multiplier_less)
+            claimed_mix = contract.instruction_mix(shape)
+            claimed_traffic = contract.memory_traffic(shape)
+
+            cost = _kernel_cost(kernel, shape)
+            d = mix_delta(claimed_mix, cost.instructions)
+            if d:
+                findings.append(
+                    _delta_finding(kernel, shape, "instruction-mix", "kernel", d)
+                )
+            d = traffic_delta(claimed_traffic, cost.traffic)
+            if d:
+                findings.append(
+                    _delta_finding(kernel, shape, "memory-traffic", "kernel", d)
+                )
+
+            if kernel in _MICRO_KERNELS:
+                measured = _micro_counts(kernel, shape)
+                d = mix_delta(claimed_mix, measured)
+                if d:
+                    findings.append(
+                        _delta_finding(
+                            kernel, shape, "instruction-mix", "microcode", d
+                        )
+                    )
+    return findings
+
+
+def check_builtin_contracts() -> List[Finding]:
+    """Cross-check every kernel's declared contract."""
+    findings: List[Finding] = []
+    for contract in KERNEL_CONTRACTS.values():
+        findings += check_contract(contract)
+    return findings
+
+
+def check_contract_module(module_spec: str) -> List[Finding]:
+    """Check an external contract module (dotted name or ``.py`` path).
+
+    The module must define ``CONTRACT`` (a :class:`ResourceContract`);
+    it may define ``CANONICAL_SHAPES`` (a tuple of
+    :class:`KernelShape`) to override the evaluation points.
+    """
+    try:
+        if module_spec.endswith(".py"):
+            spec = importlib.util.spec_from_file_location(
+                f"_contract_module_{abs(hash(module_spec))}", module_spec
+            )
+            if spec is None or spec.loader is None:
+                raise ImportError(f"cannot load {module_spec!r}")
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        else:
+            module = importlib.import_module(module_spec)
+    except Exception as exc:  # surfaced as a finding, not a crash
+        return [
+            Finding(
+                checker="costs",
+                rule="module-load-error",
+                severity=Severity.ERROR,
+                message=f"cannot import contract module {module_spec!r}: {exc}",
+                file=module_spec if module_spec.endswith(".py") else None,
+                data={"module": module_spec},
+            )
+        ]
+    contract = getattr(module, "CONTRACT", None)
+    if not isinstance(contract, ResourceContract):
+        return [
+            Finding(
+                checker="costs",
+                rule="missing-contract",
+                severity=Severity.ERROR,
+                message=(
+                    f"module {module_spec!r} does not define a "
+                    f"ResourceContract named CONTRACT"
+                ),
+                data={"module": module_spec},
+            )
+        ]
+    shapes = getattr(module, "CANONICAL_SHAPES", None)
+    return check_contract(contract, tuple(shapes) if shapes else None)

@@ -1,0 +1,136 @@
+"""Finding/report model shared by every checker family.
+
+A :class:`Finding` is one diagnostic: which checker produced it, which
+rule fired, how severe it is, where it points (``file:line`` when the
+subject is source code, a config/shape description otherwise), and a
+machine-readable ``data`` payload. A :class:`Report` aggregates
+findings, renders them for humans or as JSON, and decides the process
+exit code (``--strict`` fails on any error-severity finding).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; higher is worse."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from one checker rule."""
+
+    checker: str  # family: "resources" | "costs" | "ast" | "trace"
+    rule: str  # e.g. "wram-overflow", "rng-bypass"
+    severity: Severity
+    message: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        if self.file is None:
+            return "-"
+        return self.file if self.line is None else f"{self.file}:{self.line}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "checker": self.checker,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "data": self.data,
+        }
+
+    def format(self) -> str:
+        return (
+            f"{str(self.severity):7s} {self.checker}/{self.rule} "
+            f"{self.location}: {self.message}"
+        )
+
+
+@dataclass
+class Report:
+    """Aggregated findings from one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def sorted(self) -> List[Finding]:
+        return sorted(
+            self.findings,
+            key=lambda f: (-int(f.severity), f.checker, f.file or "", f.line or 0),
+        )
+
+    # ----- queries ------------------------------------------------------
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    def count(self, severity: Severity) -> int:
+        return len(self.by_severity(severity))
+
+    # ----- rendering ----------------------------------------------------
+    def summary(self) -> str:
+        return (
+            f"{len(self.findings)} finding(s): "
+            f"{self.count(Severity.ERROR)} error(s), "
+            f"{self.count(Severity.WARNING)} warning(s), "
+            f"{self.count(Severity.INFO)} info"
+        )
+
+    def format_text(self, *, min_severity: Severity = Severity.INFO) -> str:
+        lines = [
+            f.format() for f in self.sorted() if f.severity >= min_severity
+        ]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        payload = {
+            "findings": [f.to_dict() for f in self.sorted()],
+            "counts": {
+                str(s): self.count(s) for s in Severity
+            },
+        }
+        return json.dumps(payload, indent=indent)
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """0 unless ``strict`` and at least one error-severity finding."""
+        return 1 if strict and self.errors else 0

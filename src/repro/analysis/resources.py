@@ -1,0 +1,406 @@
+"""Resource-contract checker: WRAM/MRAM/DMA/tasklet feasibility.
+
+Evaluates the kernels' declared :class:`ResourceContract`\\ s against a
+``DpuConfig``/``IndexParams`` combination — or a whole DSE grid —
+without running the simulator. This is the check a PIM engine must do
+before dispatch: a configuration whose ADC LUT, square LUT, heaps and
+staging buffers do not fit the 64 KB WRAM cannot run at all, and is
+better rejected at lint time than mid-sweep.
+
+WRAM residency model (documented in ``docs/static_analysis.md``):
+
+* *shared* contract terms (ADC LUT, square LUT, query/residual
+  windows) persist across the RC→LC→DC→TS phases of a task and are
+  deduplicated by label across kernels (max bytes wins);
+* *per-tasklet* terms replicate per resident tasklet; terms labeled
+  ``*_staging`` share one streaming buffer (max wins), everything else
+  (heaps) sums; each tasklet additionally owns a stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.contracts import (
+    DMA_ALIGN_BYTES,
+    DMA_MAX_BYTES,
+    DMA_MIN_BYTES,
+    KernelShape,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.pim.config import DpuConfig
+from repro.pim.kernels import KERNEL_CONTRACTS
+
+
+@dataclass(frozen=True)
+class WramModel:
+    """Knobs of the residency model that are not per-kernel."""
+
+    stack_bytes_per_tasklet: int = 256  # shallow kernels, tuned stacks
+    warn_fill_fraction: float = 0.95  # warn when this close to the cap
+
+    def __post_init__(self) -> None:
+        if self.stack_bytes_per_tasklet < 0:
+            raise ValueError("stack_bytes_per_tasklet must be >= 0")
+        if not 0 < self.warn_fill_fraction <= 1:
+            raise ValueError("warn_fill_fraction must be in (0, 1]")
+
+
+def _contracts(include_cl: bool) -> Iterable:
+    for name, contract in KERNEL_CONTRACTS.items():
+        if name == "CL" and not include_cl:
+            continue  # CL runs on the host in the default placement
+        yield contract
+
+
+def wram_breakdown(
+    shape: KernelShape,
+    dpu: DpuConfig,
+    *,
+    include_cl: bool = False,
+    model: WramModel = WramModel(),
+) -> Dict[str, float]:
+    """Named resident-WRAM terms (bytes) for one configuration.
+
+    Returns shared terms under their contract labels, per-tasklet terms
+    under ``"tasklets:<label>"`` (already multiplied by the tasklet
+    count), and the tasklet stacks under ``"tasklets:stack"``.
+    """
+    shared: Dict[str, float] = {}
+    staging = 0.0
+    per_tasklet_other: Dict[str, float] = {}
+    for contract in _contracts(include_cl):
+        for term in contract.wram_terms(shape):
+            if term.per_tasklet:
+                if term.label.endswith("staging"):
+                    staging = max(staging, term.bytes)
+                else:
+                    per_tasklet_other[term.label] = max(
+                        per_tasklet_other.get(term.label, 0.0), term.bytes
+                    )
+            else:
+                shared[term.label] = max(shared.get(term.label, 0.0), term.bytes)
+    t = dpu.num_tasklets
+    out = dict(shared)
+    out["tasklets:staging"] = staging * t
+    for label, nbytes in per_tasklet_other.items():
+        out[f"tasklets:{label}"] = nbytes * t
+    out["tasklets:stack"] = float(model.stack_bytes_per_tasklet * t)
+    return out
+
+
+def wram_total(
+    shape: KernelShape,
+    dpu: DpuConfig,
+    *,
+    include_cl: bool = False,
+    model: WramModel = WramModel(),
+) -> float:
+    return sum(
+        wram_breakdown(shape, dpu, include_cl=include_cl, model=model).values()
+    )
+
+
+def _config_label(shape: KernelShape, dpu: DpuConfig) -> str:
+    return (
+        f"(M={shape.m}, CB={shape.cb}, k={shape.k}, d={shape.d}, "
+        f"tasklets={dpu.num_tasklets})"
+    )
+
+
+# ------------------------------------------------------------- checkers
+def check_wram(
+    shape: KernelShape,
+    dpu: DpuConfig,
+    *,
+    include_cl: bool = False,
+    model: WramModel = WramModel(),
+) -> List[Finding]:
+    breakdown = wram_breakdown(shape, dpu, include_cl=include_cl, model=model)
+    total = sum(breakdown.values())
+    cap = dpu.wram_bytes
+    data = {
+        "total_bytes": total,
+        "capacity_bytes": cap,
+        "breakdown": breakdown,
+        "m": shape.m,
+        "cb": shape.cb,
+        "k": shape.k,
+        "num_tasklets": dpu.num_tasklets,
+    }
+    label = _config_label(shape, dpu)
+    if total > cap:
+        worst = max(breakdown, key=breakdown.get)
+        return [
+            Finding(
+                checker="resources",
+                rule="wram-overflow",
+                severity=Severity.ERROR,
+                message=(
+                    f"config {label}: resident WRAM {total:,.0f} B exceeds "
+                    f"the {cap:,} B budget (largest term: {worst} = "
+                    f"{breakdown[worst]:,.0f} B)"
+                ),
+                data=data,
+            )
+        ]
+    if total > model.warn_fill_fraction * cap:
+        return [
+            Finding(
+                checker="resources",
+                rule="wram-pressure",
+                severity=Severity.WARNING,
+                message=(
+                    f"config {label}: resident WRAM {total:,.0f} B is "
+                    f"{total / cap:.0%} of the {cap:,} B budget"
+                ),
+                data=data,
+            )
+        ]
+    return []
+
+
+def check_mram(
+    shape: KernelShape,
+    dpu: DpuConfig,
+    *,
+    num_points: int,
+    num_dpus: int,
+    duplication_factor: float = 1.0,
+) -> List[Finding]:
+    """Static per-DPU MRAM estimate: codes + ids under duplication,
+    plus the broadcast codebooks and square LUT."""
+    if num_points <= 0 or num_dpus <= 0:
+        raise ValueError("num_points and num_dpus must be > 0")
+    if duplication_factor < 1.0:
+        raise ValueError("duplication_factor must be >= 1.0")
+    points_per_dpu = -(-num_points // num_dpus)  # ceil
+    per_point = shape.m * shape.code_bytes + 8  # codes + int64 id
+    codebook = shape.m * shape.cb * shape.dsub * 2  # int16 broadcast
+    total = points_per_dpu * per_point * duplication_factor + codebook
+    cap = dpu.mram_bytes
+    data = {
+        "total_bytes": total,
+        "capacity_bytes": cap,
+        "points_per_dpu": points_per_dpu,
+        "duplication_factor": duplication_factor,
+    }
+    if total > cap:
+        return [
+            Finding(
+                checker="resources",
+                rule="mram-overflow",
+                severity=Severity.ERROR,
+                message=(
+                    f"~{points_per_dpu:,} points/DPU x {per_point} B x "
+                    f"{duplication_factor:.2f} duplication = {total / 2**20:,.1f} MB "
+                    f"exceeds the {cap / 2**20:,.0f} MB MRAM budget"
+                ),
+                data=data,
+            )
+        ]
+    if total > 0.9 * cap:
+        return [
+            Finding(
+                checker="resources",
+                rule="mram-pressure",
+                severity=Severity.WARNING,
+                message=(
+                    f"per-DPU MRAM estimate {total / 2**20:,.1f} MB is over 90% "
+                    f"of the {cap / 2**20:,.0f} MB budget; duplication headroom "
+                    f"is nearly exhausted"
+                ),
+                data=data,
+            )
+        ]
+    return []
+
+
+def check_dma(shape: KernelShape, *, include_cl: bool = False) -> List[Finding]:
+    """UPMEM DMA constraints: 8-byte alignment, 8–2048-byte transfers."""
+    findings: List[Finding] = []
+    for contract in _contracts(include_cl):
+        for label, nbytes in contract.dma_transfers(shape).items():
+            where = f"{contract.kernel} transfer {label!r} ({nbytes:,.0f} B)"
+            if nbytes < DMA_MIN_BYTES:
+                findings.append(
+                    Finding(
+                        checker="resources",
+                        rule="dma-undersized",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"{where} is below the {DMA_MIN_BYTES}-byte DMA "
+                            f"minimum and will be padded"
+                        ),
+                        data={"kernel": contract.kernel, "bytes": nbytes},
+                    )
+                )
+            elif nbytes % DMA_ALIGN_BYTES:
+                findings.append(
+                    Finding(
+                        checker="resources",
+                        rule="dma-misaligned",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"{where} is not {DMA_ALIGN_BYTES}-byte aligned; "
+                            f"UPMEM DMA pads or splits unaligned transfers"
+                        ),
+                        data={"kernel": contract.kernel, "bytes": nbytes},
+                    )
+                )
+            if nbytes > DMA_MAX_BYTES:
+                findings.append(
+                    Finding(
+                        checker="resources",
+                        rule="dma-split",
+                        severity=Severity.INFO,
+                        message=(
+                            f"{where} exceeds the {DMA_MAX_BYTES}-byte DMA "
+                            f"maximum and is issued as "
+                            f"{-(-int(nbytes) // DMA_MAX_BYTES)} bursts"
+                        ),
+                        data={"kernel": contract.kernel, "bytes": nbytes},
+                    )
+                )
+    return findings
+
+
+def check_tasklets(dpu: DpuConfig) -> List[Finding]:
+    """Pipeline underfill: tasklets below the revisit depth cap IPC."""
+    if dpu.num_tasklets >= dpu.pipeline_depth:
+        return []
+    ipc = dpu.effective_ipc
+    return [
+        Finding(
+            checker="resources",
+            rule="tasklet-underfill",
+            severity=Severity.WARNING,
+            message=(
+                f"{dpu.num_tasklets} tasklets cannot fill the "
+                f"{dpu.pipeline_depth}-stage pipeline: IPC capped at {ipc:.2f}"
+            ),
+            data={
+                "num_tasklets": dpu.num_tasklets,
+                "pipeline_depth": dpu.pipeline_depth,
+                "effective_ipc": ipc,
+            },
+        )
+    ]
+
+
+def check_config(
+    shape: KernelShape,
+    dpu: DpuConfig,
+    *,
+    include_cl: bool = False,
+    model: WramModel = WramModel(),
+    num_points: Optional[int] = None,
+    num_dpus: Optional[int] = None,
+    duplication_factor: float = 1.0,
+) -> List[Finding]:
+    """All resource checks for one (shape, DPU) combination."""
+    findings = check_wram(shape, dpu, include_cl=include_cl, model=model)
+    findings += check_dma(shape, include_cl=include_cl)
+    findings += check_tasklets(dpu)
+    if num_points is not None and num_dpus is not None:
+        findings += check_mram(
+            shape,
+            dpu,
+            num_points=num_points,
+            num_dpus=num_dpus,
+            duplication_factor=duplication_factor,
+        )
+    return findings
+
+
+def check_dse_grid(
+    *,
+    dim: int,
+    nlist_values: Sequence[int],
+    m_values: Sequence[int],
+    cb_values: Sequence[int],
+    tasklet_values: Sequence[int] = (16,),
+    k: int = 10,
+    dpu: Optional[DpuConfig] = None,
+    num_points: Optional[int] = None,
+    num_dpus: Optional[int] = None,
+    multiplier_less: bool = True,
+    include_cl: bool = False,
+    model: WramModel = WramModel(),
+) -> List[Finding]:
+    """Statically validate every (nlist, M, CB, tasklets) grid point.
+
+    ``nprobe`` does not change the DPU resident set (CL is host-placed
+    by default) and is not enumerated. Points whose M does not divide
+    the dimension are reported as infeasible outright, matching the DSE
+    pruning. Returns one finding per infeasible/flagged point.
+    """
+    base_dpu = dpu if dpu is not None else DpuConfig()
+    findings: List[Finding] = []
+    for tasklets in tasklet_values:
+        cfg = DpuConfig(
+            frequency_hz=base_dpu.frequency_hz,
+            num_tasklets=tasklets,
+            pipeline_depth=base_dpu.pipeline_depth,
+            wram_bytes=base_dpu.wram_bytes,
+            mram_bytes=base_dpu.mram_bytes,
+            mram_bandwidth_bytes_per_s=base_dpu.mram_bandwidth_bytes_per_s,
+            mram_random_derate=base_dpu.mram_random_derate,
+            mram_dma_setup_cycles=base_dpu.mram_dma_setup_cycles,
+            compute_scale=base_dpu.compute_scale,
+        )
+        findings += check_tasklets(cfg)
+        for nlist, m, cb in itertools.product(nlist_values, m_values, cb_values):
+            if dim % m != 0:
+                findings.append(
+                    Finding(
+                        checker="resources",
+                        rule="dim-indivisible",
+                        severity=Severity.INFO,
+                        message=(
+                            f"grid point M={m} does not divide dim {dim}; "
+                            f"the DSE prunes it"
+                        ),
+                        data={"m": m, "dim": dim},
+                    )
+                )
+                continue
+            shape = KernelShape(
+                g=1,
+                d=dim,
+                m=m,
+                cb=cb,
+                dsub=dim // m,
+                k=k,
+                code_bytes=1 if cb <= 256 else 2,
+                multiplier_less=multiplier_less,
+            )
+            point = check_wram(shape, cfg, include_cl=include_cl, model=model)
+            point += check_dma(shape, include_cl=include_cl)
+            if num_points is not None and num_dpus is not None:
+                point += check_mram(
+                    shape, cfg, num_points=num_points, num_dpus=num_dpus
+                )
+            for f in point:
+                f.data.setdefault("nlist", nlist)
+            findings += point
+    return findings
+
+
+def infeasible_grid_points(findings: Iterable[Finding]) -> List[Dict]:
+    """The error-severity grid points from :func:`check_dse_grid`."""
+    out = []
+    for f in findings:
+        if f.severity == Severity.ERROR:
+            out.append(
+                {
+                    "rule": f.rule,
+                    "nlist": f.data.get("nlist"),
+                    "m": f.data.get("m"),
+                    "cb": f.data.get("cb"),
+                    "num_tasklets": f.data.get("num_tasklets"),
+                }
+            )
+    return out

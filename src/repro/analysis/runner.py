@@ -1,0 +1,100 @@
+"""Lint orchestration: wire the checker families into one report.
+
+The default run mirrors what the simulator would actually execute: the
+shipped engine defaults plus the CLI ``tune`` DSE grid, checked against
+the default ``DpuConfig``. ``LintOptions`` widens any of it — other
+grids, extra contract modules (``--kernel-module``), a trace file
+(``--trace``), or a different source root.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.analysis import astlint, costcheck, resources, tracecheck
+from repro.analysis.contracts import KernelShape
+from repro.analysis.findings import Report
+from repro.core.params import IndexParams
+from repro.pim.config import DpuConfig
+
+#: Family names accepted by ``--select``.
+FAMILIES = ("resources", "costs", "ast", "trace")
+
+# The CLI `tune` DSE grid — the sweep `repro lint` vets by default.
+_DEFAULT_GRID_NLIST = (64, 128, 256)
+_DEFAULT_GRID_M = (16, 32)
+_DEFAULT_GRID_CB = (64, 128)
+_DEFAULT_GRID_TASKLETS = (16,)
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """One lint invocation's configuration."""
+
+    families: Tuple[str, ...] = ("resources", "costs", "ast")
+    root: Optional[str] = None  # package dir; default: installed repro
+    trace_path: Optional[str] = None
+    kernel_modules: Tuple[str, ...] = ()
+    # Engine defaults the resource checker validates.
+    params: IndexParams = field(
+        default_factory=lambda: IndexParams(
+            nlist=128, nprobe=8, k=10, num_subspaces=32, codebook_size=128
+        )
+    )
+    dim: int = 128
+    dpu: DpuConfig = field(default_factory=DpuConfig)
+    # DSE grid swept by the resource checker.
+    grid_nlist: Tuple[int, ...] = _DEFAULT_GRID_NLIST
+    grid_m: Tuple[int, ...] = _DEFAULT_GRID_M
+    grid_cb: Tuple[int, ...] = _DEFAULT_GRID_CB
+    grid_tasklets: Tuple[int, ...] = _DEFAULT_GRID_TASKLETS
+
+    def __post_init__(self) -> None:
+        unknown = set(self.families) - set(FAMILIES)
+        if unknown:
+            raise ValueError(
+                f"unknown checker families {sorted(unknown)}; "
+                f"expected a subset of {FAMILIES}"
+            )
+
+
+def _default_root() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def run_lint(options: LintOptions = LintOptions()) -> Report:
+    """Run the selected checker families; returns the merged report."""
+    report = Report()
+
+    if "resources" in options.families:
+        shape = KernelShape.from_index_params(options.params, dim=options.dim)
+        report.extend(resources.check_config(shape, options.dpu))
+        report.extend(
+            resources.check_dse_grid(
+                dim=options.dim,
+                nlist_values=options.grid_nlist,
+                m_values=options.grid_m,
+                cb_values=options.grid_cb,
+                tasklet_values=options.grid_tasklets,
+                k=options.params.k,
+                dpu=options.dpu,
+            )
+        )
+
+    if "costs" in options.families:
+        report.extend(costcheck.check_builtin_contracts())
+        for module in options.kernel_modules:
+            report.extend(costcheck.check_contract_module(module))
+
+    if "ast" in options.families:
+        root = options.root or _default_root()
+        report.extend(astlint.lint_tree(root))
+
+    if "trace" in options.families and options.trace_path:
+        report.extend(tracecheck.check_chrome_trace(options.trace_path))
+
+    return report

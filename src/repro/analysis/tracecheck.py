@@ -1,0 +1,183 @@
+"""Trace-invariant checker for per-DPU execution timelines.
+
+Works on live :class:`~repro.pim.trace.TraceEvent` streams and on
+exported Chrome trace-event JSON (``repro lint --trace trace.json``).
+The ``TraceEvent`` dataclass itself only rejects negative durations at
+construction; everything cross-event must be checked after the fact:
+
+* **overlap** — two events on one DPU timeline overlapping in time
+  (a DPU executes one kernel at a time; overlap means the scheduler
+  double-booked it or cycle accounting drifted);
+* **batch monotonicity** — batch indices must be non-decreasing in
+  start order on every DPU (a later batch never starts before an
+  earlier one finishes dispatching on that DPU);
+* **negative duration** — possible in hand-edited or foreign JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Severity
+
+# Tolerance for float cycle/timestamp comparisons.
+_EPS = 1e-9
+
+
+def _overlap_finding(tid, prev, nxt, unit: str) -> Finding:
+    return Finding(
+        checker="trace",
+        rule="event-overlap",
+        severity=Severity.ERROR,
+        message=(
+            f"DPU {tid}: {nxt[2]!r} starts at {nxt[0]:g} {unit} before "
+            f"{prev[2]!r} ends at {prev[1]:g} {unit}; a DPU runs one "
+            f"kernel at a time"
+        ),
+        data={"dpu": tid, "events": [prev[2], nxt[2]]},
+    )
+
+
+def _batch_finding(tid, prev_batch, batch, name) -> Finding:
+    return Finding(
+        checker="trace",
+        rule="batch-regression",
+        severity=Severity.ERROR,
+        message=(
+            f"DPU {tid}: event {name!r} carries batch {batch} after batch "
+            f"{prev_batch} already started; batch indices must be "
+            f"non-decreasing per DPU"
+        ),
+        data={"dpu": tid, "batch": batch, "previous_batch": prev_batch},
+    )
+
+
+def _check_timeline(
+    tid,
+    events: Sequence[Tuple[float, float, str, object]],
+    unit: str,
+) -> List[Finding]:
+    """``events`` are (start, end, name, batch) tuples for one DPU."""
+    findings: List[Finding] = []
+    ordered = sorted(events, key=lambda e: (e[0], e[1]))
+    prev = None
+    prev_batch = None
+    for ev in ordered:
+        start, end, name, batch = ev
+        if end < start - _EPS:
+            findings.append(
+                Finding(
+                    checker="trace",
+                    rule="negative-duration",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"DPU {tid}: event {name!r} ends at {end:g} {unit} "
+                        f"before it starts at {start:g} {unit}"
+                    ),
+                    data={"dpu": tid, "event": name},
+                )
+            )
+        if prev is not None and start < prev[1] - _EPS:
+            findings.append(_overlap_finding(tid, prev, ev, unit))
+        if batch is not None:
+            if prev_batch is not None and batch < prev_batch:
+                findings.append(_batch_finding(tid, prev_batch, batch, name))
+            prev_batch = batch if prev_batch is None else max(prev_batch, batch)
+        prev = ev
+    return findings
+
+
+def check_events(events: Iterable) -> List[Finding]:
+    """Check live ``TraceEvent``-like objects (cycles timeline)."""
+    per_dpu: Dict[object, List[Tuple[float, float, str, object]]] = {}
+    findings: List[Finding] = []
+    for e in events:
+        if e.dpu_id < 0:
+            findings.append(
+                Finding(
+                    checker="trace",
+                    rule="invalid-dpu-id",
+                    severity=Severity.ERROR,
+                    message=f"event {e.name!r} has negative dpu_id {e.dpu_id}",
+                    data={"dpu": e.dpu_id, "event": e.name},
+                )
+            )
+            continue
+        per_dpu.setdefault(e.dpu_id, []).append(
+            (e.start_cycle, e.end_cycle, e.name, e.batch)
+        )
+    for tid in sorted(per_dpu):
+        findings += _check_timeline(tid, per_dpu[tid], "cycles")
+    return findings
+
+
+def check_tracer(tracer) -> List[Finding]:
+    """Check a live :class:`~repro.pim.trace.Tracer`."""
+    return check_events(tracer.events)
+
+
+def check_chrome_trace(path: str) -> List[Finding]:
+    """Check an exported Chrome trace-event JSON file.
+
+    Accepts both the ``{"traceEvents": [...]}`` object form and a bare
+    event array. Metadata events (``"ph": "M"``) are skipped.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [
+            Finding(
+                checker="trace",
+                rule="unreadable-trace",
+                severity=Severity.ERROR,
+                message=f"cannot read trace {path!r}: {exc}",
+                file=path,
+            )
+        ]
+    records = payload.get("traceEvents") if isinstance(payload, dict) else payload
+    if not isinstance(records, list):
+        return [
+            Finding(
+                checker="trace",
+                rule="malformed-trace",
+                severity=Severity.ERROR,
+                message=(
+                    f"{path!r} is not a Chrome trace: expected a "
+                    f"traceEvents array"
+                ),
+                file=path,
+            )
+        ]
+    per_tid: Dict[object, List[Tuple[float, float, str, object]]] = {}
+    findings: List[Finding] = []
+    for rec in records:
+        if not isinstance(rec, dict) or rec.get("ph") == "M":
+            continue
+        if rec.get("ph") != "X":
+            continue  # only complete events carry durations
+        try:
+            ts = float(rec["ts"])
+            dur = float(rec.get("dur", 0.0))
+        except (KeyError, TypeError, ValueError):
+            findings.append(
+                Finding(
+                    checker="trace",
+                    rule="malformed-event",
+                    severity=Severity.WARNING,
+                    message=f"event without numeric ts/dur: {rec.get('name')!r}",
+                    file=path,
+                )
+            )
+            continue
+        key = (rec.get("pid", 0), rec.get("tid", 0))
+        batch = rec.get("args", {}).get("batch")
+        per_tid.setdefault(key, []).append(
+            (ts, ts + dur, str(rec.get("name", "?")), batch)
+        )
+    for (pid, tid), evs in sorted(per_tid.items(), key=lambda kv: str(kv[0])):
+        for f in _check_timeline(tid, evs, "us"):
+            f.data.setdefault("pid", pid)
+            findings.append(f)
+    return findings

@@ -9,14 +9,14 @@ simulated DPUs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from repro.ann.distance import l2_sq_blocked
 from repro.ann.heap import topk_smallest
-from repro.ann.kmeans import KMeans, kmeans_fit
+from repro.ann.kmeans import kmeans_fit
 from repro.utils import check_2d
 
 

@@ -17,7 +17,7 @@ IVFPQ-with-residual and the paper's RC phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -19,14 +19,14 @@ codebooks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.ann.distance import adc_lookup_distances, l2_sq
 from repro.ann.kmeans import kmeans_fit
-from repro.utils import check_2d, ensure_rng, spawn_rngs
+from repro.utils import check_2d, spawn_rngs
 
 
 @dataclass

@@ -25,7 +25,6 @@ import numpy as np
 from repro.ann.ivfpq import IVFPQIndex, SearchResult
 from repro.core.params import DatasetShape, IndexParams
 from repro.core.perf_model import (
-    PHASES,
     AnalyticPerfModel,
     HardwareProfile,
     PhaseEstimate,

@@ -8,12 +8,15 @@
     python -m repro model  --points 100000000 --dim 128 --queries 10000 \
                            --nlist 16384 --nprobe 96
     python -m repro tune   --preset sift-like-20k --constraint 0.7
+    python -m repro lint   --strict
 
 `build` trains + quantizes an index and writes it with
 :mod:`repro.core.persist`; `search` runs the simulated engine end to
 end and reports recall and the timing breakdown; `model` evaluates the
 analytic performance model at any scale (no simulation); `tune` runs
-the Bayesian-optimization DSE against measured recall.
+the Bayesian-optimization DSE against measured recall; `lint` runs the
+static analyzer (resource contracts, cost-claim cross-checks, AST
+rules, trace invariants — see ``docs/static_analysis.md``).
 """
 
 from __future__ import annotations
@@ -22,7 +25,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 
 def _add_index_args(p: argparse.ArgumentParser) -> None:
@@ -101,6 +103,42 @@ def _build_parser() -> argparse.ArgumentParser:
     f.add_argument("--preset", default="sift-like-20k")
     f.add_argument("--seed", type=int, default=0)
     f.add_argument("--dpus", type=int, default=32)
+
+    def _int_list(text: str):
+        return tuple(int(v) for v in text.split(",") if v)
+
+    li = sub.add_parser(
+        "lint",
+        help="static analysis: resource contracts, cost claims, AST rules",
+    )
+    li.add_argument("--strict", action="store_true",
+                    help="exit non-zero on any error-severity finding")
+    li.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable JSON findings on stdout")
+    li.add_argument("--select",
+                    help="comma list of checker families to run "
+                         "(resources,costs,ast,trace)")
+    li.add_argument("--trace",
+                    help="check a Chrome trace JSON's timeline invariants "
+                         "(runs only the trace family unless --select is given)")
+    li.add_argument("--kernel-module", action="append", default=[],
+                    metavar="MODULE",
+                    help="extra contract module to cross-check "
+                         "(dotted name or .py path; repeatable)")
+    li.add_argument("--root",
+                    help="package directory to AST-lint "
+                         "(default: the installed repro package)")
+    li.add_argument("--min-severity", default="info",
+                    choices=["info", "warning", "error"],
+                    help="hide findings below this severity in text output")
+    li.add_argument("--grid-nlist", type=_int_list, default=None,
+                    metavar="N,N,...", help="DSE grid nlist values to vet")
+    li.add_argument("--grid-m", type=_int_list, default=None,
+                    metavar="M,M,...", help="DSE grid M values to vet")
+    li.add_argument("--grid-cb", type=_int_list, default=None,
+                    metavar="CB,CB,...", help="DSE grid CB values to vet")
+    li.add_argument("--grid-tasklets", type=_int_list, default=None,
+                    metavar="T,T,...", help="tasklet counts to vet the grid at")
     return parser
 
 
@@ -391,6 +429,42 @@ def _cmd_frontier(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.findings import Severity
+    from repro.analysis.runner import FAMILIES, LintOptions, run_lint
+
+    if args.select:
+        families = tuple(f.strip() for f in args.select.split(",") if f.strip())
+        bad = set(families) - set(FAMILIES)
+        if bad:
+            print(f"unknown checker families: {', '.join(sorted(bad))} "
+                  f"(expected a subset of {', '.join(FAMILIES)})")
+            return 2
+    elif args.trace:
+        # --trace alone runs the trace checker standalone.
+        families = ("trace",)
+    else:
+        families = ("resources", "costs", "ast")
+
+    defaults = LintOptions()
+    options = LintOptions(
+        families=families,
+        root=args.root,
+        trace_path=args.trace,
+        kernel_modules=tuple(args.kernel_module),
+        grid_nlist=args.grid_nlist or defaults.grid_nlist,
+        grid_m=args.grid_m or defaults.grid_m,
+        grid_cb=args.grid_cb or defaults.grid_cb,
+        grid_tasklets=args.grid_tasklets or defaults.grid_tasklets,
+    )
+    report = run_lint(options)
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.format_text(min_severity=Severity.parse(args.min_severity)))
+    return report.exit_code(strict=args.strict)
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "build": _cmd_build,
@@ -400,6 +474,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "characterize": _cmd_characterize,
     "frontier": _cmd_frontier,
+    "lint": _cmd_lint,
 }
 
 

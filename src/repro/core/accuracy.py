@@ -11,7 +11,7 @@ pipeline so the numbers reflect what DPUs actually compute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -16,15 +16,17 @@ callback as the oracle, optimized by constrained Bayesian optimization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence
 
-import numpy as np
-
+from repro.analysis.contracts import KernelShape
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.resources import check_wram
 from repro.core.accuracy import AccuracyTable
 from repro.core.params import DatasetShape, IndexParams
 from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
-from repro.tuning.bayesopt import ConstrainedBayesOpt, Observation
+from repro.pim.config import DpuConfig
+from repro.tuning.bayesopt import ConstrainedBayesOpt
 from repro.tuning.space import DiscreteSpace
 
 
@@ -60,10 +62,13 @@ class DesignSpaceExplorer:
         host_phases: Sequence[str] = ("CL",),
         wram_bytes: int = 64 * 1024,
         wram_reserve: int = 8 * 1024,
+        dpu: Optional[DpuConfig] = None,
     ) -> None:
         self.shape = shape
         self.k = k
         self.host_phases = tuple(host_phases)
+        self.multiplier_less = multiplier_less
+        self.dpu = dpu if dpu is not None else DpuConfig()
         self.model = AnalyticPerfModel(
             shape, pim_profile, multiplier_less=multiplier_less
         )
@@ -82,6 +87,36 @@ class DesignSpaceExplorer:
                 "cb": cb_values,
             }
         )
+        # Pre-sweep static validation: evaluate the kernels' resource
+        # contracts for every (M, CB) x tasklet combination so WRAM-
+        # infeasible points are rejected before any objective/oracle
+        # call — not discovered mid-sweep as a CapacityError.
+        self.static_findings = self._prevalidate(valid_m, cb_values)
+        self._static_infeasible = {
+            (f.data["m"], f.data["cb"])
+            for f in self.static_findings
+            if f.severity == Severity.ERROR and "m" in f.data and "cb" in f.data
+        }
+
+    def _prevalidate(
+        self, m_values: Sequence[int], cb_values: Sequence[int]
+    ) -> "list[Finding]":
+        findings = []
+        for m in m_values:
+            for cb in cb_values:
+                shape = KernelShape(
+                    g=1,
+                    d=self.shape.dim,
+                    m=int(m),
+                    cb=int(cb),
+                    dsub=self.shape.dim // int(m),
+                    k=self.k,
+                    code_bytes=1 if cb <= 256 else 2,
+                    bits_lut=self.shape.bits_lut,
+                    multiplier_less=self.multiplier_less,
+                )
+                findings += check_wram(shape, self.dpu)
+        return findings
 
     # ----- plumbing -------------------------------------------------------
     def params_of(self, point: Dict[str, float]) -> IndexParams:
@@ -96,8 +131,19 @@ class DesignSpaceExplorer:
     def _valid(self, point: Dict[str, float]) -> bool:
         if int(point["nprobe"]) > int(point["nlist"]):
             return False
+        if (int(point["m"]), int(point["cb"])) in self._static_infeasible:
+            return False
         lut_bytes = int(point["m"]) * int(point["cb"]) * 4
         return lut_bytes <= self._wram_limit
+
+    def validate_space(self) -> "list[Finding]":
+        """All static findings for this explorer's (M, CB) grid.
+
+        Same checks that drive pre-sweep pruning, exposed so callers
+        (and ``repro lint``) can report *why* points were dropped
+        rather than just observing ``objective() == inf``.
+        """
+        return list(self.static_findings)
 
     def objective(self, point: Dict[str, float]) -> float:
         """Eq. 13 target: overlapped host/PIM batch seconds."""

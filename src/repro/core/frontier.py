@@ -11,7 +11,7 @@ performance model, i.e. entirely offline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.core.accuracy import AccuracyTable
 from repro.core.params import IndexParams

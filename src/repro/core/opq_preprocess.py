@@ -19,7 +19,6 @@ are unchanged by R and only perturbed by the requantization rounding.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

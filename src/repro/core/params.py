@@ -14,8 +14,7 @@ Three groups, mirroring the paper's notation table:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -18,9 +18,7 @@ nlist=2^16).
 
 from __future__ import annotations
 
-import io
 import os
-from typing import Union
 
 import numpy as np
 

@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.utils import check_2d
+from repro.utils.rng import ensure_rng
 
 
 @dataclass(frozen=True)
@@ -110,7 +111,7 @@ def intrinsic_dimension_estimate(x: np.ndarray, sample: int = 4096, seed=0) -> f
     ``SyntheticSpec.intrinsic_dim``).
     """
     x = check_2d(x, "x").astype(np.float64)
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     if len(x) > sample:
         x = x[rng.choice(len(x), size=sample, replace=False)]
     xc = x - x.mean(axis=0)

@@ -17,7 +17,7 @@ in one batch is not necessarily slow in the next).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -18,8 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
-
 from repro.pim.config import DpuConfig
 from repro.pim.isa import InstructionMix, IsaCostModel
 from repro.pim.memory import MemoryTraffic, Mram, Wram

@@ -15,7 +15,7 @@ out of the ``mul`` bucket and into ``load`` + WRAM traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 
 @dataclass

@@ -19,12 +19,63 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import (
+    KernelShape,
+    ResourceContract,
+    WramTerm,
+    square_lut_bytes,
+)
 from repro.ann.heap import topk_smallest
 from repro.core.square_lut import SquareLut
 from repro.pim.dpu import KernelCost
 from repro.pim.isa import InstructionMix
 from repro.pim.memory import MemoryTraffic
 from repro.pim.kernels.topk_sort import expected_heap_updates
+
+
+def _cl_mix(s: KernelShape) -> InstructionMix:
+    keep = min(s.k, s.n) if s.n else s.k
+    pairs = float(s.g * s.n)
+    updates = s.g * expected_heap_updates(s.n, keep)
+    mix = InstructionMix(
+        add=pairs * (2 * s.d - 1),
+        compare=pairs + updates * math.log2(max(keep, 2)),
+    )
+    if s.multiplier_less:
+        mix.load = pairs * s.d
+    else:
+        mix.mul = pairs * s.d
+    return mix
+
+
+def _cl_traffic(s: KernelShape) -> MemoryTraffic:
+    return MemoryTraffic(
+        sequential_read=float(s.g * s.n * s.d), transactions=float(s.g)
+    )
+
+
+def _cl_wram(s: KernelShape):
+    keep = min(s.k, s.n) if s.n else s.k
+    terms = [
+        WramTerm("query", s.d),
+        WramTerm("nprobe_heap", 8 * keep, per_tasklet=True),
+        WramTerm("centroid_staging", min(s.d, s.dma_burst), per_tasklet=True),
+    ]
+    if s.multiplier_less:
+        terms.append(WramTerm("square_lut", square_lut_bytes(8)))
+    return terms
+
+
+#: Closed-form resource claim checked by ``repro lint``. Shape mapping:
+#: ``g`` = queries, ``n`` = centroids in this DPU's slice, ``k`` = nprobe.
+CONTRACT = ResourceContract(
+    kernel="CL",
+    instruction_mix=_cl_mix,
+    memory_traffic=_cl_traffic,
+    wram_terms=_cl_wram,
+    dma_transfers=lambda s: {"centroid_row": float(s.d)},
+    notes="host-placed by default; contract covers the pim variant",
+)
 
 
 def run_cluster_locate(

@@ -13,9 +13,51 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import KernelShape, ResourceContract, WramTerm
 from repro.pim.dpu import KernelCost
 from repro.pim.isa import InstructionMix
 from repro.pim.memory import MemoryTraffic
+
+
+def _dc_mix(s: KernelShape) -> InstructionMix:
+    return InstructionMix(
+        add=float(s.g * s.n * (s.m - 1)),
+        load=float(s.g * s.n * s.m),
+        control=float(s.g * s.n * s.m),
+    )
+
+
+def _dc_traffic(s: KernelShape) -> MemoryTraffic:
+    code_block = s.n * s.m * s.code_bytes
+    return MemoryTraffic(
+        sequential_read=float(s.g * code_block),
+        transactions=float(s.g * max(1, code_block // 2048)),
+    )
+
+
+def _dc_wram(s: KernelShape):
+    code_block = s.n * s.m * s.code_bytes
+    staging = min(code_block, s.dma_burst) if s.n else s.dma_burst
+    return [
+        WramTerm("adc_lut", s.adc_lut_bytes),
+        WramTerm("codes_staging", staging, per_tasklet=True),
+    ]
+
+
+def _dc_dma(s: KernelShape):
+    code_block = s.n * s.m * s.code_bytes
+    return {"codes_burst": float(min(code_block, s.dma_burst) if s.n else s.dma_burst)}
+
+
+#: Closed-form resource claim checked by ``repro lint``.
+CONTRACT = ResourceContract(
+    kernel="DC",
+    instruction_mix=_dc_mix,
+    memory_traffic=_dc_traffic,
+    wram_terms=_dc_wram,
+    dma_transfers=_dc_dma,
+    notes="per point: M WRAM gathers, M-1 adds, M address computations",
+)
 
 
 def run_distance_scan(

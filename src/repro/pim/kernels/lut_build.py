@@ -22,10 +22,68 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import (
+    KernelShape,
+    ResourceContract,
+    WramTerm,
+    square_lut_bytes,
+)
 from repro.core.square_lut import SquareLut
 from repro.pim.dpu import KernelCost
 from repro.pim.isa import InstructionMix
 from repro.pim.memory import MemoryTraffic
+
+
+def _lc_mix(s: KernelShape) -> InstructionMix:
+    per_task_entries = float(s.d * s.cb)  # m * cb * dsub
+    mix = InstructionMix(
+        add=s.g * 2 * per_task_entries,
+        store=float(s.g * s.m * s.cb),
+        control=float(s.g * s.m * s.cb),
+    )
+    if s.multiplier_less:
+        mix.load = s.g * per_task_entries
+    else:
+        mix.mul = s.g * per_task_entries
+    return mix
+
+
+def _lc_traffic(s: KernelShape) -> MemoryTraffic:
+    # Codebooks stream as int16: M * CB * dsub * 2 bytes per task.
+    traffic = MemoryTraffic(
+        sequential_read=float(s.g * s.m * s.cb * s.dsub * 2),
+        transactions=float(s.g * s.m),
+    )
+    if s.multiplier_less:
+        traffic.random_read += float(s.square_lut_misses * 4)
+        traffic.transactions += float(s.square_lut_misses)
+    return traffic
+
+
+def _lc_wram(s: KernelShape):
+    terms = [
+        WramTerm("adc_lut", s.adc_lut_bytes),  # built cooperatively
+        WramTerm("residual", 4 * s.d),
+        WramTerm(
+            "codebook_staging",
+            min(s.cb * s.dsub * 2, s.dma_burst),
+            per_tasklet=True,
+        ),
+    ]
+    if s.multiplier_less:
+        terms.append(WramTerm("square_lut", square_lut_bytes(8)))
+    return terms
+
+
+#: Closed-form resource claim checked by ``repro lint``.
+CONTRACT = ResourceContract(
+    kernel="LC",
+    instruction_mix=_lc_mix,
+    memory_traffic=_lc_traffic,
+    wram_terms=_lc_wram,
+    dma_transfers=lambda s: {"codebook_subtable": float(s.cb * s.dsub * 2)},
+    notes="square via 32-cycle mul or square-LUT load (§III-A)",
+)
 
 
 def run_lut_build(

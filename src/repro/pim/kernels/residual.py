@@ -12,9 +12,42 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import KernelShape, ResourceContract, WramTerm
 from repro.pim.dpu import KernelCost
 from repro.pim.isa import InstructionMix
 from repro.pim.memory import MemoryTraffic
+
+
+def _rc_mix(s: KernelShape) -> InstructionMix:
+    return InstructionMix(
+        add=float(s.g * s.d), load=float(2 * s.g * s.d), store=float(s.g * s.d)
+    )
+
+
+def _rc_traffic(s: KernelShape) -> MemoryTraffic:
+    return MemoryTraffic(
+        sequential_read=float(s.g * s.d), transactions=float(s.g)
+    )
+
+
+def _rc_wram(s: KernelShape):
+    return [
+        WramTerm("query", s.d),  # uint8 query held for the batch
+        WramTerm("residual", 4 * s.d),  # int32 residual handed to LC
+        WramTerm("centroid_staging", min(s.d, s.dma_burst), per_tasklet=True),
+    ]
+
+
+#: Closed-form resource claim checked by ``repro lint`` (see
+#: :mod:`repro.analysis.costcheck` / :mod:`repro.analysis.resources`).
+CONTRACT = ResourceContract(
+    kernel="RC",
+    instruction_mix=_rc_mix,
+    memory_traffic=_rc_traffic,
+    wram_terms=_rc_wram,
+    dma_transfers=lambda s: {"centroid": float(s.d)},
+    notes="per task: D subs, 2D WRAM loads, D stores, one D-byte DMA",
+)
 
 
 def run_residual(

@@ -24,6 +24,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import KernelShape, ResourceContract, WramTerm
 from repro.ann.heap import topk_smallest
 from repro.pim.dpu import KernelCost
 from repro.pim.isa import InstructionMix
@@ -89,3 +90,41 @@ def run_topk_sort(
         sequential_write=float(g * kk * 8), transactions=float(g)
     )
     return results, KernelCost(kernel="TS", instructions=mix, traffic=traffic)
+
+
+def _ts_mix(s: KernelShape) -> InstructionMix:
+    updates = expected_heap_updates(s.n, s.k)
+    log_k = math.log2(max(s.k, 2))
+    return InstructionMix(
+        compare=float(s.g * s.n) + s.g * updates * log_k,
+        store=s.g * updates,
+    )
+
+
+def _ts_traffic(s: KernelShape) -> MemoryTraffic:
+    kk = min(s.k, s.n) if s.n else s.k
+    return MemoryTraffic(
+        sequential_write=float(s.g * kk * 8), transactions=float(s.g)
+    )
+
+
+def _ts_wram(s: KernelShape):
+    kk = min(s.k, s.n) if s.n else s.k
+    return [
+        # Bounded max-heap of (id, distance) pairs, one per tasklet.
+        WramTerm("topk_heap", 8 * s.k, per_tasklet=True),
+        WramTerm("topk_writeback_staging", 8 * kk, per_tasklet=True),
+    ]
+
+
+#: Closed-form resource claim checked by ``repro lint``.
+CONTRACT = ResourceContract(
+    kernel="TS",
+    instruction_mix=_ts_mix,
+    memory_traffic=_ts_traffic,
+    wram_terms=_ts_wram,
+    dma_transfers=lambda s: {
+        "topk_writeback": float(8 * (min(s.k, s.n) if s.n else s.k))
+    },
+    notes="expected k-record heap work; see expected_heap_updates()",
+)

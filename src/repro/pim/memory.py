@@ -14,7 +14,7 @@ this is why the square-LUT speedup on LC is 1.93x rather than 32x.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np

@@ -22,7 +22,7 @@ cost lives in the ISA table), ``load``/``store`` (WRAM), ``compare``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

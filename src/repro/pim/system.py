@@ -18,7 +18,7 @@ cycle ledger that Figs. 8/10/11/12 are built from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

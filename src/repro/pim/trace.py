@@ -19,7 +19,7 @@ Usage::
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -37,6 +37,8 @@ class TraceEvent:
     detail: str = ""  # e.g. shard key
 
     def __post_init__(self) -> None:
+        if self.dpu_id < 0:
+            raise ValueError(f"dpu_id must be >= 0, got {self.dpu_id}")
         if self.end_cycle < self.start_cycle:
             raise ValueError(
                 f"event ends ({self.end_cycle}) before it starts ({self.start_cycle})"
@@ -63,6 +65,8 @@ class Tracer:
         end_cycle: float,
         detail: str = "",
     ) -> None:
+        if dpu_id < 0:
+            raise ValueError(f"dpu_id must be >= 0, got {dpu_id}")
         self.events.append(
             TraceEvent(
                 name=name,
@@ -109,9 +113,40 @@ class Tracer:
 
     # ----- export -----------------------------------------------------------
     def export_chrome_trace(self, path: str) -> None:
-        """Write Chrome trace-event JSON (microsecond timestamps)."""
+        """Write Chrome trace-event JSON (microsecond timestamps).
+
+        Emits ``process_name``/``thread_name`` metadata so Perfetto and
+        ``chrome://tracing`` label the rows ("DPU 3") instead of
+        showing bare pid/tid integers.
+        """
         scale = 1e6 / self.frequency_hz  # cycles -> microseconds
-        records = []
+        records = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": "PIM system (simulated DPUs)"},
+            }
+        ]
+        for dpu_id in sorted({e.dpu_id for e in self.events}):
+            records.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": dpu_id,
+                    "args": {"name": f"DPU {dpu_id}"},
+                }
+            )
+            records.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": dpu_id,
+                    "args": {"sort_index": dpu_id},
+                }
+            )
         for e in self.events:
             records.append(
                 {

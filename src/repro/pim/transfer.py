@@ -18,7 +18,7 @@ one launch latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.pim.config import TransferConfig

@@ -1,0 +1,38 @@
+"""Deliberately-wrong resource contract for the cost cross-check tests.
+
+Claims the RC kernel does twice the subtractions it actually performs
+(and misreports its MRAM traffic), so ``check_contract_module`` on this
+file must produce instruction-mix-drift and memory-traffic-drift
+findings. Used by the analyzer tests and the CLI ``--kernel-module``
+strict-exit test.
+"""
+
+from repro.analysis.contracts import KernelShape, ResourceContract, WramTerm
+from repro.pim.isa import InstructionMix
+from repro.pim.memory import MemoryTraffic
+
+
+def _broken_mix(s: KernelShape) -> InstructionMix:
+    # Wrong: RC performs g*d adds, not 2*g*d.
+    return InstructionMix(
+        add=float(2 * s.g * s.d),
+        load=float(2 * s.g * s.d),
+        store=float(s.g * s.d),
+    )
+
+
+def _broken_traffic(s: KernelShape) -> MemoryTraffic:
+    # Wrong: the centroid stream is g*d bytes, not g*d*4.
+    return MemoryTraffic(
+        sequential_read=float(4 * s.g * s.d), transactions=float(s.g)
+    )
+
+
+CONTRACT = ResourceContract(
+    kernel="RC",
+    instruction_mix=_broken_mix,
+    memory_traffic=_broken_traffic,
+    wram_terms=lambda s: [WramTerm("query", s.d)],
+    dma_transfers=lambda s: {"centroid": float(s.d)},
+    notes="test fixture: intentionally overstates adds and traffic",
+)

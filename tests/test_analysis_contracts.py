@@ -1,0 +1,135 @@
+"""Resource contracts and the static resource checkers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    KernelShape,
+    mix_delta,
+    square_lut_bytes,
+    traffic_delta,
+)
+from repro.analysis.findings import Severity
+from repro.analysis.resources import (
+    check_dma,
+    check_dse_grid,
+    check_tasklets,
+    check_wram,
+    infeasible_grid_points,
+    wram_breakdown,
+)
+from repro.pim.config import DpuConfig
+from repro.pim.kernels import KERNEL_CONTRACTS
+from repro.pim.kernels.residual import run_residual
+
+
+def _shape(m=32, cb=128, dim=128, **kw):
+    return KernelShape(
+        g=1, d=dim, m=m, cb=cb, dsub=dim // m, k=10,
+        code_bytes=1 if cb <= 256 else 2, **kw,
+    )
+
+
+class TestContractRegistry:
+    def test_all_kernels_declare_contracts(self):
+        assert set(KERNEL_CONTRACTS) == {"RC", "LC", "DC", "CL", "TS"}
+
+    def test_contract_matches_kernel_cost(self, rng):
+        """The RC closed form agrees with what the kernel reports."""
+        g, d = 3, 16
+        q = rng.integers(0, 255, size=(g, d)).astype(np.uint8)
+        c = rng.integers(0, 255, size=d).astype(np.uint8)
+        _, cost = run_residual(q, c)
+        contract = KERNEL_CONTRACTS["RC"]
+        shape = KernelShape(g=g, d=d)
+        assert mix_delta(contract.instruction_mix(shape), cost.instructions) == {}
+        assert traffic_delta(contract.memory_traffic(shape), cost.traffic) == {}
+
+    def test_square_lut_footprint(self):
+        # 8-bit operands, levels=3: (2*765+1) entries of 4 B.
+        assert square_lut_bytes(8, levels=3) == (2 * 765 + 1) * 4
+
+
+class TestWram:
+    def test_defaults_fit(self):
+        assert check_wram(_shape(), DpuConfig()) == []
+
+    def test_breakdown_charges_every_kernel_term(self):
+        bd = wram_breakdown(_shape(), DpuConfig())
+        assert "adc_lut" in bd
+        assert bd["adc_lut"] == 32 * 128 * 4
+        assert "square_lut" in bd  # multiplier-less resident table
+        assert all(v >= 0 for v in bd.values())
+
+    def test_overflow_at_24_tasklets(self):
+        """(M=32, CB=256) fits at 16 tasklets but not at 24.
+
+        The LUT-only check (32 KB <= 56 KB) passes this config; only
+        the full residency model rejects it.
+        """
+        shape = _shape(cb=256)
+        assert check_wram(shape, DpuConfig(num_tasklets=16)) == []
+        findings = check_wram(shape, DpuConfig(num_tasklets=24))
+        assert [f.rule for f in findings] == ["wram-overflow"]
+        f = findings[0]
+        assert f.severity == Severity.ERROR
+        assert f.data["total_bytes"] > f.data["capacity_bytes"] == 64 * 1024
+        assert shape.adc_lut_bytes <= 56 * 1024  # old check would pass it
+
+    def test_grid_sweep_catches_overflow(self):
+        findings = check_dse_grid(
+            dim=128,
+            nlist_values=(128,),
+            m_values=(16, 32),
+            cb_values=(128, 256),
+            tasklet_values=(16, 24),
+        )
+        bad = infeasible_grid_points(findings)
+        assert {"rule": "wram-overflow", "nlist": 128, "m": 32,
+                "cb": 256, "num_tasklets": 24} in bad
+        # The same (m, cb) at 16 tasklets stays feasible.
+        assert not any(
+            p["m"] == 32 and p["cb"] == 256 and p["num_tasklets"] == 16
+            for p in bad
+        )
+
+    def test_grid_reports_indivisible_m(self):
+        findings = check_dse_grid(
+            dim=100, nlist_values=(16,), m_values=(3,), cb_values=(16,)
+        )
+        assert any(f.rule == "dim-indivisible" for f in findings)
+
+
+class TestDmaAndTasklets:
+    def test_misaligned_centroid_stream(self):
+        # d=12: the RC centroid DMA is 12 B, not 8-byte aligned.
+        findings = check_dma(KernelShape(g=1, d=12, m=4, cb=8, dsub=3, k=2))
+        mis = [f for f in findings if f.rule == "dma-misaligned"]
+        assert any(f.data["bytes"] == 12.0 for f in mis)
+
+    def test_aligned_defaults_have_no_dma_warnings(self):
+        findings = check_dma(_shape())
+        assert all(f.severity < Severity.WARNING for f in findings)
+
+    def test_tasklet_underfill(self):
+        findings = check_tasklets(DpuConfig(num_tasklets=8))
+        assert [f.rule for f in findings] == ["tasklet-underfill"]
+        assert findings[0].severity == Severity.WARNING
+
+    def test_full_pipeline_no_warning(self):
+        assert check_tasklets(DpuConfig(num_tasklets=16)) == []
+
+
+class TestKernelShape:
+    def test_inconsistent_subspaces_rejected(self):
+        with pytest.raises(ValueError, match="m\\*dsub"):
+            KernelShape(d=128, m=16, dsub=4)
+
+    def test_from_index_params(self):
+        from repro.core.params import IndexParams
+
+        p = IndexParams(nlist=128, nprobe=8, k=10,
+                        num_subspaces=16, codebook_size=512)
+        s = KernelShape.from_index_params(p, dim=128)
+        assert (s.m, s.cb, s.dsub, s.k) == (16, 512, 8, 10)
+        assert s.code_bytes == 2  # CB > 256 needs 2-byte codes

@@ -1,0 +1,49 @@
+"""Cost-claim cross-check: contracts vs kernels vs microcode."""
+
+import os
+
+from repro.analysis.costcheck import (
+    check_builtin_contracts,
+    check_contract_module,
+)
+
+_FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "broken_kernel.py"
+)
+
+
+class TestBuiltinContracts:
+    def test_shipped_contracts_are_clean(self):
+        assert check_builtin_contracts() == []
+
+
+class TestBrokenFixture:
+    def test_broken_contract_caught(self):
+        findings = check_contract_module(_FIXTURE)
+        rules = {f.rule for f in findings}
+        assert "instruction-mix-drift" in rules
+        assert "memory-traffic-drift" in rules
+
+    def test_delta_payload_names_the_wrong_class(self):
+        findings = check_contract_module(_FIXTURE)
+        mix = [f for f in findings if f.rule == "instruction-mix-drift"]
+        # The fixture doubles the add count: 2*g*d claimed vs g*d real.
+        assert all("add" in f.data["deltas"] for f in mix)
+        claimed, measured = mix[0].data["deltas"]["add"]
+        assert claimed == 2 * measured
+
+    def test_microcode_disagrees_too(self):
+        findings = check_contract_module(_FIXTURE)
+        sources = {f.data["source"] for f in findings}
+        assert "kernel" in sources
+        assert "microcode" in sources  # RC has a micro program
+
+
+class TestModuleLoading:
+    def test_missing_file_is_a_finding(self):
+        findings = check_contract_module("/nonexistent/contract.py")
+        assert [f.rule for f in findings] == ["module-load-error"]
+
+    def test_module_without_contract(self):
+        findings = check_contract_module("repro.utils.rng")
+        assert [f.rule for f in findings] == ["missing-contract"]

@@ -1,0 +1,164 @@
+"""Trace-invariant checker: live events and exported Chrome JSON."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracecheck import (
+    check_chrome_trace,
+    check_events,
+    check_tracer,
+)
+from repro.pim.trace import TraceEvent, Tracer
+
+
+def _ev(name, dpu, start, end, batch=0):
+    return TraceEvent(
+        name=name, dpu_id=dpu, start_cycle=start, end_cycle=end, batch=batch
+    )
+
+
+class _RawEvent:
+    """Stand-in that bypasses TraceEvent's constructor validation, to
+    exercise the checker on invariants the dataclass would reject."""
+
+    def __init__(self, name, dpu_id, start_cycle, end_cycle, batch=0):
+        self.name = name
+        self.dpu_id = dpu_id
+        self.start_cycle = start_cycle
+        self.end_cycle = end_cycle
+        self.batch = batch
+
+
+class TestLiveEvents:
+    def test_clean_timeline(self):
+        events = [
+            _ev("RC", 0, 0, 10),
+            _ev("LC", 0, 10, 30),
+            _ev("RC", 1, 0, 12),
+        ]
+        assert check_events(events) == []
+
+    def test_overlap_detected(self):
+        events = [_ev("RC", 0, 0, 10), _ev("LC", 0, 5, 15)]
+        findings = check_events(events)
+        assert [f.rule for f in findings] == ["event-overlap"]
+        assert findings[0].data["dpu"] == 0
+
+    def test_overlap_on_distinct_dpus_is_fine(self):
+        events = [_ev("RC", 0, 0, 10), _ev("LC", 1, 5, 15)]
+        assert check_events(events) == []
+
+    def test_batch_regression(self):
+        events = [
+            _ev("RC", 0, 0, 10, batch=1),
+            _ev("RC", 0, 10, 20, batch=0),
+        ]
+        findings = check_events(events)
+        assert [f.rule for f in findings] == ["batch-regression"]
+
+    def test_negative_duration(self):
+        findings = check_events([_RawEvent("RC", 0, 30.0, 10.0)])
+        assert "negative-duration" in [f.rule for f in findings]
+
+    def test_negative_dpu_id(self):
+        findings = check_events([_RawEvent("RC", -1, 0.0, 10.0)])
+        assert [f.rule for f in findings] == ["invalid-dpu-id"]
+
+    def test_live_tracer_from_simulator_is_clean(self, rng):
+        from repro.core.square_lut import SquareLut
+        from repro.pim import PimSystem, PimSystemConfig
+        from repro.pim.system import ShardData
+
+        tracer = Tracer()
+        s = PimSystem(PimSystemConfig(num_dpus=2), tracer=tracer)
+        s.load_codebooks(
+            rng.integers(-50, 50, size=(4, 8, 4)).astype(np.int16)
+        )
+        s.load_square_lut(SquareLut.for_bit_width(8, levels=3))
+        for i in range(2):
+            s.place_shard(
+                i,
+                ShardData(
+                    shard_key=f"s{i}",
+                    centroid=rng.integers(0, 255, size=16).astype(np.uint8),
+                    ids=np.arange(10, dtype=np.int64),
+                    codes=rng.integers(0, 8, size=(10, 4)).astype(np.uint8),
+                ),
+            )
+        q = rng.integers(0, 255, size=(2, 16)).astype(np.uint8)
+        s.run_batch({0: [(0, "s0")], 1: [(1, "s1")]}, q, k=3)
+        assert check_tracer(tracer) == []
+
+
+class TestChromeTrace:
+    def _write(self, tmp_path, records):
+        path = str(tmp_path / "trace.json")
+        with open(path, "w") as f:
+            json.dump({"traceEvents": records}, f)
+        return path
+
+    def test_exported_trace_is_clean(self, tmp_path):
+        tracer = Tracer()
+        tracer.record("RC", 0, 0, 100)
+        tracer.record("LC", 0, 100, 300)
+        path = str(tmp_path / "trace.json")
+        tracer.export_chrome_trace(path)
+        assert check_chrome_trace(path) == []
+
+    def test_overlap_in_json(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                {"name": "RC", "ph": "X", "ts": 0, "dur": 10, "tid": 0},
+                {"name": "LC", "ph": "X", "ts": 5, "dur": 10, "tid": 0},
+            ],
+        )
+        findings = check_chrome_trace(path)
+        assert [f.rule for f in findings] == ["event-overlap"]
+
+    def test_metadata_events_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                {"name": "process_name", "ph": "M", "pid": 0,
+                 "args": {"name": "x"}},
+                {"name": "RC", "ph": "X", "ts": 0, "dur": 10, "tid": 0},
+            ],
+        )
+        assert check_chrome_trace(path) == []
+
+    def test_bare_array_accepted(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        with open(path, "w") as f:
+            json.dump(
+                [{"name": "RC", "ph": "X", "ts": 0, "dur": -5, "tid": 0}], f
+            )
+        findings = check_chrome_trace(path)
+        assert "negative-duration" in [f.rule for f in findings]
+
+    def test_unreadable_file(self, tmp_path):
+        findings = check_chrome_trace(str(tmp_path / "missing.json"))
+        assert [f.rule for f in findings] == ["unreadable-trace"]
+
+    def test_non_trace_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        with open(path, "w") as f:
+            json.dump({"not": "a trace"}, f)
+        findings = check_chrome_trace(path)
+        assert [f.rule for f in findings] == ["malformed-trace"]
+
+    def test_event_without_ts_warned(self, tmp_path):
+        path = self._write(
+            tmp_path, [{"name": "RC", "ph": "X", "dur": 10, "tid": 0}]
+        )
+        findings = check_chrome_trace(path)
+        assert [f.rule for f in findings] == ["malformed-event"]
+
+
+class TestTracerValidation:
+    def test_record_rejects_negative_dpu(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="dpu_id"):
+            tracer.record("RC", -2, 0.0, 1.0)

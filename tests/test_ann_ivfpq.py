@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.ann import FlatIndex, IVFPQIndex, recall_at_k
+from repro.ann import IVFPQIndex, recall_at_k
 from repro.ann.ivfpq import SearchResult
 
 

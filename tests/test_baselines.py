@@ -1,4 +1,3 @@
-import numpy as np
 import pytest
 
 from repro.ann import recall_at_k

@@ -1,6 +1,5 @@
 """CLI tests — invoke cli.main() directly and inspect stdout."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main

@@ -1,0 +1,107 @@
+"""`repro lint` end-to-end through cli.main()."""
+
+import json
+import os
+
+from repro.cli import main
+
+_FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "broken_kernel.py"
+)
+
+
+class TestCleanRepo:
+    def test_default_lint_is_clean(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["lint", "--json", "--select", "resources"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "findings" in payload
+        assert payload["counts"]["error"] == 0
+
+
+class TestSelect:
+    def test_single_family(self, capsys):
+        assert main(["lint", "--select", "ast"]) == 0
+        assert "finding(s)" in capsys.readouterr().out
+
+    def test_unknown_family_exits_2(self, capsys):
+        assert main(["lint", "--select", "nonsense"]) == 2
+        assert "unknown checker families" in capsys.readouterr().out
+
+
+class TestStrictFailures:
+    def test_broken_contract_fails_strict(self, capsys):
+        rc = main(
+            ["lint", "--strict", "--select", "costs",
+             "--kernel-module", _FIXTURE]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "instruction-mix-drift" in out
+
+    def test_broken_contract_without_strict_exits_0(self, capsys):
+        rc = main(["lint", "--select", "costs", "--kernel-module", _FIXTURE])
+        assert rc == 0
+        assert "instruction-mix-drift" in capsys.readouterr().out
+
+    def test_infeasible_grid_fails_strict(self, capsys):
+        rc = main(
+            ["lint", "--strict", "--select", "resources",
+             "--grid-m", "32", "--grid-cb", "256", "--grid-tasklets", "24"]
+        )
+        assert rc == 1
+        assert "wram-overflow" in capsys.readouterr().out
+
+    def test_same_grid_at_16_tasklets_passes(self, capsys):
+        rc = main(
+            ["lint", "--strict", "--select", "resources",
+             "--grid-m", "32", "--grid-cb", "256", "--grid-tasklets", "16"]
+        )
+        assert rc == 0
+
+
+class TestTraceMode:
+    def test_trace_flag_runs_trace_family_only(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        with open(path, "w") as f:
+            json.dump(
+                {"traceEvents": [
+                    {"name": "RC", "ph": "X", "ts": 0, "dur": 10, "tid": 0},
+                    {"name": "LC", "ph": "X", "ts": 5, "dur": 10, "tid": 0},
+                ]},
+                f,
+            )
+        assert main(["lint", "--strict", "--trace", path]) == 1
+        assert "event-overlap" in capsys.readouterr().out
+
+    def test_clean_trace_passes(self, tmp_path, capsys):
+        from repro.pim.trace import Tracer
+
+        tracer = Tracer()
+        tracer.record("RC", 0, 0, 100)
+        path = str(tmp_path / "trace.json")
+        tracer.export_chrome_trace(path)
+        assert main(["lint", "--strict", "--trace", path]) == 0
+
+    def test_missing_trace_fails_strict(self, tmp_path, capsys):
+        rc = main(
+            ["lint", "--strict", "--trace", str(tmp_path / "nope.json")]
+        )
+        assert rc == 1
+        assert "unreadable-trace" in capsys.readouterr().out
+
+
+class TestMinSeverity:
+    def test_min_severity_filters_text(self, capsys):
+        assert main(
+            ["lint", "--select", "resources", "--grid-tasklets", "8",
+             "--min-severity", "error"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The underfill warnings exist but are hidden from the text.
+        assert "tasklet-underfill" not in out
+        assert "finding(s)" in out

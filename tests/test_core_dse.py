@@ -4,7 +4,7 @@ from repro.core.accuracy import AccuracyTable
 from repro.core.dse import DesignSpaceExplorer
 from repro.core.params import DatasetShape, IndexParams
 from repro.core.perf_model import HardwareProfile
-from repro.pim.config import PimSystemConfig
+from repro.pim.config import DpuConfig, PimSystemConfig
 
 
 @pytest.fixture(scope="module")
@@ -60,6 +60,50 @@ class TestObjective:
 
     def test_objective_positive(self, dse):
         assert 0 < dse.objective({"nlist": 1024, "nprobe": 8, "m": 16, "cb": 256}) < 10
+
+
+class TestStaticPrevalidation:
+    """Contract-based WRAM pruning ahead of the sweep (repro lint's
+    resource model applied to the explorer's own grid)."""
+
+    def _explorer(self, **kw):
+        shape = DatasetShape(num_points=100_000, dim=128, num_queries=64)
+        return DesignSpaceExplorer(
+            shape,
+            HardwareProfile.for_pim(PimSystemConfig(num_dpus=64)),
+            nlist_values=[128],
+            nprobe_values=[8],
+            m_values=[16, 32],
+            cb_values=[256],
+            **kw,
+        )
+
+    def test_default_dpu_grid_unchanged(self):
+        d = self._explorer()
+        assert d.validate_space() == []
+        p = {"nlist": 128, "nprobe": 8, "m": 32, "cb": 256}
+        assert d.objective(p) < float("inf")
+
+    def test_24_tasklets_rejects_wram_infeasible_point(self):
+        """(M=32, CB=256) passes the LUT-only check (32 KB <= 56 KB) but
+        overflows the full residency model at 24 tasklets — the sweep
+        must never simulate it."""
+        d = self._explorer(dpu=DpuConfig(num_tasklets=24))
+        p = {"nlist": 128, "nprobe": 8, "m": 32, "cb": 256}
+        assert 32 * 256 * 4 <= d._wram_limit  # old check would simulate it
+        assert d.objective(p) == float("inf")
+
+    def test_validate_space_explains_the_rejection(self):
+        d = self._explorer(dpu=DpuConfig(num_tasklets=24))
+        errors = [
+            f for f in d.validate_space() if f.rule == "wram-overflow"
+        ]
+        assert [(f.data["m"], f.data["cb"]) for f in errors] == [(32, 256)]
+
+    def test_feasible_points_survive(self):
+        d = self._explorer(dpu=DpuConfig(num_tasklets=24))
+        p = {"nlist": 128, "nprobe": 8, "m": 16, "cb": 256}
+        assert d.objective(p) < float("inf")
 
 
 class TestExplore:

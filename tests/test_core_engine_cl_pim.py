@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DrimAnnEngine, IndexParams, SearchParams
+from repro.core import DrimAnnEngine, SearchParams
 from repro.pim.config import PimSystemConfig
 
 

@@ -1,7 +1,7 @@
 import pytest
 
 from repro.core.accuracy import AccuracyTable
-from repro.core.frontier import FrontierPoint, knee_point, pareto_frontier
+from repro.core.frontier import knee_point, pareto_frontier
 from repro.core.params import DatasetShape, IndexParams
 from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
 from repro.pim.config import PimSystemConfig

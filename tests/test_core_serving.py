@@ -4,7 +4,6 @@ import pytest
 from repro.core.serving import (
     BatchingPolicy,
     PoissonArrivals,
-    ServingReport,
     simulate_serving,
 )
 

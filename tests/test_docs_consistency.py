@@ -7,7 +7,6 @@ README's example table, from silently rotting as the code moves.
 import os
 import re
 
-import pytest
 
 ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
 
@@ -60,6 +59,7 @@ class TestReadme:
             "usage.md",
             "data_model.md",
             "api.md",
+            "static_analysis.md",
         ):
             assert os.path.exists(os.path.join(ROOT, "docs", doc))
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ann import IVFPQIndex
-from repro.core import DrimAnnEngine, IndexParams, LayoutConfig, SearchParams
+from repro.core import DrimAnnEngine, IndexParams, LayoutConfig
 from repro.core.layout import generate_layout
 from repro.core.quantized import build_quantized_index
 from repro.pim.config import DpuConfig, PimSystemConfig

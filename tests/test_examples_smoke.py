@@ -7,7 +7,6 @@ milliseconds. The benchmark suite and docs cover behavior.
 
 import importlib.util
 import os
-import sys
 
 import pytest
 

@@ -6,7 +6,6 @@ paper's key qualitative claims at test scale.
 """
 
 import numpy as np
-import pytest
 
 from repro.ann import recall_at_k
 from repro.baselines import CpuIvfPqBaseline

@@ -1,11 +1,9 @@
 """HBM-PIM platform preset (paper §II-B portability claim)."""
 
 import numpy as np
-import pytest
 
-from repro.core import DrimAnnEngine, IndexParams, LayoutConfig
+from repro.core import DrimAnnEngine, LayoutConfig
 from repro.pim.config import hbm_pim_system_config, scaled_system_config
-from repro.pim.memory import CapacityError
 
 
 class TestHbmConfig:

@@ -1,4 +1,3 @@
-import pytest
 
 from repro.pim.isa import InstructionMix, IsaCostModel
 

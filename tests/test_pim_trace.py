@@ -85,10 +85,34 @@ class TestTracerWithSystem:
         tracer.export_chrome_trace(path)
         with open(path) as f:
             data = json.load(f)
-        assert len(data["traceEvents"]) == tracer.num_events
-        ev = data["traceEvents"][0]
-        assert ev["ph"] == "X"
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == tracer.num_events
+        ev = complete[0]
         assert "dur" in ev and ev["dur"] >= 0
+
+    def test_chrome_export_metadata_labels(self, traced_system, rng, tmp_path):
+        s, tracer = traced_system
+        q = rng.integers(0, 255, size=(2, 16)).astype(np.uint8)
+        s.run_batch({0: [(0, "s0")], 1: [(1, "s1")]}, q, k=3)
+        path = str(tmp_path / "trace.json")
+        tracer.export_chrome_trace(path)
+        with open(path) as f:
+            data = json.load(f)
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert {"name": "PIM system (simulated DPUs)"} in [
+            e["args"] for e in meta if e["name"] == "process_name"
+        ]
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert thread_names == {0: "DPU 0", 1: "DPU 1"}
+
+    def test_record_rejects_negative_dpu_id(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="dpu_id"):
+            tracer.record("LC", -1, 0.0, 10.0)
 
     def test_summary_and_clear(self, traced_system, rng):
         s, tracer = traced_system

@@ -7,7 +7,6 @@ over exactly the right points.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.layout import LayoutConfig, generate_layout
