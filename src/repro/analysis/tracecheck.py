@@ -11,7 +11,12 @@ construction; everything cross-event must be checked after the fact:
 * **batch monotonicity** — batch indices must be non-decreasing in
   start order on every DPU (a later batch never starts before an
   earlier one finishes dispatching on that DPU);
-* **negative duration** — possible in hand-edited or foreign JSON.
+* **negative duration** — possible in hand-edited or foreign JSON;
+* **retry ordering** — a retried kernel execution (the fault layer
+  marks these with ``#retryN`` in the event detail) must start at or
+  after its original attempt ends on the same DPU timeline: a retry
+  that begins before the attempt it replaces finished means the
+  injected backoff was not charged.
 """
 
 from __future__ import annotations
@@ -53,18 +58,58 @@ def _batch_finding(tid, prev_batch, batch, name) -> Finding:
     )
 
 
+def _retry_finding(tid, name, detail, start, orig_end, unit: str) -> Finding:
+    return Finding(
+        checker="trace",
+        rule="retry-before-original",
+        severity=Severity.ERROR,
+        message=(
+            f"DPU {tid}: retry {name!r} ({detail!r}) starts at {start:g} "
+            f"{unit} but the original attempt ends at {orig_end:g} {unit}; "
+            f"a retry must wait out its backoff after the attempt it "
+            f"replaces"
+        ),
+        data={"dpu": tid, "event": name, "detail": detail},
+    )
+
+
 def _check_timeline(
     tid,
-    events: Sequence[Tuple[float, float, str, object]],
+    events: Sequence[Tuple],
     unit: str,
 ) -> List[Finding]:
-    """``events`` are (start, end, name, batch) tuples for one DPU."""
+    """``events`` are (start, end, name, batch[, detail]) per-DPU tuples."""
     findings: List[Finding] = []
     ordered = sorted(events, key=lambda e: (e[0], e[1]))
+
+    def _detail(ev) -> str:
+        return str(ev[4]) if len(ev) > 4 and ev[4] is not None else ""
+
+    # Retry ordering needs a pre-pass: a retry recorded entirely before
+    # its original attempt must still be flagged, so collect every
+    # non-retry attempt's latest end per (name, batch, detail) first.
+    attempt_end: Dict[Tuple, float] = {}
+    for ev in ordered:
+        detail = _detail(ev)
+        if detail and "#retry" not in detail:
+            key = (ev[2], ev[3], detail)
+            attempt_end[key] = max(attempt_end.get(key, ev[1]), ev[1])
+    for ev in ordered:
+        detail = _detail(ev)
+        if "#retry" not in detail:
+            continue
+        start, _, name, batch = ev[:4]
+        base = detail.split("#retry", 1)[0]
+        orig_end = attempt_end.get((name, batch, base))
+        if orig_end is not None and start < orig_end - _EPS:
+            findings.append(
+                _retry_finding(tid, name, detail, start, orig_end, unit)
+            )
+
     prev = None
     prev_batch = None
     for ev in ordered:
-        start, end, name, batch = ev
+        start, end, name, batch = ev[:4]
         if end < start - _EPS:
             findings.append(
                 Finding(
@@ -90,7 +135,7 @@ def _check_timeline(
 
 def check_events(events: Iterable) -> List[Finding]:
     """Check live ``TraceEvent``-like objects (cycles timeline)."""
-    per_dpu: Dict[object, List[Tuple[float, float, str, object]]] = {}
+    per_dpu: Dict[object, List[Tuple]] = {}
     findings: List[Finding] = []
     for e in events:
         if e.dpu_id < 0:
@@ -105,7 +150,7 @@ def check_events(events: Iterable) -> List[Finding]:
             )
             continue
         per_dpu.setdefault(e.dpu_id, []).append(
-            (e.start_cycle, e.end_cycle, e.name, e.batch)
+            (e.start_cycle, e.end_cycle, e.name, e.batch, getattr(e, "detail", ""))
         )
     for tid in sorted(per_dpu):
         findings += _check_timeline(tid, per_dpu[tid], "cycles")
@@ -150,7 +195,7 @@ def check_chrome_trace(path: str) -> List[Finding]:
                 file=path,
             )
         ]
-    per_tid: Dict[object, List[Tuple[float, float, str, object]]] = {}
+    per_tid: Dict[object, List[Tuple]] = {}
     findings: List[Finding] = []
     for rec in records:
         if not isinstance(rec, dict) or rec.get("ph") == "M":
@@ -172,9 +217,10 @@ def check_chrome_trace(path: str) -> List[Finding]:
             )
             continue
         key = (rec.get("pid", 0), rec.get("tid", 0))
-        batch = rec.get("args", {}).get("batch")
+        ev_args = rec.get("args", {})
+        batch = ev_args.get("batch")
         per_tid.setdefault(key, []).append(
-            (ts, ts + dur, str(rec.get("name", "?")), batch)
+            (ts, ts + dur, str(rec.get("name", "?")), batch, ev_args.get("detail"))
         )
     for (pid, tid), evs in sorted(per_tid.items(), key=lambda kv: str(kv[0])):
         for f in _check_timeline(tid, evs, "us"):

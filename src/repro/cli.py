@@ -8,6 +8,7 @@
     python -m repro model  --points 100000000 --dim 128 --queries 10000 \
                            --nlist 16384 --nprobe 96
     python -m repro tune   --preset sift-like-20k --constraint 0.7
+    python -m repro chaos  --smoke
     python -m repro lint   --strict
 
 `build` trains + quantizes an index and writes it with
@@ -103,6 +104,33 @@ def _build_parser() -> argparse.ArgumentParser:
     f.add_argument("--preset", default="sift-like-20k")
     f.add_argument("--seed", type=int, default=0)
     f.add_argument("--dpus", type=int, default=32)
+
+    def _float_list(text: str):
+        return tuple(float(v) for v in text.split(",") if v)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: recall/availability vs fail-stop rate",
+    )
+    ch.add_argument("--smoke", action="store_true",
+                    help="seconds-scale sweep for CI (overrides sizes)")
+    ch.add_argument("--seed", type=int, default=0)
+    ch.add_argument("--dpus", type=int, default=64)
+    ch.add_argument("--vectors", type=int, default=4096)
+    ch.add_argument("--queries", type=int, default=64)
+    ch.add_argument("--rates", type=_float_list, default=None,
+                    metavar="R,R,...",
+                    help="fail-stop fractions to sweep (default 0,0.02,0.05,0.1)")
+    ch.add_argument("--stragglers", type=float, default=0.0,
+                    help="fraction of DPUs running derated")
+    ch.add_argument("--transient-rate", type=float, default=0.0,
+                    help="per-(DPU, batch) transient kernel fault probability")
+    ch.add_argument("--timeout-rate", type=float, default=0.0,
+                    help="per-batch results-gather timeout probability")
+    ch.add_argument("--no-dup", action="store_true",
+                    help="disable cluster duplication (no failover replicas)")
+    ch.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable JSON report on stdout")
 
     def _int_list(text: str):
         return tuple(int(v) for v in text.split(",") if v)
@@ -429,6 +457,38 @@ def _cmd_frontier(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import dataclasses
+    import json as _json
+
+    from repro.faults.chaos import ChaosConfig, run_chaos
+
+    if args.smoke:
+        config = ChaosConfig.smoke(duplicate=not args.no_dup, seed=args.seed)
+        if args.rates:
+            config = dataclasses.replace(config, fail_stop_rates=args.rates)
+    else:
+        config = ChaosConfig(
+            num_dpus=args.dpus,
+            num_vectors=args.vectors,
+            num_queries=args.queries,
+            fail_stop_rates=args.rates or (0.0, 0.02, 0.05, 0.10),
+            straggler_fraction=args.stragglers,
+            transient_rate=args.transient_rate,
+            transfer_timeout_rate=args.timeout_rate,
+            duplicate=not args.no_dup,
+            seed=args.seed,
+        )
+    report = run_chaos(config)
+    if args.as_json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    # The sweep is diagnostic: degraded points are expected output, not
+    # a failure. Only a crash (exception) fails the command.
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.findings import Severity
     from repro.analysis.runner import FAMILIES, LintOptions, run_lint
@@ -474,6 +534,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "characterize": _cmd_characterize,
     "frontier": _cmd_frontier,
+    "chaos": _cmd_chaos,
     "lint": _cmd_lint,
 }
 

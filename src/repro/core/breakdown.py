@@ -9,10 +9,11 @@ breakdown is over DPU execution only (host and transfer are overlapped)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.faults.report import FaultStats
 from repro.pim.system import BatchTiming
 
 
@@ -29,6 +30,9 @@ class TimingBreakdown:
     per_batch_seconds: List[float] = field(default_factory=list)
     num_batches: int = 0
     num_queries: int = 0
+    # Fault/recovery accounting for the run (set by the engine; None
+    # means no fault layer was active).
+    faults: Optional[FaultStats] = None
 
     def add_batch(
         self,
@@ -49,6 +53,13 @@ class TimingBreakdown:
         self.per_batch_seconds.append(timing.pim_seconds)
         self.num_batches += 1
         self.num_queries += num_queries
+
+    def add_stall(self, seconds: float) -> None:
+        """Charge host-side wall-clock with no PIM work (retry backoff)."""
+        if seconds < 0:
+            raise ValueError(f"stall seconds must be >= 0, got {seconds}")
+        self.host_seconds += seconds
+        self.e2e_seconds += seconds
 
     # ----- derived views ----------------------------------------------------
     def kernel_shares(self) -> Dict[str, float]:
@@ -94,7 +105,7 @@ class TimingBreakdown:
         shares = ", ".join(
             f"{k}={v:.0%}" for k, v in self.kernel_shares().items()
         )
-        return (
+        text = (
             f"{self.num_queries} queries / {self.num_batches} batches: "
             f"e2e={self.e2e_seconds * 1e3:.2f} ms "
             f"(pim={self.pim_seconds * 1e3:.2f}, host={self.host_seconds * 1e3:.2f}, "
@@ -102,3 +113,6 @@ class TimingBreakdown:
             f"qps={self.throughput_qps:,.0f} busy={self.mean_busy_fraction:.0%} "
             f"[{shares}]"
         )
+        if self.faults is not None and self.faults.summary() != "no faults observed":
+            text += f"\nfaults: {self.faults.summary()}"
+        return text

@@ -46,6 +46,8 @@ from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
 from repro.core.quantized import QuantizedIndexData, build_quantized_index
 from repro.core.scheduler import RuntimeScheduler, SchedulerConfig
 from repro.core.square_lut import SquareLut
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FaultStats
 from repro.pim.config import PimSystemConfig
 from repro.pim.system import PimSystem, ShardData
 from repro.utils import check_2d, ensure_rng
@@ -88,6 +90,10 @@ class DrimAnnEngine:
         self.cpu_profile = cpu_profile or HardwareProfile.for_cpu()
         self.preprocessor = preprocessor
 
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return self.system.fault_plan
+
     # ------------------------------------------------------------------ build
     @classmethod
     def build(
@@ -104,6 +110,7 @@ class DrimAnnEngine:
         prebuilt_quantized: Optional[QuantizedIndexData] = None,
         cpu_profile: Optional[HardwareProfile] = None,
         tracer=None,
+        fault_plan: Optional[FaultPlan] = None,
         seed=None,
     ) -> "DrimAnnEngine":
         """Train, quantize, lay out, and load the engine.
@@ -115,6 +122,11 @@ class DrimAnnEngine:
         frequency, §IV-C). ``prebuilt_index`` / ``prebuilt_quantized``
         skip training when sweeping layout/scheduling knobs on a fixed
         index.
+
+        ``fault_plan`` (see :mod:`repro.faults`) injects deterministic
+        DPU crashes, stragglers, transient kernel faults, and transfer
+        timeouts; :meth:`search` recovers via replica failover and
+        reports degradation in ``breakdown.faults``.
         """
         base = check_2d(base, "base")
         params.validate_for(base.shape[1])
@@ -196,8 +208,25 @@ class DrimAnnEngine:
             quantized, system_config.num_dpus, heat, layout_config, seed=rng
         )
 
+        if fault_plan is not None:
+            if fault_plan.num_dpus != system_config.num_dpus:
+                raise ValueError(
+                    f"fault plan covers {fault_plan.num_dpus} DPUs but "
+                    f"system_config has {system_config.num_dpus}"
+                )
+            if (
+                search_params.cluster_locate_on == "pim"
+                and fault_plan.has_capacity_faults
+            ):
+                raise ValueError(
+                    "fail-stop/straggler fault plans are not supported with "
+                    "cluster_locate_on='pim': centroid slices are not "
+                    "replicated, so a dead or derated DPU would corrupt CL; "
+                    "use the default host-side CL"
+                )
+
         # --- load the PIM system.
-        system = PimSystem(system_config, tracer=tracer)
+        system = PimSystem(system_config, tracer=tracer, fault_plan=fault_plan)
         offline_xfer = system.load_codebooks(quantized.codebooks)
         offline_xfer += system.load_square_lut(square_lut)
         if search_params.cluster_locate_on == "pim":
@@ -233,6 +262,13 @@ class DrimAnnEngine:
                 per_point_sort=per_point_sort,
             ),
         )
+        if fault_plan is not None:
+            # Stragglers are assumed profiled (UpANNS measures per-DPU
+            # frequency once at boot): the predictor is re-weighted by
+            # each DPU's derated clock from the start. Fail-stops are
+            # *not* pre-blacklisted — the engine discovers them when
+            # tasks fail and blacklists reactively.
+            scheduler.set_speed_factors(fault_plan.derates)
         report = EngineReport(
             params=params,
             layout_heat_per_dpu=plan.heat_per_dpu(),
@@ -274,6 +310,14 @@ class DrimAnnEngine:
 
         ``with_scheduler=False`` forces the static policy (replica 0,
         no filter) — the ablation arm of Fig. 11.
+
+        Under a fault plan, tasks lost to fail-stopped DPUs are
+        re-dispatched to surviving replicas with exponential backoff
+        charged to the run; dead DPUs are blacklisted in the scheduler.
+        Tasks with no surviving replica are dropped: the affected
+        queries return the partial top-k that could be computed, and
+        ``breakdown.faults`` carries per-query coverage plus the
+        ``degraded`` flag (the engine never raises on a fault).
         """
         queries = check_2d(queries, "queries")
         if queries.shape[1] != self.quantized.dim:
@@ -298,10 +342,16 @@ class DrimAnnEngine:
                     policy="static",
                 ),
             )
+            scheduler.adopt_fault_state(self.scheduler)
+
+        stats = FaultStats()
+        if self.fault_plan is not None:
+            stats.straggler_dpus = set(self.fault_plan.straggler_dpus)
 
         pools_i: List[List[np.ndarray]] = [[] for _ in range(nq)]
         pools_d: List[List[np.ndarray]] = [[] for _ in range(nq)]
         breakdown = TimingBreakdown()
+        breakdown.faults = stats
         carried: List[Tuple[int, int]] = []
 
         cl_on_pim = self.search_params.cluster_locate_on == "pim"
@@ -322,13 +372,15 @@ class DrimAnnEngine:
                 tasks.extend((qidx, int(c)) for c in probes[local])
             outcome = scheduler.schedule_batch(tasks)
             carried = list(outcome.deferred)
-            self._execute(
+            stats.uncovered.update(outcome.uncovered)
+            failed = self._execute(
                 outcome.assignments, queries, k, pools_i, pools_d, breakdown,
                 host_seconds=host_s,
                 num_new_queries=q1 - q0,
                 extra_pim_seconds=cl_sec,
                 extra_cl_cycles=cl_cycles,
             )
+            self._recover(failed, scheduler, queries, k, pools_i, pools_d, breakdown)
 
         # Drain deferred tasks (filter off so the queue empties).
         drain_guard = 0
@@ -346,12 +398,22 @@ class DrimAnnEngine:
                     policy=scheduler.config.policy,
                 ),
             )
+            drain_sched.adopt_fault_state(scheduler)
             outcome = drain_sched.schedule_batch(carried)
             carried = list(outcome.deferred)
-            self._execute(
+            stats.uncovered.update(outcome.uncovered)
+            failed = self._execute(
                 outcome.assignments, queries, k, pools_i, pools_d, breakdown,
                 host_seconds=0.0, num_new_queries=0,
             )
+            self._recover(
+                failed, drain_sched, queries, k, pools_i, pools_d, breakdown
+            )
+            # Deaths discovered while draining must stick for the next
+            # drain round (and for subsequent search() calls).
+            scheduler.mark_dead(drain_sched.dead_dpus - scheduler.dead_dpus)
+
+        stats.finalize(num_queries=nq, nprobe=self.params.nprobe)
 
         out_ids = np.full((nq, k), -1, dtype=np.int64)
         out_dist = np.full((nq, k), np.inf, dtype=np.float64)
@@ -379,12 +441,15 @@ class DrimAnnEngine:
         num_new_queries: int,
         extra_pim_seconds: float = 0.0,
         extra_cl_cycles: float = 0.0,
-    ) -> None:
+    ) -> List[Tuple[int, str]]:
         """Run one PIM batch and fold results/timing in.
 
         ``extra_pim_seconds`` / ``extra_cl_cycles`` account a preceding
         CL-on-PIM launch (it cannot overlap with the task batch: its
         output drives the schedule).
+
+        Returns the (global query index, shard key) tasks lost to dead
+        DPUs, for the caller to fail over.
         """
         # Compact the active query set so only referenced queries are
         # broadcast (deferred tasks pull their queries into the batch).
@@ -396,6 +461,7 @@ class DrimAnnEngine:
             dpu: [(local_of[qidx], key) for qidx, key in tasks]
             for dpu, tasks in assignments.items()
         }
+        failed: List[Tuple[int, str]] = []
         if active:
             partials, timing = self.system.run_batch(
                 local_assign,
@@ -414,6 +480,59 @@ class DrimAnnEngine:
                     timing.kernel_cycles.get("CL", 0.0) + extra_cl_cycles
                 )
             breakdown.add_batch(timing, host_seconds, num_new_queries)
+            failed = [(active[lq], key) for lq, key in timing.failed_tasks]
+            if breakdown.faults is not None:
+                breakdown.faults.transient_faults += timing.transient_retries
+                breakdown.faults.transfer_timeouts += timing.transfer_timeouts
+        return failed
+
+    def _recover(
+        self,
+        failed: List[Tuple[int, str]],
+        scheduler: RuntimeScheduler,
+        queries: np.ndarray,
+        k: int,
+        pools_i: List[List[np.ndarray]],
+        pools_d: List[List[np.ndarray]],
+        breakdown: TimingBreakdown,
+    ) -> None:
+        """Fail over tasks lost to dead DPUs.
+
+        Each round blacklists the newly-observed dead DPUs, waits out
+        an exponential backoff (charged to the run's wall-clock), and
+        re-dispatches the failed (query, shard) tasks to surviving
+        replicas of the same part. Tasks still failing after
+        ``max_redispatch_attempts`` rounds — or with no live replica —
+        are recorded as uncovered; the affected queries degrade to
+        partial coverage instead of raising.
+        """
+        stats = breakdown.faults
+        plan = self.fault_plan
+        attempt = 0
+        while failed:
+            observed = self.system.dead_dpus()
+            stats.dead_dpus |= observed
+            newly = observed - scheduler.dead_dpus
+            if newly:
+                scheduler.mark_dead(newly)
+            if plan is None or attempt >= plan.config.max_redispatch_attempts:
+                for qidx, key in failed:
+                    stats.uncovered.add(
+                        (qidx, self.plan.shards[key].cluster_id)
+                    )
+                break
+            backoff = plan.config.retry_backoff_s * (2.0 ** attempt)
+            breakdown.add_stall(backoff)
+            stats.backoff_seconds += backoff
+            stats.redispatch_rounds += 1
+            assignments, uncovered = scheduler.failover_assignments(failed)
+            stats.uncovered.update(uncovered)
+            stats.task_retries += sum(len(t) for t in assignments.values())
+            failed = self._execute(
+                assignments, queries, k, pools_i, pools_d, breakdown,
+                host_seconds=0.0, num_new_queries=0,
+            )
+            attempt += 1
 
     # ---------------------------------------------------------------- helpers
     def reference_search(self, queries: np.ndarray) -> SearchResult:

@@ -1,4 +1,4 @@
-"""Runtime query scheduling (§IV-D).
+"""Runtime query scheduling (§IV-D), extended with fault awareness.
 
 At batch time each located (query, cluster) pair must be mapped to
 concrete DPU tasks. Because hot clusters are replicated, there is a
@@ -18,12 +18,27 @@ Two components, as in the paper:
   (a DPU slow in this batch is not necessarily slow in the next). The
   engine carries deferred tasks forward and merges their results when
   they eventually execute.
+
+Fault awareness (see :mod:`repro.faults`) adds two pieces of state:
+
+* a **blacklist** of fail-stopped DPUs (:meth:`RuntimeScheduler.mark_dead`)
+  — blacklisted DPUs never appear in assignments again; replica groups
+  with a dead member are skipped, and when no group survives intact the
+  scheduler assembles a mixed group part-by-part from live replicas
+  (parts are row-aligned across replicas, so mixing is sound);
+* per-DPU **speed factors** (:meth:`RuntimeScheduler.set_speed_factors`)
+  — the predictor divides Eq. 15 latency by the DPU's derated relative
+  frequency, so stragglers attract proportionally less work.
+
+A (query, cluster) task whose parts cannot all be covered by live
+replicas is returned in :attr:`ScheduleOutcome.uncovered`; the engine
+serves what it can and flags the query degraded instead of raising.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -63,7 +78,10 @@ class ScheduleOutcome:
 
     assignments: Dict[int, List[Tuple[int, str]]]  # dpu -> [(query, shard)]
     deferred: List[Tuple[int, int]]  # [(query, cluster)] for next batch
-    predicted_load: np.ndarray  # (num_dpus,) cycles
+    predicted_load: np.ndarray  # (num_dpus,) predicted cycles (speed-weighted)
+    # Tasks with at least one part that no live replica covers; the
+    # covered parts (if any) are still assigned.
+    uncovered: List[Tuple[int, int]] = field(default_factory=list)
 
 
 class RuntimeScheduler:
@@ -72,6 +90,8 @@ class RuntimeScheduler:
     def __init__(self, plan: LayoutPlan, config: SchedulerConfig) -> None:
         self.plan = plan
         self.config = config
+        self._dead: Set[int] = set()
+        self._speed = np.ones(plan.num_dpus)
         # Pre-compute per-replica-group (dpu, latency) footprints.
         self._group_info: Dict[int, List[List[Tuple[int, str, float]]]] = {}
         for cid, groups in plan.replica_groups.items():
@@ -89,11 +109,57 @@ class RuntimeScheduler:
                 infos.append(info)
             self._group_info[cid] = infos
 
+    # ----- fault state ------------------------------------------------------
+    @property
+    def dead_dpus(self) -> Set[int]:
+        """Blacklisted (fail-stopped) DPUs."""
+        return set(self._dead)
+
+    def mark_dead(self, dpu_ids: Iterable[int]) -> None:
+        """Permanently blacklist DPUs; they never get assignments again."""
+        for d in dpu_ids:
+            if not 0 <= d < self.plan.num_dpus:
+                raise ValueError(
+                    f"dpu_id {d} out of range [0, {self.plan.num_dpus})"
+                )
+            self._dead.add(int(d))
+
+    @property
+    def speed_factors(self) -> np.ndarray:
+        """Per-DPU relative speed (1.0 = nominal clock)."""
+        return self._speed.copy()
+
+    def set_speed_factors(self, factors: np.ndarray) -> None:
+        """Re-weight the predictor for derated (straggler) DPUs."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.plan.num_dpus,):
+            raise ValueError(
+                f"speed factors must have shape ({self.plan.num_dpus},), "
+                f"got {factors.shape}"
+            )
+        if np.any(factors <= 0) or np.any(factors > 1):
+            raise ValueError("speed factors must be in (0, 1]")
+        self._speed = factors.copy()
+
+    def adopt_fault_state(self, other: "RuntimeScheduler") -> None:
+        """Copy blacklist + speed factors (drain/ablation schedulers)."""
+        self._dead = set(other._dead)
+        self._speed = other._speed.copy()
+
+    def _alive(self, dpu_id: int) -> bool:
+        return dpu_id not in self._dead
+
+    # ----- prediction -------------------------------------------------------
     def task_latency(self, num_points: int) -> float:
         """Eq. 15 for one shard of ``num_points`` points."""
         c = self.config
         return c.lut_latency + num_points * (c.per_point_calc + c.per_point_sort)
 
+    def _cost_on(self, dpu_id: int, lat: float) -> float:
+        """Predicted cycles of a part on a DPU, at that DPU's clock."""
+        return lat / self._speed[dpu_id]
+
+    # ----- scheduling -------------------------------------------------------
     def schedule_batch(
         self, tasks: Sequence[Tuple[int, int]]
     ) -> ScheduleOutcome:
@@ -111,6 +177,7 @@ class RuntimeScheduler:
         assignments: Dict[int, List[Tuple[int, str]]] = {
             d: [] for d in range(num_dpus)
         }
+        uncovered: List[Tuple[int, int]] = []
         # (task, group_latency) — sort descending by footprint.
         def group_cost(cid: int) -> float:
             return sum(l for _, _, l in self._group_info[cid][0])
@@ -120,21 +187,41 @@ class RuntimeScheduler:
         task_record: List[Tuple[int, int, List[Tuple[int, str, float]]]] = []
         for qidx, cid in ordered:
             groups = self._group_info[cid]
-            if self.config.policy == "static":
-                chosen = groups[0]
+            if self._dead:
+                alive_groups = [
+                    g for g in groups if all(self._alive(d) for d, _, _ in g)
+                ]
             else:
-                # Pick the replica group minimizing the resulting max
-                # member-DPU load.
-                best_val = None
-                chosen = groups[0]
-                for info in groups:
-                    val = max(load[d] + lat for d, _, lat in info)
-                    if best_val is None or val < best_val:
-                        best_val = val
-                        chosen = info
+                alive_groups = groups
+            if alive_groups:
+                if self.config.policy == "static":
+                    chosen = alive_groups[0]
+                else:
+                    # Pick the replica group minimizing the resulting
+                    # max member-DPU load.
+                    best_val = None
+                    chosen = alive_groups[0]
+                    for info in alive_groups:
+                        val = max(
+                            load[d] + self._cost_on(d, lat)
+                            for d, _, lat in info
+                        )
+                        if best_val is None or val < best_val:
+                            best_val = val
+                            chosen = info
+            else:
+                # No replica group survives intact: assemble a mixed
+                # group part-by-part. Parts are row-aligned across
+                # replicas, so replica r's part p covers exactly the
+                # same points as replica r''s part p.
+                chosen, missing = self._salvage_parts(cid, load)
+                if missing:
+                    uncovered.append((qidx, cid))
+                if not chosen:
+                    continue
             for d, key, lat in chosen:
                 assignments[d].append((qidx, key))
-                load[d] += lat
+                load[d] += self._cost_on(d, lat)
             task_record.append((qidx, cid, chosen))
 
         deferred: List[Tuple[int, int]] = []
@@ -157,7 +244,7 @@ class RuntimeScheduler:
                         if touched & hot_dpus:
                             still_hot = False
                             for d, key, lat in info:
-                                load[d] -= lat
+                                load[d] -= self._cost_on(d, lat)
                                 assignments[d].remove((qidx, key))
                                 if load[d] > cfg.filter_threshold * mean_load:
                                     still_hot = True
@@ -175,4 +262,62 @@ class RuntimeScheduler:
             assignments={d: a for d, a in assignments.items() if a},
             deferred=deferred,
             predicted_load=load,
+            uncovered=uncovered,
         )
+
+    def _salvage_parts(
+        self, cid: int, load: np.ndarray
+    ) -> Tuple[List[Tuple[int, str, float]], int]:
+        """Per-part live-replica selection when no group is intact.
+
+        Returns (chosen parts, number of parts with no live replica).
+        """
+        groups = self._group_info[cid]
+        num_parts = len(groups[0])
+        chosen: List[Tuple[int, str, float]] = []
+        missing = 0
+        for p in range(num_parts):
+            options = [g[p] for g in groups if self._alive(g[p][0])]
+            if not options:
+                missing += 1
+                continue
+            best = min(
+                options,
+                key=lambda o: (load[o[0]] + self._cost_on(o[0], o[2]), o[0]),
+            )
+            chosen.append(best)
+        return chosen, missing
+
+    # ----- failover ---------------------------------------------------------
+    def failover_assignments(
+        self, failed: Sequence[Tuple[int, str]]
+    ) -> Tuple[Dict[int, List[Tuple[int, str]]], List[Tuple[int, int]]]:
+        """Re-dispatch failed (query, shard) tasks to live replicas.
+
+        Failover is part-exact: a failed shard re-runs as the same part
+        of another replica (row-aligned), so merged top-k pools never
+        double-count a point. Returns ``(assignments, uncovered)``
+        where ``uncovered`` lists (query, cluster) tasks whose part has
+        no surviving replica.
+        """
+        assignments: Dict[int, List[Tuple[int, str]]] = {}
+        uncovered: List[Tuple[int, int]] = []
+        load = np.zeros(self.plan.num_dpus)
+        for qidx, key in failed:
+            shard = self.plan.shards[key]
+            groups = self._group_info[shard.cluster_id]
+            options = [
+                g[shard.part_id]
+                for g in groups
+                if self._alive(g[shard.part_id][0])
+            ]
+            if not options:
+                uncovered.append((qidx, shard.cluster_id))
+                continue
+            d, new_key, lat = min(
+                options,
+                key=lambda o: (load[o[0]] + self._cost_on(o[0], o[2]), o[0]),
+            )
+            assignments.setdefault(d, []).append((qidx, new_key))
+            load[d] += self._cost_on(d, lat)
+        return assignments, uncovered

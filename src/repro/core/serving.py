@@ -21,7 +21,7 @@ engine's p99 improves far more than its mean.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -48,36 +48,75 @@ class PoissonArrivals:
 
 @dataclass(frozen=True)
 class BatchingPolicy:
-    """Size-or-timeout batch formation."""
+    """Size-or-timeout batch formation, plus an optional deadline.
+
+    ``deadline_s`` bounds a query's arrival→completion latency. Under
+    overload (or after fault-recovery stalls) the engine falls behind;
+    ``overload_policy`` picks what happens to queries that cannot meet
+    the deadline:
+
+    * ``"degrade"`` (default) — serve them anyway and count the miss;
+    * ``"shed"`` — drop queries already past their deadline at batch
+      launch (they could not possibly meet it), protecting the queries
+      behind them.
+    """
 
     batch_size: int = 64
     max_wait_s: float = 2e-3
+    deadline_s: Optional[float] = None
+    overload_policy: str = "degrade"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 or None")
+        if self.overload_policy not in ("degrade", "shed"):
+            raise ValueError(
+                f"overload_policy must be 'degrade' or 'shed', "
+                f"got {self.overload_policy!r}"
+            )
 
 
 @dataclass
 class ServingReport:
-    """Latency distribution of one serving run."""
+    """Latency distribution (and degradation ledger) of one serving run."""
 
-    latencies_s: np.ndarray  # per query, arrival -> results returned
+    latencies_s: np.ndarray  # per served query, arrival -> results returned
     batch_sizes: List[int]
     busy_seconds: float  # total engine busy time
     makespan_s: float  # last completion - first arrival
+    # Fault / overload accounting (zero on a healthy, unloaded run).
+    shed_queries: int = 0  # dropped at launch under the shed policy
+    deadline_misses: int = 0  # served but past deadline_s
+    degraded_queries: int = 0  # served with partial cluster coverage
+    task_retries: int = 0  # (query, shard) tasks re-dispatched
+    transfer_timeouts: int = 0
+    transient_faults: int = 0
+    dead_dpus: int = 0  # distinct fail-stopped DPUs observed
+    backoff_seconds: float = 0.0
 
     @property
     def num_queries(self) -> int:
+        """Queries actually served (shed queries are excluded)."""
         return len(self.latencies_s)
 
+    @property
+    def num_offered(self) -> int:
+        """Queries that arrived, served or shed."""
+        return self.num_queries + self.shed_queries
+
     def percentile_ms(self, q: float) -> float:
+        if self.num_queries == 0:
+            return 0.0
         return float(np.percentile(self.latencies_s, q) * 1e3)
 
     @property
     def mean_ms(self) -> float:
+        if self.num_queries == 0:
+            return 0.0
         return float(self.latencies_s.mean() * 1e3)
 
     @property
@@ -93,14 +132,45 @@ class ServingReport:
             return 0.0
         return min(self.busy_seconds / self.makespan_s, 1.0)
 
+    @property
+    def degraded_fraction(self) -> float:
+        """Served-with-partial-coverage fraction of offered queries."""
+        if self.num_offered == 0:
+            return 0.0
+        return self.degraded_queries / self.num_offered
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered queries served at full coverage."""
+        if self.num_offered == 0:
+            return 1.0
+        return (self.num_queries - self.degraded_queries) / self.num_offered
+
     def summary(self) -> str:
-        return (
+        if self.num_offered == 0:
+            return "0 queries"
+        text = (
             f"{self.num_queries} queries: mean {self.mean_ms:.2f} ms, "
             f"p50 {self.percentile_ms(50):.2f} ms, "
             f"p95 {self.percentile_ms(95):.2f} ms, "
             f"p99 {self.percentile_ms(99):.2f} ms; "
             f"{self.achieved_qps:,.0f} QPS at {self.utilization:.0%} utilization"
         )
+        if self.shed_queries or self.deadline_misses:
+            text += (
+                f"; {self.shed_queries} shed, "
+                f"{self.deadline_misses} deadline misses"
+            )
+        if self.degraded_queries or self.dead_dpus or self.task_retries:
+            text += (
+                f"; faults: {self.dead_dpus} dead DPUs, "
+                f"{self.task_retries} task retries, "
+                f"{self.transient_faults} transients, "
+                f"{self.transfer_timeouts} xfer timeouts, "
+                f"{self.degraded_queries} degraded "
+                f"(availability {self.availability:.1%})"
+            )
+        return text
 
 
 def simulate_serving(
@@ -127,9 +197,18 @@ def simulate_serving(
     if np.any(np.diff(arrivals_s) < 0):
         raise ValueError("arrivals must be sorted")
     n = len(queries)
-    completion = np.zeros(n)
+    completion = np.full(n, np.nan)
+    served = np.zeros(n, dtype=bool)
     batch_sizes: List[int] = []
     busy = 0.0
+    shed = 0
+    misses = 0
+    degraded = 0
+    retries = 0
+    timeouts = 0
+    transients = 0
+    backoff = 0.0
+    dead: set = set()
 
     engine_free_at = 0.0
     i = 0
@@ -150,19 +229,56 @@ def simulate_serving(
                 and arrivals_s[j] <= launch
             ):
                 j += 1
-        batch = queries[i:j]
-        _, bd = engine.search(batch, with_scheduler=with_scheduler)
+        members = np.arange(i, j)
+        if policy.deadline_s is not None and policy.overload_policy == "shed":
+            # Queries already past their deadline at launch cannot
+            # possibly meet it — drop them rather than slowing the
+            # queue further.
+            viable = launch - arrivals_s[members] <= policy.deadline_s
+            shed += int(np.count_nonzero(~viable))
+            members = members[viable]
+            if len(members) == 0:
+                i = j
+                continue
+        _, bd = engine.search(
+            queries[members], with_scheduler=with_scheduler
+        )
         service = bd.e2e_seconds
         done = launch + service
-        completion[i:j] = done
+        completion[members] = done
+        served[members] = True
         busy += service
         engine_free_at = done
-        batch_sizes.append(j - i)
+        batch_sizes.append(len(members))
+        if policy.deadline_s is not None:
+            misses += int(
+                np.count_nonzero(
+                    done - arrivals_s[members] > policy.deadline_s
+                )
+            )
+        if bd.faults is not None:
+            degraded += len(bd.faults.degraded_queries)
+            retries += bd.faults.task_retries
+            timeouts += bd.faults.transfer_timeouts
+            transients += bd.faults.transient_faults
+            backoff += bd.faults.backoff_seconds
+            dead |= bd.faults.dead_dpus
         i = j
 
+    makespan = 0.0
+    if served.any():
+        makespan = float(completion[served].max() - arrivals_s.min())
     return ServingReport(
-        latencies_s=completion - arrivals_s,
+        latencies_s=(completion - arrivals_s)[served],
         batch_sizes=batch_sizes,
         busy_seconds=busy,
-        makespan_s=float(completion.max() - arrivals_s.min()) if n else 0.0,
+        makespan_s=makespan,
+        shed_queries=shed,
+        deadline_misses=misses,
+        degraded_queries=degraded,
+        task_retries=retries,
+        transfer_timeouts=timeouts,
+        transient_faults=transients,
+        dead_dpus=len(dead),
+        backoff_seconds=backoff,
     )

@@ -1,0 +1,18 @@
+"""Fault injection and fault tolerance for the simulated PIM.
+
+* :mod:`repro.faults.plan` — seeded, deterministic fault schedules
+  (fail-stop crashes, stragglers, transient kernel faults, transfer
+  timeouts);
+* :mod:`repro.faults.report` — per-run fault/recovery accounting;
+* :mod:`repro.faults.chaos` — the chaos harness behind ``repro chaos``
+  (imported explicitly — it depends on :mod:`repro.core`, which in
+  turn imports the two modules above).
+
+See ``docs/fault_tolerance.md`` for the fault taxonomy and recovery
+semantics.
+"""
+
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.faults.report import FaultStats
+
+__all__ = ["FaultConfig", "FaultPlan", "FaultStats"]

@@ -1,0 +1,232 @@
+"""Chaos harness: sweep fault rates, measure what survives.
+
+The availability story of the fault layer is a claim, and this module
+is the experiment that checks it. For each fail-stop rate in a sweep it
+builds an engine over the same quantized index, injects a seeded
+:class:`~repro.faults.plan.FaultPlan`, runs a query batch, and compares
+against the fault-free gold standard
+(:meth:`~repro.core.quantized.QuantizedIndexData.reference_search`,
+which the engine matches bit-exactly when healthy):
+
+* **recall@k** of the faulty run against the fault-free results —
+  with cluster duplication on, losing a DPU should cost (near) nothing
+  because every shard has a live replica;
+* **exactness** — whether ids and distances still match the gold run
+  bit-for-bit (true whenever every probed cluster kept >= 1 live
+  replica per part);
+* **availability / degraded fraction** — queries served at full
+  coverage vs. with clusters silently dropped;
+* **latency** — e2e and p99 per-batch PIM time, showing the cost of
+  retries, backoff, and stragglers.
+
+Everything is seeded: two calls with the same :class:`ChaosConfig`
+produce byte-identical reports (the determinism test relies on it).
+
+Not imported by ``repro.faults.__init__`` — this module pulls in the
+whole engine stack, while ``repro.core`` imports the fault primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.ann.recall import recall_at_k
+from repro.core.engine import DrimAnnEngine
+from repro.core.layout import LayoutConfig
+from repro.core.params import IndexParams, SearchParams
+from repro.core.quantized import build_quantized_index
+from repro.ann.ivfpq import IVFPQIndex
+from repro.data.synthetic import SyntheticSpec, make_clustered_dataset
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.pim.config import PimSystemConfig
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos sweep: workload shape + fault rates to visit."""
+
+    num_dpus: int = 64
+    num_vectors: int = 4096
+    dim: int = 32
+    num_queries: int = 64
+    nlist: int = 64
+    nprobe: int = 8
+    k: int = 10
+    num_subspaces: int = 8
+    # Fail-stop fractions to sweep (0.0 gives the in-sweep control arm).
+    fail_stop_rates: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.10)
+    # Held constant across the sweep.
+    straggler_fraction: float = 0.0
+    transient_rate: float = 0.0
+    transfer_timeout_rate: float = 0.0
+    fail_stop_max_batch: int = 0  # crash at batch 0: worst case for coverage
+    # Replicate clusters (max_copies=2)? The no-duplication arm is the
+    # ablation that shows *why* failover needs replicas.
+    duplicate: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.fail_stop_rates:
+            raise ValueError("fail_stop_rates must be non-empty")
+        for r in self.fail_stop_rates:
+            if not 0.0 <= r <= 1.0:
+                raise ValueError(f"fail-stop rate {r} not in [0, 1]")
+
+    @classmethod
+    def smoke(cls, *, duplicate: bool = True, seed: int = 0) -> "ChaosConfig":
+        """A seconds-scale sweep for CI."""
+        return cls(
+            num_dpus=32,
+            num_vectors=2048,
+            dim=16,
+            num_queries=32,
+            nlist=32,
+            nprobe=4,
+            num_subspaces=4,
+            fail_stop_rates=(0.0, 0.05),
+            duplicate=duplicate,
+            seed=seed,
+        )
+
+
+@dataclass
+class ChaosPoint:
+    """Measurements at one fail-stop rate."""
+
+    fail_stop_fraction: float
+    dead_dpus: int
+    recall: float  # vs the fault-free gold run, @k
+    exact: bool  # ids AND distances bit-identical to gold
+    availability: float
+    degraded_fraction: float
+    task_retries: int
+    transient_faults: int
+    transfer_timeouts: int
+    e2e_ms: float
+    p99_batch_ms: float
+
+    def row(self) -> str:
+        flag = "exact" if self.exact else "     "
+        return (
+            f"{self.fail_stop_fraction:7.1%} {self.dead_dpus:5d} "
+            f"{self.recall:8.4f} {flag} {self.availability:7.1%} "
+            f"{self.degraded_fraction:9.1%} {self.task_retries:8d} "
+            f"{self.e2e_ms:9.3f} {self.p99_batch_ms:9.3f}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Full sweep output."""
+
+    config: ChaosConfig
+    points: List[ChaosPoint] = field(default_factory=list)
+
+    def point_at(self, rate: float) -> ChaosPoint:
+        for p in self.points:
+            if p.fail_stop_fraction == rate:
+                return p
+        raise KeyError(f"no chaos point at fail-stop rate {rate}")
+
+    def to_dict(self) -> dict:
+        return {
+            "config": asdict(self.config),
+            "points": [asdict(p) for p in self.points],
+        }
+
+    def summary(self) -> str:
+        dup = "on" if self.config.duplicate else "off"
+        lines = [
+            f"chaos sweep: {self.config.num_dpus} DPUs, "
+            f"{self.config.num_queries} queries, duplication {dup}, "
+            f"seed {self.config.seed}",
+            "   fail  dead   recall@k       avail  degraded  retries"
+            "    e2e_ms    p99_ms",
+        ]
+        lines.extend(p.row() for p in self.points)
+        return "\n".join(lines)
+
+
+def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosReport:
+    """Run the sweep. Deterministic for a fixed ``config``."""
+    ds = make_clustered_dataset(
+        SyntheticSpec(
+            num_vectors=config.num_vectors,
+            dim=config.dim,
+            num_components=min(config.nlist, 64),
+        ),
+        num_queries=config.num_queries,
+        seed=config.seed,
+    )
+    params = IndexParams(
+        nlist=config.nlist,
+        nprobe=config.nprobe,
+        k=config.k,
+        num_subspaces=config.num_subspaces,
+    )
+    # Train once; every sweep point reuses the same quantized index so
+    # the only variable between points is the fault plan.
+    index = IVFPQIndex.build(
+        ds.base,
+        nlist=params.nlist,
+        num_subspaces=params.num_subspaces,
+        codebook_size=params.codebook_size,
+        seed=config.seed,
+    )
+    quantized = build_quantized_index(index)
+    gold = quantized.reference_search(ds.queries, params.k, params.nprobe)
+
+    system_config = PimSystemConfig(
+        num_dpus=config.num_dpus,
+        dpus_per_rank=min(config.num_dpus, 64),
+    )
+    layout_config = LayoutConfig(max_copies=2 if config.duplicate else 0)
+
+    report = ChaosReport(config=config)
+    for rate in config.fail_stop_rates:
+        plan = FaultPlan.generate(
+            config.num_dpus,
+            FaultConfig(
+                fail_stop_fraction=rate,
+                fail_stop_max_batch=config.fail_stop_max_batch,
+                straggler_fraction=config.straggler_fraction,
+                transient_rate=config.transient_rate,
+                transfer_timeout_rate=config.transfer_timeout_rate,
+            ),
+            seed=config.seed,
+        )
+        engine = DrimAnnEngine.build(
+            ds.base,
+            params,
+            search_params=SearchParams(),
+            system_config=system_config,
+            layout_config=layout_config,
+            prebuilt_quantized=quantized,
+            fault_plan=plan,
+            seed=config.seed,
+        )
+        result, bd = engine.search(ds.queries)
+        stats = bd.faults
+        exact = bool(
+            np.array_equal(result.ids, gold.ids)
+            and np.array_equal(result.distances, gold.distances)
+        )
+        report.points.append(
+            ChaosPoint(
+                fail_stop_fraction=rate,
+                dead_dpus=len(stats.dead_dpus),
+                recall=recall_at_k(result.ids, gold.ids, params.k),
+                exact=exact,
+                availability=stats.availability,
+                degraded_fraction=stats.degraded_fraction,
+                task_retries=stats.task_retries,
+                transient_faults=stats.transient_faults,
+                transfer_timeouts=stats.transfer_timeouts,
+                e2e_ms=bd.e2e_seconds * 1e3,
+                p99_batch_ms=bd.batch_latency_percentile(99) * 1e3,
+            )
+        )
+    return report

@@ -1,0 +1,219 @@
+"""Deterministic fault injection plans for the simulated PIM.
+
+A production deployment of the paper's 2,530-DPU platform (its RAG
+serving motivation) cannot assume every DPU is healthy: UpANNS reports
+per-DPU frequency variability on real UPMEM boards, ranks drop off the
+bus, and host<->PIM DMA occasionally times out. This module models four
+fault classes:
+
+* **fail-stop** — a DPU crashes at the start of a given batch and never
+  comes back; every task assigned to it from that batch on is lost and
+  must fail over to a surviving replica;
+* **straggler** — a DPU runs at a derated clock (``frequency * derate``)
+  for the whole run, so the host-synchronous batch time becomes
+  ``max_i(cycles_i / f_i)`` instead of sharing one clock;
+* **transient kernel fault** — one kernel-chain execution on a DPU
+  produces garbage and is retried on the same DPU after a modeled
+  backoff (results come from the retry, so numerics are unchanged);
+* **transfer timeout** — a host<->PIM results gather times out once and
+  is retried, charging the timeout plus the repeated transfer.
+
+Everything is **pre-drawn** at plan construction from one seed:
+injection is a pure table lookup at execution time, so a run is
+bit-reproducible regardless of scheduling order, and two runs with the
+same seed see byte-identical fault sequences (the chaos harness and the
+property tests rely on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs (rates are fractions / probabilities)."""
+
+    # Fraction of DPUs that fail-stop; each draws a crash batch
+    # uniformly from [0, fail_stop_max_batch].
+    fail_stop_fraction: float = 0.0
+    fail_stop_max_batch: int = 4
+    # Fraction of DPUs running derated, and the derate factor range
+    # (effective frequency = frequency * derate).
+    straggler_fraction: float = 0.0
+    straggler_derate: Tuple[float, float] = (0.4, 0.9)
+    # Per-(DPU, batch) probability of one transient kernel fault.
+    transient_rate: float = 0.0
+    # Per-batch probability that the results gather times out once.
+    transfer_timeout_rate: float = 0.0
+    # Batches for which transient/timeout events are pre-drawn; beyond
+    # the horizon no further transients or timeouts fire.
+    horizon_batches: int = 256
+    # Modeled delays.
+    transient_backoff_s: float = 50e-6  # on-DPU wait before a kernel retry
+    transfer_timeout_s: float = 1e-3  # wasted time per timed-out gather
+    retry_backoff_s: float = 100e-6  # host-side base for failover backoff
+    # Failover re-dispatch attempts before a task is declared uncovered.
+    max_redispatch_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("fail_stop_fraction", "straggler_fraction"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        for name in ("transient_rate", "transfer_timeout_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        lo, hi = self.straggler_derate
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ValueError(
+                f"straggler_derate must satisfy 0 < lo <= hi <= 1, got {self.straggler_derate}"
+            )
+        if self.fail_stop_max_batch < 0:
+            raise ValueError("fail_stop_max_batch must be >= 0")
+        if self.horizon_batches < 1:
+            raise ValueError("horizon_batches must be >= 1")
+        for name in ("transient_backoff_s", "transfer_timeout_s", "retry_backoff_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.max_redispatch_attempts < 1:
+            raise ValueError("max_redispatch_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A fully pre-drawn fault schedule for one run.
+
+    Build with :meth:`generate` (seeded) or :meth:`none` (benign).
+    """
+
+    num_dpus: int
+    config: FaultConfig
+    fail_at_batch: Dict[int, int] = field(default_factory=dict)  # dpu -> batch
+    derates: np.ndarray = field(default_factory=lambda: np.ones(0))  # (num_dpus,)
+    transients: FrozenSet[Tuple[int, int]] = frozenset()  # (dpu, batch)
+    transfer_timeouts: FrozenSet[int] = frozenset()  # batch indices
+
+    def __post_init__(self) -> None:
+        if self.num_dpus <= 0:
+            raise ValueError("num_dpus must be > 0")
+        derates = np.asarray(self.derates, dtype=np.float64)
+        if derates.shape != (self.num_dpus,):
+            derates = np.ones(self.num_dpus)
+        if np.any(derates <= 0) or np.any(derates > 1):
+            raise ValueError("derates must be in (0, 1]")
+        object.__setattr__(self, "derates", derates)
+        for dpu, batch in self.fail_at_batch.items():
+            if not 0 <= dpu < self.num_dpus:
+                raise ValueError(f"fail-stop dpu {dpu} out of range [0, {self.num_dpus})")
+            if batch < 0:
+                raise ValueError(f"fail batch must be >= 0, got {batch}")
+
+    # ----- construction ---------------------------------------------------
+    @classmethod
+    def none(cls, num_dpus: int) -> "FaultPlan":
+        """A benign plan: no faults of any kind."""
+        return cls(num_dpus=num_dpus, config=FaultConfig())
+
+    @classmethod
+    def generate(
+        cls, num_dpus: int, config: FaultConfig, seed=None
+    ) -> "FaultPlan":
+        """Pre-draw every fault event from one seed.
+
+        Fail-stop and straggler DPU sets are disjoint (a dead DPU's
+        derate is irrelevant; keeping them separate makes reports
+        readable).
+        """
+        rng = ensure_rng(seed)
+        ids = rng.permutation(num_dpus)
+        n_fail = int(round(config.fail_stop_fraction * num_dpus))
+        n_strag = int(round(config.straggler_fraction * num_dpus))
+        n_strag = min(n_strag, num_dpus - n_fail)
+        fail_ids = ids[:n_fail]
+        strag_ids = ids[n_fail : n_fail + n_strag]
+
+        fail_at = {
+            int(d): int(rng.integers(0, config.fail_stop_max_batch + 1))
+            for d in fail_ids
+        }
+        derates = np.ones(num_dpus)
+        lo, hi = config.straggler_derate
+        for d in strag_ids:
+            derates[int(d)] = float(rng.uniform(lo, hi))
+
+        transients: Set[Tuple[int, int]] = set()
+        if config.transient_rate > 0:
+            hits = rng.random((config.horizon_batches, num_dpus)) < config.transient_rate
+            for b, d in zip(*np.nonzero(hits)):
+                transients.add((int(d), int(b)))
+
+        timeouts: Set[int] = set()
+        if config.transfer_timeout_rate > 0:
+            hits = rng.random(config.horizon_batches) < config.transfer_timeout_rate
+            timeouts = {int(b) for b in np.nonzero(hits)[0]}
+
+        return cls(
+            num_dpus=num_dpus,
+            config=config,
+            fail_at_batch=fail_at,
+            derates=derates,
+            transients=frozenset(transients),
+            transfer_timeouts=frozenset(timeouts),
+        )
+
+    # ----- lookups (pure, O(1)) -------------------------------------------
+    def fail_batch_of(self, dpu_id: int) -> Optional[int]:
+        return self.fail_at_batch.get(dpu_id)
+
+    def dead_at(self, batch: int) -> Set[int]:
+        """DPUs that have fail-stopped by (the start of) ``batch``."""
+        return {d for d, b in self.fail_at_batch.items() if b <= batch}
+
+    def derate_of(self, dpu_id: int) -> float:
+        return float(self.derates[dpu_id])
+
+    def transient_at(self, dpu_id: int, batch: int) -> bool:
+        return (dpu_id, batch) in self.transients
+
+    def transfer_timeout_at(self, batch: int) -> bool:
+        return batch in self.transfer_timeouts
+
+    # ----- views ----------------------------------------------------------
+    @property
+    def failstop_dpus(self) -> List[int]:
+        return sorted(self.fail_at_batch)
+
+    @property
+    def straggler_dpus(self) -> List[int]:
+        return [int(d) for d in np.flatnonzero(self.derates < 1.0)]
+
+    @property
+    def has_capacity_faults(self) -> bool:
+        """True when DPUs die or run slow (affects placement-sensitive paths)."""
+        return bool(self.fail_at_batch) or bool(self.straggler_dpus)
+
+    @property
+    def is_benign(self) -> bool:
+        return (
+            not self.fail_at_batch
+            and not self.straggler_dpus
+            and not self.transients
+            and not self.transfer_timeouts
+        )
+
+    def summary(self) -> str:
+        return (
+            f"fault plan over {self.num_dpus} DPUs: "
+            f"{len(self.fail_at_batch)} fail-stop, "
+            f"{len(self.straggler_dpus)} stragglers, "
+            f"{len(self.transients)} transient kernel faults, "
+            f"{len(self.transfer_timeouts)} transfer timeouts "
+            f"(horizon {self.config.horizon_batches} batches)"
+        )

@@ -1,0 +1,86 @@
+"""Fault/recovery accounting for one engine run.
+
+:class:`FaultStats` rides on
+:class:`~repro.core.breakdown.TimingBreakdown` (``breakdown.faults``)
+so the engine's two-tuple ``search`` API is unchanged: callers that
+care about degradation read the stats, callers that don't see identical
+behavior. "Degraded" means at least one probed (query, cluster) task
+had no surviving replica and was dropped — the engine returns the
+partial top-k it could compute instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass
+class FaultStats:
+    """Observed faults and the recovery work they caused."""
+
+    dead_dpus: Set[int] = field(default_factory=set)  # observed fail-stops
+    straggler_dpus: Set[int] = field(default_factory=set)
+    transient_faults: int = 0  # kernel retries on the same DPU
+    transfer_timeouts: int = 0  # gathers retried after a timeout
+    task_retries: int = 0  # (query, shard) tasks re-dispatched
+    redispatch_rounds: int = 0  # failover batches executed
+    backoff_seconds: float = 0.0  # host-side retry backoff charged
+    uncovered: Set[Tuple[int, int]] = field(default_factory=set)  # (query, cluster)
+    coverage_by_query: Dict[int, float] = field(default_factory=dict)
+    num_queries: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one probed cluster could not be served."""
+        return bool(self.uncovered)
+
+    @property
+    def degraded_queries(self) -> List[int]:
+        return sorted({q for q, _ in self.uncovered})
+
+    @property
+    def degraded_fraction(self) -> float:
+        if self.num_queries <= 0:
+            return 0.0
+        return len(self.degraded_queries) / self.num_queries
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries served at full coverage."""
+        return 1.0 - self.degraded_fraction
+
+    def coverage(self, query_index: int) -> float:
+        """Fraction of the query's probed clusters that were served."""
+        return self.coverage_by_query.get(query_index, 1.0)
+
+    def finalize(self, num_queries: int, nprobe: int) -> None:
+        """Compute per-query coverage from the uncovered task set."""
+        self.num_queries = num_queries
+        lost: Dict[int, Set[int]] = {}
+        for q, cid in self.uncovered:
+            lost.setdefault(q, set()).add(cid)
+        self.coverage_by_query = {
+            q: 1.0 - len(cids) / max(nprobe, 1) for q, cids in lost.items()
+        }
+
+    def summary(self) -> str:
+        if not (
+            self.dead_dpus
+            or self.straggler_dpus
+            or self.transient_faults
+            or self.transfer_timeouts
+            or self.uncovered
+        ):
+            return "no faults observed"
+        return (
+            f"{len(self.dead_dpus)} dead DPUs, "
+            f"{len(self.straggler_dpus)} stragglers, "
+            f"{self.transient_faults} transient faults, "
+            f"{self.transfer_timeouts} transfer timeouts; "
+            f"{self.task_retries} tasks re-dispatched over "
+            f"{self.redispatch_rounds} rounds "
+            f"(+{self.backoff_seconds * 1e3:.2f} ms backoff); "
+            f"{len(self.degraded_queries)}/{self.num_queries} queries degraded "
+            f"(availability {self.availability:.1%})"
+        )

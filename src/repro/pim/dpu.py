@@ -62,6 +62,7 @@ class Dpu:
         self.mram = Mram(config.mram_bytes)
         self.wram = Wram(config.wram_bytes)
         self.cycles_by_kernel: Dict[str, float] = {}
+        self.stall_cycles: float = 0.0
         self._costs: List[KernelCost] = []
 
     # ----- cycle accounting -------------------------------------------------
@@ -100,9 +101,22 @@ class Dpu:
         self._costs.append(cost)
         return cycles
 
+    def stall(self, cycles: float) -> float:
+        """Advance the DPU's timeline without doing work.
+
+        Models waits the fault layer charges to the DPU itself — e.g.
+        the backoff before a transient kernel fault's retry. Stall time
+        counts toward ``total_cycles`` (it delays everything after it
+        on this DPU's timeline) but not toward any kernel's ledger.
+        """
+        if cycles < 0:
+            raise ValueError(f"stall cycles must be >= 0, got {cycles}")
+        self.stall_cycles += cycles
+        return cycles
+
     @property
     def total_cycles(self) -> float:
-        return sum(self.cycles_by_kernel.values())
+        return sum(self.cycles_by_kernel.values()) + self.stall_cycles
 
     @property
     def total_seconds(self) -> float:
@@ -111,6 +125,7 @@ class Dpu:
     def reset_ledger(self) -> None:
         """Clear accumulated cycles (memory contents are kept)."""
         self.cycles_by_kernel.clear()
+        self.stall_cycles = 0.0
         self._costs.clear()
 
     def cost_log(self) -> List[KernelCost]:

@@ -18,12 +18,13 @@ cycle ledger that Figs. 8/10/11/12 are built from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.square_lut import SquareLut
+from repro.faults.plan import FaultPlan
 from repro.pim.config import PimSystemConfig
 from repro.pim.dpu import Dpu
 from repro.pim.kernels import (
@@ -55,6 +56,11 @@ class BatchTiming:
     pim_seconds: float  # max-DPU time (the batch's critical path)
     transfer_seconds: float  # host<->PIM traffic for this batch
     num_tasks: int
+    # Fault provenance: tasks lost to dead DPUs (query index as passed
+    # in `assignments`, shard key), and in-batch recovery counters.
+    failed_tasks: List[Tuple[int, str]] = field(default_factory=list)
+    transient_retries: int = 0
+    transfer_timeouts: int = 0
 
     @property
     def busy_fraction(self) -> float:
@@ -82,7 +88,12 @@ class PimSystem:
     traces, exportable to Chrome trace JSON).
     """
 
-    def __init__(self, config: PimSystemConfig, tracer=None) -> None:
+    def __init__(
+        self,
+        config: PimSystemConfig,
+        tracer=None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self.config = config
         self.dpus: List[Dpu] = [
             Dpu(i, config.dpu) for i in range(config.num_dpus)
@@ -92,6 +103,34 @@ class PimSystem:
         self.codebooks: Optional[np.ndarray] = None
         self.square_lut: Optional[SquareLut] = None
         self.tracer = tracer
+        if fault_plan is not None and fault_plan.num_dpus != config.num_dpus:
+            raise ValueError(
+                f"fault plan covers {fault_plan.num_dpus} DPUs but the "
+                f"system has {config.num_dpus}"
+            )
+        self.fault_plan = fault_plan
+        self._batch_index = 0
+        self._observed_dead: Set[int] = set()
+        # Per-DPU effective clock: stragglers run derated for the run.
+        if fault_plan is not None:
+            self._eff_freq = config.dpu.frequency_hz * fault_plan.derates
+        else:
+            self._eff_freq = np.full(config.num_dpus, config.dpu.frequency_hz)
+
+    def dead_dpus(self) -> Set[int]:
+        """DPUs observed dead so far (fail-stopped in an executed batch)."""
+        return set(self._observed_dead)
+
+    def _max_seconds(self, per_dpu_cycles: np.ndarray) -> float:
+        """Critical-path seconds over per-DPU cycle counts.
+
+        With a fault plan, each DPU runs at its own (possibly derated)
+        clock, so the batch ends with ``max_i(cycles_i / f_i)`` rather
+        than ``max_i(cycles_i) / f``.
+        """
+        if len(per_dpu_cycles) == 0:
+            return 0.0
+        return float(np.max(per_dpu_cycles / self._eff_freq, initial=0.0))
 
     def _charge(self, dpu: Dpu, cost, detail: str = "") -> float:
         """Charge a kernel cost, recording a trace event if tracing."""
@@ -207,7 +246,7 @@ class PimSystem:
 
         cycles_after = np.array([d.total_cycles for d in self.dpus])
         delta = cycles_after - cycles_before
-        cl_seconds = float(delta.max(initial=0.0)) / self.config.dpu.frequency_hz
+        cl_seconds = self._max_seconds(delta)
         cl_seconds += self.transfer.gather("cl_candidates", gather_bytes)
         return probes, cl_seconds, float(delta.sum())
 
@@ -233,8 +272,16 @@ class PimSystem:
         Returns
         -------
         (partials, timing): all tasks' local top-k lists plus the batch
-        timing record.
+        timing record. Tasks assigned to a fail-stopped DPU are *not*
+        executed; they come back in ``timing.failed_tasks`` for the
+        caller to fail over (see :mod:`repro.faults`).
         """
+        for dpu_id in assignments:
+            if not 0 <= dpu_id < len(self.dpus):
+                raise ValueError(
+                    f"assignment dpu_id {dpu_id} out of range "
+                    f"[0, {len(self.dpus)})"
+                )
         if self.codebooks is None:
             raise RuntimeError("codebooks not loaded; call load_codebooks first")
         sq = None
@@ -247,6 +294,11 @@ class PimSystem:
 
         queries = np.asarray(queries)
         num_tasks = sum(len(t) for t in assignments.values())
+        batch = self._batch_index
+        self._batch_index += 1
+        plan = self.fault_plan
+        if plan is not None:
+            self._observed_dead |= plan.dead_at(batch)
         if self.tracer is not None:
             self.tracer.next_batch()
 
@@ -261,11 +313,24 @@ class PimSystem:
                 kernel_before[kname] = kernel_before.get(kname, 0.0) + c
 
         partials: List[PartialResult] = []
+        failed_tasks: List[Tuple[int, str]] = []
+        transient_retries = 0
         result_bytes = 0
         for dpu_id, tasks in assignments.items():
             if not tasks:
                 continue
+            if dpu_id in self._observed_dead:
+                # Fail-stop: the DPU never responds; its tasks are lost
+                # and surface in timing.failed_tasks for failover.
+                failed_tasks.extend(tasks)
+                continue
             dpu = self.dpus[dpu_id]
+            # One pre-drawn transient kernel fault per (DPU, batch) at
+            # most: the first shard group's execution is wasted and
+            # retried on the same DPU after a modeled backoff.
+            transient_pending = (
+                plan is not None and plan.transient_at(dpu_id, batch)
+            )
             # Group this DPU's tasks by shard so RC/LC/DC batch across
             # the queries probing the same shard (as tasklets would
             # share the streamed cluster data).
@@ -282,19 +347,21 @@ class PimSystem:
             for skey, qidxs in by_shard.items():
                 shard = self._shards[skey][1]
                 qarr = queries[qidxs]
-                residuals, rc = run_residual(qarr, shard.centroid)
-                self._charge(dpu, rc, skey)
-                luts, lc = run_lut_build(residuals, self.codebooks, sq)
-                self._charge(dpu, lc, skey)
-                if len(shard.ids):
-                    dists, dc = run_distance_scan(luts, shard.codes)
-                    self._charge(dpu, dc, skey)
-                    rows, ts = run_topk_sort(dists, shard.ids, k)
-                    self._charge(dpu, ts, skey)
-                else:
-                    rows = [
-                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
-                    ] * len(qidxs)
+                rows = self._run_shard_kernels(dpu, shard, qarr, k, sq, skey)
+                if transient_pending:
+                    # First attempt's results are garbage: wait out the
+                    # backoff on this DPU's timeline, then retry. The
+                    # retry event starts after the original attempt
+                    # ends (the `repro lint` trace invariant).
+                    transient_pending = False
+                    transient_retries += 1
+                    dpu.stall(
+                        plan.config.transient_backoff_s
+                        * self.config.dpu.frequency_hz
+                    )
+                    rows = self._run_shard_kernels(
+                        dpu, shard, qarr, k, sq, f"{skey}#retry1"
+                    )
                 for qidx, (rids, rdists) in zip(qidxs, rows):
                     partials.append(
                         PartialResult(
@@ -303,7 +370,14 @@ class PimSystem:
                     )
                     result_bytes += len(rids) * 16  # id + distance
 
-        # PIM->host: gather per-task top-k results.
+        # PIM->host: gather per-task top-k results. A pre-drawn timeout
+        # charges the wasted attempt, then the gather is re-issued.
+        transfer_timeouts = 0
+        if plan is not None and plan.transfer_timeout_at(batch):
+            transfer_timeouts = 1
+            xfer += self.transfer.timeout(
+                "results", plan.config.transfer_timeout_s
+            )
         xfer += self.transfer.gather("results", result_bytes)
 
         cycles_after = np.array([d.total_cycles for d in self.dpus])
@@ -320,12 +394,39 @@ class PimSystem:
         timing = BatchTiming(
             per_dpu_cycles=per_dpu,
             kernel_cycles=kernel_cycles,
-            pim_seconds=float(per_dpu.max(initial=0.0))
-            / self.config.dpu.frequency_hz,
+            pim_seconds=self._max_seconds(per_dpu),
             transfer_seconds=xfer,
             num_tasks=num_tasks,
+            failed_tasks=failed_tasks,
+            transient_retries=transient_retries,
+            transfer_timeouts=transfer_timeouts,
         )
         return partials, timing
+
+    def _run_shard_kernels(
+        self,
+        dpu: Dpu,
+        shard: ShardData,
+        qarr: np.ndarray,
+        k: int,
+        sq,
+        detail: str,
+    ):
+        """RC→LC→DC→TS over one shard for a query group; returns rows."""
+        residuals, rc = run_residual(qarr, shard.centroid)
+        self._charge(dpu, rc, detail)
+        luts, lc = run_lut_build(residuals, self.codebooks, sq)
+        self._charge(dpu, lc, detail)
+        if len(shard.ids):
+            dists, dc = run_distance_scan(luts, shard.codes)
+            self._charge(dpu, dc, detail)
+            rows, ts = run_topk_sort(dists, shard.ids, k)
+            self._charge(dpu, ts, detail)
+        else:
+            rows = [
+                (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+            ] * len(qarr)
+        return rows
 
     def reset_ledgers(self) -> None:
         for d in self.dpus:

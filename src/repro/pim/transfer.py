@@ -78,6 +78,22 @@ class HostTransferModel:
         """Collect distinct payloads from DPUs; channel-parallel."""
         return self._record("gather", label, total_bytes, channel_parallel=True)
 
+    def timeout(self, label: str, seconds: float) -> float:
+        """Charge a timed-out transfer attempt (no bytes delivered).
+
+        The fault layer calls this before re-issuing the real transfer:
+        the wasted wall-clock is logged as its own event so traces and
+        ledgers show the retry explicitly.
+        """
+        if seconds < 0:
+            raise ValueError(f"timeout seconds must be >= 0, got {seconds}")
+        self.events.append(
+            TransferEvent(
+                kind="timeout", label=label, total_bytes=0.0, seconds=seconds
+            )
+        )
+        return seconds
+
     @property
     def total_seconds(self) -> float:
         return sum(e.seconds for e in self.events)

@@ -13,9 +13,14 @@ from repro.analysis.tracecheck import (
 from repro.pim.trace import TraceEvent, Tracer
 
 
-def _ev(name, dpu, start, end, batch=0):
+def _ev(name, dpu, start, end, batch=0, detail=""):
     return TraceEvent(
-        name=name, dpu_id=dpu, start_cycle=start, end_cycle=end, batch=batch
+        name=name,
+        dpu_id=dpu,
+        start_cycle=start,
+        end_cycle=end,
+        batch=batch,
+        detail=detail,
     )
 
 
@@ -92,6 +97,47 @@ class TestLiveEvents:
         assert check_tracer(tracer) == []
 
 
+class TestRetryOrdering:
+    def test_retry_after_original_is_clean(self):
+        events = [
+            _ev("DC", 0, 0, 10, detail="c0p0"),
+            _ev("DC", 0, 15, 25, detail="c0p0#retry1"),
+        ]
+        assert check_events(events) == []
+
+    def test_retry_overlapping_original_flagged(self):
+        events = [
+            _ev("DC", 0, 0, 10, detail="c0p0"),
+            _ev("DC", 0, 8, 18, detail="c0p0#retry1"),
+        ]
+        findings = check_events(events)
+        assert "retry-before-original" in [f.rule for f in findings]
+
+    def test_retry_entirely_before_original_flagged(self):
+        events = [
+            _ev("DC", 0, 20, 30, detail="c0p0"),
+            _ev("DC", 0, 0, 5, detail="c0p0#retry1"),
+        ]
+        findings = check_events(events)
+        assert [f.rule for f in findings] == ["retry-before-original"]
+
+    def test_retry_of_other_task_not_matched(self):
+        # A retry only orders against its own base task, not others
+        # sharing the kernel name.
+        events = [
+            _ev("DC", 0, 0, 10, detail="c1p0"),
+            _ev("DC", 0, 10, 15, detail="c0p0#retry1"),
+        ]
+        assert check_events(events) == []
+
+    def test_retry_on_other_dpu_independent(self):
+        events = [
+            _ev("DC", 0, 20, 30, detail="c0p0"),
+            _ev("DC", 1, 0, 5, detail="c0p0#retry1"),
+        ]
+        assert check_events(events) == []
+
+
 class TestChromeTrace:
     def _write(self, tmp_path, records):
         path = str(tmp_path / "trace.json")
@@ -155,6 +201,19 @@ class TestChromeTrace:
         )
         findings = check_chrome_trace(path)
         assert [f.rule for f in findings] == ["malformed-event"]
+
+    def test_retry_ordering_checked_in_json(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                {"name": "DC", "ph": "X", "ts": 20, "dur": 10, "tid": 0,
+                 "args": {"detail": "c0p0", "batch": 0}},
+                {"name": "DC", "ph": "X", "ts": 0, "dur": 5, "tid": 0,
+                 "args": {"detail": "c0p0#retry1", "batch": 0}},
+            ],
+        )
+        findings = check_chrome_trace(path)
+        assert [f.rule for f in findings] == ["retry-before-original"]
 
 
 class TestTracerValidation:

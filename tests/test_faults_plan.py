@@ -1,0 +1,125 @@
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultPlan
+
+
+class TestFaultConfig:
+    def test_defaults_are_benign(self):
+        cfg = FaultConfig()
+        assert cfg.fail_stop_fraction == 0.0
+        assert cfg.transient_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"fail_stop_fraction": -0.1},
+            {"fail_stop_fraction": 1.5},
+            {"straggler_fraction": 2.0},
+            {"transient_rate": -1e-9},
+            {"transfer_timeout_rate": 1.1},
+            {"straggler_derate": (0.0, 0.5)},
+            {"straggler_derate": (0.9, 0.4)},
+            {"straggler_derate": (0.5, 1.2)},
+            {"fail_stop_max_batch": -1},
+            {"horizon_batches": 0},
+            {"transient_backoff_s": -1.0},
+            {"retry_backoff_s": -1e-6},
+            {"max_redispatch_attempts": 0},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            FaultConfig(**kw)
+
+
+class TestGenerate:
+    def test_deterministic_for_seed(self):
+        cfg = FaultConfig(
+            fail_stop_fraction=0.1,
+            straggler_fraction=0.2,
+            transient_rate=0.05,
+            transfer_timeout_rate=0.1,
+        )
+        a = FaultPlan.generate(64, cfg, seed=7)
+        b = FaultPlan.generate(64, cfg, seed=7)
+        assert a.fail_at_batch == b.fail_at_batch
+        np.testing.assert_array_equal(a.derates, b.derates)
+        assert a.transients == b.transients
+        assert a.transfer_timeouts == b.transfer_timeouts
+
+    def test_different_seeds_differ(self):
+        cfg = FaultConfig(fail_stop_fraction=0.25, straggler_fraction=0.25)
+        a = FaultPlan.generate(64, cfg, seed=1)
+        b = FaultPlan.generate(64, cfg, seed=2)
+        assert (
+            a.fail_at_batch != b.fail_at_batch
+            or not np.array_equal(a.derates, b.derates)
+        )
+
+    def test_failstop_and_stragglers_disjoint(self):
+        cfg = FaultConfig(fail_stop_fraction=0.3, straggler_fraction=0.3)
+        plan = FaultPlan.generate(40, cfg, seed=0)
+        assert not set(plan.failstop_dpus) & set(plan.straggler_dpus)
+        assert len(plan.failstop_dpus) == 12
+        assert len(plan.straggler_dpus) == 12
+
+    def test_derates_in_configured_range(self):
+        cfg = FaultConfig(straggler_fraction=0.5, straggler_derate=(0.6, 0.8))
+        plan = FaultPlan.generate(32, cfg, seed=3)
+        der = plan.derates[plan.straggler_dpus]
+        assert np.all((der >= 0.6) & (der <= 0.8))
+        healthy = np.delete(plan.derates, plan.straggler_dpus)
+        assert np.all(healthy == 1.0)
+
+    def test_crash_batches_within_bound(self):
+        cfg = FaultConfig(fail_stop_fraction=0.5, fail_stop_max_batch=2)
+        plan = FaultPlan.generate(20, cfg, seed=0)
+        assert all(0 <= b <= 2 for b in plan.fail_at_batch.values())
+
+
+class TestLookups:
+    def test_dead_at_is_cumulative(self):
+        plan = FaultPlan(
+            num_dpus=8, config=FaultConfig(), fail_at_batch={1: 0, 5: 2}
+        )
+        assert plan.dead_at(0) == {1}
+        assert plan.dead_at(1) == {1}
+        assert plan.dead_at(2) == {1, 5}
+        assert plan.dead_at(100) == {1, 5}
+
+    def test_transient_and_timeout_lookups(self):
+        plan = FaultPlan(
+            num_dpus=4,
+            config=FaultConfig(),
+            transients=frozenset({(2, 1)}),
+            transfer_timeouts=frozenset({3}),
+        )
+        assert plan.transient_at(2, 1)
+        assert not plan.transient_at(2, 0)
+        assert plan.transfer_timeout_at(3)
+        assert not plan.transfer_timeout_at(2)
+
+    def test_none_is_benign(self):
+        plan = FaultPlan.none(16)
+        assert plan.is_benign
+        assert not plan.has_capacity_faults
+        assert plan.dead_at(1000) == set()
+        np.testing.assert_array_equal(plan.derates, np.ones(16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(num_dpus=0, config=FaultConfig())
+        with pytest.raises(ValueError):
+            FaultPlan(num_dpus=4, config=FaultConfig(), fail_at_batch={9: 0})
+        with pytest.raises(ValueError):
+            FaultPlan(num_dpus=4, config=FaultConfig(), fail_at_batch={1: -1})
+        with pytest.raises(ValueError):
+            FaultPlan(
+                num_dpus=4, config=FaultConfig(), derates=np.array([1, 1, 0, 1.0])
+            )
+
+    def test_summary_mentions_counts(self):
+        cfg = FaultConfig(fail_stop_fraction=0.25)
+        plan = FaultPlan.generate(8, cfg, seed=0)
+        assert "2 fail-stop" in plan.summary()
