@@ -4,17 +4,21 @@
 Walks the whole pipeline on a small SIFT-like dataset:
 
 1. generate a clustered uint8 corpus with exact ground truth;
-2. build the engine (trains IVF-PQ, quantizes it for the FPU-less
-   DPUs, lays clusters out across the simulated UPMEM system);
-3. run a batched search and inspect recall + the timing breakdown.
+2. bundle every knob into one :class:`EngineConfig` and build the
+   engine (trains IVF-PQ, quantizes it for the FPU-less DPUs, lays
+   clusters out across the simulated UPMEM system);
+3. run a batched search and inspect recall, the timing breakdown, and
+   the observability snapshot the engine collected along the way.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
     DrimAnnEngine,
+    EngineConfig,
     IndexParams,
     LayoutConfig,
+    ObsConfig,
     PimSystemConfig,
     load_dataset,
     recall_at_k,
@@ -25,18 +29,24 @@ def main() -> None:
     print("Loading sift-like-20k (20,000 x 128 uint8) ...")
     ds = load_dataset("sift-like-20k", seed=0, num_queries=200, ground_truth_k=10)
 
-    # Index parameters in the paper's notation: nlist clusters, probe
-    # nprobe of them per query, M PQ sub-spaces of CB entries, top-K.
-    params = IndexParams(
-        nlist=128, nprobe=8, k=10, num_subspaces=32, codebook_size=128
+    # Every knob lives in one validated bundle. Index parameters use
+    # the paper's notation: nlist clusters, probe nprobe of them per
+    # query, M PQ sub-spaces of CB entries, top-K. Observability is
+    # off by default; enabling it makes search() return a metrics
+    # snapshot alongside the results.
+    config = EngineConfig(
+        index=IndexParams(
+            nlist=128, nprobe=8, k=10, num_subspaces=32, codebook_size=128
+        ),
+        system=PimSystemConfig(num_dpus=32),
+        layout=LayoutConfig(min_split_size=300, max_copies=2),
+        obs=ObsConfig(enabled=True),
     )
 
     print("Building the engine (train -> quantize -> layout -> load DPUs) ...")
-    engine = DrimAnnEngine.build(
+    engine = DrimAnnEngine.from_config(
         ds.base,
-        params,
-        system_config=PimSystemConfig(num_dpus=32),
-        layout_config=LayoutConfig(min_split_size=300, max_copies=2),
+        config,
         heat_queries=ds.queries[:50],  # sample set for cluster-heat estimation
         seed=0,
     )
@@ -48,7 +58,8 @@ def main() -> None:
     )
 
     print("Searching 200 queries ...")
-    result, timing = engine.search(ds.queries)
+    outcome = engine.search(ds.queries)
+    result, timing = outcome  # unpacks like the historical two-tuple
 
     recall = recall_at_k(result.ids, ds.ground_truth, 10)
     print(f"\nrecall@10 = {recall:.3f}")
@@ -56,6 +67,17 @@ def main() -> None:
     print("\nPer-kernel share of DPU cycles (the paper's Fig. 8 view):")
     for kernel, share in timing.kernel_shares().items():
         print(f"  {kernel:3s} {share:6.1%}")
+
+    # The metrics snapshot carries the same story as structured series:
+    # per-phase time histograms, per-DPU scheduler load, fault counters.
+    snap = outcome.metrics
+    print("\nObservability snapshot:")
+    print(f"  queries counted: {snap.value('drimann_engine_queries_total'):.0f}")
+    for s in snap.series("drimann_phase_seconds"):
+        phase = s["labels"]["phase"]
+        print(f"  phase {phase:3s} total {s['sum'] * 1e3:8.3f} ms")
+    # snap.write_json("metrics.json") / snap.write_prometheus("metrics.prom")
+    # export the same snapshot for dashboards.
 
     # Sanity: the engine must agree with the host-side integer reference.
     ref = engine.reference_search(ds.queries)

@@ -10,11 +10,13 @@ is implemented in full.
 
 Quickstart::
 
-    from repro import DrimAnnEngine, IndexParams, load_dataset
+    from repro import DrimAnnEngine, EngineConfig, IndexParams, load_dataset
 
     ds = load_dataset("sift-like-20k", seed=0, ground_truth_k=10)
-    params = IndexParams(nlist=256, nprobe=8, k=10, num_subspaces=32)
-    engine = DrimAnnEngine.build(ds.base, params, seed=0)
+    config = EngineConfig(
+        index=IndexParams(nlist=256, nprobe=8, k=10, num_subspaces=32)
+    )
+    engine = DrimAnnEngine.from_config(ds.base, config, seed=0)
     result, timing = engine.search(ds.queries)
     print(timing.summary())
 """
@@ -34,14 +36,24 @@ from repro.core import (
     DatasetShape,
     DesignSpaceExplorer,
     DrimAnnEngine,
+    EngineConfig,
     HardwareProfile,
     IndexParams,
     LayoutConfig,
+    SearchOutcome,
     SearchParams,
+    ServingOutcome,
     SquareLut,
     TimingBreakdown,
 )
 from repro.data import Dataset, load_dataset, list_presets, make_query_workload
+from repro.obs import (
+    EngineObserver,
+    MetricsRegistry,
+    MetricsSnapshot,
+    ObsConfig,
+    PercentileSketch,
+)
 from repro.pim import EnergyModel, PimSystem, PimSystemConfig
 
 __version__ = "1.0.0"
@@ -60,16 +72,24 @@ __all__ = [
     "DatasetShape",
     "DesignSpaceExplorer",
     "DrimAnnEngine",
+    "EngineConfig",
     "HardwareProfile",
     "IndexParams",
     "LayoutConfig",
+    "SearchOutcome",
     "SearchParams",
+    "ServingOutcome",
     "SquareLut",
     "TimingBreakdown",
     "Dataset",
     "load_dataset",
     "list_presets",
     "make_query_workload",
+    "EngineObserver",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsConfig",
+    "PercentileSketch",
     "EnergyModel",
     "PimSystem",
     "PimSystemConfig",

@@ -14,6 +14,12 @@ Rules (ids are stable; each finding carries file:line + severity):
 * ``mutable-default`` (AL004) — mutable dataclass field defaults
   (list/dict/set literals, or ``field(default=<mutable>)``) shared
   across instances.
+* ``uncharged-kernel-call`` (AL005) — a function that invokes a
+  ``run_*`` PIM kernel but never charges its cost (``_charge`` /
+  ``charge``) produces cycles and traffic the timing model and the
+  observability layer never see. The kernel package itself (the
+  definitions) and ``analysis/`` (the cost cross-checker deliberately
+  runs kernels standalone) are exempt.
 """
 
 from __future__ import annotations
@@ -43,6 +49,14 @@ _MUTABLE_LITERALS = (
     ast.DictComp,
     ast.SetComp,
 )
+_KERNEL_RUNNERS = {
+    "run_cluster_locate",
+    "run_residual",
+    "run_lut_build",
+    "run_distance_scan",
+    "run_topk_sort",
+}
+_CHARGE_NAMES = {"_charge", "charge"}
 
 
 def _norm(path: str) -> str:
@@ -249,11 +263,54 @@ def _check_mutable_default(tree: ast.Module, path: str) -> List[Finding]:
     return findings
 
 
+def _is_charge_exempt_file(path: str) -> bool:
+    p = _norm(path)
+    return "/pim/kernels/" in p or "/analysis/" in p
+
+
+def _check_uncharged_kernel_call(tree: ast.Module, path: str) -> List[Finding]:
+    if _is_charge_exempt_file(path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        kernels_called = set()
+        charges = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            dotted = _dotted(sub.func)
+            if dotted is None:
+                continue
+            tail = dotted.split(".")[-1]
+            if tail in _KERNEL_RUNNERS:
+                kernels_called.add(tail)
+            elif tail in _CHARGE_NAMES:
+                charges = True
+        if kernels_called and not charges:
+            names = ", ".join(sorted(kernels_called))
+            findings.append(
+                _finding(
+                    "uncharged-kernel-call",
+                    Severity.ERROR,
+                    f"function {node.name!r} runs PIM kernel(s) {names} but "
+                    f"never charges the cost (_charge/charge); the cycles "
+                    f"and traffic are invisible to the timing model and "
+                    f"the metrics layer",
+                    path,
+                    node,
+                )
+            )
+    return findings
+
+
 _ALL_RULES = (
     _check_kernel_traffic,
     _check_rng_bypass,
     _check_float_in_integer_path,
     _check_mutable_default,
+    _check_uncharged_kernel_call,
 )
 
 

@@ -8,32 +8,90 @@
     python -m repro model  --points 100000000 --dim 128 --queries 10000 \
                            --nlist 16384 --nprobe 96
     python -m repro tune   --preset sift-like-20k --constraint 0.7
+    python -m repro serve  --rate 5000 --metrics-out metrics.json
     python -m repro chaos  --smoke
     python -m repro lint   --strict
 
 `build` trains + quantizes an index and writes it with
 :mod:`repro.core.persist`; `search` runs the simulated engine end to
-end and reports recall and the timing breakdown; `model` evaluates the
-analytic performance model at any scale (no simulation); `tune` runs
-the Bayesian-optimization DSE against measured recall; `lint` runs the
-static analyzer (resource contracts, cost-claim cross-checks, AST
-rules, trace invariants — see ``docs/static_analysis.md``).
+end and reports recall and the timing breakdown (``--profile`` adds
+the per-phase metrics profile); `model` evaluates the analytic
+performance model at any scale (no simulation); `tune` runs the
+Bayesian-optimization DSE against measured recall; `serve` replays an
+open-loop stream (``--metrics-out`` dumps the observability snapshot);
+`lint` runs the static analyzer (resource contracts, cost-claim
+cross-checks, AST rules, trace invariants — see
+``docs/static_analysis.md``).
+
+Every subcommand accepts ``--json``, which prints one machine-readable
+envelope on stdout::
+
+    {"command": ..., "config": ..., "results": ..., "metrics": ...}
+
+``config`` echoes the exact configuration the results came from (for
+engine-backed commands, an :class:`~repro.core.config.EngineConfig`
+dict round-trippable via ``EngineConfig.from_dict``); ``metrics`` is a
+:class:`~repro.obs.registry.MetricsSnapshot` dict when observability
+was on, else ``null``. Human-readable progress moves to stderr so
+stdout stays parseable.
+
+Flag spellings are canonical across subcommands (``--nlist``,
+``--nprobe``, ``--seed``, ``--out``, ``--dpus``, ``--queries``); the
+long index spellings ``--num-subspaces`` / ``--codebook-size`` /
+``--topk`` are accepted as aliases of ``--m`` / ``--cb`` / ``--k``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
-
+from typing import Any, Dict, List, Optional
 
 
 def _add_index_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--nlist", type=int, default=128, help="IVF cluster count")
-    p.add_argument("--nprobe", type=int, default=8, help="clusters probed per query")
-    p.add_argument("--k", type=int, default=10, help="neighbors returned")
-    p.add_argument("--m", type=int, default=32, help="PQ sub-spaces (M)")
-    p.add_argument("--cb", type=int, default=128, help="codebook entries (CB)")
+    p.add_argument("--nprobe", type=int, default=8,
+                   help="clusters probed per query")
+    p.add_argument("--k", "--topk", dest="k", type=int, default=10,
+                   help="neighbors returned")
+    p.add_argument("--m", "--num-subspaces", dest="m", type=int, default=32,
+                   help="PQ sub-spaces (M)")
+    p.add_argument("--cb", "--codebook-size", dest="cb", type=int, default=128,
+                   help="codebook entries (CB)")
+
+
+def _add_json_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help='machine-readable {"command","config","results","metrics"} '
+             "envelope on stdout",
+    )
+
+
+def _say(args, msg: str) -> None:
+    """Progress/human output; moves to stderr under ``--json``."""
+    print(msg, file=sys.stderr if args.as_json else sys.stdout)
+
+
+def _emit(
+    args,
+    config: Dict[str, Any],
+    results: Dict[str, Any],
+    metrics: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Print the shared ``--json`` envelope (no-op in text mode)."""
+    if not args.as_json:
+        return
+    print(json.dumps(
+        {
+            "command": args.command,
+            "config": config,
+            "results": results,
+            "metrics": metrics,
+        },
+        indent=2,
+    ))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,13 +101,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="version, presets, default hardware")
+    i = sub.add_parser("info", help="version, presets, default hardware")
+    _add_json_arg(i)
 
     b = sub.add_parser("build", help="train + quantize an index, save to .npz")
     b.add_argument("--preset", default="sift-like-20k")
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("--out", required=True, help="output .npz path")
     _add_index_args(b)
+    _add_json_arg(b)
 
     s = sub.add_parser("search", help="run the simulated engine end to end")
     s.add_argument("--preset", default="sift-like-20k")
@@ -60,10 +120,17 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--no-balance", action="store_true",
                    help="id-order layout, static scheduling (Fig. 11 baseline)")
     s.add_argument("--opq", action="store_true", help="OPQ preprocessing")
+    s.add_argument("--profile", action="store_true",
+                   help="enable observability; print the per-phase profile")
+    s.add_argument("--metrics-out", metavar="PATH",
+                   help="write the metrics snapshot (.prom -> Prometheus "
+                        "text, else JSON); implies observability")
     _add_index_args(s)
+    _add_json_arg(s)
 
     m = sub.add_parser("model", help="evaluate the analytic model (any scale)")
-    m.add_argument("--points", type=int, required=True)
+    m.add_argument("--points", "--num-points", dest="points", type=int,
+                   required=True)
     m.add_argument("--dim", type=int, default=128)
     m.add_argument("--queries", type=int, default=10000)
     m.add_argument("--dpus", type=int, default=2530)
@@ -71,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     m.add_argument("--with-mul", action="store_true",
                    help="disable the multiplier-less conversion")
     _add_index_args(m)
+    _add_json_arg(m)
 
     t = sub.add_parser("tune", help="Bayesian-optimization DSE")
     t.add_argument("--preset", default="sift-like-20k")
@@ -79,16 +147,22 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="recall@k constraint")
     t.add_argument("--iterations", type=int, default=16)
     t.add_argument("--dpus", type=int, default=32)
+    _add_json_arg(t)
 
     v = sub.add_parser("serve", help="simulate an open-loop query stream")
     v.add_argument("--preset", default="sift-like-20k")
     v.add_argument("--seed", type=int, default=0)
-    v.add_argument("--rate", type=float, default=5000, help="arrival QPS")
+    v.add_argument("--rate", "--qps", dest="rate", type=float, default=5000,
+                   help="arrival QPS")
     v.add_argument("--queries", type=int, default=300)
     v.add_argument("--dpus", type=int, default=32)
     v.add_argument("--batch-size", type=int, default=64)
     v.add_argument("--max-wait-ms", type=float, default=2.0)
+    v.add_argument("--metrics-out", metavar="PATH",
+                   help="write the metrics snapshot (.prom -> Prometheus "
+                        "text, else JSON); implies observability")
     _add_index_args(v)
+    _add_json_arg(v)
 
     c = sub.add_parser(
         "characterize", help="measure the paper's Observations 1-3 on a preset"
@@ -97,6 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--nlist", type=int, default=128)
     c.add_argument("--nprobe", type=int, default=8)
+    _add_json_arg(c)
 
     f = sub.add_parser(
         "frontier", help="recall/throughput Pareto frontier over a small grid"
@@ -104,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     f.add_argument("--preset", default="sift-like-20k")
     f.add_argument("--seed", type=int, default=0)
     f.add_argument("--dpus", type=int, default=32)
+    _add_json_arg(f)
 
     def _float_list(text: str):
         return tuple(float(v) for v in text.split(",") if v)
@@ -118,6 +194,15 @@ def _build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--dpus", type=int, default=64)
     ch.add_argument("--vectors", type=int, default=4096)
     ch.add_argument("--queries", type=int, default=64)
+    ch.add_argument("--nlist", type=int, default=64, help="IVF cluster count")
+    ch.add_argument("--nprobe", type=int, default=8,
+                    help="clusters probed per query")
+    ch.add_argument("--k", "--topk", dest="k", type=int, default=10,
+                    help="neighbors returned")
+    ch.add_argument("--m", "--num-subspaces", dest="m", type=int, default=8,
+                    help="PQ sub-spaces (M)")
+    ch.add_argument("--cb", "--codebook-size", dest="cb", type=int,
+                    default=256, help="codebook entries (CB)")
     ch.add_argument("--rates", type=_float_list, default=None,
                     metavar="R,R,...",
                     help="fail-stop fractions to sweep (default 0,0.02,0.05,0.1)")
@@ -129,8 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="per-batch results-gather timeout probability")
     ch.add_argument("--no-dup", action="store_true",
                     help="disable cluster duplication (no failover replicas)")
-    ch.add_argument("--json", action="store_true", dest="as_json",
-                    help="machine-readable JSON report on stdout")
+    _add_json_arg(ch)
 
     def _int_list(text: str):
         return tuple(int(v) for v in text.split(",") if v)
@@ -141,8 +225,6 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     li.add_argument("--strict", action="store_true",
                     help="exit non-zero on any error-severity finding")
-    li.add_argument("--json", action="store_true", dest="as_json",
-                    help="machine-readable JSON findings on stdout")
     li.add_argument("--select",
                     help="comma list of checker families to run "
                          "(resources,costs,ast,trace)")
@@ -167,7 +249,16 @@ def _build_parser() -> argparse.ArgumentParser:
                     metavar="CB,CB,...", help="DSE grid CB values to vet")
     li.add_argument("--grid-tasklets", type=_int_list, default=None,
                     metavar="T,T,...", help="tasklet counts to vet the grid at")
+    _add_json_arg(li)
     return parser
+
+
+def _write_metrics(path: str, snapshot) -> None:
+    """``.prom`` suffix -> Prometheus text exposition, else JSON."""
+    if path.endswith(".prom"):
+        snapshot.write_prometheus(path)
+    else:
+        snapshot.write_json(path)
 
 
 # ---------------------------------------------------------------- commands
@@ -176,19 +267,40 @@ def _cmd_info(args) -> int:
     from repro.data import list_presets
     from repro.pim.config import DpuConfig, PimSystemConfig
 
-    print(f"repro {repro.__version__} — DRIM-ANN reproduction (SC 2025)")
-    print(f"dataset presets: {', '.join(list_presets())}")
     dpu = DpuConfig()
-    print(
+    cfg = PimSystemConfig()
+    _say(args, f"repro {repro.__version__} — DRIM-ANN reproduction (SC 2025)")
+    _say(args, f"dataset presets: {', '.join(list_presets())}")
+    _say(
+        args,
         f"default DPU: {dpu.frequency_hz / 1e6:.0f} MHz, "
         f"{dpu.num_tasklets} tasklets, "
         f"{dpu.mram_bytes // 2**20} MB MRAM, {dpu.wram_bytes // 1024} KB WRAM, "
-        f"mul={32}x add"
+        f"mul={32}x add",
     )
-    cfg = PimSystemConfig()
-    print(
+    _say(
+        args,
         f"default system: {cfg.num_dpus} DPUs, "
-        f"host channel {cfg.transfer.host_bandwidth_bytes_per_s / 1e9:.1f} GB/s"
+        f"host channel {cfg.transfer.host_bandwidth_bytes_per_s / 1e9:.1f} GB/s",
+    )
+    _emit(
+        args,
+        config={},
+        results={
+            "version": repro.__version__,
+            "presets": list(list_presets()),
+            "dpu": {
+                "frequency_hz": dpu.frequency_hz,
+                "num_tasklets": dpu.num_tasklets,
+                "mram_bytes": dpu.mram_bytes,
+                "wram_bytes": dpu.wram_bytes,
+            },
+            "system": {
+                "num_dpus": cfg.num_dpus,
+                "host_bandwidth_bytes_per_s":
+                    cfg.transfer.host_bandwidth_bytes_per_s,
+            },
+        },
     )
     return 0
 
@@ -206,16 +318,18 @@ def _params(args):
 
 
 def _cmd_build(args) -> int:
+    from dataclasses import asdict
+
     from repro.ann import IVFPQIndex
     from repro.core.persist import save_quantized
     from repro.core.quantized import build_quantized_index
     from repro.data import load_dataset
 
     params = _params(args)
-    print(f"loading {args.preset} ...")
+    _say(args, f"loading {args.preset} ...")
     ds = load_dataset(args.preset, seed=args.seed)
-    print(f"training IVF-PQ (nlist={params.nlist}, M={params.num_subspaces}, "
-          f"CB={params.codebook_size}) ...")
+    _say(args, f"training IVF-PQ (nlist={params.nlist}, M={params.num_subspaces}, "
+               f"CB={params.codebook_size}) ...")
     index = IVFPQIndex.build(
         ds.base,
         nlist=params.nlist,
@@ -225,20 +339,50 @@ def _cmd_build(args) -> int:
     )
     quant = build_quantized_index(index)
     save_quantized(quant, args.out)
-    print(f"wrote {args.out}: {quant.num_points} points, "
-          f"{quant.nlist} clusters, dim {quant.dim}")
+    _say(args, f"wrote {args.out}: {quant.num_points} points, "
+               f"{quant.nlist} clusters, dim {quant.dim}")
+    _emit(
+        args,
+        config={
+            "preset": args.preset,
+            "seed": args.seed,
+            "index": asdict(params),
+        },
+        results={
+            "out": args.out,
+            "num_points": quant.num_points,
+            "nlist": quant.nlist,
+            "dim": quant.dim,
+        },
+    )
     return 0
+
+
+def _profile_lines(snapshot) -> List[str]:
+    """Per-phase profile rows from the ``drimann_phase_seconds`` series."""
+    rows = [f"{'phase':>6s} {'total ms':>10s} {'mean ms':>9s} "
+            f"{'batches':>8s}"]
+    for s in snapshot.series("drimann_phase_seconds"):
+        n = s["count"]
+        if not n:
+            continue
+        rows.append(
+            f"{s['labels']['phase']:>6s} {s['sum'] * 1e3:>10.3f} "
+            f"{s['sum'] / n * 1e3:>9.3f} {n:>8d}"
+        )
+    return rows
 
 
 def _cmd_search(args) -> int:
     from repro.ann import recall_at_k
-    from repro.core import DrimAnnEngine, LayoutConfig
+    from repro.core import DrimAnnEngine, EngineConfig, LayoutConfig
     from repro.core.persist import load_quantized
     from repro.data import load_dataset
+    from repro.obs import ObsConfig
     from repro.pim.config import PimSystemConfig
 
     params = _params(args)
-    print(f"loading {args.preset} ...")
+    _say(args, f"loading {args.preset} ...")
     ds = load_dataset(
         args.preset, seed=args.seed, num_queries=args.queries, ground_truth_k=params.k
     )
@@ -248,25 +392,56 @@ def _cmd_search(args) -> int:
         if args.no_balance
         else LayoutConfig()
     )
-    print(f"building engine ({args.dpus} DPUs) ...")
-    engine = DrimAnnEngine.build(
+    obs_on = bool(args.profile or args.metrics_out or args.as_json)
+    config = EngineConfig(
+        index=params,
+        layout=layout,
+        system=PimSystemConfig(num_dpus=args.dpus),
+        use_opq=args.opq,
+        obs=ObsConfig(enabled=obs_on),
+    )
+    _say(args, f"building engine ({args.dpus} DPUs) ...")
+    engine = DrimAnnEngine.from_config(
         ds.base,
-        params,
-        system_config=PimSystemConfig(num_dpus=args.dpus),
-        layout_config=layout,
+        config,
         heat_queries=None if args.no_balance else ds.queries[: args.queries // 4],
         prebuilt_quantized=quant,
-        use_opq=args.opq,
         seed=args.seed,
     )
-    res, bd = engine.search(ds.queries, with_scheduler=not args.no_balance)
-    rec = recall_at_k(res.ids, ds.ground_truth, params.k)
-    print(f"\nrecall@{params.k} = {rec:.3f}")
-    print(bd.summary())
+    outcome = engine.search(ds.queries, with_scheduler=not args.no_balance)
+    rec = recall_at_k(outcome.results.ids, ds.ground_truth, params.k)
+    _say(args, f"\nrecall@{params.k} = {rec:.3f}")
+    _say(args, outcome.breakdown.summary())
+    if args.profile and outcome.metrics is not None and not args.as_json:
+        print("\nper-phase profile:")
+        for line in _profile_lines(outcome.metrics):
+            print(line)
+    if args.metrics_out and outcome.metrics is not None:
+        _write_metrics(args.metrics_out, outcome.metrics)
+        _say(args, f"wrote metrics snapshot to {args.metrics_out}")
+    _emit(
+        args,
+        config={
+            "preset": args.preset,
+            "seed": args.seed,
+            "queries": args.queries,
+            "index_path": args.index,
+            "no_balance": args.no_balance,
+            "engine": config.to_dict(),
+        },
+        results={
+            "recall_at_k": rec,
+            "k": params.k,
+            "breakdown": outcome.breakdown.to_dict(),
+        },
+        metrics=None if outcome.metrics is None else outcome.metrics.to_dict(),
+    )
     return 0
 
 
 def _cmd_model(args) -> int:
+    from dataclasses import asdict
+
     from repro.core import AnalyticPerfModel, DatasetShape, HardwareProfile
     from repro.pim.config import PimSystemConfig
 
@@ -283,28 +458,59 @@ def _cmd_model(args) -> int:
     cpu = AnalyticPerfModel(shape, HardwareProfile.for_cpu())
     t_pim = pim.split_seconds(params)
     t_cpu = cpu.total_seconds(params)
-    print(f"{'phase':>6s} {'pim ms':>10s} {'bound':>8s} {'c2io':>8s}")
-    for phase, est in pim.estimate(params).items():
-        print(
+    estimates = pim.estimate(params)
+    _say(args, f"{'phase':>6s} {'pim ms':>10s} {'bound':>8s} {'c2io':>8s}")
+    for phase, est in estimates.items():
+        _say(
+            args,
             f"{phase:>6s} {est.seconds * 1e3:>10.3f} "
-            f"{'compute' if est.compute_bound else 'IO':>8s} {est.c2io:>8.3f}"
+            f"{'compute' if est.compute_bound else 'IO':>8s} {est.c2io:>8.3f}",
         )
-    print(f"\npim (CL on host, overlapped): {t_pim * 1e3:.2f} ms "
-          f"({args.queries / t_pim:,.0f} QPS)")
-    print(f"cpu baseline:                 {t_cpu * 1e3:.2f} ms "
-          f"({args.queries / t_cpu:,.0f} QPS)")
-    print(f"modeled speedup:              {t_cpu / t_pim:.2f}x")
+    _say(args, f"\npim (CL on host, overlapped): {t_pim * 1e3:.2f} ms "
+               f"({args.queries / t_pim:,.0f} QPS)")
+    _say(args, f"cpu baseline:                 {t_cpu * 1e3:.2f} ms "
+               f"({args.queries / t_cpu:,.0f} QPS)")
+    _say(args, f"modeled speedup:              {t_cpu / t_pim:.2f}x")
+    _emit(
+        args,
+        config={
+            "points": args.points,
+            "dim": args.dim,
+            "queries": args.queries,
+            "dpus": args.dpus,
+            "compute_scale": args.compute_scale,
+            "multiplier_less": not args.with_mul,
+            "index": asdict(params),
+        },
+        results={
+            "phases": {
+                phase: {
+                    "seconds": est.seconds,
+                    "compute_bound": est.compute_bound,
+                    "c2io": est.c2io,
+                }
+                for phase, est in estimates.items()
+            },
+            "pim_seconds": t_pim,
+            "cpu_seconds": t_cpu,
+            "pim_qps": args.queries / t_pim,
+            "cpu_qps": args.queries / t_cpu,
+            "speedup": t_cpu / t_pim,
+        },
+    )
     return 0
 
 
 def _cmd_tune(args) -> int:
+    from dataclasses import asdict
+
     from repro.ann import IVFPQIndex, recall_at_k
     from repro.core import DatasetShape, DesignSpaceExplorer, HardwareProfile
     from repro.core.quantized import build_quantized_index
     from repro.data import load_dataset
     from repro.pim.config import PimSystemConfig
 
-    print(f"loading {args.preset} ...")
+    _say(args, f"loading {args.preset} ...")
     ds = load_dataset(args.preset, seed=args.seed, num_queries=150, ground_truth_k=10)
     shape = DatasetShape(num_points=ds.num_base, dim=ds.dim, num_queries=150)
     dse = DesignSpaceExplorer(
@@ -330,22 +536,50 @@ def _cmd_tune(args) -> int:
             cache[key] = build_quantized_index(idx)
         res = cache[key].reference_search(ds.queries, params.k, params.nprobe)
         rec = recall_at_k(res.ids, ds.ground_truth, params.k)
-        print(f"  nlist={params.nlist} nprobe={params.nprobe} "
-              f"M={params.num_subspaces} CB={params.codebook_size}: recall {rec:.3f}")
+        _say(args, f"  nlist={params.nlist} nprobe={params.nprobe} "
+                   f"M={params.num_subspaces} CB={params.codebook_size}: "
+                   f"recall {rec:.3f}")
         return rec
 
     result = dse.explore(
         oracle, args.constraint, num_iterations=args.iterations, seed=args.seed
     )
+    tune_config = {
+        "preset": args.preset,
+        "seed": args.seed,
+        "constraint": args.constraint,
+        "iterations": args.iterations,
+        "dpus": args.dpus,
+    }
     if not result.found_feasible:
-        print("no feasible configuration found — relax the constraint")
+        _say(args, "no feasible configuration found — relax the constraint")
+        _emit(
+            args,
+            config=tune_config,
+            results={
+                "found_feasible": False,
+                "oracle_calls": result.oracle_calls,
+            },
+        )
         return 1
     p = result.best_params
-    print(
+    _say(
+        args,
         f"\nbest: nlist={p.nlist} nprobe={p.nprobe} M={p.num_subspaces} "
         f"CB={p.codebook_size} (recall {result.best_accuracy:.3f}, "
         f"modeled {result.best_modeled_seconds * 1e3:.2f} ms/batch, "
-        f"{result.oracle_calls} oracle calls)"
+        f"{result.oracle_calls} oracle calls)",
+    )
+    _emit(
+        args,
+        config=tune_config,
+        results={
+            "found_feasible": True,
+            "best_params": asdict(p),
+            "best_recall": result.best_accuracy,
+            "best_modeled_seconds": result.best_modeled_seconds,
+            "oracle_calls": result.oracle_calls,
+        },
     )
     return 0
 
@@ -354,25 +588,32 @@ def _cmd_serve(args) -> int:
     from repro.core import (
         BatchingPolicy,
         DrimAnnEngine,
+        EngineConfig,
         PoissonArrivals,
         simulate_serving,
     )
     from repro.data import load_dataset
+    from repro.obs import ObsConfig
     from repro.pim.config import PimSystemConfig
 
     params = _params(args)
-    print(f"loading {args.preset} ...")
+    _say(args, f"loading {args.preset} ...")
     ds = load_dataset(args.preset, seed=args.seed, num_queries=args.queries)
-    print(f"building engine ({args.dpus} DPUs) ...")
-    engine = DrimAnnEngine.build(
+    obs_on = bool(args.metrics_out or args.as_json)
+    config = EngineConfig(
+        index=params,
+        system=PimSystemConfig(num_dpus=args.dpus),
+        obs=ObsConfig(enabled=obs_on),
+    )
+    _say(args, f"building engine ({args.dpus} DPUs) ...")
+    engine = DrimAnnEngine.from_config(
         ds.base,
-        params,
-        system_config=PimSystemConfig(num_dpus=args.dpus),
+        config,
         heat_queries=ds.queries[: args.queries // 4],
         seed=args.seed,
     )
     arrivals = PoissonArrivals(args.rate).sample(args.queries, seed=args.seed)
-    report = simulate_serving(
+    outcome = simulate_serving(
         engine,
         ds.queries,
         arrivals,
@@ -380,8 +621,25 @@ def _cmd_serve(args) -> int:
             batch_size=args.batch_size, max_wait_s=args.max_wait_ms * 1e-3
         ),
     )
-    print(f"\nserving at {args.rate:,.0f} QPS Poisson:")
-    print(report.summary())
+    _say(args, f"\nserving at {args.rate:,.0f} QPS Poisson:")
+    _say(args, outcome.report.summary())
+    if args.metrics_out and outcome.metrics is not None:
+        _write_metrics(args.metrics_out, outcome.metrics)
+        _say(args, f"wrote metrics snapshot to {args.metrics_out}")
+    _emit(
+        args,
+        config={
+            "preset": args.preset,
+            "seed": args.seed,
+            "rate_qps": args.rate,
+            "queries": args.queries,
+            "batch_size": args.batch_size,
+            "max_wait_ms": args.max_wait_ms,
+            "engine": config.to_dict(),
+        },
+        results=outcome.report.to_dict(),
+        metrics=None if outcome.metrics is None else outcome.metrics.to_dict(),
+    )
     return 0
 
 
@@ -394,27 +652,56 @@ def _cmd_characterize(args) -> int:
         load_dataset,
     )
 
-    print(f"loading {args.preset} ...")
+    _say(args, f"loading {args.preset} ...")
     ds = load_dataset(args.preset, seed=args.seed, num_queries=300)
     idim = intrinsic_dimension_estimate(ds.base)
-    print(f"intrinsic dimension: {idim:.1f} of {ds.dim} ambient")
+    _say(args, f"intrinsic dimension: {idim:.1f} of {ds.dim} ambient")
     ivf = IVFIndex.build(ds.base, nlist=args.nlist, seed=args.seed)
     s = ClusterSizeStats.from_sizes(ivf.list_sizes())
-    print(
+    _say(
+        args,
         f"cluster sizes: mean {s.mean:.0f}, max {s.max:.0f}, "
-        f"imbalance {s.imbalance_factor:.2f}, gini {s.gini:.2f}"
+        f"imbalance {s.imbalance_factor:.2f}, gini {s.gini:.2f}",
     )
     probes = ivf.locate(ds.queries.astype(float), args.nprobe)
     a = AccessStats.from_probes(probes, ivf.nlist, batch_size=64)
-    print(
+    _say(
+        args,
         f"access skew: top cluster {a.top1_share:.1%}, hottest 10% "
         f"{a.top10pct_share:.1%}, zipf {a.zipf_exponent:.2f}, "
-        f"batch contention {a.mean_batch_contention:.1f}"
+        f"batch contention {a.mean_batch_contention:.1f}",
+    )
+    _emit(
+        args,
+        config={
+            "preset": args.preset,
+            "seed": args.seed,
+            "nlist": args.nlist,
+            "nprobe": args.nprobe,
+        },
+        results={
+            "intrinsic_dimension": idim,
+            "ambient_dimension": ds.dim,
+            "cluster_sizes": {
+                "mean": s.mean,
+                "max": s.max,
+                "imbalance_factor": s.imbalance_factor,
+                "gini": s.gini,
+            },
+            "access": {
+                "top1_share": a.top1_share,
+                "top10pct_share": a.top10pct_share,
+                "zipf_exponent": a.zipf_exponent,
+                "mean_batch_contention": a.mean_batch_contention,
+            },
+        },
     )
     return 0
 
 
 def _cmd_frontier(args) -> int:
+    from dataclasses import asdict
+
     from repro.core import DatasetShape, HardwareProfile
     from repro.core.accuracy import measure_accuracy_table
     from repro.core.frontier import knee_point, pareto_frontier
@@ -422,9 +709,9 @@ def _cmd_frontier(args) -> int:
     from repro.data import load_dataset
     from repro.pim.config import PimSystemConfig
 
-    print(f"loading {args.preset} ...")
+    _say(args, f"loading {args.preset} ...")
     ds = load_dataset(args.preset, seed=args.seed, num_queries=150, ground_truth_k=10)
-    print("measuring the accuracy table (one index per nlist/M/CB) ...")
+    _say(args, "measuring the accuracy table (one index per nlist/M/CB) ...")
     table = measure_accuracy_table(
         ds.base,
         ds.queries,
@@ -441,25 +728,45 @@ def _cmd_frontier(args) -> int:
         multiplier_less=True,
     )
     frontier = pareto_frontier(table, model)
-    print(f"\n{'recall@10':>10s} {'ms/batch':>9s}  configuration")
+    _say(args, f"\n{'recall@10':>10s} {'ms/batch':>9s}  configuration")
     for p in frontier:
-        print(
+        _say(
+            args,
             f"{p.recall:>10.3f} {p.modeled_seconds * 1e3:>9.2f}  "
             f"nlist={p.params.nlist} nprobe={p.params.nprobe} "
-            f"M={p.params.num_subspaces} CB={p.params.codebook_size}"
+            f"M={p.params.num_subspaces} CB={p.params.codebook_size}",
         )
     knee = knee_point(frontier)
-    print(
+    _say(
+        args,
         f"\nknee (suggested default): nlist={knee.params.nlist} "
         f"nprobe={knee.params.nprobe} M={knee.params.num_subspaces} "
-        f"CB={knee.params.codebook_size} (recall {knee.recall:.3f})"
+        f"CB={knee.params.codebook_size} (recall {knee.recall:.3f})",
+    )
+    _emit(
+        args,
+        config={"preset": args.preset, "seed": args.seed, "dpus": args.dpus},
+        results={
+            "frontier": [
+                {
+                    "recall": p.recall,
+                    "modeled_seconds": p.modeled_seconds,
+                    "params": asdict(p.params),
+                }
+                for p in frontier
+            ],
+            "knee": {
+                "recall": knee.recall,
+                "modeled_seconds": knee.modeled_seconds,
+                "params": asdict(knee.params),
+            },
+        },
     )
     return 0
 
 
 def _cmd_chaos(args) -> int:
     import dataclasses
-    import json as _json
 
     from repro.faults.chaos import ChaosConfig, run_chaos
 
@@ -472,6 +779,11 @@ def _cmd_chaos(args) -> int:
             num_dpus=args.dpus,
             num_vectors=args.vectors,
             num_queries=args.queries,
+            nlist=args.nlist,
+            nprobe=args.nprobe,
+            k=args.k,
+            num_subspaces=args.m,
+            codebook_size=args.cb,
             fail_stop_rates=args.rates or (0.0, 0.02, 0.05, 0.10),
             straggler_fraction=args.stragglers,
             transient_rate=args.transient_rate,
@@ -480,10 +792,9 @@ def _cmd_chaos(args) -> int:
             seed=args.seed,
         )
     report = run_chaos(config)
-    if args.as_json:
-        print(_json.dumps(report.to_dict(), indent=2))
-    else:
-        print(report.summary())
+    _say(args, report.summary())
+    d = report.to_dict()
+    _emit(args, config=d["config"], results={"points": d["points"]})
     # The sweep is diagnostic: degraded points are expected output, not
     # a failure. Only a crash (exception) fails the command.
     return 0
@@ -497,8 +808,13 @@ def _cmd_lint(args) -> int:
         families = tuple(f.strip() for f in args.select.split(",") if f.strip())
         bad = set(families) - set(FAMILIES)
         if bad:
-            print(f"unknown checker families: {', '.join(sorted(bad))} "
-                  f"(expected a subset of {', '.join(FAMILIES)})")
+            _say(args, f"unknown checker families: {', '.join(sorted(bad))} "
+                       f"(expected a subset of {', '.join(FAMILIES)})")
+            _emit(
+                args,
+                config={"families": sorted(families)},
+                results={"error": "unknown checker families"},
+            )
             return 2
     elif args.trace:
         # --trace alone runs the trace checker standalone.
@@ -519,7 +835,17 @@ def _cmd_lint(args) -> int:
     )
     report = run_lint(options)
     if args.as_json:
-        print(report.to_json())
+        _emit(
+            args,
+            config={
+                "families": list(families),
+                "strict": args.strict,
+                "root": args.root,
+                "trace": args.trace,
+                "kernel_modules": list(args.kernel_module),
+            },
+            results=json.loads(report.to_json()),
+        )
     else:
         print(report.format_text(min_severity=Severity.parse(args.min_severity)))
     return report.exit_code(strict=args.strict)

@@ -17,7 +17,9 @@
 """
 
 from repro.core.square_lut import SquareLut
+from repro.core.config import EngineConfig
 from repro.core.params import IndexParams, SearchParams, DatasetShape
+from repro.core.results import SearchOutcome, ServingOutcome
 from repro.core.perf_model import AnalyticPerfModel, HardwareProfile, PhaseEstimate
 from repro.core.quantized import QuantizedIndexData, build_quantized_index
 from repro.core.layout import LayoutPlan, LayoutConfig, generate_layout, ClusterShard
@@ -39,6 +41,9 @@ from repro.core.frontier import FrontierPoint, knee_point, pareto_frontier
 
 __all__ = [
     "SquareLut",
+    "EngineConfig",
+    "SearchOutcome",
+    "ServingOutcome",
     "IndexParams",
     "SearchParams",
     "DatasetShape",

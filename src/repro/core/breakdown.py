@@ -101,6 +101,25 @@ class TimingBreakdown:
             return 1.0
         return self.batch_latency_percentile(95) / med
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for CLI envelopes and metric dumps."""
+        return {
+            "pim_seconds": self.pim_seconds,
+            "host_seconds": self.host_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "e2e_seconds": self.e2e_seconds,
+            "kernel_cycles": dict(sorted(self.kernel_cycles.items())),
+            "kernel_shares": self.kernel_shares(),
+            "num_batches": self.num_batches,
+            "num_queries": self.num_queries,
+            "mean_busy_fraction": self.mean_busy_fraction,
+            "tail_ratio": self.tail_ratio,
+            "throughput_qps": (
+                None if self.e2e_seconds <= 0 else self.throughput_qps
+            ),
+            "faults": None if self.faults is None else self.faults.to_dict(),
+        }
+
     def summary(self) -> str:
         shares = ", ".join(
             f"{k}={v:.0%}" for k, v in self.kernel_shares().items()

@@ -26,7 +26,8 @@ any configuration it must equal
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -34,6 +35,7 @@ import numpy as np
 from repro.ann.ivfpq import IVFPQIndex, SearchResult
 from repro.ann.heap import topk_smallest
 from repro.core.breakdown import TimingBreakdown
+from repro.core.config import EngineConfig
 from repro.core.layout import (
     LayoutConfig,
     LayoutPlan,
@@ -44,10 +46,12 @@ from repro.core.opq_preprocess import OpqPreprocessor
 from repro.core.params import DatasetShape, IndexParams, SearchParams
 from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
 from repro.core.quantized import QuantizedIndexData, build_quantized_index
+from repro.core.results import SearchOutcome
 from repro.core.scheduler import RuntimeScheduler, SchedulerConfig
 from repro.core.square_lut import SquareLut
 from repro.faults.plan import FaultPlan
 from repro.faults.report import FaultStats
+from repro.obs.observer import EngineObserver
 from repro.pim.config import PimSystemConfig
 from repro.pim.system import PimSystem, ShardData
 from repro.utils import check_2d, ensure_rng
@@ -79,6 +83,7 @@ class DrimAnnEngine:
         report: EngineReport,
         cpu_profile: Optional[HardwareProfile] = None,
         preprocessor: Optional[OpqPreprocessor] = None,
+        observer: Optional[EngineObserver] = None,
     ) -> None:
         self.quantized = quantized
         self.params = params
@@ -89,6 +94,9 @@ class DrimAnnEngine:
         self.report = report
         self.cpu_profile = cpu_profile or HardwareProfile.for_cpu()
         self.preprocessor = preprocessor
+        self.observer = observer
+        self.scheduler.observer = observer
+        self.system.observer = observer
 
     @property
     def fault_plan(self) -> Optional[FaultPlan]:
@@ -113,6 +121,48 @@ class DrimAnnEngine:
         fault_plan: Optional[FaultPlan] = None,
         seed=None,
     ) -> "DrimAnnEngine":
+        """Deprecated: bundle the config kwargs into an
+        :class:`~repro.core.config.EngineConfig` and call
+        :meth:`from_config` instead. This shim forwards unchanged.
+        """
+        warnings.warn(
+            "DrimAnnEngine.build(...) is deprecated; use "
+            "DrimAnnEngine.from_config(dataset, EngineConfig(index=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = EngineConfig(
+            index=params,
+            search=search_params,
+            layout=layout_config,
+            system=system_config,
+            faults=fault_plan,
+            use_opq=use_opq,
+        )
+        return cls.from_config(
+            base,
+            config,
+            heat_queries=heat_queries,
+            prebuilt_index=prebuilt_index,
+            prebuilt_quantized=prebuilt_quantized,
+            cpu_profile=cpu_profile,
+            tracer=tracer,
+            seed=seed,
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        dataset: np.ndarray,
+        config: EngineConfig,
+        *,
+        heat_queries: Optional[np.ndarray] = None,
+        prebuilt_index: Optional[IVFPQIndex] = None,
+        prebuilt_quantized: Optional[QuantizedIndexData] = None,
+        cpu_profile: Optional[HardwareProfile] = None,
+        tracer=None,
+        seed=None,
+    ) -> "DrimAnnEngine":
         """Train, quantize, lay out, and load the engine.
 
         ``heat_queries`` is the sample query set used to estimate
@@ -123,12 +173,19 @@ class DrimAnnEngine:
         skip training when sweeping layout/scheduling knobs on a fixed
         index.
 
-        ``fault_plan`` (see :mod:`repro.faults`) injects deterministic
-        DPU crashes, stragglers, transient kernel faults, and transfer
-        timeouts; :meth:`search` recovers via replica failover and
-        reports degradation in ``breakdown.faults``.
+        ``config.faults`` (see :mod:`repro.faults`) injects
+        deterministic DPU crashes, stragglers, transient kernel faults,
+        and transfer timeouts; :meth:`search` recovers via replica
+        failover and reports degradation in ``breakdown.faults``.
+        ``config.obs`` switches on the :mod:`repro.obs` metrics layer.
         """
-        base = check_2d(base, "base")
+        params = config.index
+        search_params = config.search
+        system_config = config.system
+        layout_config = config.layout
+        fault_plan = config.faults
+        use_opq = config.use_opq
+        base = check_2d(dataset, "base")
         params.validate_for(base.shape[1])
         rng = ensure_rng(seed)
 
@@ -207,26 +264,22 @@ class DrimAnnEngine:
         plan = generate_layout(
             quantized, system_config.num_dpus, heat, layout_config, seed=rng
         )
+        # (Fault plan vs. system cross-checks live in EngineConfig.)
 
-        if fault_plan is not None:
-            if fault_plan.num_dpus != system_config.num_dpus:
-                raise ValueError(
-                    f"fault plan covers {fault_plan.num_dpus} DPUs but "
-                    f"system_config has {system_config.num_dpus}"
-                )
-            if (
-                search_params.cluster_locate_on == "pim"
-                and fault_plan.has_capacity_faults
-            ):
-                raise ValueError(
-                    "fail-stop/straggler fault plans are not supported with "
-                    "cluster_locate_on='pim': centroid slices are not "
-                    "replicated, so a dead or derated DPU would corrupt CL; "
-                    "use the default host-side CL"
-                )
+        # --- observability (None when config.obs is disabled).
+        observer = config.obs.create(
+            tracer=tracer, frequency_hz=system_config.dpu.frequency_hz
+        )
+        if observer is not None:
+            observer.on_wram_peak(wram_needed)
 
         # --- load the PIM system.
-        system = PimSystem(system_config, tracer=tracer, fault_plan=fault_plan)
+        system = PimSystem(
+            system_config,
+            tracer=tracer,
+            fault_plan=fault_plan,
+            observer=observer,
+        )
         offline_xfer = system.load_codebooks(quantized.codebooks)
         offline_xfer += system.load_square_lut(square_lut)
         if search_params.cluster_locate_on == "pim":
@@ -256,7 +309,8 @@ class DrimAnnEngine:
 
         scheduler = RuntimeScheduler(
             plan,
-            SchedulerConfig(
+            replace(
+                config.scheduler,
                 lut_latency=lut_latency,
                 per_point_calc=per_point_calc,
                 per_point_sort=per_point_sort,
@@ -287,6 +341,7 @@ class DrimAnnEngine:
             report=report,
             cpu_profile=cpu_profile,
             preprocessor=preprocessor,
+            observer=observer,
         )
 
     # ------------------------------------------------------------------ search
@@ -305,8 +360,14 @@ class DrimAnnEngine:
         queries: np.ndarray,
         *,
         with_scheduler: bool = True,
-    ) -> Tuple[SearchResult, TimingBreakdown]:
-        """Batched top-k search; returns results + timing breakdown.
+    ) -> SearchOutcome:
+        """Batched top-k search.
+
+        Returns a :class:`~repro.core.results.SearchOutcome` carrying
+        the results, timing breakdown, fault stats, and (when
+        observability is on) a metrics snapshot. The outcome unpacks
+        like the historical two-tuple:
+        ``results, breakdown = engine.search(queries)``.
 
         ``with_scheduler=False`` forces the static policy (replica 0,
         no filter) — the ablation arm of Fig. 11.
@@ -329,6 +390,9 @@ class DrimAnnEngine:
         k = self.params.k
         nq = queries.shape[0]
         bs = self.search_params.batch_size
+        obs = self.observer
+        if obs is not None:
+            obs.on_search_start(nq)
 
         scheduler = self.scheduler
         if not with_scheduler:
@@ -414,6 +478,8 @@ class DrimAnnEngine:
             scheduler.mark_dead(drain_sched.dead_dpus - scheduler.dead_dpus)
 
         stats.finalize(num_queries=nq, nprobe=self.params.nprobe)
+        if obs is not None:
+            obs.on_faults(stats)
 
         out_ids = np.full((nq, k), -1, dtype=np.int64)
         out_dist = np.full((nq, k), np.inf, dtype=np.float64)
@@ -426,7 +492,11 @@ class DrimAnnEngine:
             sel, vals = topk_smallest(dists, kk)
             out_ids[qi, :kk] = ids[sel]
             out_dist[qi, :kk] = vals
-        return SearchResult(ids=out_ids, distances=out_dist), breakdown
+        return SearchOutcome(
+            results=SearchResult(ids=out_ids, distances=out_dist),
+            breakdown=breakdown,
+            metrics=obs.snapshot() if obs is not None else None,
+        )
 
     def _execute(
         self,
@@ -480,6 +550,16 @@ class DrimAnnEngine:
                     timing.kernel_cycles.get("CL", 0.0) + extra_cl_cycles
                 )
             breakdown.add_batch(timing, host_seconds, num_new_queries)
+            obs = self.observer
+            if obs is not None:
+                cl_seconds = host_seconds + extra_pim_seconds
+                if cl_seconds:
+                    obs.on_phase("CL", cl_seconds)
+                freq = self.system.config.dpu.frequency_hz
+                for kname in ("RC", "LC", "DC", "TS"):
+                    cyc = timing.kernel_cycles.get(kname, 0.0)
+                    if cyc:
+                        obs.on_phase(kname, cyc / freq)
             failed = [(active[lq], key) for lq, key in timing.failed_tasks]
             if breakdown.faults is not None:
                 breakdown.faults.transient_faults += timing.transient_retries

@@ -1,0 +1,77 @@
+"""Typed result objects for the engine's public entry points.
+
+`engine.search` historically returned ``(SearchResult,
+TimingBreakdown)`` and ``simulate_serving`` a bare ``ServingReport``;
+fault stats rode along inside the breakdown and the new metrics
+snapshot had nowhere to live. These wrappers carry everything by name
+while staying drop-in compatible with the old shapes:
+
+* :class:`SearchOutcome` unpacks like the old two-tuple
+  (``results, breakdown = engine.search(...)``);
+* :class:`ServingOutcome` forwards attribute access to its
+  :class:`~repro.core.serving.ServingReport`, so
+  ``outcome.percentile_ms(99)`` keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.ann.ivfpq import SearchResult
+from repro.core.breakdown import TimingBreakdown
+from repro.obs.registry import MetricsSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.serving import ServingReport
+    from repro.faults.report import FaultStats
+
+__all__ = ["SearchOutcome", "ServingOutcome"]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Everything one ``search()`` call produced."""
+
+    results: SearchResult
+    breakdown: TimingBreakdown
+    metrics: Optional[MetricsSnapshot] = None
+
+    @property
+    def faults(self) -> Optional["FaultStats"]:
+        return self.breakdown.faults
+
+    # Old-tuple compatibility: ``res, bd = engine.search(...)``.
+    def __iter__(self) -> Iterator:
+        return iter((self.results, self.breakdown))
+
+    def __len__(self) -> int:
+        return 2
+
+    def __getitem__(self, i: int):
+        return (self.results, self.breakdown)[i]
+
+
+class ServingOutcome:
+    """A serving run's report plus its metrics snapshot.
+
+    Attribute access falls through to the wrapped report, keeping the
+    pre-existing ``simulate_serving(...).percentile_ms(99)`` style
+    working unchanged.
+    """
+
+    def __init__(
+        self,
+        report: "ServingReport",
+        metrics: Optional[MetricsSnapshot] = None,
+    ) -> None:
+        self.report = report
+        self.metrics = metrics
+
+    def __getattr__(self, name: str):
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return getattr(self.report, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ServingOutcome({self.report.summary()!r})"

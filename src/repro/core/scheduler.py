@@ -92,6 +92,8 @@ class RuntimeScheduler:
         self.config = config
         self._dead: Set[int] = set()
         self._speed = np.ones(plan.num_dpus)
+        # Optional repro.obs.EngineObserver (set by the engine).
+        self.observer = None
         # Pre-compute per-replica-group (dpu, latency) footprints.
         self._group_info: Dict[int, List[List[Tuple[int, str, float]]]] = {}
         for cid, groups in plan.replica_groups.items():
@@ -142,9 +144,14 @@ class RuntimeScheduler:
         self._speed = factors.copy()
 
     def adopt_fault_state(self, other: "RuntimeScheduler") -> None:
-        """Copy blacklist + speed factors (drain/ablation schedulers)."""
+        """Copy blacklist + speed factors (drain/ablation schedulers).
+
+        The observer rides along so drain and ablation schedulers keep
+        feeding the same metrics as the scheduler they replace.
+        """
         self._dead = set(other._dead)
         self._speed = other._speed.copy()
+        self.observer = other.observer
 
     def _alive(self, dpu_id: int) -> bool:
         return dpu_id not in self._dead
@@ -258,12 +265,25 @@ class RuntimeScheduler:
                                 if not hot_dpus:
                                     break
 
-        return ScheduleOutcome(
+        outcome = ScheduleOutcome(
             assignments={d: a for d, a in assignments.items() if a},
             deferred=deferred,
             predicted_load=load,
             uncovered=uncovered,
         )
+        if self.observer is not None:
+            self.observer.on_schedule(
+                tasks_per_dpu=[
+                    (d, len(a)) for d, a in sorted(outcome.assignments.items())
+                ],
+                predicted_cycles=[
+                    (d, float(load[d])) for d in sorted(outcome.assignments)
+                ],
+                deferred=len(deferred),
+                uncovered=len(uncovered),
+                dead_dpus=len(self._dead),
+            )
+        return outcome
 
     def _salvage_parts(
         self, cid: int, load: np.ndarray
@@ -320,4 +340,8 @@ class RuntimeScheduler:
             )
             assignments.setdefault(d, []).append((qidx, new_key))
             load[d] += self._cost_on(d, lat)
+        if self.observer is not None and assignments:
+            self.observer.on_failover(
+                sum(len(t) for t in assignments.values())
+            )
         return assignments, uncovered

@@ -26,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.engine import DrimAnnEngine
+from repro.core.results import ServingOutcome
 from repro.utils import ensure_rng
 
 
@@ -146,6 +147,32 @@ class ServingReport:
             return 1.0
         return (self.num_queries - self.degraded_queries) / self.num_offered
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for the CLI ``--json`` envelope."""
+        return {
+            "num_queries": self.num_queries,
+            "num_offered": self.num_offered,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.percentile_ms(50),
+            "p95_ms": self.percentile_ms(95),
+            "p99_ms": self.percentile_ms(99),
+            "achieved_qps": (
+                None if self.makespan_s <= 0 else self.achieved_qps
+            ),
+            "utilization": self.utilization,
+            "makespan_s": self.makespan_s,
+            "busy_seconds": self.busy_seconds,
+            "shed_queries": self.shed_queries,
+            "deadline_misses": self.deadline_misses,
+            "degraded_queries": self.degraded_queries,
+            "task_retries": self.task_retries,
+            "transfer_timeouts": self.transfer_timeouts,
+            "transient_faults": self.transient_faults,
+            "dead_dpus": self.dead_dpus,
+            "backoff_seconds": self.backoff_seconds,
+            "availability": self.availability,
+        }
+
     def summary(self) -> str:
         if self.num_offered == 0:
             return "0 queries"
@@ -180,13 +207,21 @@ def simulate_serving(
     policy: BatchingPolicy = BatchingPolicy(),
     *,
     with_scheduler: bool = True,
-) -> ServingReport:
+) -> ServingOutcome:
     """Replay a timestamped query stream through the engine.
 
     Service times are the engine's modeled end-to-end batch times; the
     functional results are computed (and discarded — callers wanting
     them should search directly), so recall-affecting behavior is
     identical to offline runs.
+
+    Returns a :class:`~repro.core.results.ServingOutcome` wrapping the
+    :class:`ServingReport` (attribute access forwards, so existing
+    ``report.percentile_ms(99)``-style callers are unaffected) plus a
+    metrics snapshot when the engine has observability enabled —
+    including the streaming ``drimann_serving_latency_seconds``
+    percentile sketch, which gives p50/p95/p99 without retaining the
+    per-query latency array.
     """
     queries = np.asarray(queries)
     arrivals_s = np.asarray(arrivals_s, dtype=np.float64)
@@ -209,6 +244,7 @@ def simulate_serving(
     transients = 0
     backoff = 0.0
     dead: set = set()
+    obs = engine.observer
 
     engine_free_at = 0.0
     i = 0
@@ -230,12 +266,17 @@ def simulate_serving(
             ):
                 j += 1
         members = np.arange(i, j)
+        if obs is not None:
+            obs.on_queue_depth(len(members))
         if policy.deadline_s is not None and policy.overload_policy == "shed":
             # Queries already past their deadline at launch cannot
             # possibly meet it — drop them rather than slowing the
             # queue further.
             viable = launch - arrivals_s[members] <= policy.deadline_s
-            shed += int(np.count_nonzero(~viable))
+            dropped = int(np.count_nonzero(~viable))
+            shed += dropped
+            if dropped and obs is not None:
+                obs.on_shed(dropped)
             members = members[viable]
             if len(members) == 0:
                 i = j
@@ -250,12 +291,19 @@ def simulate_serving(
         busy += service
         engine_free_at = done
         batch_sizes.append(len(members))
+        if obs is not None:
+            obs.on_serving_batch(len(members))
+            for lat in done - arrivals_s[members]:
+                obs.on_query_latency(float(lat))
         if policy.deadline_s is not None:
-            misses += int(
+            new_misses = int(
                 np.count_nonzero(
                     done - arrivals_s[members] > policy.deadline_s
                 )
             )
+            misses += new_misses
+            if new_misses and obs is not None:
+                obs.on_deadline_miss(new_misses)
         if bd.faults is not None:
             degraded += len(bd.faults.degraded_queries)
             retries += bd.faults.task_retries
@@ -268,7 +316,7 @@ def simulate_serving(
     makespan = 0.0
     if served.any():
         makespan = float(completion[served].max() - arrivals_s.min())
-    return ServingReport(
+    report = ServingReport(
         latencies_s=(completion - arrivals_s)[served],
         batch_sizes=batch_sizes,
         busy_seconds=busy,
@@ -281,4 +329,7 @@ def simulate_serving(
         transient_faults=transients,
         dead_dpus=len(dead),
         backoff_seconds=backoff,
+    )
+    return ServingOutcome(
+        report, metrics=obs.snapshot() if obs is not None else None
     )

@@ -34,6 +34,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.ann.recall import recall_at_k
+from repro.core.config import EngineConfig
 from repro.core.engine import DrimAnnEngine
 from repro.core.layout import LayoutConfig
 from repro.core.params import IndexParams, SearchParams
@@ -56,6 +57,7 @@ class ChaosConfig:
     nprobe: int = 8
     k: int = 10
     num_subspaces: int = 8
+    codebook_size: int = 256
     # Fail-stop fractions to sweep (0.0 gives the in-sweep control arm).
     fail_stop_rates: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.10)
     # Held constant across the sweep.
@@ -166,6 +168,7 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosReport:
         nprobe=config.nprobe,
         k=config.k,
         num_subspaces=config.num_subspaces,
+        codebook_size=config.codebook_size,
     )
     # Train once; every sweep point reuses the same quantized index so
     # the only variable between points is the fault plan.
@@ -198,14 +201,16 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosReport:
             ),
             seed=config.seed,
         )
-        engine = DrimAnnEngine.build(
+        engine = DrimAnnEngine.from_config(
             ds.base,
-            params,
-            search_params=SearchParams(),
-            system_config=system_config,
-            layout_config=layout_config,
+            EngineConfig(
+                index=params,
+                search=SearchParams(),
+                system=system_config,
+                layout=layout_config,
+                faults=plan,
+            ),
             prebuilt_quantized=quantized,
-            fault_plan=plan,
             seed=config.seed,
         )
         result, bd = engine.search(ds.queries)

@@ -27,7 +27,7 @@ property tests rely on this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
@@ -206,6 +206,47 @@ class FaultPlan:
             and not self.straggler_dpus
             and not self.transients
             and not self.transfer_timeouts
+        )
+
+    # ----- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips through :meth:`from_dict`.
+
+        Keys of ``fail_at_batch`` become strings and tuples become
+        lists (JSON has neither int keys nor tuples); ``from_dict``
+        undoes both.
+        """
+        return {
+            "num_dpus": self.num_dpus,
+            "config": asdict(self.config),
+            "fail_at_batch": {
+                str(d): int(b) for d, b in sorted(self.fail_at_batch.items())
+            },
+            "derates": [float(x) for x in self.derates],
+            "transients": sorted([d, b] for d, b in self.transients),
+            "transfer_timeouts": sorted(self.transfer_timeouts),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        cfg = dict(d.get("config", {}))
+        if "straggler_derate" in cfg:
+            cfg["straggler_derate"] = tuple(cfg["straggler_derate"])
+        return cls(
+            num_dpus=int(d["num_dpus"]),
+            config=FaultConfig(**cfg),
+            fail_at_batch={
+                int(k): int(v) for k, v in d.get("fail_at_batch", {}).items()
+            },
+            derates=np.asarray(
+                d.get("derates", np.ones(int(d["num_dpus"]))), dtype=np.float64
+            ),
+            transients=frozenset(
+                (int(a), int(b)) for a, b in d.get("transients", [])
+            ),
+            transfer_timeouts=frozenset(
+                int(b) for b in d.get("transfer_timeouts", [])
+            ),
         )
 
     def summary(self) -> str:

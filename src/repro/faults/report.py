@@ -64,6 +64,26 @@ class FaultStats:
             q: 1.0 - len(cids) / max(nprobe, 1) for q, cids in lost.items()
         }
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (sets become sorted lists)."""
+        return {
+            "dead_dpus": sorted(self.dead_dpus),
+            "straggler_dpus": sorted(self.straggler_dpus),
+            "transient_faults": self.transient_faults,
+            "transfer_timeouts": self.transfer_timeouts,
+            "task_retries": self.task_retries,
+            "redispatch_rounds": self.redispatch_rounds,
+            "backoff_seconds": self.backoff_seconds,
+            "uncovered": sorted([q, c] for q, c in self.uncovered),
+            "degraded_queries": self.degraded_queries,
+            "num_queries": self.num_queries,
+            "availability": self.availability,
+            "coverage_by_query": {
+                str(q): cov
+                for q, cov in sorted(self.coverage_by_query.items())
+            },
+        }
+
     def summary(self) -> str:
         if not (
             self.dead_dpus

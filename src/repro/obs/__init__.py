@@ -1,0 +1,36 @@
+"""repro.obs — dependency-free observability for the DRIM-ANN engine.
+
+Counters, gauges, fixed-bucket histograms, and streaming percentile
+sketches behind a :class:`MetricsRegistry`; span-based timing that
+unifies with the Chrome tracer in :mod:`repro.pim.trace`; JSON and
+Prometheus-text exporters via :class:`MetricsSnapshot`. The engine
+talks to all of it through :class:`EngineObserver`, created from
+:class:`ObsConfig` (disabled by default — a ``None`` observer costs
+one pointer check per instrumentation site).
+"""
+
+from repro.obs.observer import EngineObserver, ObsConfig
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.sketch import PercentileSketch
+from repro.obs.spans import SpanRecord, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "EngineObserver",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsConfig",
+    "PercentileSketch",
+    "SpanRecord",
+    "SpanRecorder",
+]

@@ -1,0 +1,369 @@
+"""Metric primitives and the registry that owns them.
+
+Four metric kinds, no external dependencies:
+
+* :class:`Counter` — monotonically increasing total;
+* :class:`Gauge` — last-written value (queue depth, predicted load);
+* :class:`Histogram` — fixed-bucket distribution (cumulative-bucket
+  semantics in the Prometheus exposition, raw per-bucket counts held
+  internally);
+* :class:`~repro.obs.sketch.PercentileSketch` — streaming quantiles
+  for unbounded sample streams (serving latency).
+
+Metrics are identified by ``(name, labels)``; the registry enforces
+one kind per name, hands out get-or-create handles, and snapshots the
+whole family into a :class:`MetricsSnapshot` that exports to JSON or
+Prometheus text. Handles are plain attribute-bumping objects so the
+hot path costs one dict lookup at acquisition and one float add per
+observation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.sketch import PercentileSketch
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Log-spaced latency buckets (seconds): 1 µs … 10 s.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down; reads report the last write."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets plus +Inf overflow)."""
+
+    __slots__ = ("bounds", "counts", "total", "count", "_min", "_max")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = overflow (+Inf)
+        self.total = 0.0
+        self.count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile (``q`` in [0, 100]).
+
+        Coarser than the sketch — accuracy is bounded by bucket width —
+        but enough for dashboards over the fixed phase buckets.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * (self.count - 1)
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if rank < cum + n:
+                lo = self.bounds[i - 1] if i > 0 else min(self._min, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self._max
+                if n == 1 or hi <= lo:
+                    return max(min(hi, self._max), self._min)
+                frac = (rank - cum) / (n - 1) if n > 1 else 0.0
+                return lo + frac * (hi - lo)
+            cum += n
+        return self._max
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": [
+                {"le": b, "count": c} for b, c in zip(self.bounds, self.counts)
+            ]
+            + [{"le": "+Inf", "count": self.counts[-1]}],
+            "sum": self.total,
+            "count": self.count,
+            "mean": self.mean,
+        }
+
+
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "sketch": PercentileSketch,
+}
+
+
+class MetricsRegistry:
+    """Owns every metric of one engine/serving run."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+        self._kind: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    # ----- get-or-create handles -------------------------------------------
+    def _get(self, kind: str, name: str, help: str, factory, labels) -> object:
+        known = self._kind.get(name)
+        if known is None:
+            self._kind[name] = kind
+            if help:
+                self._help[name] = help
+        elif known != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {known}, "
+                f"requested as a {kind}"
+            )
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get("counter", name, help, Counter, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get("gauge", name, help, Gauge, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+        help: str = "",
+        **labels,
+    ) -> Histogram:
+        return self._get(
+            "histogram", name, help, lambda: Histogram(buckets), labels
+        )
+
+    def sketch(
+        self,
+        name: str,
+        relative_accuracy: float = 0.01,
+        help: str = "",
+        **labels,
+    ) -> PercentileSketch:
+        return self._get(
+            "sketch",
+            name,
+            help,
+            lambda: PercentileSketch(relative_accuracy),
+            labels,
+        )
+
+    # ----- introspection ----------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._kind)
+
+    def kind_of(self, name: str) -> Optional[str]:
+        return self._kind.get(name)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Freeze the current state into an exportable snapshot."""
+        samples: List[dict] = []
+        for (name, labels), metric in sorted(self._metrics.items()):
+            kind = self._kind[name]
+            entry = {
+                "name": name,
+                "kind": kind,
+                "labels": dict(labels),
+                "help": self._help.get(name, ""),
+            }
+            if kind in ("counter", "gauge"):
+                entry["value"] = metric.value
+            else:
+                entry.update(metric.to_dict())
+            samples.append(entry)
+        return MetricsSnapshot(samples=samples)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen, export-ready view of a registry.
+
+    The JSON form groups samples by kind; the Prometheus form follows
+    the text exposition format (histograms as cumulative ``_bucket``
+    series, sketches as quantile summaries).
+    """
+
+    samples: List[dict] = field(default_factory=list)
+
+    # ----- lookups (tests, CLI) --------------------------------------------
+    def find(self, name: str, **labels) -> Optional[dict]:
+        want = _label_key(labels)
+        for s in self.samples:
+            if s["name"] == name and _label_key(s["labels"]) == want:
+                return s
+        return None
+
+    def value(self, name: str, **labels) -> float:
+        """Counter/gauge value; 0.0 when the series was never touched."""
+        s = self.find(name, **labels)
+        if s is None:
+            return 0.0
+        if "value" not in s:
+            raise ValueError(f"metric {name!r} is a {s['kind']}, not a scalar")
+        return s["value"]
+
+    def names(self) -> List[str]:
+        return sorted({s["name"] for s in self.samples})
+
+    def series(self, name: str) -> List[dict]:
+        return [s for s in self.samples if s["name"] == name]
+
+    # ----- exporters --------------------------------------------------------
+    def to_dict(self) -> dict:
+        grouped: Dict[str, List[dict]] = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+            "sketches": [],
+        }
+        kind_key = {
+            "counter": "counters",
+            "gauge": "gauges",
+            "histogram": "histograms",
+            "sketch": "sketches",
+        }
+        for s in self.samples:
+            entry = {k: v for k, v in s.items() if k not in ("kind", "help")}
+            grouped[kind_key[s["kind"]]].append(entry)
+        return grouped
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format."""
+        lines: List[str] = []
+        seen_header = set()
+        for s in self.samples:
+            name, kind, labels = s["name"], s["kind"], s["labels"]
+            if name not in seen_header:
+                seen_header.add(name)
+                if s.get("help"):
+                    lines.append(f"# HELP {name} {s['help']}")
+                prom_type = {
+                    "counter": "counter",
+                    "gauge": "gauge",
+                    "histogram": "histogram",
+                    "sketch": "summary",
+                }[kind]
+                lines.append(f"# TYPE {name} {prom_type}")
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_prom_labels(labels)} {_fmt(s['value'])}")
+            elif kind == "histogram":
+                cum = 0
+                for bucket in s["buckets"]:
+                    cum += bucket["count"]
+                    le = (
+                        "+Inf"
+                        if bucket["le"] == "+Inf"
+                        else _fmt(bucket["le"])
+                    )
+                    lines.append(
+                        f"{name}_bucket{_prom_labels(labels, le=le)} {cum}"
+                    )
+                lines.append(f"{name}_sum{_prom_labels(labels)} {_fmt(s['sum'])}")
+                lines.append(f"{name}_count{_prom_labels(labels)} {s['count']}")
+            else:  # sketch -> summary
+                for q in (50.0, 95.0, 99.0):
+                    lines.append(
+                        f"{name}{_prom_labels(labels, quantile=_fmt(q / 100.0))} "
+                        f"{_fmt(s[f'p{q:g}'])}"
+                    )
+                lines.append(f"{name}_sum{_prom_labels(labels)} {_fmt(s['sum'])}")
+                lines.append(f"{name}_count{_prom_labels(labels)} {s['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_prometheus())
+
+
+def _prom_labels(labels: Dict[str, str], **extra: str) -> str:
+    items = sorted({**labels, **extra}.items())
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _fmt(v) -> str:
+    f = float(v)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)

@@ -1,0 +1,162 @@
+"""Streaming percentile sketches for serving-latency tails.
+
+A serving run at production rates sees millions of per-query latencies;
+retaining every sample to call ``np.percentile`` at the end is exactly
+the kind of unbounded state a long-lived engine cannot afford. The
+sketch here is the log-bucketed design of DDSketch (Masson et al.,
+VLDB'19): values are binned at indices ``ceil(log_gamma(v))`` with
+``gamma = (1 + a) / (1 - a)``, which guarantees every quantile estimate
+is within *relative* accuracy ``a`` of the true value — a 1% sketch
+reports a 10 ms p99 as something in [9.9 ms, 10.1 ms] — using O(log
+range) integer counters and no floats beyond the running sum.
+
+Sketches merge losslessly (bucket-wise addition), so per-shard or
+per-window sketches can be combined into a global tail estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+__all__ = ["PercentileSketch"]
+
+# Values below this collapse into the zero bucket: latencies this small
+# are below any clock's resolution and would need unbounded negative
+# bucket indices otherwise.
+_MIN_INDEXABLE = 1e-12
+
+
+class PercentileSketch:
+    """Mergeable quantile sketch with bounded relative error.
+
+    Accepts non-negative samples (latencies, byte counts, cycle
+    counts). ``percentile(q)`` is guaranteed to be within
+    ``relative_accuracy`` of the exact sample percentile.
+    """
+
+    __slots__ = (
+        "relative_accuracy",
+        "_gamma",
+        "_log_gamma",
+        "_buckets",
+        "_zero_count",
+        "count",
+        "total",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, relative_accuracy: float = 0.01) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        self.relative_accuracy = relative_accuracy
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ----- ingest -----------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Fold one sample in. Values must be >= 0."""
+        value = float(value)
+        if value < 0.0 or math.isnan(value):
+            raise ValueError(f"sketch values must be >= 0, got {value}")
+        if value < _MIN_INDEXABLE:
+            self._zero_count += 1
+        else:
+            index = math.ceil(math.log(value) / self._log_gamma)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def merge(self, other: "PercentileSketch") -> None:
+        """Fold another sketch in (must share the accuracy setting)."""
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different relative accuracies "
+                f"({self.relative_accuracy} vs {other.relative_accuracy})"
+            )
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self._zero_count += other._zero_count
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # ----- query ------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100]).
+
+        Uses the same rank convention as ``np.percentile`` (rank
+        ``q/100 * (n - 1)``), so accuracy tests can compare directly.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * (self.count - 1)
+        cum = self._zero_count
+        if rank < cum:
+            return 0.0
+        for index in sorted(self._buckets):
+            cum += self._buckets[index]
+            if rank < cum:
+                # Midpoint of the bucket's value range, the estimator
+                # that realizes the relative-accuracy guarantee.
+                value = 2.0 * self._gamma ** index / (self._gamma + 1.0)
+                return min(max(value, self._min), self._max)
+        return self._max
+
+    def quantiles(
+        self, qs: Tuple[float, ...] = (50.0, 95.0, 99.0)
+    ) -> Dict[str, float]:
+        """The standard serving tail summary, JSON-ready."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    # ----- export -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "relative_accuracy": self.relative_accuracy,
+        }
+        out.update(self.quantiles())
+        return out
+
+    def bucket_items(self) -> List[Tuple[int, int]]:
+        """(log-index, count) pairs, for tests and merging diagnostics."""
+        items = sorted(self._buckets.items())
+        if self._zero_count:
+            items.insert(0, (-(2 ** 31), self._zero_count))
+        return items
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PercentileSketch(n={self.count}, p50={self.percentile(50):.3g}, "
+            f"p99={self.percentile(99):.3g})"
+        )

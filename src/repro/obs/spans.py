@@ -1,0 +1,129 @@
+"""Span-based timing that unifies with the DPU Chrome tracer.
+
+DPU kernels already land on per-DPU cycle timelines via
+:class:`~repro.pim.trace.Tracer`; host-side phases (CL, scheduling,
+batch assembly) and modeled per-phase aggregates had no equivalent.
+A :class:`SpanRecorder` closes that gap:
+
+* ``record(name, seconds)`` appends a span to a named *host track* —
+  when a Tracer is attached the span becomes a regular
+  :class:`~repro.pim.trace.TraceEvent` on a reserved track id, so the
+  exported Chrome trace shows host phases side by side with DPU rows;
+* ``span(name)`` is a context manager measuring wall time for real
+  host work (CLI profiling);
+* with a registry attached, every span also feeds the
+  ``drimann_span_seconds`` histogram (labeled by span name).
+
+With neither a tracer nor a registry attached every call is a cheap
+no-op — a couple of attribute checks — which is what keeps the
+observability layer inside its disabled-overhead budget.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+__all__ = ["SpanRecord", "SpanRecorder"]
+
+#: Metric fed by every recorded span (labels: ``span``, ``track``).
+SPAN_METRIC = "drimann_span_seconds"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One recorded span on a host track (seconds timeline)."""
+
+    name: str
+    track: str
+    start_s: float
+    end_s: float
+    detail: str = ""
+
+    @property
+    def seconds(self) -> float:
+        return self.end_s - self.start_s
+
+
+class SpanRecorder:
+    """Records named spans onto per-track, monotonically advancing
+    timelines.
+
+    Each track keeps a cursor: a recorded span starts where the
+    previous one on that track ended, so the emitted TraceEvents never
+    overlap and pass the ``repro lint`` trace invariants.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
+        frequency_hz: float = 450e6,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be > 0, got {frequency_hz}")
+        self.registry = registry
+        self.tracer = tracer
+        self.frequency_hz = frequency_hz
+        self._cursor: Dict[str, float] = {}
+
+    # ----- recording --------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        track: str = "host",
+        detail: str = "",
+    ) -> SpanRecord:
+        """Append a span of known duration (modeled or measured)."""
+        if seconds < 0:
+            raise ValueError(f"span duration must be >= 0, got {seconds}")
+        start = self._cursor.get(track, 0.0)
+        end = start + seconds
+        self._cursor[track] = end
+        rec = SpanRecord(
+            name=name, track=track, start_s=start, end_s=end, detail=detail
+        )
+        if self.registry is not None:
+            self.registry.histogram(
+                SPAN_METRIC,
+                buckets=DEFAULT_TIME_BUCKETS,
+                help="span durations by name and track",
+                span=name,
+                track=track,
+            ).observe(seconds)
+        if self.tracer is not None:
+            tid = self.tracer.host_track(track)
+            self.tracer.record(
+                name,
+                tid,
+                start * self.frequency_hz,
+                end * self.frequency_hz,
+                detail,
+            )
+        return rec
+
+    @contextmanager
+    def span(self, name: str, *, track: str = "host", detail: str = ""):
+        """Measure a real host-side block with ``time.perf_counter``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(
+                name, time.perf_counter() - t0, track=track, detail=detail
+            )
+
+    # ----- introspection ----------------------------------------------------
+    def track_seconds(self, track: str = "host") -> float:
+        """Total recorded time on a track (its cursor position)."""
+        return self._cursor.get(track, 0.0)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry is not None or self.tracer is not None

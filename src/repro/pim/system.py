@@ -93,6 +93,7 @@ class PimSystem:
         config: PimSystemConfig,
         tracer=None,
         fault_plan: Optional[FaultPlan] = None,
+        observer=None,
     ) -> None:
         self.config = config
         self.dpus: List[Dpu] = [
@@ -103,6 +104,8 @@ class PimSystem:
         self.codebooks: Optional[np.ndarray] = None
         self.square_lut: Optional[SquareLut] = None
         self.tracer = tracer
+        # Optional repro.obs.EngineObserver; None costs one check per site.
+        self.observer = observer
         if fault_plan is not None and fault_plan.num_dpus != config.num_dpus:
             raise ValueError(
                 f"fault plan covers {fault_plan.num_dpus} DPUs but the "
@@ -140,6 +143,8 @@ class PimSystem:
             self.tracer.record(
                 cost.kernel, dpu.dpu_id, start, start + cycles, detail
             )
+        if self.observer is not None:
+            self.observer.on_kernel(cost.kernel, dpu.dpu_id, cycles, cost.traffic)
         return cycles
 
     # ----- offline loading ------------------------------------------------
@@ -247,7 +252,10 @@ class PimSystem:
         cycles_after = np.array([d.total_cycles for d in self.dpus])
         delta = cycles_after - cycles_before
         cl_seconds = self._max_seconds(delta)
-        cl_seconds += self.transfer.gather("cl_candidates", gather_bytes)
+        cl_gather = self.transfer.gather("cl_candidates", gather_bytes)
+        cl_seconds += cl_gather
+        if self.observer is not None:
+            self.observer.on_transfer("gather", cl_gather)
         return probes, cl_seconds, float(delta.sum())
 
     # ----- batch execution --------------------------------------------------
@@ -301,10 +309,17 @@ class PimSystem:
             self._observed_dead |= plan.dead_at(batch)
         if self.tracer is not None:
             self.tracer.next_batch()
+        obs = self.observer
+        if obs is not None:
+            obs.on_batch()
 
         # Host->PIM: queries are broadcast, per-DPU task lists scattered.
-        xfer = self.transfer.broadcast("queries", queries.nbytes, len(self.dpus))
-        xfer += self.transfer.scatter("task_lists", num_tasks * 8)
+        bcast = self.transfer.broadcast("queries", queries.nbytes, len(self.dpus))
+        scat = self.transfer.scatter("task_lists", num_tasks * 8)
+        xfer = bcast + scat
+        if obs is not None:
+            obs.on_transfer("broadcast", bcast)
+            obs.on_transfer("scatter", scat)
 
         cycles_before = np.array([d.total_cycles for d in self.dpus])
         kernel_before: Dict[str, float] = {}
@@ -355,6 +370,8 @@ class PimSystem:
                     # ends (the `repro lint` trace invariant).
                     transient_pending = False
                     transient_retries += 1
+                    if obs is not None:
+                        obs.on_transient_retry()
                     dpu.stall(
                         plan.config.transient_backoff_s
                         * self.config.dpu.frequency_hz
@@ -375,10 +392,19 @@ class PimSystem:
         transfer_timeouts = 0
         if plan is not None and plan.transfer_timeout_at(batch):
             transfer_timeouts = 1
-            xfer += self.transfer.timeout(
+            wasted = self.transfer.timeout(
                 "results", plan.config.transfer_timeout_s
             )
-        xfer += self.transfer.gather("results", result_bytes)
+            xfer += wasted
+            if obs is not None:
+                obs.on_transfer_timeout()
+                obs.on_transfer("timeout", wasted)
+        gath = self.transfer.gather("results", result_bytes)
+        xfer += gath
+        if obs is not None:
+            obs.on_transfer("gather", gath)
+            if failed_tasks:
+                obs.on_failed_tasks(len(failed_tasks))
 
         cycles_after = np.array([d.total_cycles for d in self.dpus])
         per_dpu = cycles_after - cycles_before

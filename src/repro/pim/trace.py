@@ -24,6 +24,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+#: First tid reserved for named host tracks (see :meth:`Tracer.host_track`).
+#: Real DPU ids live far below this, so the two ranges never collide.
+HOST_TRACK_BASE = 1_000_000
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -56,6 +60,7 @@ class Tracer:
         self.frequency_hz = frequency_hz
         self.events: List[TraceEvent] = []
         self._batch = 0
+        self._track_names: Dict[str, int] = {}
 
     def record(
         self,
@@ -83,6 +88,29 @@ class Tracer:
         self._batch += 1
         return self._batch
 
+    # ----- host tracks ------------------------------------------------------
+    def host_track(self, name: str) -> int:
+        """Allocate (or look up) a named host-side timeline.
+
+        Host tracks let span-based timing (see :mod:`repro.obs.spans`)
+        share this tracer: spans land on tids at
+        :data:`HOST_TRACK_BASE` and up, rendered as their own labeled
+        rows in the Chrome trace next to the DPU rows.
+        """
+        tid = self._track_names.get(name)
+        if tid is None:
+            tid = HOST_TRACK_BASE + len(self._track_names)
+            self._track_names[name] = tid
+        return tid
+
+    def host_track_names(self) -> Dict[str, int]:
+        """Registered host tracks, name → tid."""
+        return dict(self._track_names)
+
+    @staticmethod
+    def is_host_track(tid: int) -> bool:
+        return tid >= HOST_TRACK_BASE
+
     @property
     def num_events(self) -> int:
         return len(self.events)
@@ -93,6 +121,8 @@ class Tracer:
     def busy_cycles_per_dpu(self) -> Dict[int, float]:
         out: Dict[int, float] = {}
         for e in self.events:
+            if self.is_host_track(e.dpu_id):
+                continue
             out[e.dpu_id] = out.get(e.dpu_id, 0.0) + e.cycles
         return out
 
@@ -110,6 +140,7 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
         self._batch = 0
+        self._track_names.clear()
 
     # ----- export -----------------------------------------------------------
     def export_chrome_trace(self, path: str) -> None:
@@ -128,23 +159,38 @@ class Tracer:
                 "args": {"name": "PIM system (simulated DPUs)"},
             }
         ]
-        for dpu_id in sorted({e.dpu_id for e in self.events}):
+        if self._track_names:
+            records.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "args": {"name": "Host (spans)"},
+                }
+            )
+        track_label = {tid: name for name, tid in self._track_names.items()}
+        for tid in sorted(
+            {e.dpu_id for e in self.events} | set(track_label)
+        ):
+            host = self.is_host_track(tid)
+            pid = 1 if host else 0
+            label = track_label.get(tid, f"host track {tid}") if host else f"DPU {tid}"
             records.append(
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": 0,
-                    "tid": dpu_id,
-                    "args": {"name": f"DPU {dpu_id}"},
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
                 }
             )
             records.append(
                 {
                     "name": "thread_sort_index",
                     "ph": "M",
-                    "pid": 0,
-                    "tid": dpu_id,
-                    "args": {"sort_index": dpu_id},
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
                 }
             )
         for e in self.events:
@@ -155,7 +201,7 @@ class Tracer:
                     "ph": "X",  # complete event
                     "ts": e.start_cycle * scale,
                     "dur": e.cycles * scale,
-                    "pid": 0,
+                    "pid": 1 if self.is_host_track(e.dpu_id) else 0,
                     "tid": e.dpu_id,
                     "args": {"detail": e.detail, "batch": e.batch},
                 }

@@ -13,6 +13,7 @@ import pytest
 from repro.ann import IVFPQIndex
 from repro.core import (
     DrimAnnEngine,
+    EngineConfig,
     IndexParams,
     LayoutConfig,
     SearchParams,
@@ -51,12 +52,15 @@ def small_params():
 @pytest.fixture(scope="session")
 def small_engine(small_ds, small_quantized, small_params):
     """Engine over 16 simulated DPUs with splitting + duplication on."""
-    return DrimAnnEngine.build(
+    config = EngineConfig(
+        index=small_params,
+        search=SearchParams(batch_size=64),
+        system=PimSystemConfig(num_dpus=16),
+        layout=LayoutConfig(min_split_size=400, max_copies=2),
+    )
+    return DrimAnnEngine.from_config(
         small_ds.base,
-        small_params,
-        search_params=SearchParams(batch_size=64),
-        system_config=PimSystemConfig(num_dpus=16),
-        layout_config=LayoutConfig(min_split_size=400, max_copies=2),
+        config,
         heat_queries=small_ds.queries[:50],
         prebuilt_quantized=small_quantized,
         seed=0,

@@ -106,6 +106,53 @@ class TestMutableDefault:
         assert "mutable-default" not in _rules(src, OTHER_PATH)
 
 
+class TestUnchargedKernelCall:
+    def test_uncharged_run_flagged(self):
+        src = (
+            "def execute(dpu, q, c):\n"
+            "    out, cost = run_residual(q, c)\n"
+            "    return out\n"
+        )
+        findings = lint_source(src, OTHER_PATH)
+        hits = [f for f in findings if f.rule == "uncharged-kernel-call"]
+        assert len(hits) == 1
+        assert "run_residual" in hits[0].message
+
+    def test_charged_run_clean(self):
+        src = (
+            "def execute(self, dpu, q, c):\n"
+            "    out, cost = run_residual(q, c)\n"
+            "    self._charge(dpu, cost)\n"
+            "    return out\n"
+        )
+        assert "uncharged-kernel-call" not in _rules(src, OTHER_PATH)
+
+    def test_method_call_spelling_counts(self):
+        src = (
+            "def execute(self, dpu, q, c):\n"
+            "    out, cost = kernels.run_lut_build(q, c)\n"
+            "    system.charge(dpu, cost)\n"
+            "    return out\n"
+        )
+        assert "uncharged-kernel-call" not in _rules(src, OTHER_PATH)
+
+    def test_kernel_package_exempt(self):
+        src = (
+            "def run_fake(q, c):\n"
+            "    return run_residual(q, c)\n"
+        )
+        assert "uncharged-kernel-call" not in _rules(src, KERNEL_PATH)
+
+    def test_analysis_package_exempt(self):
+        src = (
+            "def measure(shape):\n"
+            "    _, cost = run_distance_scan(shape, shape)\n"
+            "    return cost\n"
+        )
+        path = "src/repro/analysis/fake.py"
+        assert "uncharged-kernel-call" not in _rules(src, path)
+
+
 class TestEntryPoints:
     def test_syntax_error_is_a_finding(self):
         findings = lint_source("def broken(:\n", OTHER_PATH)

@@ -19,8 +19,11 @@ class TestCleanRepo:
     def test_json_output_parses(self, capsys):
         assert main(["lint", "--json", "--select", "resources"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert "findings" in payload
-        assert payload["counts"]["error"] == 0
+        assert payload["command"] == "lint"
+        assert payload["config"]["families"] == ["resources"]
+        assert "findings" in payload["results"]
+        assert payload["results"]["counts"]["error"] == 0
+        assert payload["metrics"] is None
 
 
 class TestSelect:

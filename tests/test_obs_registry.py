@@ -1,0 +1,172 @@
+"""repro.obs.registry: metric semantics, snapshots, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import DEFAULT_TIME_BUCKETS, Histogram
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("drimann_test_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("drimann_test_total").inc(-1)
+
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("drimann_test_total", dpu=3).inc(2)
+        reg.counter("drimann_test_total", dpu=3).inc(3)
+        assert reg.counter("drimann_test_total", dpu=3).value == 5
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("drimann_test_total", dpu=0).inc(1)
+        reg.counter("drimann_test_total", dpu=1).inc(7)
+        snap = reg.snapshot()
+        assert snap.value("drimann_test_total", dpu=0) == 1
+        assert snap.value("drimann_test_total", dpu=1) == 7
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("drimann_depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestKindConflicts:
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("drimann_thing")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("drimann_thing")
+
+    def test_kind_of(self):
+        reg = MetricsRegistry()
+        reg.histogram("drimann_h")
+        assert reg.kind_of("drimann_h") == "histogram"
+        assert reg.kind_of("missing") is None
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram((1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(555.5)
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0, 2.0))
+
+    def test_percentile_tracks_numpy_roughly(self):
+        import numpy as np
+
+        h = Histogram(tuple(float(b) for b in np.linspace(0, 100, 201)))
+        vals = np.linspace(0.0, 99.0, 1000)
+        for v in vals:
+            h.observe(float(v))
+        for q in (50, 95, 99):
+            exact = float(np.percentile(vals, q))
+            assert h.percentile(q) == pytest.approx(exact, abs=1.0)
+
+    def test_to_dict_carries_inf_bucket(self):
+        h = Histogram((1.0,))
+        h.observe(2.0)
+        d = h.to_dict()
+        assert d["buckets"][-1] == {"le": "+Inf", "count": 1}
+
+
+class TestSnapshot:
+    def _reg(self):
+        reg = MetricsRegistry()
+        reg.counter("drimann_a_total", help="a").inc(3)
+        reg.gauge("drimann_b", help="b").set(1.5)
+        reg.histogram("drimann_c_seconds", help="c", phase="DC").observe(0.25)
+        reg.sketch("drimann_d_seconds", help="d").add(0.125)
+        return reg
+
+    def test_to_dict_groups_by_kind(self):
+        d = self._reg().snapshot().to_dict()
+        assert sorted(d) == ["counters", "gauges", "histograms", "sketches"]
+        assert len(d["counters"]) == 1
+        assert d["counters"][0]["name"] == "drimann_a_total"
+        assert d["gauges"][0]["value"] == 1.5
+        assert d["histograms"][0]["labels"] == {"phase": "DC"}
+
+    def test_to_json_round_trips(self):
+        snap = self._reg().snapshot()
+        assert json.loads(snap.to_json()) == json.loads(
+            json.dumps(snap.to_dict(), sort_keys=True)
+        )
+
+    def test_value_raises_on_distribution(self):
+        snap = self._reg().snapshot()
+        with pytest.raises(ValueError, match="not a scalar"):
+            snap.value("drimann_c_seconds", phase="DC")
+
+    def test_untouched_series_reads_zero(self):
+        snap = self._reg().snapshot()
+        assert snap.value("drimann_never_written_total") == 0.0
+
+    def test_write_json_and_prometheus(self, tmp_path):
+        snap = self._reg().snapshot()
+        jp = tmp_path / "m.json"
+        pp = tmp_path / "m.prom"
+        snap.write_json(str(jp))
+        snap.write_prometheus(str(pp))
+        assert json.loads(jp.read_text()) == json.loads(snap.to_json())
+        assert pp.read_text() == snap.to_prometheus()
+
+
+class TestPrometheusFormat:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("drimann_a_total", help="things").inc(3)
+        reg.gauge("drimann_b", dpu=2).set(1.5)
+        text = reg.snapshot().to_prometheus()
+        assert "# HELP drimann_a_total things" in text
+        assert "# TYPE drimann_a_total counter" in text
+        assert "drimann_a_total 3" in text
+        assert 'drimann_b{dpu="2"} 1.5' in text
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("drimann_h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        text = reg.snapshot().to_prometheus()
+        assert 'drimann_h_bucket{le="1"} 1' in text
+        assert 'drimann_h_bucket{le="10"} 2' in text
+        assert 'drimann_h_bucket{le="+Inf"} 3' in text
+        assert "drimann_h_count 3" in text
+
+    def test_sketch_becomes_summary(self):
+        reg = MetricsRegistry()
+        sk = reg.sketch("drimann_lat_seconds")
+        for v in (0.001, 0.002, 0.003):
+            sk.add(v)
+        text = reg.snapshot().to_prometheus()
+        assert "# TYPE drimann_lat_seconds summary" in text
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.99"' in text
+        assert "drimann_lat_seconds_count 3" in text
+
+    def test_default_time_buckets_cover_microseconds_to_seconds(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 1e-6
+        assert DEFAULT_TIME_BUCKETS[-1] >= 1.0

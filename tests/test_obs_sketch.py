@@ -1,0 +1,132 @@
+"""PercentileSketch: relative-accuracy guarantee vs numpy, merging."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import PercentileSketch
+
+
+def _assert_within_relative(estimate, exact, accuracy):
+    if exact == 0.0:
+        assert estimate == pytest.approx(0.0, abs=1e-12)
+    else:
+        assert abs(estimate - exact) <= accuracy * exact * (1.0 + 1e-9)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("accuracy", [0.01, 0.05])
+    @pytest.mark.parametrize("dist", ["uniform", "lognormal", "exponential"])
+    def test_matches_numpy_within_guarantee(self, accuracy, dist):
+        rng = np.random.default_rng(7)
+        vals = {
+            "uniform": rng.uniform(1e-4, 1.0, size=5000),
+            "lognormal": rng.lognormal(-5.0, 1.5, size=5000),
+            "exponential": rng.exponential(0.01, size=5000),
+        }[dist]
+        sk = PercentileSketch(relative_accuracy=accuracy)
+        for v in vals:
+            sk.add(float(v))
+        ordered = np.sort(vals)
+        for q in (1, 25, 50, 75, 90, 95, 99, 99.9):
+            # DDSketch guarantees relative accuracy against the order
+            # statistics at the target rank; numpy interpolates between
+            # them, so bound by the two neighbours.
+            rank = q / 100.0 * (len(ordered) - 1)
+            lo = float(ordered[math.floor(rank)])
+            hi = float(ordered[math.ceil(rank)])
+            est = sk.percentile(q)
+            assert lo * (1.0 - accuracy) * (1.0 - 1e-9) <= est
+            assert est <= hi * (1.0 + accuracy) * (1.0 + 1e-9)
+
+    def test_single_value(self):
+        sk = PercentileSketch()
+        sk.add(0.042)
+        for q in (0, 50, 100):
+            _assert_within_relative(sk.percentile(q), 0.042, 0.01)
+
+    def test_extremes_clamped_to_observed_range(self):
+        sk = PercentileSketch()
+        for v in (0.1, 0.2, 0.3):
+            sk.add(v)
+        assert sk.percentile(0) >= sk.min
+        assert sk.percentile(100) <= sk.max
+
+
+class TestValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileSketch().add(-1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileSketch().add(float("nan"))
+
+    def test_bad_accuracy_rejected(self):
+        for a in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                PercentileSketch(relative_accuracy=a)
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileSketch().percentile(101)
+
+
+class TestZeroAndEmpty:
+    def test_empty_reads_zero(self):
+        sk = PercentileSketch()
+        assert sk.percentile(99) == 0.0
+        assert sk.mean == 0.0
+        assert sk.min == 0.0 and sk.max == 0.0
+
+    def test_zero_values_counted(self):
+        sk = PercentileSketch()
+        for _ in range(10):
+            sk.add(0.0)
+        sk.add(1.0)
+        assert sk.count == 11
+        assert sk.percentile(50) == 0.0
+        assert sk.percentile(100) == pytest.approx(1.0, rel=0.011)
+
+
+class TestMerge:
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(3)
+        vals = rng.exponential(0.005, size=2000)
+        whole = PercentileSketch()
+        left = PercentileSketch()
+        right = PercentileSketch()
+        for i, v in enumerate(vals):
+            whole.add(float(v))
+            (left if i % 2 else right).add(float(v))
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total)
+        for q in (50, 95, 99):
+            assert left.percentile(q) == pytest.approx(whole.percentile(q))
+
+    def test_mismatched_accuracy_rejected(self):
+        with pytest.raises(ValueError, match="different relative accuracies"):
+            PercentileSketch(0.01).merge(PercentileSketch(0.02))
+
+
+class TestExport:
+    def test_to_dict_summary(self):
+        sk = PercentileSketch()
+        for v in (0.001, 0.002, 0.004):
+            sk.add(v)
+        d = sk.to_dict()
+        assert d["count"] == 3
+        assert d["sum"] == pytest.approx(0.007)
+        assert set(d) >= {"p50", "p95", "p99", "min", "max", "mean"}
+
+    def test_bucket_items_bounded_by_log_range(self):
+        sk = PercentileSketch(relative_accuracy=0.01)
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(1e-6, 10.0, size=20000):
+            sk.add(float(v))
+        # O(log range) buckets, not O(n) samples.
+        n_buckets = len(sk.bucket_items())
+        bound = math.log(10.0 / 1e-6) / math.log(sk._gamma) + 2
+        assert n_buckets <= bound

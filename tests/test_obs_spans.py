@@ -1,0 +1,124 @@
+"""SpanRecorder: per-track timelines, metrics feeding, tracer unification."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanRecorder
+from repro.obs.spans import SPAN_METRIC
+from repro.pim.trace import HOST_TRACK_BASE, Tracer
+
+
+class TestTimelines:
+    def test_spans_on_one_track_never_overlap(self):
+        rec = SpanRecorder()
+        a = rec.record("CL", 0.010)
+        b = rec.record("RC", 0.005)
+        c = rec.record("LC", 0.002)
+        assert a.start_s == 0.0 and a.end_s == pytest.approx(0.010)
+        assert b.start_s == pytest.approx(a.end_s)
+        assert c.start_s == pytest.approx(b.end_s)
+        assert rec.track_seconds() == pytest.approx(0.017)
+
+    def test_tracks_are_independent(self):
+        rec = SpanRecorder()
+        rec.record("CL", 0.010, track="phases")
+        rec.record("queue", 0.001, track="serving")
+        assert rec.track_seconds("phases") == pytest.approx(0.010)
+        assert rec.track_seconds("serving") == pytest.approx(0.001)
+        assert rec.track_seconds("missing") == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SpanRecorder().record("CL", -0.001)
+
+    def test_span_context_manager_measures_wall_time(self):
+        rec = SpanRecorder(registry=MetricsRegistry())
+        with rec.span("work"):
+            sum(range(1000))
+        assert rec.track_seconds() > 0.0
+
+    def test_enabled_property(self):
+        assert not SpanRecorder().enabled
+        assert SpanRecorder(registry=MetricsRegistry()).enabled
+        assert SpanRecorder(tracer=Tracer()).enabled
+
+
+class TestMetricsFeeding:
+    def test_spans_feed_labeled_histogram(self):
+        reg = MetricsRegistry()
+        rec = SpanRecorder(registry=reg)
+        rec.record("CL", 0.010)
+        rec.record("CL", 0.012)
+        rec.record("RC", 0.001)
+        snap = reg.snapshot()
+        cl = snap.find(SPAN_METRIC, span="CL", track="host")
+        rc = snap.find(SPAN_METRIC, span="RC", track="host")
+        assert cl is not None and cl["count"] == 2
+        assert cl["sum"] == pytest.approx(0.022)
+        assert rc is not None and rc["count"] == 1
+
+
+class TestTracerUnification:
+    def test_spans_land_on_host_tracks(self):
+        tracer = Tracer(frequency_hz=450e6)
+        rec = SpanRecorder(tracer=tracer, frequency_hz=450e6)
+        rec.record("CL", 0.010, track="phases")
+        rec.record("RC", 0.005, track="phases")
+        assert tracer.num_events == 2
+        tids = {e.dpu_id for e in tracer.events}
+        assert all(Tracer.is_host_track(t) for t in tids)
+        assert min(tids) >= HOST_TRACK_BASE
+
+    def test_span_cycles_match_seconds_times_frequency(self):
+        tracer = Tracer(frequency_hz=450e6)
+        rec = SpanRecorder(tracer=tracer, frequency_hz=450e6)
+        rec.record("CL", 0.010)
+        ev = tracer.events[0]
+        assert ev.start_cycle == pytest.approx(0.0)
+        assert ev.cycles == pytest.approx(0.010 * 450e6)
+
+    def test_host_tracks_excluded_from_dpu_stats(self):
+        tracer = Tracer()
+        tracer.record("LC", 0, 0, 100)
+        rec = SpanRecorder(tracer=tracer)
+        rec.record("CL", 0.010)
+        assert set(tracer.busy_cycles_per_dpu()) == {0}
+
+    def test_chrome_export_puts_spans_under_pid_1(self, tmp_path):
+        tracer = Tracer(frequency_hz=450e6)
+        tracer.record("LC", 0, 0, 4500)
+        rec = SpanRecorder(tracer=tracer, frequency_hz=450e6)
+        rec.record("CL", 0.010, track="phases")
+        path = str(tmp_path / "trace.json")
+        tracer.export_chrome_trace(path)
+        with open(path) as f:
+            events = json.load(f)["traceEvents"]
+        host_x = [
+            e for e in events
+            if e["ph"] == "X" and Tracer.is_host_track(e["tid"])
+        ]
+        assert len(host_x) == 1 and host_x[0]["pid"] == 1
+        names = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert {m["pid"]: m["args"]["name"] for m in names}[1] == "Host (spans)"
+        threads = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and Tracer.is_host_track(e.get("tid", 0))
+        ]
+        assert threads[0]["args"]["name"] == "phases"
+
+    def test_exported_trace_passes_lint(self, tmp_path):
+        from repro.cli import main
+
+        tracer = Tracer(frequency_hz=450e6)
+        tracer.record("LC", 0, 0, 4500)
+        rec = SpanRecorder(tracer=tracer, frequency_hz=450e6)
+        rec.record("CL", 0.010)
+        rec.record("RC", 0.005)
+        path = str(tmp_path / "trace.json")
+        tracer.export_chrome_trace(path)
+        assert main(["lint", "--strict", "--trace", path]) == 0
