@@ -7,6 +7,13 @@ systems). The simulator reproduces the sweep at the scaled workload
 (see benchmarks/common.py): modeled CPU time comes from the same
 five-phase model on a silicon-fraction slice of the Xeon, PIM time from
 the cycle-accounted simulator with the full load-balancing stack.
+
+Run directly for a console report, or with ``--smoke`` as the CI
+perf-regression gate: it times the *simulator host wall-clock* of
+batched vs per-query execution on a reduced workload, checks the two
+produce bit-identical results, and exits non-zero when batched
+execution is less than 2x faster (the batching speedup this harness
+locks in).
 """
 
 import pytest
@@ -79,3 +86,99 @@ def test_fig06b_nprobe_sweep(sift_ds, benchmark):
     qps = [float(r[2].replace(",", "")) for r in rows]
     # Paper: throughput decreases as nprobe increases.
     assert qps[0] > qps[-1]
+
+
+# ---------------------------------------------------------------- CLI
+def run_smoke(
+    num_queries: int = 400, min_speedup: float = 2.0, repeats: int = 3
+) -> bool:
+    """CI perf gate: batched vs per-query host wall-clock.
+
+    Uses a reduced workload (the 20k test preset) so the gate runs in
+    seconds; both modes produce bit-identical results, so the only
+    thing compared is simulator host wall-clock. Each mode is timed
+    ``repeats`` times interleaved and scored by its best run — the
+    standard noise shield for a shared CI box, where one descheduled
+    slice would otherwise flip the gate.
+    """
+    import time
+
+    import numpy as np
+
+    from benchmarks.common import SEED, build_engine
+    from repro.data import load_dataset
+
+    ds = load_dataset(
+        "sift-like-20k", seed=SEED, num_queries=num_queries, ground_truth_k=10
+    )
+    params = params_for(nlist=128, nprobe=8, m=16, cb=64)
+    engine = build_engine(ds, params, num_dpus=16)
+    queries = ds.queries[:num_queries]
+    engine.search(queries[:8])  # warm caches outside the timed region
+
+    res_b = res_q = None
+    t_batched = t_per_query = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        res_b, _ = engine.search(queries, execution="batched")
+        t_batched = min(t_batched, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        res_q, _ = engine.search(queries, execution="per_query")
+        t_per_query = min(t_per_query, time.perf_counter() - t0)
+
+    if not (
+        np.array_equal(res_b.ids, res_q.ids)
+        and np.array_equal(res_b.distances, res_q.distances)
+    ):
+        print("FAIL: batched and per-query results differ")
+        return False
+    speedup = t_per_query / t_batched
+    print(
+        f"batched {t_batched:.3f}s vs per-query {t_per_query:.3f}s "
+        f"(best of {max(repeats, 1)}) over {num_queries} queries "
+        f"-> {speedup:.2f}x (floor {min_speedup:.1f}x)"
+    )
+    if speedup < min_speedup:
+        print(f"FAIL: batched execution only {speedup:.2f}x faster")
+        return False
+    print("OK")
+    return True
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced perf-regression gate: batched must beat per-query "
+        "by --min-speedup on host wall-clock",
+    )
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        ok = run_smoke(args.queries, args.min_speedup, args.repeats)
+        return 0 if ok else 1
+    from benchmarks.common import bench_dataset
+
+    ds = bench_dataset()
+    for axis, title in (
+        ("nlist", f"Fig. 6(a): SIFT-like, nprobe={NPROBE_DEFAULT}, nlist sweep"),
+        ("nprobe", f"Fig. 6(b): SIFT-like, nlist={NLIST_DEFAULT}, nprobe sweep"),
+    ):
+        rows, speedups = _sweep(ds, axis)
+        print_table(
+            title,
+            ("nlist", "nprobe", "pim QPS", "cpu QPS", "speedup", "recall@10"),
+            rows,
+        )
+        print(f"geomean speedup: {geomean(speedups):.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ import numpy as np
 from repro.ann import IVFPQIndex
 from repro.baselines import CpuIvfPqBaseline
 from repro.core import DrimAnnEngine, IndexParams, LayoutConfig, SearchParams
+from repro.core.config import EngineConfig
 from repro.core.quantized import QuantizedIndexData, build_quantized_index
 from repro.data import Dataset, load_dataset
 from repro.pim.config import PimSystemConfig
@@ -132,17 +133,23 @@ def build_engine(
     layout: Optional[LayoutConfig] = None,
     multiplier_less: bool = True,
     compute_scale: float = 1.0,
+    execution: str = "batched",
 ) -> DrimAnnEngine:
     quant = bench_quantized(ds, params.nlist, params.num_subspaces, params.codebook_size)
     cfg = PimSystemConfig(num_dpus=num_dpus).with_compute_scale(compute_scale)
-    return DrimAnnEngine.build(
-        ds.base,
-        params,
-        search_params=SearchParams(
-            batch_size=BATCH_SIZE, multiplier_less=multiplier_less
+    engine_cfg = EngineConfig(
+        index=params,
+        search=SearchParams(
+            batch_size=BATCH_SIZE,
+            multiplier_less=multiplier_less,
+            execution=execution,
         ),
-        system_config=cfg,
-        layout_config=layout if layout is not None else default_layout(),
+        layout=layout if layout is not None else default_layout(),
+        system=cfg,
+    )
+    return DrimAnnEngine.from_config(
+        ds.base,
+        engine_cfg,
         heat_queries=ds.queries[: NUM_QUERIES // 4],
         prebuilt_quantized=quant,
         cpu_profile=scaled_cpu_profile(num_dpus),

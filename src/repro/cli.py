@@ -117,6 +117,14 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--index", help="prebuilt .npz from `repro build`")
     s.add_argument("--dpus", type=int, default=32)
     s.add_argument("--queries", type=int, default=200)
+    s.add_argument("--execution", default="batched",
+                   choices=("batched", "chunked", "per_query"),
+                   help="query execution mode: whole-matrix batched "
+                        "(default), batch_size chunks, or one query per "
+                        "round (differential baseline)")
+    s.add_argument("--shard-workers", type=int, default=0,
+                   help="worker processes for shard scans (0 = serial; "
+                        "results are bit-identical either way)")
     s.add_argument("--no-balance", action="store_true",
                    help="id-order layout, static scheduling (Fig. 11 baseline)")
     s.add_argument("--opq", action="store_true", help="OPQ preprocessing")
@@ -158,6 +166,8 @@ def _build_parser() -> argparse.ArgumentParser:
     v.add_argument("--dpus", type=int, default=32)
     v.add_argument("--batch-size", type=int, default=64)
     v.add_argument("--max-wait-ms", type=float, default=2.0)
+    v.add_argument("--shard-workers", type=int, default=0,
+                   help="worker processes for shard scans (0 = serial)")
     v.add_argument("--metrics-out", metavar="PATH",
                    help="write the metrics snapshot (.prom -> Prometheus "
                         "text, else JSON); implies observability")
@@ -375,7 +385,7 @@ def _profile_lines(snapshot) -> List[str]:
 
 def _cmd_search(args) -> int:
     from repro.ann import recall_at_k
-    from repro.core import DrimAnnEngine, EngineConfig, LayoutConfig
+    from repro.core import DrimAnnEngine, EngineConfig, LayoutConfig, SearchParams
     from repro.core.persist import load_quantized
     from repro.data import load_dataset
     from repro.obs import ObsConfig
@@ -395,8 +405,11 @@ def _cmd_search(args) -> int:
     obs_on = bool(args.profile or args.metrics_out or args.as_json)
     config = EngineConfig(
         index=params,
+        search=SearchParams(execution=args.execution),
         layout=layout,
-        system=PimSystemConfig(num_dpus=args.dpus),
+        system=PimSystemConfig(
+            num_dpus=args.dpus, shard_workers=args.shard_workers
+        ),
         use_opq=args.opq,
         obs=ObsConfig(enabled=obs_on),
     )
@@ -602,7 +615,9 @@ def _cmd_serve(args) -> int:
     obs_on = bool(args.metrics_out or args.as_json)
     config = EngineConfig(
         index=params,
-        system=PimSystemConfig(num_dpus=args.dpus),
+        system=PimSystemConfig(
+            num_dpus=args.dpus, shard_workers=args.shard_workers
+        ),
         obs=ObsConfig(enabled=obs_on),
     )
     _say(args, f"building engine ({args.dpus} DPUs) ...")

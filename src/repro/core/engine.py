@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.ann.ivfpq import IVFPQIndex, SearchResult
-from repro.ann.heap import topk_smallest
+from repro.ann.heap import topk_canonical
 from repro.core.breakdown import TimingBreakdown
 from repro.core.config import EngineConfig
 from repro.core.layout import (
@@ -43,7 +43,12 @@ from repro.core.layout import (
     generate_layout,
 )
 from repro.core.opq_preprocess import OpqPreprocessor
-from repro.core.params import DatasetShape, IndexParams, SearchParams
+from repro.core.params import (
+    EXECUTION_MODES,
+    DatasetShape,
+    IndexParams,
+    SearchParams,
+)
 from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
 from repro.core.quantized import QuantizedIndexData, build_quantized_index
 from repro.core.results import SearchOutcome
@@ -360,6 +365,7 @@ class DrimAnnEngine:
         queries: np.ndarray,
         *,
         with_scheduler: bool = True,
+        execution: Optional[str] = None,
     ) -> SearchOutcome:
         """Batched top-k search.
 
@@ -368,6 +374,16 @@ class DrimAnnEngine:
         observability is on) a metrics snapshot. The outcome unpacks
         like the historical two-tuple:
         ``results, breakdown = engine.search(queries)``.
+
+        ``execution`` overrides ``search_params.execution`` for this
+        call: ``"batched"`` dispatches the whole query matrix as one
+        PIM round, ``"chunked"`` rounds of ``batch_size`` queries, and
+        ``"per_query"`` one query per round (the pre-batching
+        behaviour, kept as the differential-testing baseline). All
+        three produce bit-identical results — per-query partials merge
+        with a canonical (distance, id) tie-break — and identical
+        aggregate kernel-cycle totals; only round structure, transfer
+        aggregation, and host wall-clock differ.
 
         ``with_scheduler=False`` forces the static policy (replica 0,
         no filter) — the ablation arm of Fig. 11.
@@ -389,7 +405,17 @@ class DrimAnnEngine:
             queries = self.preprocessor.transform(queries)
         k = self.params.k
         nq = queries.shape[0]
-        bs = self.search_params.batch_size
+        mode = execution if execution is not None else self.search_params.execution
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {mode!r}"
+            )
+        if mode == "batched":
+            bs = max(nq, 1)
+        elif mode == "chunked":
+            bs = self.search_params.batch_size
+        else:  # per_query
+            bs = 1
         obs = self.observer
         if obs is not None:
             obs.on_search_start(nq)
@@ -437,12 +463,16 @@ class DrimAnnEngine:
             outcome = scheduler.schedule_batch(tasks)
             carried = list(outcome.deferred)
             stats.uncovered.update(outcome.uncovered)
+            # Fault plans index events by logical (batch_size) batches;
+            # a batched round spans all the logical batches it covers.
+            span = -(-(q1 - q0) // self.search_params.batch_size)
             failed = self._execute(
                 outcome.assignments, queries, k, pools_i, pools_d, breakdown,
                 host_seconds=host_s,
                 num_new_queries=q1 - q0,
                 extra_pim_seconds=cl_sec,
                 extra_cl_cycles=cl_cycles,
+                batch_span=max(span, 1),
             )
             self._recover(failed, scheduler, queries, k, pools_i, pools_d, breakdown)
 
@@ -489,9 +519,9 @@ class DrimAnnEngine:
             ids = np.concatenate(pools_i[qi])
             dists = np.concatenate(pools_d[qi]).astype(np.float64)
             kk = min(k, len(ids))
-            sel, vals = topk_smallest(dists, kk)
-            out_ids[qi, :kk] = ids[sel]
-            out_dist[qi, :kk] = vals
+            sel_ids, sel_dists = topk_canonical(dists, ids, kk)
+            out_ids[qi, :kk] = sel_ids
+            out_dist[qi, :kk] = sel_dists
         return SearchOutcome(
             results=SearchResult(ids=out_ids, distances=out_dist),
             breakdown=breakdown,
@@ -511,6 +541,7 @@ class DrimAnnEngine:
         num_new_queries: int,
         extra_pim_seconds: float = 0.0,
         extra_cl_cycles: float = 0.0,
+        batch_span: int = 1,
     ) -> List[Tuple[int, str]]:
         """Run one PIM batch and fold results/timing in.
 
@@ -538,6 +569,7 @@ class DrimAnnEngine:
                 queries[active],
                 k,
                 multiplier_less=self.search_params.multiplier_less,
+                batch_span=batch_span,
             )
             for p in partials:
                 gq = active[p.query_index]

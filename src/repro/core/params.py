@@ -78,6 +78,10 @@ class IndexParams:
         return replace(self, **kw)
 
 
+#: Valid values of :attr:`SearchParams.execution`.
+EXECUTION_MODES = ("batched", "chunked", "per_query")
+
+
 @dataclass(frozen=True)
 class SearchParams:
     """Runtime execution knobs."""
@@ -89,6 +93,13 @@ class SearchParams:
     cluster_locate_on: str = "host"
     # WRAM bytes reserved for stack/staging when checking LUT fit.
     wram_reserve_bytes: int = 8 * 1024
+    # Dispatch granularity: "batched" packs the whole query matrix into
+    # one PIM round (the paper's bulk-transfer execution), "chunked"
+    # dispatches batch_size-query rounds, "per_query" one query per
+    # round (the differential-testing reference arm). Results are
+    # bit-identical across modes; only timing and transfer aggregation
+    # differ.
+    execution: str = "batched"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -96,6 +107,10 @@ class SearchParams:
         if self.cluster_locate_on not in ("host", "pim"):
             raise ValueError(
                 f"cluster_locate_on must be 'host' or 'pim', got {self.cluster_locate_on!r}"
+            )
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
             )
 
     def adc_lut_bytes(self, params: IndexParams, bits_lut: int = 32) -> int:

@@ -26,7 +26,7 @@ from typing import List
 
 import numpy as np
 
-from repro.ann.heap import topk_smallest
+from repro.ann.heap import topk_canonical, topk_smallest
 from repro.ann.ivfpq import IVFPQIndex, SearchResult
 from repro.utils import check_2d
 
@@ -156,9 +156,9 @@ class QuantizedIndexData:
             dall = np.concatenate(dparts)
             iall = np.concatenate(iparts)
             kk = min(k, len(dall))
-            sel, vals = topk_smallest(dall, kk)
-            out_ids[qi, :kk] = iall[sel]
-            out_dist[qi, :kk] = vals.astype(np.float64)
+            sel_ids, sel_dists = topk_canonical(dall, iall, kk)
+            out_ids[qi, :kk] = sel_ids
+            out_dist[qi, :kk] = sel_dists.astype(np.float64)
         return SearchResult(ids=out_ids, distances=out_dist)
 
 

@@ -110,6 +110,14 @@ class RuntimeScheduler:
                     info.append((plan.placement[key], key, lat))
                 infos.append(info)
             self._group_info[cid] = infos
+        # Per-cluster latency footprint (group 0; replicas are
+        # identical), precomputed once — schedule_batch sorts every
+        # batch's tasks by it, and with batched execution a single call
+        # sees the whole query matrix's tasks.
+        self._group_cost: Dict[int, float] = {
+            cid: sum(l for _, _, l in infos[0])
+            for cid, infos in self._group_info.items()
+        }
 
     # ----- fault state ------------------------------------------------------
     @property
@@ -185,11 +193,9 @@ class RuntimeScheduler:
             d: [] for d in range(num_dpus)
         }
         uncovered: List[Tuple[int, int]] = []
-        # (task, group_latency) — sort descending by footprint.
-        def group_cost(cid: int) -> float:
-            return sum(l for _, _, l in self._group_info[cid][0])
-
-        ordered = sorted(tasks, key=lambda t: -group_cost(t[1]))
+        # Sort descending by precomputed cluster footprint.
+        group_cost = self._group_cost
+        ordered = sorted(tasks, key=lambda t: -group_cost[t[1]])
 
         task_record: List[Tuple[int, int, List[Tuple[int, str, float]]]] = []
         for qidx, cid in ordered:

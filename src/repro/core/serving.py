@@ -281,8 +281,11 @@ def simulate_serving(
             if len(members) == 0:
                 i = j
                 continue
+        # The policy already shaped the batch: dispatch it as a single
+        # PIM round rather than re-chunking by SearchParams.batch_size.
         _, bd = engine.search(
-            queries[members], with_scheduler=with_scheduler
+            queries[members], with_scheduler=with_scheduler,
+            execution="batched",
         )
         service = bd.e2e_seconds
         done = launch + service

@@ -99,12 +99,19 @@ class PimSystemConfig:
     dpus_per_dimm: int = 128
     dpu: DpuConfig = field(default_factory=DpuConfig)
     transfer: TransferConfig = field(default_factory=TransferConfig)
+    # Worker processes for the functional shard-scan fan-out (see
+    # repro.pim.parallel). 0/1 = serial; results are bit-identical
+    # either way, and the executor falls back to serial when process
+    # pools are unavailable.
+    shard_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.num_dpus <= 0:
             raise ValueError("num_dpus must be > 0")
         if self.dpus_per_rank <= 0 or self.dpus_per_dimm <= 0:
             raise ValueError("rank/dimm sizes must be > 0")
+        if self.shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0")
 
     @property
     def num_dimms(self) -> int:

@@ -22,10 +22,19 @@ from repro.pim.kernels import (
     topk_sort as _topk_sort,
 )
 from repro.pim.kernels.cluster_locate import run_cluster_locate
-from repro.pim.kernels.residual import run_residual
-from repro.pim.kernels.lut_build import run_lut_build
-from repro.pim.kernels.distance_scan import run_distance_scan
-from repro.pim.kernels.topk_sort import run_topk_sort, expected_heap_updates
+from repro.pim.kernels.residual import residual_cost, run_residual
+from repro.pim.kernels.lut_build import lut_build_cost, run_lut_build
+from repro.pim.kernels.distance_scan import (
+    distance_scan_cost,
+    run_distance_scan,
+    scan_distances,
+)
+from repro.pim.kernels.topk_sort import (
+    expected_heap_updates,
+    run_topk_sort,
+    topk_rows,
+    topk_sort_cost,
+)
 
 #: kernel name -> declared resource contract, in pipeline order.
 KERNEL_CONTRACTS = {
@@ -41,4 +50,10 @@ __all__ = [
     "run_distance_scan",
     "run_topk_sort",
     "expected_heap_updates",
+    "residual_cost",
+    "lut_build_cost",
+    "distance_scan_cost",
+    "topk_sort_cost",
+    "scan_distances",
+    "topk_rows",
 ]

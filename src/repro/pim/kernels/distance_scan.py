@@ -60,6 +60,42 @@ CONTRACT = ResourceContract(
 )
 
 
+def distance_scan_cost(g: int, n: int, m: int, codes_nbytes: int) -> KernelCost:
+    """DC cost for ``g`` LUTs scanned over one ``(n, m)`` code block.
+
+    Closed form shared by :func:`run_distance_scan` and the batched
+    executor (whose functional scan runs in row chunks and, optionally,
+    in worker processes — the cost is charged once per shard group).
+    """
+    mix = InstructionMix(
+        add=float(g * n * (m - 1)),
+        load=float(g * n * m),
+        control=float(g * n * m),  # address calc + MRAM masking (paper §V-B)
+    )
+    traffic = MemoryTraffic(
+        sequential_read=float(g * codes_nbytes),
+        transactions=float(g * max(1, codes_nbytes // 2048)),
+    )
+    return KernelCost(kernel="DC", instructions=mix, traffic=traffic)
+
+
+def scan_distances(luts: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Functional core of DC: ``(g, M, CB)`` LUTs × ``(n, M)`` codes →
+    ``(g, n)`` int64 distances. No cost accounting — callers that model
+    timing charge :func:`distance_scan_cost` separately."""
+    luts = np.asarray(luts)
+    codes = np.asarray(codes)
+    if luts.ndim != 3:
+        raise ValueError(f"luts must be 3-D (g, M, CB), got {luts.shape}")
+    if codes.ndim != 2:
+        raise ValueError(f"codes must be 2-D (n, M), got {codes.shape}")
+    m = luts.shape[1]
+    if codes.shape[1] != m:
+        raise ValueError(f"codes have {codes.shape[1]} sub-codes, luts have {m}")
+    gathered = luts[:, np.arange(m)[None, :], codes.astype(np.intp)]
+    return gathered.sum(axis=2)
+
+
 def run_distance_scan(
     luts: np.ndarray, codes: np.ndarray
 ) -> Tuple[np.ndarray, KernelCost]:
@@ -76,25 +112,7 @@ def run_distance_scan(
     """
     luts = np.asarray(luts)
     codes = np.asarray(codes)
-    if luts.ndim != 3:
-        raise ValueError(f"luts must be 3-D (g, M, CB), got {luts.shape}")
-    if codes.ndim != 2:
-        raise ValueError(f"codes must be 2-D (n, M), got {codes.shape}")
-    g, m, _cb = luts.shape
-    n = codes.shape[0]
-    if codes.shape[1] != m:
-        raise ValueError(f"codes have {codes.shape[1]} sub-codes, luts have {m}")
-
-    gathered = luts[:, np.arange(m)[None, :], codes.astype(np.intp)]
-    dists = gathered.sum(axis=2)
-
-    mix = InstructionMix(
-        add=float(g * n * (m - 1)),
-        load=float(g * n * m),
-        control=float(g * n * m),  # address calc + MRAM masking (paper §V-B)
-    )
-    traffic = MemoryTraffic(
-        sequential_read=float(g * codes.nbytes),
-        transactions=float(g * max(1, codes.nbytes // 2048)),
-    )
-    return dists, KernelCost(kernel="DC", instructions=mix, traffic=traffic)
+    dists = scan_distances(luts, codes)
+    g = luts.shape[0]
+    n, m = codes.shape
+    return dists, distance_scan_cost(g, n, m, codes.nbytes)

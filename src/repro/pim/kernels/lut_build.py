@@ -86,6 +86,44 @@ CONTRACT = ResourceContract(
 )
 
 
+def lut_build_cost(
+    g: int,
+    d: int,
+    m: int,
+    cb: int,
+    codebooks_nbytes: int,
+    *,
+    multiplier_less: bool,
+    misses: int = 0,
+) -> KernelCost:
+    """LC cost for ``g`` residuals against one ``(m, cb, d/m)`` codebook set.
+
+    ``misses`` counts square-LUT lookups outside the resident window
+    (always 0 for the engine's fully-resident 8-bit table). Closed form
+    shared by :func:`run_lut_build` and the batched executor, which
+    builds LUTs once per unique (query, centroid) pair but charges per
+    shard group exactly as the per-group path would.
+    """
+    per_task_entries = float(d * cb)  # (m * cb * dsub)
+    mix = InstructionMix(
+        add=g * 2 * per_task_entries,  # subtract + accumulate
+        store=float(g * m * cb),  # LUT writes to WRAM
+        control=float(g * m * cb),  # entry loop bookkeeping
+    )
+    traffic = MemoryTraffic(
+        sequential_read=float(g * codebooks_nbytes),
+        transactions=float(g * m),
+    )
+    if multiplier_less:
+        mix.load = g * per_task_entries
+        # Out-of-window lookups fetch the missing entry from MRAM.
+        traffic.random_read += float(misses * 4)
+        traffic.transactions += float(misses)
+    else:
+        mix.mul = g * per_task_entries
+    return KernelCost(kernel="LC", instructions=mix, traffic=traffic)
+
+
 def run_lut_build(
     residuals: np.ndarray,
     codebooks: np.ndarray,
@@ -124,22 +162,9 @@ def run_lut_build(
         squares = diff * diff
     luts = squares.sum(axis=3)
 
-    per_task_entries = float(d * cb)  # (m * cb * dsub)
-    mix = InstructionMix(
-        add=g * 2 * per_task_entries,  # subtract + accumulate
-        store=float(g * m * cb),  # LUT writes to WRAM
-        control=float(g * m * cb),  # entry loop bookkeeping
+    cost = lut_build_cost(
+        g, d, m, cb, codebooks.nbytes,
+        multiplier_less=square_lut is not None,
+        misses=misses,
     )
-    traffic = MemoryTraffic(
-        sequential_read=float(g * codebooks.nbytes),
-        transactions=float(g * m),
-    )
-    if square_lut is None:
-        mix.mul = g * per_task_entries
-    else:
-        mix.load = g * per_task_entries
-        # Out-of-window lookups fetch the missing entry from MRAM.
-        traffic.random_read += float(misses * 4)
-        traffic.transactions += float(misses)
-
-    return luts, KernelCost(kernel="LC", instructions=mix, traffic=traffic)
+    return luts, cost

@@ -50,6 +50,24 @@ CONTRACT = ResourceContract(
 )
 
 
+def residual_cost(g: int, d: int, centroid_nbytes: int) -> KernelCost:
+    """RC cost for ``g`` queries against one ``d``-dim centroid.
+
+    Closed form shared by :func:`run_residual` and the batched executor
+    (which computes residuals vectorized across the whole batch but
+    charges per shard group exactly as the per-group path would).
+    """
+    return KernelCost(
+        kernel="RC",
+        instructions=InstructionMix(
+            add=float(g * d), load=float(2 * g * d), store=float(g * d)
+        ),
+        traffic=MemoryTraffic(
+            sequential_read=float(g * centroid_nbytes), transactions=float(g)
+        ),
+    )
+
+
 def run_residual(
     queries: np.ndarray, centroid: np.ndarray
 ) -> Tuple[np.ndarray, KernelCost]:
@@ -70,14 +88,4 @@ def run_residual(
         )
     g, d = queries.shape
     residuals = queries.astype(np.int32) - centroid.astype(np.int32)
-
-    cost = KernelCost(
-        kernel="RC",
-        instructions=InstructionMix(
-            add=float(g * d), load=float(2 * g * d), store=float(g * d)
-        ),
-        traffic=MemoryTraffic(
-            sequential_read=float(g * centroid.nbytes), transactions=float(g)
-        ),
-    )
-    return residuals, cost
+    return residuals, residual_cost(g, d, centroid.nbytes)

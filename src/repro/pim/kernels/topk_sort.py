@@ -40,6 +40,58 @@ def expected_heap_updates(n: int, k: int) -> float:
     return k + k * math.log(n / k)
 
 
+def topk_sort_cost(g: int, n: int, k: int) -> KernelCost:
+    """TS cost for ``g`` rows of ``n`` candidates kept to top-``k``.
+
+    Closed form shared by :func:`run_topk_sort` and the batched
+    executor (cost charged per shard group, functional work possibly in
+    worker processes)."""
+    kk = min(k, n) if n else k
+    updates = expected_heap_updates(n, k)
+    log_k = math.log2(max(k, 2))
+    mix = InstructionMix(
+        compare=float(g * n) + g * updates * log_k,
+        store=g * updates,
+    )
+    # Per-task result write-back staged in WRAM; MRAM write of the k
+    # (id, distance) pairs for the host gather.
+    traffic = MemoryTraffic(
+        sequential_write=float(g * kk * 8), transactions=float(g)
+    )
+    return KernelCost(kernel="TS", instructions=mix, traffic=traffic)
+
+
+def topk_rows(
+    dists: np.ndarray, ids: np.ndarray, k: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Functional core of TS: per-row top-k of a ``(g, n)`` block.
+
+    Returns ``(ids_k, dists_k)`` per row, each sorted ascending by
+    distance (stable in row order on ties). No cost accounting —
+    callers that model timing charge :func:`topk_sort_cost` separately.
+    """
+    dists = np.asarray(dists)
+    ids = np.asarray(ids)
+    if dists.ndim != 2:
+        raise ValueError(f"dists must be 2-D, got {dists.shape}")
+    if ids.shape != (dists.shape[1],):
+        raise ValueError(f"ids shape {ids.shape} != ({dists.shape[1]},)")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    g, n = dists.shape
+    kk = min(k, n)
+    results: List[Tuple[np.ndarray, np.ndarray]] = []
+    if n:
+        sel, vals = topk_smallest(dists, kk, axis=1)
+        for row in range(g):
+            results.append((ids[sel[row]], vals[row]))
+    else:
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_d = np.empty(0, dtype=dists.dtype)
+        results = [(empty_i, empty_d) for _ in range(g)]
+    return results
+
+
 def run_topk_sort(
     dists: np.ndarray, ids: np.ndarray, k: int
 ) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], KernelCost]:
@@ -58,38 +110,9 @@ def run_topk_sort(
     exists.
     """
     dists = np.asarray(dists)
-    ids = np.asarray(ids)
-    if dists.ndim != 2:
-        raise ValueError(f"dists must be 2-D, got {dists.shape}")
-    if ids.shape != (dists.shape[1],):
-        raise ValueError(f"ids shape {ids.shape} != ({dists.shape[1]},)")
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+    results = topk_rows(dists, ids, k)
     g, n = dists.shape
-    kk = min(k, n)
-
-    results: List[Tuple[np.ndarray, np.ndarray]] = []
-    if n:
-        sel, vals = topk_smallest(dists, kk, axis=1)
-        for row in range(g):
-            results.append((ids[sel[row]], vals[row]))
-    else:
-        empty_i = np.empty(0, dtype=np.int64)
-        empty_d = np.empty(0, dtype=dists.dtype)
-        results = [(empty_i, empty_d) for _ in range(g)]
-
-    updates = expected_heap_updates(n, k)
-    log_k = math.log2(max(k, 2))
-    mix = InstructionMix(
-        compare=float(g * n) + g * updates * log_k,
-        store=g * updates,
-    )
-    # Per-task result write-back staged in WRAM; MRAM write of the k
-    # (id, distance) pairs for the host gather.
-    traffic = MemoryTraffic(
-        sequential_write=float(g * kk * 8), transactions=float(g)
-    )
-    return results, KernelCost(kernel="TS", instructions=mix, traffic=traffic)
+    return results, topk_sort_cost(g, n, k)
 
 
 def _ts_mix(s: KernelShape) -> InstructionMix:

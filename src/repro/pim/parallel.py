@@ -1,0 +1,134 @@
+"""Opt-in process-pool execution of shard-group scans.
+
+The batched executor in :mod:`repro.pim.system` spends almost all of
+its functional wall-clock in the DC/TS phase: gathering LUT entries
+over every resident shard's code block and reducing to per-query
+top-k. That work is embarrassingly parallel across shard groups (each
+group touches one shard's codes and its own LUT rows), so large fleets
+can fan it out over worker processes — mirroring how a real host would
+drive independent PIM ranks from multiple threads.
+
+:class:`ShardExecutor` wraps :class:`concurrent.futures.ProcessPoolExecutor`
+with two guarantees the simulator needs:
+
+* **bit-exactness** — workers run the same pure kernels
+  (:func:`~repro.pim.kernels.scan_distances` /
+  :func:`~repro.pim.kernels.topk_rows`) the serial path runs, and
+  results are returned in submission order, so enabling workers cannot
+  change a single output bit (cycle charging happens in the parent,
+  from shapes alone);
+* **graceful fallback** — any failure to create or use the pool
+  (restricted sandboxes, missing ``fork``, broken workers) silently
+  degrades to the serial path; the executor never takes the engine
+  down.
+
+Workers are opt-in via ``PimSystemConfig.shard_workers`` (0 disables).
+The pool is created lazily on first use and torn down with
+:meth:`ShardExecutor.close`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pim.kernels import scan_distances, topk_rows
+
+#: Rows of LUTs scanned per functional DC call; bounds the transient
+#: ``(rows, n, M)`` gather tensor without changing results (the scan
+#: and top-k are row-independent).
+ROW_CHUNK = 256
+
+#: One shard-group scan job: (luts (g, M, CB), codes (n, M), ids (n,), k).
+ScanJob = Tuple[np.ndarray, np.ndarray, np.ndarray, int]
+#: Per-row output of a job: [(ids_k, dists_k)] in LUT row order.
+ScanRows = List[Tuple[np.ndarray, np.ndarray]]
+
+
+def scan_shard_group(
+    luts: np.ndarray,
+    codes: np.ndarray,
+    ids: np.ndarray,
+    k: int,
+    row_chunk: int = ROW_CHUNK,
+) -> ScanRows:
+    """DC + TS over one shard group, chunked over LUT rows.
+
+    The single functional scan path: the serial executor, the worker
+    processes, and :meth:`PimSystem.run_batch` all funnel through this
+    function, which is what makes parallel execution bit-exact by
+    construction.
+    """
+    rows: ScanRows = []
+    for c0 in range(0, len(luts), row_chunk):
+        dists = scan_distances(luts[c0 : c0 + row_chunk], codes)
+        rows.extend(topk_rows(dists, ids, k))
+    return rows
+
+
+def _scan_job(job: ScanJob) -> ScanRows:
+    luts, codes, ids, k = job
+    return scan_shard_group(luts, codes, ids, k)
+
+
+class ShardExecutor:
+    """Deterministic fan-out of shard-group scans over worker processes."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        self.num_workers = num_workers
+        self._pool = None
+        self._broken = False
+
+    @property
+    def parallel(self) -> bool:
+        """Whether jobs currently fan out to worker processes."""
+        return self.num_workers > 1 and not self._broken
+
+    def _ensure_pool(self):
+        if self._pool is None and not self._broken:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=self.num_workers)
+            except Exception:
+                self._broken = True
+        return self._pool
+
+    def scan_groups(self, jobs: Sequence[ScanJob]) -> List[ScanRows]:
+        """Run jobs (possibly in parallel); results in submission order.
+
+        Falls back to in-process execution when the pool is disabled,
+        cannot be created, or dies mid-flight — the results are
+        identical either way.
+        """
+        if not self.parallel or len(jobs) < 2:
+            return [_scan_job(j) for j in jobs]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [_scan_job(j) for j in jobs]
+        try:
+            return list(pool.map(_scan_job, jobs))
+        except Exception:
+            # Broken pool (killed worker, pickling failure, sandbox
+            # restriction): degrade permanently to serial.
+            self._broken = True
+            self.close()
+            return [_scan_job(j) for j in jobs]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+
+
+def make_executor(shard_workers: int) -> Optional[ShardExecutor]:
+    """Build the configured executor (None when workers are disabled)."""
+    if shard_workers <= 1:
+        return None
+    return ShardExecutor(shard_workers)

@@ -14,6 +14,14 @@ runtime scheduler), executes the RC→LC→DC→TS kernel chain over each
 DPU's resident cluster shards, and returns per-(query, shard) partial
 top-k lists plus a :class:`BatchTiming` with the per-DPU, per-kernel
 cycle ledger that Figs. 8/10/11/12 are built from.
+
+Execution is batch-first: the numeric work for a round is vectorized
+across the whole batch (RC+LC once per unique (query, centroid) pair,
+DC+TS per shard group over all of its queries, optionally fanned out
+to worker processes — see :mod:`repro.pim.parallel`), while cycle
+charging replays the per-DPU shard-group order with the kernels'
+closed-form costs, so ledgers, traces, and fault semantics are
+identical to per-group execution and the results are bit-exact.
 """
 
 from __future__ import annotations
@@ -28,13 +36,19 @@ from repro.faults.plan import FaultPlan
 from repro.pim.config import PimSystemConfig
 from repro.pim.dpu import Dpu
 from repro.pim.kernels import (
+    distance_scan_cost,
+    lut_build_cost,
+    residual_cost,
     run_cluster_locate,
-    run_distance_scan,
-    run_lut_build,
-    run_residual,
-    run_topk_sort,
+    topk_sort_cost,
 )
+from repro.pim.parallel import make_executor, scan_shard_group
 from repro.pim.transfer import HostTransferModel
+
+#: Byte budget for one LC diff tensor chunk in the batched LUT builder;
+#: bounds transient memory without affecting results (the build is
+#: pair-independent).
+_LUT_CHUNK_BYTES = 32 * 1024 * 1024
 
 
 @dataclass
@@ -101,6 +115,16 @@ class PimSystem:
         ]
         self.transfer = HostTransferModel(config.transfer)
         self._shards: Dict[str, Tuple[int, ShardData]] = {}
+        # Centroid identity registry: shards sharing centroid *content*
+        # (replicas and parts of one cluster) share LUT construction in
+        # the batched executor. Keyed by raw bytes so arbitrary shard
+        # keys work; two clusters with identical centroids would also
+        # share, which is exact (the LUT depends only on the centroid).
+        self._cent_id_of: Dict[bytes, int] = {}
+        self._centroid_by_id: List[np.ndarray] = []
+        self._shard_cent: Dict[str, int] = {}
+        # Opt-in process pool for the functional shard scans.
+        self.executor = make_executor(config.shard_workers)
         self.codebooks: Optional[np.ndarray] = None
         self.square_lut: Optional[SquareLut] = None
         self.tracer = tracer
@@ -159,6 +183,13 @@ class PimSystem:
         dpu.mram.store(f"ids:{shard.shard_key}", shard.ids)
         dpu.mram.store(f"centroid:{shard.shard_key}", shard.centroid)
         self._shards[shard.shard_key] = (dpu_id, shard)
+        cent_key = np.ascontiguousarray(shard.centroid).tobytes()
+        cent_id = self._cent_id_of.get(cent_key)
+        if cent_id is None:
+            cent_id = len(self._centroid_by_id)
+            self._cent_id_of[cent_key] = cent_id
+            self._centroid_by_id.append(np.asarray(shard.centroid))
+        self._shard_cent[shard.shard_key] = cent_id
 
     def shard_location(self, shard_key: str) -> int:
         return self._shards[shard_key][0]
@@ -266,6 +297,7 @@ class PimSystem:
         k: int,
         *,
         multiplier_less: bool = True,
+        batch_span: int = 1,
     ) -> Tuple[List[PartialResult], BatchTiming]:
         """Execute one batch of (query, shard) tasks.
 
@@ -276,6 +308,13 @@ class PimSystem:
         queries: ``(q, D)`` uint8 — the batch's queries (broadcast).
         k: local top-k each task returns.
         multiplier_less: use the square LUT in LC (must be loaded).
+        batch_span: how many *logical* batches this round covers. Fault
+            plans index events by logical batch (``batch_size`` query
+            chunks); batched execution folds several logical batches
+            into one physical round, so the round consumes the fault
+            events of every logical batch it spans — a DPU whose crash
+            batch falls inside the span is dead for the whole round,
+            and each spanned transient/timeout hit fires once.
 
         Returns
         -------
@@ -300,13 +339,15 @@ class PimSystem:
                 )
             sq = self.square_lut
 
+        if batch_span < 1:
+            raise ValueError(f"batch_span must be >= 1, got {batch_span}")
         queries = np.asarray(queries)
         num_tasks = sum(len(t) for t in assignments.values())
         batch = self._batch_index
-        self._batch_index += 1
+        self._batch_index += batch_span
         plan = self.fault_plan
         if plan is not None:
-            self._observed_dead |= plan.dead_at(batch)
+            self._observed_dead |= plan.dead_at(batch + batch_span - 1)
         if self.tracer is not None:
             self.tracer.next_batch()
         obs = self.observer
@@ -327,10 +368,13 @@ class PimSystem:
             for kname, c in d.cycles_by_kernel.items():
                 kernel_before[kname] = kernel_before.get(kname, 0.0) + c
 
-        partials: List[PartialResult] = []
+        # ---- flatten assignments into the ordered shard-group list.
+        # Group order is the legacy per-DPU traversal (assignment
+        # iteration order, then first-appearance shard order within a
+        # DPU): the charging pass below replays it exactly, so traces,
+        # per-DPU ledgers, and fault semantics are unchanged.
+        groups: List[Tuple[int, str, List[int]]] = []
         failed_tasks: List[Tuple[int, str]] = []
-        transient_retries = 0
-        result_bytes = 0
         for dpu_id, tasks in assignments.items():
             if not tasks:
                 continue
@@ -339,13 +383,6 @@ class PimSystem:
                 # and surface in timing.failed_tasks for failover.
                 failed_tasks.extend(tasks)
                 continue
-            dpu = self.dpus[dpu_id]
-            # One pre-drawn transient kernel fault per (DPU, batch) at
-            # most: the first shard group's execution is wasted and
-            # retried on the same DPU after a modeled backoff.
-            transient_pending = (
-                plan is not None and plan.transient_at(dpu_id, batch)
-            )
             # Group this DPU's tasks by shard so RC/LC/DC batch across
             # the queries probing the same shard (as tasklets would
             # share the streamed cluster data).
@@ -358,17 +395,39 @@ class PimSystem:
                         f"assigned to DPU {dpu_id}"
                     )
                 by_shard.setdefault(skey, []).append(qidx)
-
             for skey, qidxs in by_shard.items():
-                shard = self._shards[skey][1]
-                qarr = queries[qidxs]
-                rows = self._run_shard_kernels(dpu, shard, qarr, k, sq, skey)
-                if transient_pending:
-                    # First attempt's results are garbage: wait out the
-                    # backoff on this DPU's timeline, then retry. The
-                    # retry event starts after the original attempt
-                    # ends (the `repro lint` trace invariant).
-                    transient_pending = False
+                groups.append((dpu_id, skey, qidxs))
+
+        # ---- functional pass: vectorized RC+LC per centroid, DC+TS
+        # per shard group (optionally fanned out to worker processes).
+        group_rows, group_misses = self._run_groups_functional(
+            groups, queries, k, sq
+        )
+
+        # ---- charging pass: replay the per-DPU group order, charging
+        # closed-form kernel costs identical to the per-group kernels'.
+        partials: List[PartialResult] = []
+        transient_retries = 0
+        result_bytes = 0
+        transient_done: Set[int] = set()
+        for gi, (dpu_id, skey, qidxs) in enumerate(groups):
+            dpu = self.dpus[dpu_id]
+            shard = self._shards[skey][1]
+            misses = group_misses[gi]
+            self._charge_shard_group(dpu, shard, len(qidxs), k, sq, misses, skey)
+            # One pre-drawn transient kernel fault per (DPU, logical
+            # batch) at most: the first shard group's execution is
+            # wasted and retried on the same DPU after a modeled
+            # backoff. A round spanning several logical batches fires
+            # each spanned hit once. The retry recomputes identical
+            # rows, so only cycles differ.
+            if plan is not None and dpu_id not in transient_done:
+                transient_done.add(dpu_id)
+                hits = sum(
+                    plan.transient_at(dpu_id, b)
+                    for b in range(batch, batch + batch_span)
+                )
+                for retry in range(hits):
                     transient_retries += 1
                     if obs is not None:
                         obs.on_transient_retry()
@@ -376,29 +435,34 @@ class PimSystem:
                         plan.config.transient_backoff_s
                         * self.config.dpu.frequency_hz
                     )
-                    rows = self._run_shard_kernels(
-                        dpu, shard, qarr, k, sq, f"{skey}#retry1"
+                    # The retry event starts after the original attempt
+                    # ends (the `repro lint` trace invariant).
+                    self._charge_shard_group(
+                        dpu, shard, len(qidxs), k, sq, misses,
+                        f"{skey}#retry{retry + 1}",
                     )
-                for qidx, (rids, rdists) in zip(qidxs, rows):
-                    partials.append(
-                        PartialResult(
-                            query_index=qidx, ids=rids, distances=rdists
-                        )
+            for qidx, (rids, rdists) in zip(qidxs, group_rows[gi]):
+                partials.append(
+                    PartialResult(
+                        query_index=qidx, ids=rids, distances=rdists
                     )
-                    result_bytes += len(rids) * 16  # id + distance
+                )
+                result_bytes += len(rids) * 16  # id + distance
 
         # PIM->host: gather per-task top-k results. A pre-drawn timeout
         # charges the wasted attempt, then the gather is re-issued.
         transfer_timeouts = 0
-        if plan is not None and plan.transfer_timeout_at(batch):
-            transfer_timeouts = 1
-            wasted = self.transfer.timeout(
-                "results", plan.config.transfer_timeout_s
-            )
-            xfer += wasted
-            if obs is not None:
-                obs.on_transfer_timeout()
-                obs.on_transfer("timeout", wasted)
+        if plan is not None:
+            for b in range(batch, batch + batch_span):
+                if plan.transfer_timeout_at(b):
+                    transfer_timeouts += 1
+                    wasted = self.transfer.timeout(
+                        "results", plan.config.transfer_timeout_s
+                    )
+                    xfer += wasted
+                    if obs is not None:
+                        obs.on_transfer_timeout()
+                        obs.on_transfer("timeout", wasted)
         gath = self.transfer.gather("results", result_bytes)
         xfer += gath
         if obs is not None:
@@ -429,32 +493,149 @@ class PimSystem:
         )
         return partials, timing
 
-    def _run_shard_kernels(
+    def _run_groups_functional(
+        self,
+        groups: List[Tuple[int, str, List[int]]],
+        queries: np.ndarray,
+        k: int,
+        sq: Optional[SquareLut],
+    ) -> Tuple[List[list], List[int]]:
+        """Numeric results for every shard group, vectorized per centroid.
+
+        RC and LC run once per unique (query, centroid) pair — parts
+        and replicas of a cluster reuse the same LUT rows instead of
+        rebuilding them per shard — and DC/TS run per shard group over
+        all of its queries at once (through the shard executor when
+        workers are configured). Integer math makes the shared rows
+        bit-identical to per-group recomputation.
+
+        Returns per-group result rows and per-group square-LUT miss
+        counts (for LC cost charging), indexed like ``groups``.
+        """
+        # Centroid-major consumption order bounds LUT memory to one
+        # centroid's pairs at a time regardless of how its shard groups
+        # interleave across DPUs.
+        cent_groups: Dict[int, List[int]] = {}
+        for gi, (_, skey, _) in enumerate(groups):
+            cent_groups.setdefault(self._shard_cent[skey], []).append(gi)
+
+        empty_row = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        group_rows: List[list] = [None] * len(groups)  # type: ignore[list-item]
+        group_misses: List[int] = [0] * len(groups)
+        for cent_id, gis in cent_groups.items():
+            # Unique queries probing this centroid, first-use order.
+            row_of: Dict[int, int] = {}
+            for gi in gis:
+                for qidx in groups[gi][2]:
+                    if qidx not in row_of:
+                        row_of[qidx] = len(row_of)
+            luts, pair_misses = self._build_cent_luts(
+                list(row_of), self._centroid_by_id[cent_id], queries, sq
+            )
+            jobs = []
+            job_gis = []
+            for gi in gis:
+                qidxs = groups[gi][2]
+                shard = self._shards[groups[gi][1]][1]
+                group_misses[gi] = int(
+                    sum(pair_misses[row_of[q]] for q in qidxs)
+                )
+                if len(shard.ids):
+                    luts_g = luts[[row_of[q] for q in qidxs]]
+                    jobs.append((luts_g, shard.codes, shard.ids, k))
+                    job_gis.append(gi)
+                else:
+                    group_rows[gi] = [empty_row] * len(qidxs)
+            if jobs:
+                if self.executor is not None:
+                    results = self.executor.scan_groups(jobs)
+                else:
+                    results = [
+                        scan_shard_group(*job) for job in jobs
+                    ]
+                for gi, rows in zip(job_gis, results):
+                    group_rows[gi] = rows
+        return group_rows, group_misses
+
+    def _build_cent_luts(
+        self,
+        qidxs: List[int],
+        centroid: np.ndarray,
+        queries: np.ndarray,
+        sq: Optional[SquareLut],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched RC+LC: LUTs for every (query, centroid) pair.
+
+        Identical integer math to ``run_residual`` + ``run_lut_build``,
+        chunked over pairs to bound the transient diff tensor. Returns
+        ``(g, M, CB)`` int64 LUTs and per-pair square-LUT miss counts.
+        """
+        codebooks = self.codebooks
+        m, cb, dsub = codebooks.shape
+        d = m * dsub
+        cb64 = codebooks.astype(np.int64)[None]
+        g = len(qidxs)
+        luts = np.empty((g, m, cb), dtype=np.int64)
+        pair_misses = np.zeros(g, dtype=np.int64)
+        partial = sq is not None and sq.resident_max_abs < sq.max_abs
+        chunk = max(1, _LUT_CHUNK_BYTES // (d * cb * 8))
+        for c0 in range(0, g, chunk):
+            sel = qidxs[c0 : c0 + chunk]
+            residuals = queries[sel].astype(np.int32) - centroid.astype(np.int32)
+            r = residuals.astype(np.int64).reshape(len(sel), m, 1, dsub)
+            diff = r - cb64
+            if sq is not None:
+                squares, _ = sq.square(diff)
+                if partial:
+                    pair_misses[c0 : c0 + chunk] = np.count_nonzero(
+                        np.abs(diff) > sq.resident_max_abs, axis=(1, 2, 3)
+                    )
+            else:
+                squares = diff * diff
+            luts[c0 : c0 + chunk] = squares.sum(axis=3)
+        return luts, pair_misses
+
+    def _charge_shard_group(
         self,
         dpu: Dpu,
         shard: ShardData,
-        qarr: np.ndarray,
+        g: int,
         k: int,
-        sq,
+        sq: Optional[SquareLut],
+        misses: int,
         detail: str,
-    ):
-        """RC→LC→DC→TS over one shard for a query group; returns rows."""
-        residuals, rc = run_residual(qarr, shard.centroid)
-        self._charge(dpu, rc, detail)
-        luts, lc = run_lut_build(residuals, self.codebooks, sq)
-        self._charge(dpu, lc, detail)
-        if len(shard.ids):
-            dists, dc = run_distance_scan(luts, shard.codes)
-            self._charge(dpu, dc, detail)
-            rows, ts = run_topk_sort(dists, shard.ids, k)
-            self._charge(dpu, ts, detail)
-        else:
-            rows = [
-                (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
-            ] * len(qarr)
-        return rows
+    ) -> None:
+        """Charge the RC→LC→DC→TS chain for one shard group.
+
+        Costs come from the kernels' closed forms over shapes alone, so
+        they are identical whether the numeric work ran per group, was
+        deduplicated across shards, or executed in a worker process.
+        """
+        d = int(np.asarray(shard.centroid).shape[0])
+        m, cb, _ = self.codebooks.shape
+        self._charge(dpu, residual_cost(g, d, shard.centroid.nbytes), detail)
+        self._charge(
+            dpu,
+            lut_build_cost(
+                g, d, m, cb, self.codebooks.nbytes,
+                multiplier_less=sq is not None,
+                misses=misses,
+            ),
+            detail,
+        )
+        n = len(shard.ids)
+        if n:
+            self._charge(
+                dpu, distance_scan_cost(g, n, m, shard.codes.nbytes), detail
+            )
+            self._charge(dpu, topk_sort_cost(g, n, k), detail)
 
     def reset_ledgers(self) -> None:
         for d in self.dpus:
             d.reset_ledger()
         self.transfer.reset()
+
+    def close(self) -> None:
+        """Tear down the optional shard-executor worker pool."""
+        if self.executor is not None:
+            self.executor.close()

@@ -70,3 +70,27 @@ def small_engine(small_ds, small_quantized, small_params):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _global_rng_guard():
+    """Fail any test that mutates the global NumPy RNG.
+
+    All repro code and tests must draw from explicit
+    ``np.random.default_rng`` / ``repro.utils.rng`` generators; touching
+    the legacy global state couples tests to execution order. The
+    astlint ``rng-bypass`` rule polices src/; this guard polices the
+    tests themselves.
+    """
+    before = np.random.get_state()
+    yield
+    after = np.random.get_state()
+    clean = (
+        before[0] == after[0]
+        and np.array_equal(before[1], after[1])
+        and before[2:] == after[2:]
+    )
+    assert clean, (
+        "test mutated the global NumPy RNG state; use an explicit "
+        "np.random.default_rng(seed) generator (e.g. the `rng` fixture)"
+    )

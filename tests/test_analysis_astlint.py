@@ -26,6 +26,30 @@ class TestKernelTraffic:
         )
         assert "kernel-traffic" not in _rules(src, KERNEL_PATH)
 
+    def test_cost_delegation_counts_as_charging(self):
+        src = (
+            "def run_fake(x):\n"
+            "    return x[0], fake_cost(len(x), x.nbytes)\n"
+        )
+        assert "kernel-traffic" not in _rules(src, KERNEL_PATH)
+
+    def test_declared_pure_helper_exempt(self):
+        src = (
+            "def gather_fake(x):\n"
+            '    """Functional core. No cost accounting — callers\n'
+            '    charge fake_cost separately."""\n'
+            "    return x[0] + x[1]\n"
+        )
+        assert "kernel-traffic" not in _rules(src, KERNEL_PATH)
+
+    def test_undeclared_pure_helper_still_flagged(self):
+        src = (
+            'def gather_fake(x):\n'
+            '    """Some helper."""\n'
+            "    return x[0] + x[1]\n"
+        )
+        assert "kernel-traffic" in _rules(src, KERNEL_PATH)
+
     def test_rule_scoped_to_kernel_dir(self):
         src = "def f(x):\n    return x[0]\n"
         assert "kernel-traffic" not in _rules(src, OTHER_PATH)

@@ -1,0 +1,91 @@
+"""Differential exactness: engine vs brute-force oracle, mode vs mode.
+
+Two layers of differential testing on seeded synthetic data:
+
+* the engine's recall@10 against the *exact* int64 brute-force oracle
+  must equal the stored golden exactly for every canonical config —
+  any change to quantization, layout, scheduling, or merging that
+  moves accuracy by even one hit fails;
+* batched, chunked, and per-query execution must return bit-identical
+  ids *and* distances (the canonical (distance, id) merge makes the
+  result independent of round structure).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.testing import (
+    CANONICAL_CONFIGS,
+    brute_force_topk,
+    build_canonical_engine,
+    canonical_dataset,
+    oracle_recall,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "fixtures", "golden_cycles.json"
+)
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+def _run(name, execution=None):
+    ds = canonical_dataset()
+    engine = build_canonical_engine(name, execution=execution)
+    queries = ds.queries[: CANONICAL_CONFIGS[name]["num_queries"]]
+    res, bd = engine.search(queries)
+    return res, bd, queries
+
+
+class TestOracleRecall:
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_recall_matches_golden_exactly(self, name, goldens):
+        ds = canonical_dataset()
+        res, _, queries = _run(name)
+        oracle = brute_force_topk(ds.base, queries, 10)
+        recall = oracle_recall(res.ids, oracle)
+        assert recall == goldens[name]["recall_at_10"], (
+            f"recall@10 drifted for {name!r}: got {recall}, golden "
+            f"{goldens[name]['recall_at_10']} — if the change is an "
+            "intentional accuracy change, regenerate via "
+            "tools/update_goldens.py"
+        )
+
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_results_match_host_reference_bitwise(self, name):
+        """The engine must agree with the host gold standard exactly
+        (same integer math, canonical merge) for every config."""
+        res, _, queries = _run(name)
+        engine = build_canonical_engine(name)
+        ref = engine.reference_search(queries)
+        np.testing.assert_array_equal(res.ids, ref.ids)
+        np.testing.assert_array_equal(res.distances, ref.distances)
+
+
+class TestExecutionModeEquivalence:
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    @pytest.mark.parametrize("execution", ["chunked", "per_query"])
+    def test_bit_identical_to_batched(self, name, execution):
+        res_b, _, _ = _run(name, execution="batched")
+        res_o, _, _ = _run(name, execution=execution)
+        np.testing.assert_array_equal(res_b.ids, res_o.ids)
+        np.testing.assert_array_equal(res_b.distances, res_o.distances)
+
+    def test_execution_override_rejects_unknown_mode(self):
+        ds = canonical_dataset()
+        engine = build_canonical_engine("split-replicated")
+        with pytest.raises(ValueError, match="execution"):
+            engine.search(ds.queries[:4], execution="warp-speed")
+
+    def test_search_params_execution_validated(self):
+        from repro.core.params import SearchParams
+
+        with pytest.raises(ValueError, match="execution"):
+            SearchParams(execution="bogus")

@@ -1,0 +1,69 @@
+"""Golden cycle-count regression: any drift in the cost model fails.
+
+The canonical configurations' per-kernel and end-to-end cycle counts
+are frozen in ``tests/fixtures/golden_cycles.json``. These tests
+re-run each config and require *exact* equality with the stored
+values: an unintended change anywhere in the kernel cost closed
+forms, charging order, scheduler, or layout shows up as a diff here.
+
+If a change is *supposed* to move the numbers (cost-model fix, new
+kernel term), regenerate with ``python tools/update_goldens.py`` and
+review the new values in the diff — see docs/testing.md.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.testing import CANONICAL_CONFIGS, run_canonical
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "fixtures", "golden_cycles.json"
+)
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+@pytest.fixture(scope="module")
+def fresh_runs():
+    return {name: run_canonical(name) for name in CANONICAL_CONFIGS}
+
+
+class TestGoldenCycles:
+    def test_all_canonical_configs_present(self, goldens):
+        assert sorted(goldens) == sorted(CANONICAL_CONFIGS)
+
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_per_kernel_cycles_frozen(self, name, goldens, fresh_runs):
+        got = fresh_runs[name]["kernel_cycles"]
+        want = goldens[name]["kernel_cycles"]
+        assert got == want, (
+            f"kernel cycle drift in {name!r}.\n"
+            f"  stored: {want}\n  fresh:  {got}\n"
+            "If intentional, regenerate via tools/update_goldens.py."
+        )
+
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_end_to_end_cycles_frozen(self, name, goldens, fresh_runs):
+        fresh = fresh_runs[name]
+        stored = goldens[name]
+        assert fresh["total_kernel_cycles"] == stored["total_kernel_cycles"]
+        assert fresh["e2e_cycles_max_dpu"] == stored["e2e_cycles_max_dpu"]
+        assert fresh["e2e_cycles_sum"] == stored["e2e_cycles_sum"]
+
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_kernel_set_is_complete(self, name, fresh_runs):
+        assert set(fresh_runs[name]["kernel_cycles"]) == {
+            "RC", "LC", "DC", "TS"
+        }
+
+    def test_updater_check_mode_agrees(self, goldens, fresh_runs):
+        """tools/update_goldens.py --check and this suite must use the
+        same data: a fresh run serialized like the tool writes it must
+        equal the stored file."""
+        assert goldens == json.loads(json.dumps(fresh_runs))

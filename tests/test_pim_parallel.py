@@ -1,0 +1,139 @@
+"""ShardExecutor: bit-exact parallel scans, graceful degradation.
+
+The process-pool executor must be a pure throughput knob: enabling it
+cannot change a single output bit, and no pool failure (creation,
+mid-flight crash) may surface past :meth:`ShardExecutor.scan_groups`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pim.kernels import scan_distances, topk_rows
+from repro.pim.parallel import (
+    ROW_CHUNK,
+    ShardExecutor,
+    make_executor,
+    scan_shard_group,
+)
+from repro.testing import CANONICAL_CONFIGS, build_canonical_engine, canonical_dataset
+
+
+def _jobs(rng, n_jobs=3, g=7, m=8, cb=16, n=50, k=5):
+    jobs = []
+    for _ in range(n_jobs):
+        luts = rng.integers(0, 255, size=(g, m, cb), dtype=np.uint32)
+        codes = rng.integers(0, cb, size=(n, m), dtype=np.uint8)
+        ids = rng.permutation(10_000)[:n].astype(np.int64)
+        jobs.append((luts, codes, ids, k))
+    return jobs
+
+
+def _assert_rows_equal(got, want):
+    assert len(got) == len(want)
+    for (gi, gd), (wi, wd) in zip(got, want):
+        np.testing.assert_array_equal(gi, wi)
+        np.testing.assert_array_equal(gd, wd)
+
+
+class TestScanShardGroup:
+    def test_matches_unchunked_kernels(self, rng):
+        (luts, codes, ids, k), = _jobs(rng, n_jobs=1)
+        rows = scan_shard_group(luts, codes, ids, k)
+        want = topk_rows(scan_distances(luts, codes), ids, k)
+        _assert_rows_equal(rows, want)
+
+    def test_row_chunking_is_invisible(self, rng):
+        (luts, codes, ids, k), = _jobs(rng, n_jobs=1, g=11)
+        base = scan_shard_group(luts, codes, ids, k, row_chunk=ROW_CHUNK)
+        for chunk in (1, 2, 3, 5, 11, 64):
+            _assert_rows_equal(
+                scan_shard_group(luts, codes, ids, k, row_chunk=chunk), base
+            )
+
+
+class TestShardExecutor:
+    def test_parallel_matches_serial(self, rng):
+        jobs = _jobs(rng, n_jobs=4)
+        serial = [scan_shard_group(*j) for j in jobs]
+        ex = ShardExecutor(2)
+        try:
+            got = ex.scan_groups(jobs)
+        finally:
+            ex.close()
+        assert len(got) == len(serial)
+        for g, s in zip(got, serial):
+            _assert_rows_equal(g, s)
+
+    def test_single_job_stays_in_process(self, rng):
+        ex = ShardExecutor(2)
+        try:
+            got = ex.scan_groups(_jobs(rng, n_jobs=1))
+        finally:
+            ex.close()
+        assert ex._pool is None  # never spun up for < 2 jobs
+        assert len(got) == 1
+
+    def test_pool_creation_failure_degrades_to_serial(self, rng, monkeypatch):
+        ex = ShardExecutor(2)
+        monkeypatch.setattr(
+            "concurrent.futures.ProcessPoolExecutor",
+            lambda *a, **kw: (_ for _ in ()).throw(OSError("no fork")),
+        )
+        jobs = _jobs(rng, n_jobs=3)
+        got = ex.scan_groups(jobs)
+        assert ex._broken and not ex.parallel
+        serial = [scan_shard_group(*j) for j in jobs]
+        for g, s in zip(got, serial):
+            _assert_rows_equal(g, s)
+
+    def test_broken_pool_mid_flight_degrades_permanently(self, rng):
+        class _DeadPool:
+            def map(self, fn, jobs):
+                raise BrokenPipeError("worker died")
+
+            def shutdown(self, **kw):
+                pass
+
+        ex = ShardExecutor(2)
+        ex._pool = _DeadPool()
+        jobs = _jobs(rng, n_jobs=3)
+        got = ex.scan_groups(jobs)
+        assert ex._broken and not ex.parallel
+        assert ex._pool is None  # close() ran
+        serial = [scan_shard_group(*j) for j in jobs]
+        for g, s in zip(got, serial):
+            _assert_rows_equal(g, s)
+        # subsequent calls stay serial and keep working
+        again = ex.scan_groups(jobs)
+        for g, s in zip(again, serial):
+            _assert_rows_equal(g, s)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ShardExecutor(-1)
+
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_make_executor_disabled(self, n):
+        assert make_executor(n) is None
+
+    def test_make_executor_enabled(self):
+        ex = make_executor(2)
+        assert isinstance(ex, ShardExecutor) and ex.num_workers == 2
+
+
+class TestEndToEndParity:
+    def test_shard_workers_do_not_change_results(self):
+        """Engine output with a 2-worker pool is bit-identical to serial."""
+        name = "split-replicated"
+        queries = canonical_dataset().queries[
+            : CANONICAL_CONFIGS[name]["num_queries"]
+        ]
+        serial_engine = build_canonical_engine(name, shard_workers=0)
+        res_s, _ = serial_engine.search(queries)
+        par_engine = build_canonical_engine(name, shard_workers=2)
+        try:
+            res_p, _ = par_engine.search(queries)
+        finally:
+            par_engine.system.close()
+        np.testing.assert_array_equal(res_s.ids, res_p.ids)
+        np.testing.assert_array_equal(res_s.distances, res_p.distances)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Regenerate the frozen golden regression fixtures.
+
+Reruns every canonical configuration (``repro.testing.goldens``) and
+rewrites ``tests/fixtures/golden_cycles.json`` with the observed
+recall@10 (vs the exact brute-force oracle) and per-kernel /
+end-to-end cycle counts. ``tests/test_golden_cycles.py`` and
+``tests/test_diff_exact.py`` then fail on *any* drift from the stored
+values.
+
+Regenerating goldens is a deliberate act, not a fix for a red test:
+it is legitimate only when a change is *supposed* to alter the frozen
+numbers — a cost-model correction, a new kernel term, an intentional
+recall-affecting change — and the new values have been reviewed. See
+docs/testing.md ("Golden regeneration"). Run with ``--check`` to
+verify the stored file matches a fresh run without writing anything
+(exit 1 on drift).
+
+Usage::
+
+    PYTHONPATH=src python tools/update_goldens.py [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN_PATH = os.path.join(
+    REPO_ROOT, "tests", "fixtures", "golden_cycles.json"
+)
+
+
+def main(argv=None) -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.testing import run_all_canonical
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh run against the stored goldens; write "
+        "nothing, exit 1 on drift",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = run_all_canonical()
+    if args.check:
+        if not os.path.exists(GOLDEN_PATH):
+            print(f"no goldens at {GOLDEN_PATH}; run without --check first")
+            return 1
+        with open(GOLDEN_PATH) as f:
+            stored = json.load(f)
+        if stored == json.loads(json.dumps(fresh)):
+            print(f"goldens up to date ({len(fresh)} configs)")
+            return 0
+        for name in sorted(set(stored) | set(fresh)):
+            if stored.get(name) != json.loads(json.dumps(fresh.get(name))):
+                print(f"drift in {name!r}:")
+                print(f"  stored: {stored.get(name)}")
+                print(f"  fresh:  {fresh.get(name)}")
+        return 1
+
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump(fresh, f, indent=2, sort_keys=True)
+        f.write("\n")
+    for name, g in fresh.items():
+        cycles = {k: round(v) for k, v in g["kernel_cycles"].items()}
+        print(f"{name}: recall@10={g['recall_at_10']:.4f} cycles={cycles}")
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
