@@ -9,11 +9,18 @@ five-phase model on a silicon-fraction slice of the Xeon, PIM time from
 the cycle-accounted simulator with the full load-balancing stack.
 
 Run directly for a console report, or with ``--smoke`` as the CI
-perf-regression gate: it times the *simulator host wall-clock* of
-batched vs per-query execution on a reduced workload, checks the two
-produce bit-identical results, and exits non-zero when batched
-execution is less than 2x faster (the batching speedup this harness
-locks in).
+perf-regression gate. The smoke run stacks two wall-clock checks on
+reduced workloads, verifies each is bit-identical across the compared
+strategies, and exits non-zero when either floor is missed:
+
+* batched vs per-query execution must be >= ``--min-speedup`` (2x);
+* the persistent shard pool must be >= ``--min-pool-speedup`` (1.5x)
+  faster than the PR 4 per-call pool on the same round shape (see
+  docs/data_plane.md for why single-LUT-row rounds are the shape where
+  per-round shard shipping dominates).
+
+It also writes a machine-readable ``BENCH_fig06.json`` artifact with
+both measurements so the perf trajectory is diffable across PRs.
 """
 
 import pytest
@@ -89,9 +96,100 @@ def test_fig06b_nprobe_sweep(sift_ds, benchmark):
 
 
 # ---------------------------------------------------------------- CLI
+def run_pool_smoke(
+    min_speedup: float = 1.5, repeats: int = 3, rounds: int = 30
+) -> dict:
+    """CI perf gate: persistent shard pool vs the PR 4 per-call pool.
+
+    Times ``scan_groups`` on both executors over identical rounds — the
+    "same round shape" comparison the data-plane rework claims. The
+    shape is chosen where shard shipping dominates: single-LUT-row
+    rounds (the serving steady state) over many modest shards, so the
+    per-call executor pays pickling codes+ids every round while the
+    persistent pool ships only the one-row LUTs. Results are checked
+    bit-identical first; timing is best-of-``repeats`` interleaved.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.pim.parallel import PersistentShardPool, ShardExecutor
+
+    NSHARDS, PTS, M, CB, K, WORKERS = 32, 4096, 8, 64, 10, 2
+    rng = np.random.default_rng(0)
+    shards = {}
+    for s in range(NSHARDS):
+        codes = rng.integers(0, CB, size=(PTS, M), dtype=np.int16)
+        ids = rng.permutation(PTS * 10)[:PTS].astype(np.int64)
+        shards[f"shard{s}"] = (codes, ids)
+
+    def jobs_for(round_i):
+        r = np.random.default_rng(round_i)
+        jobs, keys = [], []
+        for key, (codes, ids) in shards.items():
+            luts = r.integers(0, 255, size=(1, M, CB), dtype=np.int64)
+            jobs.append((luts, codes, ids, K))
+            keys.append(key)
+        return jobs, keys
+
+    record = {
+        "gate": "persistent_vs_percall_pool",
+        "round_shape": {
+            "num_shards": NSHARDS, "points_per_shard": PTS,
+            "num_subspaces": M, "codebook_size": CB, "lut_rows": 1,
+            "workers": WORKERS, "rounds": rounds,
+        },
+        "floor": min_speedup,
+        "ok": False,
+    }
+    pool = PersistentShardPool(WORKERS)
+    pool.host_shards(shards)
+    pool.ensure_started()
+    percall = ShardExecutor(WORKERS)
+    percall.ensure_started()
+    try:
+        if not pool.wait_warm():
+            print("FAIL: persistent pool never became warm")
+            return record
+        jobs, keys = jobs_for(0)
+        for rows_p, rows_c in zip(
+            pool.scan_groups(jobs, keys=keys), percall.scan_groups(jobs)
+        ):
+            for (ip, dp), (ic, dc) in zip(rows_p, rows_c):
+                if not (np.array_equal(ip, ic) and np.array_equal(dp, dc)):
+                    print("FAIL: pool kinds returned different results")
+                    return record
+        best = {"persistent": float("inf"), "percall": float("inf")}
+        for _ in range(max(repeats, 1)):
+            for name, ex, use_keys in (
+                ("persistent", pool, True), ("percall", percall, False)
+            ):
+                t0 = time.perf_counter()
+                for i in range(rounds):
+                    jobs, keys = jobs_for(i)
+                    ex.scan_groups(jobs, keys=keys if use_keys else None)
+                best[name] = min(best[name], time.perf_counter() - t0)
+    finally:
+        pool.close()
+        percall.close()
+    speedup = best["percall"] / best["persistent"]
+    record.update(
+        t_persistent_s=best["persistent"], t_percall_s=best["percall"],
+        speedup=speedup, ok=speedup >= min_speedup,
+    )
+    print(
+        f"persistent pool {best['persistent']:.3f}s vs per-call "
+        f"{best['percall']:.3f}s (best of {max(repeats, 1)}, {rounds} "
+        f"rounds) -> {speedup:.2f}x (floor {min_speedup:.1f}x)"
+    )
+    if not record["ok"]:
+        print(f"FAIL: persistent pool only {speedup:.2f}x faster")
+    return record
+
+
 def run_smoke(
     num_queries: int = 400, min_speedup: float = 2.0, repeats: int = 3
-) -> bool:
+) -> dict:
     """CI perf gate: batched vs per-query host wall-clock.
 
     Uses a reduced workload (the 20k test preset) so the gate runs in
@@ -108,6 +206,12 @@ def run_smoke(
     from benchmarks.common import SEED, build_engine
     from repro.data import load_dataset
 
+    record = {
+        "gate": "batched_vs_per_query",
+        "num_queries": num_queries,
+        "floor": min_speedup,
+        "ok": False,
+    }
     ds = load_dataset(
         "sift-like-20k", seed=SEED, num_queries=num_queries, ground_truth_k=10
     )
@@ -126,24 +230,27 @@ def run_smoke(
         t0 = time.perf_counter()
         res_q, _ = engine.search(queries, execution="per_query")
         t_per_query = min(t_per_query, time.perf_counter() - t0)
+    engine.close()
 
     if not (
         np.array_equal(res_b.ids, res_q.ids)
         and np.array_equal(res_b.distances, res_q.distances)
     ):
         print("FAIL: batched and per-query results differ")
-        return False
+        return record
     speedup = t_per_query / t_batched
+    record.update(
+        t_batched_s=t_batched, t_per_query_s=t_per_query,
+        speedup=speedup, ok=speedup >= min_speedup,
+    )
     print(
         f"batched {t_batched:.3f}s vs per-query {t_per_query:.3f}s "
         f"(best of {max(repeats, 1)}) over {num_queries} queries "
         f"-> {speedup:.2f}x (floor {min_speedup:.1f}x)"
     )
-    if speedup < min_speedup:
+    if not record["ok"]:
         print(f"FAIL: batched execution only {speedup:.2f}x faster")
-        return False
-    print("OK")
-    return True
+    return record
 
 
 def main(argv=None) -> int:
@@ -158,10 +265,25 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--queries", type=int, default=400)
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--min-pool-speedup", type=float, default=1.5)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--artifact",
+        default="BENCH_fig06.json",
+        help="where the machine-readable smoke record is written",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        ok = run_smoke(args.queries, args.min_speedup, args.repeats)
+        from benchmarks.common import write_bench_artifact
+
+        batched = run_smoke(args.queries, args.min_speedup, args.repeats)
+        pool = run_pool_smoke(args.min_pool_speedup, args.repeats)
+        write_bench_artifact(
+            args.artifact,
+            {"bench": "fig06_smoke", "gates": [batched, pool]},
+        )
+        ok = batched["ok"] and pool["ok"]
+        print("OK" if ok else "FAIL")
         return 0 if ok else 1
     from benchmarks.common import bench_dataset
 

@@ -134,15 +134,23 @@ def build_engine(
     multiplier_less: bool = True,
     compute_scale: float = 1.0,
     execution: str = "batched",
+    plan: str = "auto",
+    shard_workers: int = 0,
+    shard_pool: str = "persistent",
 ) -> DrimAnnEngine:
     quant = bench_quantized(ds, params.nlist, params.num_subspaces, params.codebook_size)
-    cfg = PimSystemConfig(num_dpus=num_dpus).with_compute_scale(compute_scale)
+    cfg = PimSystemConfig(
+        num_dpus=num_dpus,
+        shard_workers=shard_workers,
+        shard_pool=shard_pool,
+    ).with_compute_scale(compute_scale)
     engine_cfg = EngineConfig(
         index=params,
         search=SearchParams(
             batch_size=BATCH_SIZE,
             multiplier_less=multiplier_less,
             execution=execution,
+            plan=plan,
         ),
         layout=layout if layout is not None else default_layout(),
         system=cfg,
@@ -249,6 +257,20 @@ def engine_run(
     )
     _RUN_CACHE[key] = (recall, bd)
     return _RUN_CACHE[key]
+
+
+def write_bench_artifact(path: str, record: dict) -> None:
+    """Write one machine-readable bench record (BENCH_*.json).
+
+    The CI smoke gates emit these so the perf trajectory across PRs is
+    diffable without parsing console output.
+    """
+    import json
+
+    with open(path, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {path}")
 
 
 def geomean(values) -> float:

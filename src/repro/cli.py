@@ -125,6 +125,16 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--shard-workers", type=int, default=0,
                    help="worker processes for shard scans (0 = serial; "
                         "results are bit-identical either way)")
+    s.add_argument("--plan", default="auto",
+                   choices=("auto", "serial", "vectorized", "pool"),
+                   help="data-plane strategy per round: planner-chosen "
+                        "(default), serial loop, stacked vectorized scan, "
+                        "or persistent worker pool — all bit-identical")
+    s.add_argument("--shard-pool", default="persistent",
+                   choices=("persistent", "percall"),
+                   help="worker pool flavor when --shard-workers > 1: "
+                        "persistent zero-copy workers (default) or the "
+                        "legacy per-call process pool")
     s.add_argument("--no-balance", action="store_true",
                    help="id-order layout, static scheduling (Fig. 11 baseline)")
     s.add_argument("--opq", action="store_true", help="OPQ preprocessing")
@@ -166,6 +176,16 @@ def _build_parser() -> argparse.ArgumentParser:
     v.add_argument("--dpus", type=int, default=32)
     v.add_argument("--batch-size", type=int, default=64)
     v.add_argument("--max-wait-ms", type=float, default=2.0)
+    v.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-query arrival->completion deadline; served "
+                        "queries past it count as misses")
+    v.add_argument("--dispatch", default="coalesce",
+                   choices=("coalesce", "per_query"),
+                   help="micro-batch coalescing (default) or one engine "
+                        "round per arrival (the no-batching baseline)")
+    v.add_argument("--plan", default="auto",
+                   choices=("auto", "serial", "vectorized", "pool"),
+                   help="data-plane strategy for every serving round")
     v.add_argument("--shard-workers", type=int, default=0,
                    help="worker processes for shard scans (0 = serial)")
     v.add_argument("--metrics-out", metavar="PATH",
@@ -405,10 +425,11 @@ def _cmd_search(args) -> int:
     obs_on = bool(args.profile or args.metrics_out or args.as_json)
     config = EngineConfig(
         index=params,
-        search=SearchParams(execution=args.execution),
+        search=SearchParams(execution=args.execution, plan=args.plan),
         layout=layout,
         system=PimSystemConfig(
-            num_dpus=args.dpus, shard_workers=args.shard_workers
+            num_dpus=args.dpus, shard_workers=args.shard_workers,
+            shard_pool=args.shard_pool,
         ),
         use_opq=args.opq,
         obs=ObsConfig(enabled=obs_on),
@@ -421,7 +442,10 @@ def _cmd_search(args) -> int:
         prebuilt_quantized=quant,
         seed=args.seed,
     )
-    outcome = engine.search(ds.queries, with_scheduler=not args.no_balance)
+    try:
+        outcome = engine.search(ds.queries, with_scheduler=not args.no_balance)
+    finally:
+        engine.close()
     rec = recall_at_k(outcome.results.ids, ds.ground_truth, params.k)
     _say(args, f"\nrecall@{params.k} = {rec:.3f}")
     _say(args, outcome.breakdown.summary())
@@ -628,14 +652,24 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
     )
     arrivals = PoissonArrivals(args.rate).sample(args.queries, seed=args.seed)
-    outcome = simulate_serving(
-        engine,
-        ds.queries,
-        arrivals,
-        BatchingPolicy(
-            batch_size=args.batch_size, max_wait_s=args.max_wait_ms * 1e-3
-        ),
-    )
+    try:
+        outcome = simulate_serving(
+            engine,
+            ds.queries,
+            arrivals,
+            BatchingPolicy(
+                batch_size=args.batch_size,
+                max_wait_s=args.max_wait_ms * 1e-3,
+                deadline_s=(
+                    None if args.deadline_ms is None
+                    else args.deadline_ms * 1e-3
+                ),
+                dispatch=args.dispatch,
+            ),
+            plan=args.plan,
+        )
+    finally:
+        engine.close()
     _say(args, f"\nserving at {args.rate:,.0f} QPS Poisson:")
     _say(args, outcome.report.summary())
     if args.metrics_out and outcome.metrics is not None:
@@ -650,6 +684,9 @@ def _cmd_serve(args) -> int:
             "queries": args.queries,
             "batch_size": args.batch_size,
             "max_wait_ms": args.max_wait_ms,
+            "deadline_ms": args.deadline_ms,
+            "dispatch": args.dispatch,
+            "plan": args.plan,
             "engine": config.to_dict(),
         },
         results=outcome.report.to_dict(),

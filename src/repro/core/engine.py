@@ -45,6 +45,7 @@ from repro.core.layout import (
 from repro.core.opq_preprocess import OpqPreprocessor
 from repro.core.params import (
     EXECUTION_MODES,
+    PLAN_MODES,
     DatasetShape,
     IndexParams,
     SearchParams,
@@ -106,6 +107,25 @@ class DrimAnnEngine:
     @property
     def fault_plan(self) -> Optional[FaultPlan]:
         return self.system.fault_plan
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the data plane: worker pool + shared-memory arena.
+
+        Idempotent; after close the engine still answers searches (a
+        later pool-eligible round transparently re-hosts the arena and
+        respawns workers — close again when done). Use the engine as a
+        context manager to make teardown automatic —
+        :func:`repro.pim.parallel.assert_no_leaked_segments` can then
+        verify nothing leaked.
+        """
+        self.system.close()
+
+    def __enter__(self) -> "DrimAnnEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -366,6 +386,7 @@ class DrimAnnEngine:
         *,
         with_scheduler: bool = True,
         execution: Optional[str] = None,
+        plan: Optional[str] = None,
     ) -> SearchOutcome:
         """Batched top-k search.
 
@@ -384,6 +405,13 @@ class DrimAnnEngine:
         with a canonical (distance, id) tie-break — and identical
         aggregate kernel-cycle totals; only round structure, transfer
         aggregation, and host wall-clock differ.
+
+        ``plan`` overrides ``search_params.plan`` for this call: the
+        data-plane strategy for each round's functional shard scans
+        (``"auto"`` / ``"serial"`` / ``"vectorized"`` / ``"pool"`` —
+        see :mod:`repro.pim.parallel`). Like ``execution``, this is
+        purely a wall-clock choice; results and cycle ledgers are
+        identical on every path.
 
         ``with_scheduler=False`` forces the static policy (replica 0,
         no filter) — the ablation arm of Fig. 11.
@@ -409,6 +437,11 @@ class DrimAnnEngine:
         if mode not in EXECUTION_MODES:
             raise ValueError(
                 f"execution must be one of {EXECUTION_MODES}, got {mode!r}"
+            )
+        plan_mode = plan if plan is not None else self.search_params.plan
+        if plan_mode not in PLAN_MODES:
+            raise ValueError(
+                f"plan must be one of {PLAN_MODES}, got {plan_mode!r}"
             )
         if mode == "batched":
             bs = max(nq, 1)
@@ -473,8 +506,12 @@ class DrimAnnEngine:
                 extra_pim_seconds=cl_sec,
                 extra_cl_cycles=cl_cycles,
                 batch_span=max(span, 1),
+                plan=plan_mode,
             )
-            self._recover(failed, scheduler, queries, k, pools_i, pools_d, breakdown)
+            self._recover(
+                failed, scheduler, queries, k, pools_i, pools_d, breakdown,
+                plan=plan_mode,
+            )
 
         # Drain deferred tasks (filter off so the queue empties).
         drain_guard = 0
@@ -498,10 +535,11 @@ class DrimAnnEngine:
             stats.uncovered.update(outcome.uncovered)
             failed = self._execute(
                 outcome.assignments, queries, k, pools_i, pools_d, breakdown,
-                host_seconds=0.0, num_new_queries=0,
+                host_seconds=0.0, num_new_queries=0, plan=plan_mode,
             )
             self._recover(
-                failed, drain_sched, queries, k, pools_i, pools_d, breakdown
+                failed, drain_sched, queries, k, pools_i, pools_d, breakdown,
+                plan=plan_mode,
             )
             # Deaths discovered while draining must stick for the next
             # drain round (and for subsequent search() calls).
@@ -542,6 +580,7 @@ class DrimAnnEngine:
         extra_pim_seconds: float = 0.0,
         extra_cl_cycles: float = 0.0,
         batch_span: int = 1,
+        plan: str = "auto",
     ) -> List[Tuple[int, str]]:
         """Run one PIM batch and fold results/timing in.
 
@@ -570,6 +609,7 @@ class DrimAnnEngine:
                 k,
                 multiplier_less=self.search_params.multiplier_less,
                 batch_span=batch_span,
+                plan=plan,
             )
             for p in partials:
                 gq = active[p.query_index]
@@ -607,6 +647,8 @@ class DrimAnnEngine:
         pools_i: List[List[np.ndarray]],
         pools_d: List[List[np.ndarray]],
         breakdown: TimingBreakdown,
+        *,
+        plan: str = "auto",
     ) -> None:
         """Fail over tasks lost to dead DPUs.
 
@@ -619,7 +661,7 @@ class DrimAnnEngine:
         partial coverage instead of raising.
         """
         stats = breakdown.faults
-        plan = self.fault_plan
+        fplan = self.fault_plan
         attempt = 0
         while failed:
             observed = self.system.dead_dpus()
@@ -627,13 +669,13 @@ class DrimAnnEngine:
             newly = observed - scheduler.dead_dpus
             if newly:
                 scheduler.mark_dead(newly)
-            if plan is None or attempt >= plan.config.max_redispatch_attempts:
+            if fplan is None or attempt >= fplan.config.max_redispatch_attempts:
                 for qidx, key in failed:
                     stats.uncovered.add(
                         (qidx, self.plan.shards[key].cluster_id)
                     )
                 break
-            backoff = plan.config.retry_backoff_s * (2.0 ** attempt)
+            backoff = fplan.config.retry_backoff_s * (2.0 ** attempt)
             breakdown.add_stall(backoff)
             stats.backoff_seconds += backoff
             stats.redispatch_rounds += 1
@@ -642,7 +684,7 @@ class DrimAnnEngine:
             stats.task_retries += sum(len(t) for t in assignments.values())
             failed = self._execute(
                 assignments, queries, k, pools_i, pools_d, breakdown,
-                host_seconds=0.0, num_new_queries=0,
+                host_seconds=0.0, num_new_queries=0, plan=plan,
             )
             attempt += 1
 

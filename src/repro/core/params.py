@@ -81,6 +81,10 @@ class IndexParams:
 #: Valid values of :attr:`SearchParams.execution`.
 EXECUTION_MODES = ("batched", "chunked", "per_query")
 
+#: Valid values of :attr:`SearchParams.plan` (the data-plane strategy
+#: for a round's functional shard scans — see repro.pim.parallel).
+PLAN_MODES = ("auto", "serial", "vectorized", "pool")
+
 
 @dataclass(frozen=True)
 class SearchParams:
@@ -100,6 +104,12 @@ class SearchParams:
     # bit-identical across modes; only timing and transfer aggregation
     # differ.
     execution: str = "batched"
+    # Data-plane strategy for each round's functional shard scans:
+    # "auto" lets the execution planner pick serial / vectorized / pool
+    # from the round's measured size and worker warmup state; the other
+    # values force one path. Bit-identical results and identical cycle
+    # ledgers in every mode — only host wall-clock differs.
+    plan: str = "auto"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -111,6 +121,10 @@ class SearchParams:
         if self.execution not in EXECUTION_MODES:
             raise ValueError(
                 f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
+            )
+        if self.plan not in PLAN_MODES:
+            raise ValueError(
+                f"plan must be one of {PLAN_MODES}, got {self.plan!r}"
             )
 
     def adc_lut_bytes(self, params: IndexParams, bits_lut: int = 32) -> int:

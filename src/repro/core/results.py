@@ -64,9 +64,14 @@ class ServingOutcome:
         self,
         report: "ServingReport",
         metrics: Optional[MetricsSnapshot] = None,
+        results: Optional[SearchResult] = None,
     ) -> None:
         self.report = report
         self.metrics = metrics
+        # Per-query ids/distances in arrival order, populated only when
+        # simulate_serving(return_results=True); shed queries keep the
+        # -1/inf fill. Lets tests prove coalescing never changes bits.
+        self.results = results
 
     def __getattr__(self, name: str):
         if name.startswith("__"):

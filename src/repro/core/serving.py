@@ -7,10 +7,21 @@ closes that gap on top of the engine:
 * :class:`PoissonArrivals` — an open-loop arrival process;
 * :class:`BatchingPolicy` — queries queue and a batch launches when
   ``batch_size`` are waiting or the oldest has waited ``max_wait_s``
-  (the standard size-or-timeout rule);
+  (the standard size-or-timeout rule); ``dispatch="per_query"`` turns
+  coalescing off for A/B comparisons;
+* :class:`MicroBatcher` — the window-formation rule itself, factored
+  out so tests can drive it step by step;
 * :func:`simulate_serving` — replays the stream through the engine,
   charging each query queueing delay + its batch's modeled end-to-end
   time, and reports the latency distribution.
+
+Coalescing only changes *when* queries run, never *what* they compute:
+each micro-batch is one batched engine round, and the engine's batched
+rounds are bit-identical to per-query rounds (the PR 4 differential
+harness enforces this), so ``dispatch="coalesce"`` and
+``dispatch="per_query"`` return byte-for-byte equal ids/distances —
+``simulate_serving(..., return_results=True)`` exposes them so tests
+can prove it.
 
 The PIM is single-tenant (host-synchronous): batches execute strictly
 one after another, so a long batch delays everything behind it — tail
@@ -25,6 +36,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.ann.ivfpq import SearchResult
 from repro.core.engine import DrimAnnEngine
 from repro.core.results import ServingOutcome
 from repro.utils import ensure_rng
@@ -60,12 +72,20 @@ class BatchingPolicy:
     * ``"shed"`` — drop queries already past their deadline at batch
       launch (they could not possibly meet it), protecting the queries
       behind them.
+
+    ``dispatch`` selects how queued queries reach the engine:
+
+    * ``"coalesce"`` (default) — the size-or-timeout micro-batch
+      window above;
+    * ``"per_query"`` — every arrival is its own engine round, the
+      no-batching baseline ``bench_serving_tail`` compares against.
     """
 
     batch_size: int = 64
     max_wait_s: float = 2e-3
     deadline_s: Optional[float] = None
     overload_policy: str = "degrade"
+    dispatch: str = "coalesce"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -79,6 +99,63 @@ class BatchingPolicy:
                 f"overload_policy must be 'degrade' or 'shed', "
                 f"got {self.overload_policy!r}"
             )
+        if self.dispatch not in ("coalesce", "per_query"):
+            raise ValueError(
+                f"dispatch must be 'coalesce' or 'per_query', "
+                f"got {self.dispatch!r}"
+            )
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """One formed micro-batch: who runs, when, and where the queue resumes."""
+
+    members: np.ndarray  # query indices admitted to this round
+    launch: float  # wall-clock time the round starts
+    next_index: int  # first queue index the next window starts from
+
+
+class MicroBatcher:
+    """Applies a :class:`BatchingPolicy` window to a sorted arrival stream.
+
+    Pure queue mechanics — no engine, no results. ``next_batch`` is
+    deterministic given ``(i, engine_free_at)``, which lets the property
+    tests step the window formation directly and assert invariants
+    (members contiguous, launch >= every member's arrival, windows never
+    overlap) without running searches.
+    """
+
+    def __init__(
+        self, arrivals_s: np.ndarray, policy: BatchingPolicy
+    ) -> None:
+        self.arrivals_s = np.asarray(arrivals_s, dtype=np.float64)
+        self.policy = policy
+
+    def next_batch(self, i: int, engine_free_at: float) -> MicroBatch:
+        """Form the batch whose oldest waiter is queue index ``i``."""
+        arrivals_s = self.arrivals_s
+        policy = self.policy
+        n = len(arrivals_s)
+        if policy.dispatch == "per_query":
+            launch = max(float(arrivals_s[i]), engine_free_at)
+            return MicroBatch(np.arange(i, i + 1), launch, i + 1)
+        # Oldest waiter sets the timeout; a full batch may launch
+        # earlier; a busy engine can only launch when it frees up.
+        deadline = arrivals_s[i] + policy.max_wait_s
+        k_full = i + policy.batch_size - 1
+        if k_full < n and arrivals_s[k_full] <= deadline:
+            launch = max(arrivals_s[k_full], engine_free_at)
+            j = i + policy.batch_size
+        else:
+            launch = max(deadline, engine_free_at)
+            j = i
+            while (
+                j < n
+                and j - i < policy.batch_size
+                and arrivals_s[j] <= launch
+            ):
+                j += 1
+        return MicroBatch(np.arange(i, j), float(launch), j)
 
 
 @dataclass
@@ -207,13 +284,18 @@ def simulate_serving(
     policy: BatchingPolicy = BatchingPolicy(),
     *,
     with_scheduler: bool = True,
+    return_results: bool = False,
+    plan: Optional[str] = None,
 ) -> ServingOutcome:
     """Replay a timestamped query stream through the engine.
 
     Service times are the engine's modeled end-to-end batch times; the
-    functional results are computed (and discarded — callers wanting
-    them should search directly), so recall-affecting behavior is
-    identical to offline runs.
+    functional results are computed per micro-batch, so recall-affecting
+    behavior is identical to offline runs. ``return_results=True``
+    retains them on ``outcome.results`` in arrival order (shed queries
+    keep the -1/+inf fill) so callers can verify that coalescing never
+    changes bits. ``plan`` forwards to :meth:`DrimAnnEngine.search` to
+    pin the data-plane execution strategy for every round.
 
     Returns a :class:`~repro.core.results.ServingOutcome` wrapping the
     :class:`ServingReport` (attribute access forwards, so existing
@@ -245,27 +327,15 @@ def simulate_serving(
     backoff = 0.0
     dead: set = set()
     obs = engine.observer
+    batcher = MicroBatcher(arrivals_s, policy)
+    out_ids: Optional[np.ndarray] = None
+    out_dist: Optional[np.ndarray] = None
 
     engine_free_at = 0.0
     i = 0
     while i < n:
-        # Oldest waiter sets the timeout; a full batch may launch
-        # earlier; a busy engine can only launch when it frees up.
-        deadline = arrivals_s[i] + policy.max_wait_s
-        k_full = i + policy.batch_size - 1
-        if k_full < n and arrivals_s[k_full] <= deadline:
-            launch = max(arrivals_s[k_full], engine_free_at)
-            j = i + policy.batch_size
-        else:
-            launch = max(deadline, engine_free_at)
-            j = i
-            while (
-                j < n
-                and j - i < policy.batch_size
-                and arrivals_s[j] <= launch
-            ):
-                j += 1
-        members = np.arange(i, j)
+        batch = batcher.next_batch(i, engine_free_at)
+        members, launch, j = batch.members, batch.launch, batch.next_index
         if obs is not None:
             obs.on_queue_depth(len(members))
         if policy.deadline_s is not None and policy.overload_policy == "shed":
@@ -283,10 +353,17 @@ def simulate_serving(
                 continue
         # The policy already shaped the batch: dispatch it as a single
         # PIM round rather than re-chunking by SearchParams.batch_size.
-        _, bd = engine.search(
+        res, bd = engine.search(
             queries[members], with_scheduler=with_scheduler,
-            execution="batched",
+            execution="batched", plan=plan,
         )
+        if return_results:
+            if out_ids is None:
+                k = res.ids.shape[1]
+                out_ids = np.full((n, k), -1, dtype=res.ids.dtype)
+                out_dist = np.full((n, k), np.inf, dtype=res.distances.dtype)
+            out_ids[members] = res.ids
+            out_dist[members] = res.distances
         service = bd.e2e_seconds
         done = launch + service
         completion[members] = done
@@ -333,6 +410,11 @@ def simulate_serving(
         dead_dpus=len(dead),
         backoff_seconds=backoff,
     )
+    results = None
+    if return_results and out_ids is not None:
+        results = SearchResult(ids=out_ids, distances=out_dist)
     return ServingOutcome(
-        report, metrics=obs.snapshot() if obs is not None else None
+        report,
+        metrics=obs.snapshot() if obs is not None else None,
+        results=results,
     )

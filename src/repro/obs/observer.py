@@ -32,6 +32,8 @@ pim_transfer_seconds_total                       counter    op
 pim_transfer_timeouts_total                      counter
 pim_transient_retries_total                      counter
 pim_failed_tasks_total                           counter
+pim_plan_decisions_total                         counter    path
+pim_pool_fallbacks_total                         counter    reason
 faults_dead_dpus                                 gauge
 faults_degraded_queries_total                    counter
 faults_backoff_seconds_total                     counter
@@ -240,6 +242,22 @@ class EngineObserver:
             "drimann_pim_failed_tasks_total",
             help="tasks lost to fail-stop DPUs in a batch",
         ).inc(num_tasks)
+
+    def on_plan_decision(self, path: str) -> None:
+        """Execution-planner choice for one round (serial/vectorized/pool)."""
+        self.registry.counter(
+            "drimann_pim_plan_decisions_total",
+            help="data-plane path chosen per round",
+            path=path,
+        ).inc()
+
+    def on_pool_fallback(self, reason: str) -> None:
+        """A worker-pool degradation to the serial path (never silent)."""
+        self.registry.counter(
+            "drimann_pim_pool_fallbacks_total",
+            help="pool failures/fallbacks to in-process execution",
+            reason=reason,
+        ).inc()
 
     # ----- faults ----------------------------------------------------------
     def on_faults(self, stats) -> None:

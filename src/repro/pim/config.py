@@ -104,6 +104,11 @@ class PimSystemConfig:
     # either way, and the executor falls back to serial when process
     # pools are unavailable.
     shard_workers: int = 0
+    # Which pool implementation backs shard_workers: "persistent"
+    # (zero-copy shared-memory residency, the default) or "percall"
+    # (the legacy per-round ProcessPoolExecutor, kept as the perf-gate
+    # baseline). Ignored when shard_workers <= 1.
+    shard_pool: str = "persistent"
 
     def __post_init__(self) -> None:
         if self.num_dpus <= 0:
@@ -112,6 +117,11 @@ class PimSystemConfig:
             raise ValueError("rank/dimm sizes must be > 0")
         if self.shard_workers < 0:
             raise ValueError("shard_workers must be >= 0")
+        if self.shard_pool not in ("persistent", "percall"):
+            raise ValueError(
+                "shard_pool must be 'persistent' or 'percall', "
+                f"got {self.shard_pool!r}"
+            )
 
     @property
     def num_dimms(self) -> int:

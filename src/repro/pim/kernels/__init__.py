@@ -28,6 +28,7 @@ from repro.pim.kernels.distance_scan import (
     distance_scan_cost,
     run_distance_scan,
     scan_distances,
+    scan_distances_stacked,
 )
 from repro.pim.kernels.topk_sort import (
     expected_heap_updates,
@@ -55,5 +56,6 @@ __all__ = [
     "distance_scan_cost",
     "topk_sort_cost",
     "scan_distances",
+    "scan_distances_stacked",
     "topk_rows",
 ]

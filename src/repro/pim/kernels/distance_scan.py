@@ -96,6 +96,39 @@ def scan_distances(luts: np.ndarray, codes: np.ndarray) -> np.ndarray:
     return gathered.sum(axis=2)
 
 
+def scan_distances_stacked(
+    luts: np.ndarray, codes: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`scan_distances` over same-shape jobs.
+
+    ``(J, g, M, CB)`` LUT stacks × ``(J, n, M)`` code stacks →
+    ``(J, g, n)`` int64 distances: one NumPy gather+reduce for a whole
+    round of same-shape shard groups (the cross-DPU vectorized fast
+    path). Each job's slice is bit-identical to
+    ``scan_distances(luts[j], codes[j])`` — the gather is elementwise
+    and the reduction runs over the same axis in the same order.
+    No cost accounting — callers that model timing charge
+    :func:`distance_scan_cost` per shard group separately.
+    """
+    luts = np.asarray(luts)
+    codes = np.asarray(codes)
+    if luts.ndim != 4:
+        raise ValueError(f"luts must be 4-D (J, g, M, CB), got {luts.shape}")
+    if codes.ndim != 3:
+        raise ValueError(f"codes must be 3-D (J, n, M), got {codes.shape}")
+    jj, g, m, _ = luts.shape
+    if codes.shape[0] != jj or codes.shape[2] != m:
+        raise ValueError(
+            f"codes stack {codes.shape} incompatible with luts {luts.shape}"
+        )
+    ji = np.arange(jj)[:, None, None, None]
+    gi = np.arange(g)[None, :, None, None]
+    mi = np.arange(m)[None, None, None, :]
+    ci = codes.astype(np.intp)[:, None, :, :]
+    gathered = luts[ji, gi, mi, ci]  # (J, g, n, M)
+    return gathered.sum(axis=3)
+
+
 def run_distance_scan(
     luts: np.ndarray, codes: np.ndarray
 ) -> Tuple[np.ndarray, KernelCost]:

@@ -1,4 +1,4 @@
-"""Opt-in process-pool execution of shard-group scans.
+"""The parallel data plane: persistent zero-copy workers for shard scans.
 
 The batched executor in :mod:`repro.pim.system` spends almost all of
 its functional wall-clock in the DC/TS phase: gathering LUT entries
@@ -8,32 +8,52 @@ group touches one shard's codes and its own LUT rows), so large fleets
 can fan it out over worker processes — mirroring how a real host would
 drive independent PIM ranks from multiple threads.
 
-:class:`ShardExecutor` wraps :class:`concurrent.futures.ProcessPoolExecutor`
-with two guarantees the simulator needs:
+Three executors and a planner live here:
 
-* **bit-exactness** — workers run the same pure kernels
+* :func:`scan_shard_group` — the single functional scan path. The
+  serial loop, the vectorized fast path's per-group fallback, and both
+  worker pools all funnel through the same kernels
   (:func:`~repro.pim.kernels.scan_distances` /
-  :func:`~repro.pim.kernels.topk_rows`) the serial path runs, and
-  results are returned in submission order, so enabling workers cannot
-  change a single output bit (cycle charging happens in the parent,
-  from shapes alone);
-* **graceful fallback** — any failure to create or use the pool
-  (restricted sandboxes, missing ``fork``, broken workers) silently
-  degrades to the serial path; the executor never takes the engine
-  down.
+  :func:`~repro.pim.kernels.topk_rows`), which is what makes every
+  execution strategy bit-exact by construction.
+* :class:`PersistentShardPool` — the default pool. Workers are spawned
+  once, attach every shard's codes/ids through one
+  :mod:`multiprocessing.shared_memory` segment (the arena), and keep
+  them resident across rounds: the steady state ships only per-round
+  task descriptors ``(shard_key, luts, k)`` down the pipe and result
+  rows back. Nothing MRAM-resident is ever re-pickled.
+* :class:`ShardExecutor` — the legacy per-call
+  :class:`~concurrent.futures.ProcessPoolExecutor` wrapper, which
+  re-pickles every shard's codes on every round. Kept as the
+  comparison baseline for the ``bench_fig06 --smoke`` perf gate and
+  selectable via ``PimSystemConfig.shard_pool="percall"``.
+* :class:`ExecutionPlanner` — picks serial / vectorized / pool per
+  round from the round's measured size and the pool's warmup state
+  (see :attr:`~repro.core.params.SearchParams.plan`).
 
-Workers are opt-in via ``PimSystemConfig.shard_workers`` (0 disables).
-The pool is created lazily on first use and torn down with
-:meth:`ShardExecutor.close`.
+Every pool failure (creation, worker death, missing residency) degrades
+to the serial path — results are identical either way — and is recorded
+as a fallback event that :class:`~repro.pim.system.PimSystem` drains
+into the ``drimann_pim_pool_fallbacks_total`` metric instead of being
+swallowed silently.
+
+Shared-memory hygiene: every segment this process creates is tracked in
+a module registry and unlinked by :meth:`SharedShardArena.close`, by
+:meth:`PersistentShardPool.close` (reached from ``engine.close()`` /
+``PimSystem.close``), and — as a last resort, e.g. after a crashed
+parent — by an ``atexit`` sweep. :func:`assert_no_leaked_segments`
+makes the guarantee checkable from tests.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import atexit
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.pim.kernels import scan_distances, topk_rows
+from repro.pim.kernels import scan_distances, scan_distances_stacked, topk_rows
 
 #: Rows of LUTs scanned per functional DC call; bounds the transient
 #: ``(rows, n, M)`` gather tensor without changing results (the scan
@@ -44,6 +64,16 @@ ROW_CHUNK = 256
 ScanJob = Tuple[np.ndarray, np.ndarray, np.ndarray, int]
 #: Per-row output of a job: [(ids_k, dists_k)] in LUT row order.
 ScanRows = List[Tuple[np.ndarray, np.ndarray]]
+
+#: Planner thresholds: minimum LUT-entry gathers in a round before the
+#: pool's IPC overhead pays for itself, and minimum same-round jobs
+#: before the stacked fast path beats the per-group loop.
+POOL_MIN_POINTS = 1 << 16
+VECTOR_MIN_JOBS = 2
+
+#: Seconds a blocking warm-up wait (explicit ``plan="pool"``) allows
+#: before degrading to the serial path.
+WARMUP_TIMEOUT_S = 10.0
 
 
 def scan_shard_group(
@@ -72,8 +102,549 @@ def _scan_job(job: ScanJob) -> ScanRows:
     return scan_shard_group(luts, codes, ids, k)
 
 
+#: Byte budget for one stacked DC gather tensor ``(J, g, n, M)`` in the
+#: vectorized fast path; bounds transient memory without affecting
+#: results (jobs are independent).
+_STACK_CHUNK_BYTES = 64 * 1024 * 1024
+
+
+def scan_jobs_stacked(jobs: Sequence[ScanJob]) -> List[ScanRows]:
+    """Cross-DPU vectorized scan: same-shape jobs in single NumPy calls.
+
+    Jobs are bucketed by ``(lut shape, code shape, dtypes, k)``; each
+    bucket's LUTs and codes are stacked and scanned with one
+    :func:`~repro.pim.kernels.scan_distances_stacked` gather instead of
+    J separate kernel dispatches — the host-side analogue of launching
+    one kernel across every DPU at once. Per-job results are
+    bit-identical to :func:`scan_shard_group` (the stacked gather and
+    reduction are elementwise/row-independent), so this is purely a
+    wall-clock strategy. Odd-shaped or oversized jobs fall back to the
+    per-group scan; results come back in submission order.
+    """
+    results: List[ScanRows] = [None] * len(jobs)  # type: ignore[list-item]
+    buckets: Dict[tuple, List[int]] = {}
+    for ji, (luts, codes, _ids, k) in enumerate(jobs):
+        key = (luts.shape, codes.shape, luts.dtype.str, codes.dtype.str, k)
+        buckets.setdefault(key, []).append(ji)
+    for (lshape, cshape, _, _, k), idxs in buckets.items():
+        g = lshape[0]
+        n, m = cshape
+        per_job = g * n * m * 8
+        if len(idxs) < 2 or per_job > _STACK_CHUNK_BYTES:
+            for ji in idxs:
+                results[ji] = _scan_job(jobs[ji])
+            continue
+        step = max(1, _STACK_CHUNK_BYTES // max(per_job, 1))
+        for c0 in range(0, len(idxs), step):
+            sel = idxs[c0 : c0 + step]
+            luts_s = np.stack([jobs[ji][0] for ji in sel])
+            codes_s = np.stack([jobs[ji][1] for ji in sel])
+            dists = scan_distances_stacked(luts_s, codes_s)
+            for off, ji in enumerate(sel):
+                results[ji] = topk_rows(dists[off], jobs[ji][2], k)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory arena + leak tracking
+# ---------------------------------------------------------------------------
+
+#: Segment names created (and thus owned) by this process, still live.
+_TRACKED_SEGMENTS: set = set()
+_SWEEP_REGISTERED = False
+
+
+def _track_segment(name: str) -> None:
+    global _SWEEP_REGISTERED
+    _TRACKED_SEGMENTS.add(name)
+    if not _SWEEP_REGISTERED:
+        atexit.register(_sweep_segments)
+        _SWEEP_REGISTERED = True
+
+
+def _untrack_segment(name: str) -> None:
+    _TRACKED_SEGMENTS.discard(name)
+
+
+def _sweep_segments() -> None:
+    """atexit last resort: unlink any segment close() never reached."""
+    from multiprocessing import shared_memory
+
+    for name in list(_TRACKED_SEGMENTS):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+        _untrack_segment(name)
+
+
+def leaked_segment_names() -> Tuple[str, ...]:
+    """Shared-memory segments this process created and has not unlinked."""
+    return tuple(sorted(_TRACKED_SEGMENTS))
+
+
+def assert_no_leaked_segments() -> None:
+    """Raise if any arena segment created here is still linked.
+
+    Usable from tests after ``engine.close()`` / ``pool.close()`` to
+    prove the unlink guarantee holds.
+    """
+    leaked = leaked_segment_names()
+    if leaked:
+        raise AssertionError(
+            f"leaked shared-memory segments: {', '.join(leaked)}"
+        )
+
+
+def _detach_from_resource_tracker(shm) -> None:
+    """Stop a *worker-side* attach from being torn down by the tracker.
+
+    CPython's resource tracker unlinks every shared-memory segment a
+    process registered when that process exits (bpo-38119) — correct
+    for owners, destructive for *spawned* workers that merely attached
+    to the parent's arena (a spawned child gets its own tracker).
+    Unregistering the attach leaves lifetime management to the owning
+    parent (plus the atexit sweep). Forked workers share the parent's
+    tracker, where the attach-side register is an idempotent no-op and
+    unregistering here would instead erase the parent's own
+    registration — so callers skip this under fork.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedShardArena:
+    """One shared-memory segment packing every shard's codes and ids.
+
+    Layout: arrays are copied back-to-back at 16-byte-aligned offsets;
+    the manifest maps ``array key -> (offset, shape, dtype str)`` and is
+    the only thing workers need (beyond the segment name) to rebuild
+    zero-copy NumPy views. The creating process owns the segment and is
+    responsible for :meth:`close` (which unlinks); workers attach with
+    :meth:`attach` and close without unlinking.
+    """
+
+    _ALIGN = 16
+
+    def __init__(self, shm, manifest: Dict[str, tuple], owner: bool) -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self.owner = owner
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedShardArena":
+        from multiprocessing import shared_memory
+
+        manifest: Dict[str, tuple] = {}
+        offset = 0
+        prepared: Dict[str, np.ndarray] = {}
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            prepared[key] = arr
+            manifest[key] = (offset, arr.shape, arr.dtype.str)
+            offset += arr.nbytes
+            offset += (-offset) % cls._ALIGN
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        _track_segment(shm.name)
+        for key, arr in prepared.items():
+            off, shape, dtype = manifest[key]
+            if arr.nbytes:
+                dst = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+                dst[...] = arr
+                del dst
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(
+        cls, name: str, manifest: Dict[str, tuple], untrack: bool = True
+    ) -> "SharedShardArena":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        if untrack:
+            _detach_from_resource_tracker(shm)
+        return cls(shm, dict(manifest), owner=False)
+
+    def view(self, key: str) -> np.ndarray:
+        """Zero-copy read-only view of one array in the segment."""
+        off, shape, dtype = self.manifest[key]
+        arr = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=off)
+        arr.flags.writeable = False
+        return arr
+
+    def close(self) -> None:
+        """Release the local mapping; the owner also unlinks.
+
+        Views from :meth:`view` must be dropped first — the mapping
+        goes away with the close, so a surviving view dereferences
+        unmapped memory (the worker loop clears its view cache before
+        closing for exactly this reason). A leaked view never blocks
+        the unlink, so the no-leak guarantee holds regardless.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # Some CPython versions refuse to close a mapping with
+            # exported buffers; the unlink below still detaches the
+            # name so nothing leaks past process exit.
+            pass
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            _untrack_segment(self._shm.name)
+
+    def __enter__(self) -> "SharedShardArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker loop
+# ---------------------------------------------------------------------------
+
+def _pool_worker(
+    conn, arena_name: str, manifest: Dict[str, tuple], untrack: bool
+) -> None:
+    """Persistent worker: attach the arena once, scan until told to stop."""
+    arena = None
+    views: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    try:
+        arena = SharedShardArena.attach(arena_name, manifest, untrack=untrack)
+        while True:
+            msg = conn.recv()
+            tag = msg[0]
+            if tag == "scan":
+                out: List[ScanRows] = []
+                for key, luts, k in msg[1]:
+                    pair = views.get(key)
+                    if pair is None:
+                        pair = (
+                            arena.view(f"codes:{key}"),
+                            arena.view(f"ids:{key}"),
+                        )
+                        views[key] = pair
+                    codes, ids = pair
+                    out.append(scan_shard_group(luts, codes, ids, k))
+                conn.send(("rows", out))
+            elif tag == "ping":
+                conn.send(("pong",))
+            elif tag == "stop":
+                break
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    except Exception as exc:  # pragma: no cover - defensive
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        views.clear()
+        if arena is not None:
+            arena.close()
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+class PersistentShardPool:
+    """Persistent workers with zero-copy shard residency.
+
+    Lifecycle: :meth:`host_shards` packs every shard's codes/ids into a
+    :class:`SharedShardArena`; :meth:`ensure_started` spawns the
+    workers (non-blocking — each attaches the arena once and answers a
+    ping when ready); :meth:`scan_groups` ships only
+    ``(shard_key, luts, k)`` descriptors per round and reassembles
+    results in submission order. Any failure degrades to the in-process
+    serial path — bit-identical results — and records a fallback event
+    for the metrics layer (:meth:`take_fallback_events`).
+    """
+
+    kind = "persistent"
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        self.num_workers = num_workers
+        self._arena: Optional[SharedShardArena] = None
+        self._shard_keys: set = set()
+        self._procs: list = []
+        self._conns: list = []
+        self._awaiting_pong: list = []
+        self._warm = False
+        self._broken = False
+        self._fallback_events: List[str] = []
+
+    # ----- state ----------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """Whether jobs can currently fan out to worker processes."""
+        return self.num_workers > 1 and not self._broken
+
+    @property
+    def attached(self) -> bool:
+        return self._arena is not None
+
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def ready(self) -> bool:
+        """Workers are warm: spawned, attached, and answering pings."""
+        return self.parallel and self.started and self._poll_warm()
+
+    def _note_fallback(self, reason: str) -> None:
+        self._fallback_events.append(reason)
+
+    def take_fallback_events(self) -> List[str]:
+        """Drain fallback reasons recorded since the last call."""
+        events, self._fallback_events = self._fallback_events, []
+        return events
+
+    # ----- residency ------------------------------------------------------
+    def host_shards(
+        self, shards: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    ) -> None:
+        """(Re)build the arena from ``shard_key -> (codes, ids)``.
+
+        Re-hosting after workers started restarts them against the new
+        arena (index rebuild / late shard placement).
+        """
+        if self._broken:
+            return
+        if self.started:
+            self._stop_workers()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        arrays: Dict[str, np.ndarray] = {}
+        for key, (codes, ids) in shards.items():
+            arrays[f"codes:{key}"] = codes
+            arrays[f"ids:{key}"] = ids
+        try:
+            self._arena = SharedShardArena.create(arrays)
+            self._shard_keys = set(shards)
+        except Exception:
+            self._broken = True
+            self._note_fallback("arena-create")
+
+    # ----- worker lifecycle ----------------------------------------------
+    def ensure_started(self) -> None:
+        """Spawn the workers if needed; returns without waiting for warmup."""
+        if self._broken or self.started or not self.parallel:
+            return
+        if not self.attached:
+            return
+        try:
+            import multiprocessing as mp
+
+            methods = mp.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+            ctx = mp.get_context(method)
+            # Forked workers share the parent's resource tracker, so the
+            # attach must NOT unregister (it would erase the owner's
+            # registration); spawned workers have their own tracker and
+            # must unregister or it unlinks the arena at worker exit.
+            untrack = method != "fork"
+            for _ in range(self.num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_pool_worker,
+                    args=(
+                        child_conn,
+                        self._arena.name,
+                        self._arena.manifest,
+                        untrack,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                parent_conn.send(("ping",))
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+                self._awaiting_pong.append(parent_conn)
+        except Exception:
+            self._mark_broken("spawn")
+
+    def _poll_warm(self) -> bool:
+        """Non-blocking warmup check: all spawned workers answered ping."""
+        if self._warm:
+            return True
+        if not self.started:
+            return False
+        still = []
+        for conn in self._awaiting_pong:
+            try:
+                if conn.poll(0):
+                    msg = conn.recv()
+                    if msg[0] != "pong":
+                        self._mark_broken("warmup")
+                        return False
+                else:
+                    still.append(conn)
+            except (EOFError, OSError):
+                self._mark_broken("worker-death")
+                return False
+        self._awaiting_pong = still
+        self._warm = not still
+        return self._warm
+
+    def wait_warm(self, timeout_s: float = WARMUP_TIMEOUT_S) -> bool:
+        """Block until the workers are warm (or the timeout expires)."""
+        import time
+
+        self.ensure_started()
+        deadline = time.monotonic() + timeout_s
+        while not self._poll_warm():
+            if self._broken or not self.started:
+                return False
+            if time.monotonic() >= deadline:
+                self._note_fallback("warmup-timeout")
+                return False
+            time.sleep(0.001)
+        return True
+
+    def _mark_broken(self, reason: str) -> None:
+        self._broken = True
+        self._note_fallback(reason)
+        self._stop_workers()
+
+    def _stop_workers(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            try:
+                proc.join(timeout=1.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            except Exception:
+                pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._conns = []
+        self._awaiting_pong = []
+        self._warm = False
+
+    # ----- scanning -------------------------------------------------------
+    def scan_groups(
+        self,
+        jobs: Sequence[ScanJob],
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[ScanRows]:
+        """Run jobs (possibly on the workers); results in submission order.
+
+        ``keys`` aligns each job with its resident shard key; workers
+        receive only ``(key, luts, k)``. Jobs without residency (no
+        ``keys``, unknown key, arena not hosted) and any pool failure
+        fall back to in-process execution — the results are identical
+        either way, and the fallback is recorded.
+        """
+        if not self.parallel or len(jobs) < 2:
+            return [_scan_job(j) for j in jobs]
+        if keys is None or len(keys) != len(jobs):
+            self._note_fallback("no-residency")
+            return [_scan_job(j) for j in jobs]
+        if not self.attached or any(k not in self._shard_keys for k in keys):
+            self._note_fallback("no-residency")
+            return [_scan_job(j) for j in jobs]
+        if not self.started:
+            self.ensure_started()
+        if not self.wait_warm():
+            return [_scan_job(j) for j in jobs]
+        # Contiguous round-robin split preserves submission order on
+        # reassembly without an index shuffle.
+        num = len(self._conns)
+        bounds = np.linspace(0, len(jobs), num + 1).astype(int)
+        try:
+            sent = []
+            for wi, conn in enumerate(self._conns):
+                lo, hi = bounds[wi], bounds[wi + 1]
+                if hi <= lo:
+                    continue
+                payload = [
+                    (keys[j], jobs[j][0], jobs[j][3]) for j in range(lo, hi)
+                ]
+                conn.send(("scan", payload))
+                sent.append(conn)
+            results: List[ScanRows] = []
+            for conn in sent:
+                msg = conn.recv()
+                if msg[0] != "rows":
+                    raise RuntimeError(f"worker error: {msg[1:]}")
+                results.extend(msg[1])
+            return results
+        except Exception:
+            self._mark_broken("scan-failure")
+            return [_scan_job(j) for j in jobs]
+
+    # ----- teardown -------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and unlink the shared-memory arena."""
+        self._stop_workers()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self._shard_keys = set()
+
+    def __enter__(self) -> "PersistentShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 class ShardExecutor:
-    """Deterministic fan-out of shard-group scans over worker processes."""
+    """Legacy per-call process pool (the PR 4 data plane).
+
+    Re-pickles every job's shard arrays on every round; kept as the
+    ``shard_pool="percall"`` option and as the baseline the
+    ``bench_fig06 --smoke`` gate measures the persistent pool against.
+    """
+
+    kind = "percall"
 
     def __init__(self, num_workers: int) -> None:
         if num_workers < 0:
@@ -81,11 +652,27 @@ class ShardExecutor:
         self.num_workers = num_workers
         self._pool = None
         self._broken = False
+        self._fallback_events: List[str] = []
 
     @property
     def parallel(self) -> bool:
         """Whether jobs currently fan out to worker processes."""
         return self.num_workers > 1 and not self._broken
+
+    def ready(self) -> bool:
+        """Per-call pools have no warmup: ready whenever parallel."""
+        return self.parallel
+
+    def ensure_started(self) -> None:
+        self._ensure_pool()
+
+    def _note_fallback(self, reason: str) -> None:
+        self._fallback_events.append(reason)
+
+    def take_fallback_events(self) -> List[str]:
+        """Drain fallback reasons recorded since the last call."""
+        events, self._fallback_events = self._fallback_events, []
+        return events
 
     def _ensure_pool(self):
         if self._pool is None and not self._broken:
@@ -95,14 +682,21 @@ class ShardExecutor:
                 self._pool = ProcessPoolExecutor(max_workers=self.num_workers)
             except Exception:
                 self._broken = True
+                self._note_fallback("pool-create")
         return self._pool
 
-    def scan_groups(self, jobs: Sequence[ScanJob]) -> List[ScanRows]:
+    def scan_groups(
+        self,
+        jobs: Sequence[ScanJob],
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[ScanRows]:
         """Run jobs (possibly in parallel); results in submission order.
 
         Falls back to in-process execution when the pool is disabled,
         cannot be created, or dies mid-flight — the results are
-        identical either way.
+        identical either way. ``keys`` is accepted for interface parity
+        with :class:`PersistentShardPool` and ignored (this pool ships
+        the full arrays regardless).
         """
         if not self.parallel or len(jobs) < 2:
             return [_scan_job(j) for j in jobs]
@@ -115,6 +709,7 @@ class ShardExecutor:
             # Broken pool (killed worker, pickling failure, sandbox
             # restriction): degrade permanently to serial.
             self._broken = True
+            self._note_fallback("scan-failure")
             self.close()
             return [_scan_job(j) for j in jobs]
 
@@ -127,8 +722,89 @@ class ShardExecutor:
             self._pool = None
 
 
-def make_executor(shard_workers: int) -> Optional[ShardExecutor]:
+def make_executor(shard_workers: int, shard_pool: str = "persistent"):
     """Build the configured executor (None when workers are disabled)."""
+    if shard_pool not in ("persistent", "percall"):
+        raise ValueError(
+            f"shard_pool must be 'persistent' or 'percall', got {shard_pool!r}"
+        )
     if shard_workers <= 1:
         return None
-    return ShardExecutor(shard_workers)
+    if shard_pool == "percall":
+        return ShardExecutor(shard_workers)
+    return PersistentShardPool(shard_workers)
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExecutionPlanner:
+    """Per-round choice between the serial, vectorized, and pool paths.
+
+    The choice is a pure wall-clock strategy: every path produces
+    bit-identical results and charges identical cycles, so the planner
+    is free to pick from measured round size and worker warmup state.
+    Heuristics (``plan="auto"``):
+
+    * a warm pool takes rounds with at least :data:`POOL_MIN_POINTS`
+      LUT-entry gathers and two or more shard groups — below that, IPC
+      overhead dominates;
+    * a configured-but-cold pool is warmed in the background while the
+      round runs vectorized (no round ever blocks on worker spawn);
+    * the stacked vectorized path takes fault-free rounds with at least
+      :data:`VECTOR_MIN_JOBS` groups; fault-plan rounds keep the
+      per-DPU serial traversal (conservative, and retries stay easy to
+      reason about);
+    * everything else runs serial.
+
+    Explicit modes force their path, degrading one step (pool →
+    vectorized → serial) when the forced path is unavailable.
+    """
+
+    decisions: Dict[str, int] = field(default_factory=dict)
+
+    def choose(
+        self,
+        mode: str,
+        *,
+        num_jobs: int,
+        scan_points: int,
+        executor=None,
+        fault_active: bool = False,
+    ) -> str:
+        path = self._choose(
+            mode,
+            num_jobs=num_jobs,
+            scan_points=scan_points,
+            executor=executor,
+            fault_active=fault_active,
+        )
+        self.decisions[path] = self.decisions.get(path, 0) + 1
+        return path
+
+    def _choose(
+        self, mode, *, num_jobs, scan_points, executor, fault_active
+    ) -> str:
+        can_vector = not fault_active and num_jobs >= VECTOR_MIN_JOBS
+        if mode == "serial":
+            return "serial"
+        if mode == "vectorized":
+            return "vectorized" if can_vector else "serial"
+        if mode == "pool":
+            if executor is not None and executor.parallel and num_jobs >= 2:
+                return "pool"
+            return "vectorized" if can_vector else "serial"
+        # auto
+        if executor is not None and executor.parallel and num_jobs >= 2:
+            if executor.ready():
+                if scan_points >= POOL_MIN_POINTS:
+                    return "pool"
+            else:
+                # Warm the workers in the background; this round keeps
+                # moving on the in-process paths.
+                executor.ensure_started()
+        if can_vector:
+            return "vectorized"
+        return "serial"

@@ -42,7 +42,12 @@ from repro.pim.kernels import (
     run_cluster_locate,
     topk_sort_cost,
 )
-from repro.pim.parallel import make_executor, scan_shard_group
+from repro.pim.parallel import (
+    ExecutionPlanner,
+    make_executor,
+    scan_jobs_stacked,
+    scan_shard_group,
+)
 from repro.pim.transfer import HostTransferModel
 
 #: Byte budget for one LC diff tensor chunk in the batched LUT builder;
@@ -123,9 +128,15 @@ class PimSystem:
         self._cent_id_of: Dict[bytes, int] = {}
         self._centroid_by_id: List[np.ndarray] = []
         self._shard_cent: Dict[str, int] = {}
-        # Opt-in process pool for the functional shard scans.
-        self.executor = make_executor(config.shard_workers)
+        # Opt-in worker pool for the functional shard scans, plus the
+        # per-round serial/vectorized/pool strategy chooser. The
+        # persistent pool attaches shard arrays lazily (first pool
+        # round) via _ensure_pool_residency.
+        self.executor = make_executor(config.shard_workers, config.shard_pool)
+        self.planner = ExecutionPlanner()
+        self._residency_dirty = True
         self.codebooks: Optional[np.ndarray] = None
+        self._codebooks64: Optional[np.ndarray] = None
         self.square_lut: Optional[SquareLut] = None
         self.tracer = tracer
         # Optional repro.obs.EngineObserver; None costs one check per site.
@@ -190,6 +201,9 @@ class PimSystem:
             self._cent_id_of[cent_key] = cent_id
             self._centroid_by_id.append(np.asarray(shard.centroid))
         self._shard_cent[shard.shard_key] = cent_id
+        # Placement changes invalidate the worker pool's zero-copy
+        # residency; it is re-hosted on the next pool round.
+        self._residency_dirty = True
 
     def shard_location(self, shard_key: str) -> int:
         return self._shards[shard_key][0]
@@ -209,6 +223,7 @@ class PimSystem:
         for dpu in self.dpus:
             dpu.mram.store("codebooks", codebooks)
         self.codebooks = codebooks
+        self._codebooks64 = None  # widened copy rebuilt lazily
         return self.transfer.broadcast(
             "codebooks", codebooks.nbytes, len(self.dpus)
         )
@@ -298,6 +313,7 @@ class PimSystem:
         *,
         multiplier_less: bool = True,
         batch_span: int = 1,
+        plan: str = "auto",
     ) -> Tuple[List[PartialResult], BatchTiming]:
         """Execute one batch of (query, shard) tasks.
 
@@ -308,6 +324,11 @@ class PimSystem:
         queries: ``(q, D)`` uint8 — the batch's queries (broadcast).
         k: local top-k each task returns.
         multiplier_less: use the square LUT in LC (must be loaded).
+        plan: data-plane strategy for the functional scans ("auto" /
+            "serial" / "vectorized" / "pool" — see
+            :class:`~repro.pim.parallel.ExecutionPlanner`). Purely a
+            wall-clock choice: results and cycle ledgers are identical
+            in every mode.
         batch_span: how many *logical* batches this round covers. Fault
             plans index events by logical batch (``batch_size`` query
             chunks); batched execution folds several logical batches
@@ -341,13 +362,18 @@ class PimSystem:
 
         if batch_span < 1:
             raise ValueError(f"batch_span must be >= 1, got {batch_span}")
+        if plan not in ("auto", "serial", "vectorized", "pool"):
+            raise ValueError(
+                "plan must be one of ('auto', 'serial', 'vectorized', "
+                f"'pool'), got {plan!r}"
+            )
         queries = np.asarray(queries)
         num_tasks = sum(len(t) for t in assignments.values())
         batch = self._batch_index
         self._batch_index += batch_span
-        plan = self.fault_plan
-        if plan is not None:
-            self._observed_dead |= plan.dead_at(batch + batch_span - 1)
+        fplan = self.fault_plan
+        if fplan is not None:
+            self._observed_dead |= fplan.dead_at(batch + batch_span - 1)
         if self.tracer is not None:
             self.tracer.next_batch()
         obs = self.observer
@@ -399,9 +425,10 @@ class PimSystem:
                 groups.append((dpu_id, skey, qidxs))
 
         # ---- functional pass: vectorized RC+LC per centroid, DC+TS
-        # per shard group (optionally fanned out to worker processes).
+        # per shard group via the planner-chosen path (serial loop,
+        # stacked cross-DPU NumPy calls, or worker processes).
         group_rows, group_misses = self._run_groups_functional(
-            groups, queries, k, sq
+            groups, queries, k, sq, plan=plan, fault_active=fplan is not None
         )
 
         # ---- charging pass: replay the per-DPU group order, charging
@@ -421,10 +448,10 @@ class PimSystem:
             # backoff. A round spanning several logical batches fires
             # each spanned hit once. The retry recomputes identical
             # rows, so only cycles differ.
-            if plan is not None and dpu_id not in transient_done:
+            if fplan is not None and dpu_id not in transient_done:
                 transient_done.add(dpu_id)
                 hits = sum(
-                    plan.transient_at(dpu_id, b)
+                    fplan.transient_at(dpu_id, b)
                     for b in range(batch, batch + batch_span)
                 )
                 for retry in range(hits):
@@ -432,7 +459,7 @@ class PimSystem:
                     if obs is not None:
                         obs.on_transient_retry()
                     dpu.stall(
-                        plan.config.transient_backoff_s
+                        fplan.config.transient_backoff_s
                         * self.config.dpu.frequency_hz
                     )
                     # The retry event starts after the original attempt
@@ -452,12 +479,12 @@ class PimSystem:
         # PIM->host: gather per-task top-k results. A pre-drawn timeout
         # charges the wasted attempt, then the gather is re-issued.
         transfer_timeouts = 0
-        if plan is not None:
+        if fplan is not None:
             for b in range(batch, batch + batch_span):
-                if plan.transfer_timeout_at(b):
+                if fplan.transfer_timeout_at(b):
                     transfer_timeouts += 1
                     wasted = self.transfer.timeout(
-                        "results", plan.config.transfer_timeout_s
+                        "results", fplan.config.transfer_timeout_s
                     )
                     xfer += wasted
                     if obs is not None:
@@ -499,19 +526,48 @@ class PimSystem:
         queries: np.ndarray,
         k: int,
         sq: Optional[SquareLut],
+        *,
+        plan: str = "auto",
+        fault_active: bool = False,
     ) -> Tuple[List[list], List[int]]:
         """Numeric results for every shard group, vectorized per centroid.
 
         RC and LC run once per unique (query, centroid) pair — parts
         and replicas of a cluster reuse the same LUT rows instead of
         rebuilding them per shard — and DC/TS run per shard group over
-        all of its queries at once (through the shard executor when
-        workers are configured). Integer math makes the shared rows
+        all of its queries at once, on the data-plane path the planner
+        picks for this round (serial per-group loop, stacked cross-DPU
+        NumPy calls, or the worker pool). Integer math makes every path
         bit-identical to per-group recomputation.
 
         Returns per-group result rows and per-group square-LUT miss
         counts (for LC cost charging), indexed like ``groups``.
         """
+        # One strategy decision per round, from the round's measured
+        # size; the per-centroid dispatch below then applies it while
+        # keeping the centroid-major LUT memory bound.
+        path = "serial"
+        if groups:
+            num_jobs = 0
+            scan_points = 0
+            m = self.codebooks.shape[0]
+            for _, skey, qidxs in groups:
+                n = len(self._shards[skey][1].ids)
+                if n:
+                    num_jobs += 1
+                    scan_points += len(qidxs) * n * m
+            if plan in ("auto", "pool") and self.executor is not None:
+                self._ensure_pool_residency()
+            path = self.planner.choose(
+                plan,
+                num_jobs=num_jobs,
+                scan_points=scan_points,
+                executor=self.executor,
+                fault_active=fault_active,
+            )
+            if self.observer is not None:
+                self.observer.on_plan_decision(path)
+
         # Centroid-major consumption order bounds LUT memory to one
         # centroid's pairs at a time regardless of how its shard groups
         # interleave across DPUs.
@@ -547,15 +603,51 @@ class PimSystem:
                 else:
                     group_rows[gi] = [empty_row] * len(qidxs)
             if jobs:
-                if self.executor is not None:
-                    results = self.executor.scan_groups(jobs)
+                if path == "pool" and self.executor is not None:
+                    if getattr(self.executor, "kind", "") == "persistent":
+                        results = self.executor.scan_groups(
+                            jobs, keys=[groups[gi][1] for gi in job_gis]
+                        )
+                    else:
+                        results = self.executor.scan_groups(jobs)
+                elif path == "vectorized":
+                    results = scan_jobs_stacked(jobs)
                 else:
                     results = [
                         scan_shard_group(*job) for job in jobs
                     ]
                 for gi, rows in zip(job_gis, results):
                     group_rows[gi] = rows
+
+        # Surface every pool degradation (instead of swallowing it):
+        # drained here so events land even when the observer was
+        # attached after construction.
+        if self.executor is not None:
+            events = self.executor.take_fallback_events()
+            if self.observer is not None:
+                for reason in events:
+                    self.observer.on_pool_fallback(reason)
         return group_rows, group_misses
+
+    def _ensure_pool_residency(self) -> None:
+        """Host every shard's codes/ids in the persistent pool's arena.
+
+        Lazy (first pool-eligible round) and re-run after any
+        :meth:`place_shard`, which invalidates previous residency.
+        No-op for the legacy per-call pool.
+        """
+        ex = self.executor
+        if ex is None or getattr(ex, "kind", "") != "persistent":
+            return
+        if not self._residency_dirty and ex.attached:
+            return
+        ex.host_shards(
+            {
+                key: (shard.codes, shard.ids)
+                for key, (_, shard) in self._shards.items()
+            }
+        )
+        self._residency_dirty = False
 
     def _build_cent_luts(
         self,
@@ -573,7 +665,11 @@ class PimSystem:
         codebooks = self.codebooks
         m, cb, dsub = codebooks.shape
         d = m * dsub
-        cb64 = codebooks.astype(np.int64)[None]
+        # Widened copy cached across rounds (invalidated by
+        # load_codebooks); serving loops hit this every batch.
+        if self._codebooks64 is None:
+            self._codebooks64 = codebooks.astype(np.int64)[None]
+        cb64 = self._codebooks64
         g = len(qidxs)
         luts = np.empty((g, m, cb), dtype=np.int64)
         pair_misses = np.zeros(g, dtype=np.int64)

@@ -86,7 +86,12 @@ def _quantized(nlist: int, m: int, cb: int):
 
 
 def build_canonical_engine(
-    name: str, *, execution: Optional[str] = None, shard_workers: int = 0
+    name: str,
+    *,
+    execution: Optional[str] = None,
+    plan: Optional[str] = None,
+    shard_workers: int = 0,
+    shard_pool: str = "persistent",
 ) -> DrimAnnEngine:
     """A fresh engine for one canonical config (index reuse is cached)."""
     c = CANONICAL_CONFIGS[name]
@@ -100,12 +105,16 @@ def build_canonical_engine(
     )
     if execution is not None:
         search_kwargs["execution"] = execution
+    if plan is not None:
+        search_kwargs["plan"] = plan
     search = SearchParams(**search_kwargs)
     config = EngineConfig(
         index=params,
         search=search,
         system=PimSystemConfig(
-            num_dpus=c["num_dpus"], shard_workers=shard_workers
+            num_dpus=c["num_dpus"],
+            shard_workers=shard_workers,
+            shard_pool=shard_pool,
         ),
         layout=LayoutConfig(**c["layout"]),
     )
@@ -148,13 +157,24 @@ def oracle_recall(result_ids: np.ndarray, oracle_ids: np.ndarray) -> float:
     return hits / (len(oracle_ids) * k)
 
 
-def run_canonical(name: str, *, execution: Optional[str] = None) -> dict:
+def run_canonical(
+    name: str,
+    *,
+    execution: Optional[str] = None,
+    plan: Optional[str] = None,
+    shard_workers: int = 0,
+) -> dict:
     """One golden run: recall vs the oracle + frozen cycle counts."""
     c = CANONICAL_CONFIGS[name]
     ds = canonical_dataset()
-    engine = build_canonical_engine(name, execution=execution)
+    engine = build_canonical_engine(
+        name, execution=execution, plan=plan, shard_workers=shard_workers
+    )
     queries = ds.queries[: c["num_queries"]]
-    res, bd = engine.search(queries)
+    try:
+        res, bd = engine.search(queries)
+    finally:
+        engine.close()
     oracle = brute_force_topk(ds.base, queries, K)
     per_dpu = np.array([d.total_cycles for d in engine.system.dpus])
     return {

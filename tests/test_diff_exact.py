@@ -89,3 +89,49 @@ class TestExecutionModeEquivalence:
 
         with pytest.raises(ValueError, match="execution"):
             SearchParams(execution="bogus")
+
+
+class TestPlanEquivalence:
+    """Data-plane strategies are pure wall-clock knobs: every plan
+    returns bit-identical ids and distances."""
+
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    @pytest.mark.parametrize("plan", ["vectorized", "pool", "auto"])
+    def test_bit_identical_to_serial(self, name, plan):
+        queries = canonical_dataset().queries[
+            : CANONICAL_CONFIGS[name]["num_queries"]
+        ]
+        base_engine = build_canonical_engine(name, plan="serial")
+        res_s, _ = base_engine.search(queries)
+        workers = 2 if plan in ("pool", "auto") else 0
+        engine = build_canonical_engine(
+            name, plan=plan, shard_workers=workers
+        )
+        try:
+            res_p, _ = engine.search(queries)
+        finally:
+            engine.close()
+        np.testing.assert_array_equal(res_s.ids, res_p.ids)
+        np.testing.assert_array_equal(res_s.distances, res_p.distances)
+
+    def test_search_call_override_beats_params(self):
+        """A per-call plan= override applies without mutating params."""
+        ds = canonical_dataset()
+        engine = build_canonical_engine("split-replicated", plan="serial")
+        res_a, _ = engine.search(ds.queries[:8])
+        res_b, _ = engine.search(ds.queries[:8], plan="vectorized")
+        np.testing.assert_array_equal(res_a.ids, res_b.ids)
+        np.testing.assert_array_equal(res_a.distances, res_b.distances)
+        assert engine.search_params.plan == "serial"
+
+    def test_unknown_plan_rejected(self):
+        ds = canonical_dataset()
+        engine = build_canonical_engine("split-replicated")
+        with pytest.raises(ValueError, match="plan"):
+            engine.search(ds.queries[:4], plan="warp-speed")
+
+    def test_search_params_plan_validated(self):
+        from repro.core.params import SearchParams
+
+        with pytest.raises(ValueError, match="plan"):
+            SearchParams(plan="bogus")

@@ -67,3 +67,26 @@ class TestGoldenCycles:
         same data: a fresh run serialized like the tool writes it must
         equal the stored file."""
         assert goldens == json.loads(json.dumps(fresh_runs))
+
+
+class TestGoldenCyclesAcrossPlans:
+    """Cycle accounting is independent of the data-plane strategy.
+
+    The execution planner only moves host wall-clock; the charged
+    cycles (and recall) must equal the stored goldens for every plan,
+    including the worker pool (run with 2 workers so it engages).
+    """
+
+    @pytest.mark.parametrize("plan", ["serial", "vectorized", "pool", "auto"])
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_plans_reproduce_goldens(self, name, plan, goldens):
+        workers = 2 if plan in ("pool", "auto") else 0
+        fresh = run_canonical(name, plan=plan, shard_workers=workers)
+        stored = goldens[name]
+        assert fresh["recall_at_10"] == stored["recall_at_10"]
+        assert fresh["kernel_cycles"] == stored["kernel_cycles"], (
+            f"kernel cycle drift in {name!r} under plan={plan!r}"
+        )
+        assert fresh["total_kernel_cycles"] == stored["total_kernel_cycles"]
+        assert fresh["e2e_cycles_max_dpu"] == stored["e2e_cycles_max_dpu"]
+        assert fresh["e2e_cycles_sum"] == stored["e2e_cycles_sum"]

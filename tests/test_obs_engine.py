@@ -284,6 +284,60 @@ class TestServingMetrics:
         assert out.num_queries == 20
 
 
+class TestDataPlaneMetrics:
+    def test_plan_decision_counter_tracks_path(self, obs_engine, small_ds):
+        snap0 = obs_engine.observer.snapshot()
+        before = snap0.value(
+            "drimann_pim_plan_decisions_total", path="vectorized"
+        )
+        obs_engine.search(small_ds.queries[:40], plan="vectorized")
+        snap1 = obs_engine.observer.snapshot()
+        after = snap1.value(
+            "drimann_pim_plan_decisions_total", path="vectorized"
+        )
+        assert after > before
+
+    def test_pool_fallbacks_counted_not_silent(
+        self, small_ds, small_quantized, small_params
+    ):
+        """Killing the workers mid-run must surface in the fallback
+        counter (and still return correct results)."""
+        cfg = EngineConfig(
+            index=small_params,
+            search=SearchParams(batch_size=64, plan="pool"),
+            system=PimSystemConfig(num_dpus=NUM_DPUS, shard_workers=2),
+            layout=LayoutConfig(min_split_size=400, max_copies=2),
+            obs=ObsConfig(enabled=True),
+        )
+        eng = DrimAnnEngine.from_config(
+            small_ds.base,
+            cfg,
+            heat_queries=small_ds.queries[:50],
+            prebuilt_quantized=small_quantized,
+            seed=0,
+        )
+        try:
+            q = small_ds.queries[:40]
+            healthy = eng.search(q)
+            pool = eng.system.executor
+            if pool.started:  # kill the warm workers under the engine
+                for proc in pool._procs:
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            broken = eng.search(q)
+            np.testing.assert_array_equal(
+                healthy.results.ids, broken.results.ids
+            )
+            snap = broken.metrics
+            fallbacks = sum(
+                s["value"]
+                for s in snap.series("drimann_pim_pool_fallbacks_total")
+            )
+            assert fallbacks >= 1
+        finally:
+            eng.close()
+
+
 class TestEngineConfigRoundTrip:
     def test_round_trip_with_faults(self, small_params):
         plan = FaultPlan.generate(
