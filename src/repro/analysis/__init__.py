@@ -15,9 +15,18 @@ claims the simulator's credibility rests on:
 * :mod:`repro.analysis.astlint` — stdlib-``ast`` lint rules over the
   package source (kernel traffic accounting, RNG discipline, float
   arithmetic in integer paths, mutable dataclass defaults).
+* :mod:`repro.analysis.concurrency` — the drimsan static prong:
+  concurrency & determinism rules (AL006–AL012) over the shared-memory
+  data plane (segment lifecycle pairing on a per-function CFG with
+  exception edges, fork-unsafe module state, unseeded RNG, unordered
+  iteration, wall-clock in results, unstable sorts, leaked workers).
 
 Plus a trace-invariant checker (:mod:`repro.analysis.tracecheck`) for
-recorded or exported execution traces.
+recorded or exported execution traces, and the drimsan dynamic prong
+(:mod:`repro.analysis.sanitizer`, ``repro sanitize``): an opt-in arena
+lifecycle recorder with a vector-clock happens-before checker for
+use-after-unlink, double-unlink, write-after-publish, and orphaned
+segments.
 
 :func:`repro.analysis.runner.run_lint` orchestrates the families; the
 CLI entry point is ``python -m repro lint``.
@@ -38,7 +47,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     # The runner pulls in the kernel modules (which themselves declare
     # contracts from this package), so it is loaded lazily to keep
     # ``repro.pim.kernels -> repro.analysis.contracts`` cycle-free.

@@ -21,10 +21,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields, replace
-from typing import Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
 
 from repro.pim.isa import InstructionMix
 from repro.pim.memory import MemoryTraffic
+
+if TYPE_CHECKING:  # import-cycle-free: annotation only
+    from repro.core.params import IndexParams
 
 # UPMEM DMA engine constraints (Gómez-Luna et al. characterization):
 # MRAM<->WRAM transfers must be 8-byte aligned and between 8 and 2048
@@ -85,13 +88,13 @@ class KernelShape:
         """One per-task ADC LUT: M × CB entries of B_l bits."""
         return self.m * self.cb * self.lut_entry_bytes
 
-    def replace(self, **kw) -> "KernelShape":
+    def replace(self, **kw: object) -> "KernelShape":
         return replace(self, **kw)
 
     @classmethod
     def from_index_params(
         cls,
-        params,
+        params: "IndexParams",
         *,
         dim: int,
         g: int = 1,

@@ -36,6 +36,8 @@ from repro.analysis.contracts import (
 )
 from repro.analysis.findings import Finding, Severity
 from repro.core.square_lut import SquareLut
+from repro.pim.dpu import KernelCost
+from repro.pim.isa import InstructionMix
 from repro.pim.kernels import KERNEL_CONTRACTS
 from repro.pim.kernels.cluster_locate import run_cluster_locate
 from repro.pim.kernels.distance_scan import run_distance_scan
@@ -113,7 +115,7 @@ def _square_lut(shape: KernelShape) -> Optional[SquareLut]:
 
 
 # -------------------------------------------------- measured quantities
-def _kernel_cost(kernel: str, shape: KernelShape):
+def _kernel_cost(kernel: str, shape: KernelShape) -> KernelCost:
     """Run the vectorized kernel at ``shape``; return its KernelCost."""
     if kernel == "RC":
         _, cost = run_residual(_queries(shape), _centroid(shape))
@@ -144,7 +146,7 @@ def _kernel_cost(kernel: str, shape: KernelShape):
     return cost
 
 
-def _micro_counts(kernel: str, shape: KernelShape):
+def _micro_counts(kernel: str, shape: KernelShape) -> InstructionMix:
     """Instruction counts measured by the micro-interpreter."""
     machine = MicroMachine()
     if kernel == "RC":

@@ -13,14 +13,14 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.analysis import astlint, costcheck, resources, tracecheck
+from repro.analysis import astlint, concurrency, costcheck, resources, tracecheck
 from repro.analysis.contracts import KernelShape
 from repro.analysis.findings import Report
 from repro.core.params import IndexParams
 from repro.pim.config import DpuConfig
 
 #: Family names accepted by ``--select``.
-FAMILIES = ("resources", "costs", "ast", "trace")
+FAMILIES = ("resources", "costs", "ast", "concurrency", "trace")
 
 # The CLI `tune` DSE grid — the sweep `repro lint` vets by default.
 _DEFAULT_GRID_NLIST = (64, 128, 256)
@@ -33,7 +33,7 @@ _DEFAULT_GRID_TASKLETS = (16,)
 class LintOptions:
     """One lint invocation's configuration."""
 
-    families: Tuple[str, ...] = ("resources", "costs", "ast")
+    families: Tuple[str, ...] = ("resources", "costs", "ast", "concurrency")
     root: Optional[str] = None  # package dir; default: installed repro
     trace_path: Optional[str] = None
     kernel_modules: Tuple[str, ...] = ()
@@ -93,6 +93,10 @@ def run_lint(options: LintOptions = LintOptions()) -> Report:
     if "ast" in options.families:
         root = options.root or _default_root()
         report.extend(astlint.lint_tree(root))
+
+    if "concurrency" in options.families:
+        root = options.root or _default_root()
+        report.extend(concurrency.lint_tree(root))
 
     if "trace" in options.families and options.trace_path:
         report.extend(tracecheck.check_chrome_trace(options.trace_path))

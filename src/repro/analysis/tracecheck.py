@@ -17,12 +17,19 @@ construction; everything cross-event must be checked after the fact:
   after its original attempt ends on the same DPU timeline: a retry
   that begins before the attempt it replaces finished means the
   injected backoff was not charged.
+
+:func:`check_arena_order` extends the family to the shared-memory data
+plane: it validates the *per-process* ordering invariants of arena
+lifecycle events recorded by :mod:`repro.analysis.sanitizer` (map
+before use, nothing after close, no double-attach). The cross-process
+invariants (use-after-unlink and friends) need the vector-clock
+happens-before order and live in the sanitizer itself.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.analysis.findings import Finding, Severity
 
@@ -30,7 +37,9 @@ from repro.analysis.findings import Finding, Severity
 _EPS = 1e-9
 
 
-def _overlap_finding(tid, prev, nxt, unit: str) -> Finding:
+def _overlap_finding(
+    tid: Any, prev: Tuple[Any, ...], nxt: Tuple[Any, ...], unit: str
+) -> Finding:
     return Finding(
         checker="trace",
         rule="event-overlap",
@@ -44,7 +53,7 @@ def _overlap_finding(tid, prev, nxt, unit: str) -> Finding:
     )
 
 
-def _batch_finding(tid, prev_batch, batch, name) -> Finding:
+def _batch_finding(tid: Any, prev_batch: Any, batch: Any, name: str) -> Finding:
     return Finding(
         checker="trace",
         rule="batch-regression",
@@ -58,7 +67,9 @@ def _batch_finding(tid, prev_batch, batch, name) -> Finding:
     )
 
 
-def _retry_finding(tid, name, detail, start, orig_end, unit: str) -> Finding:
+def _retry_finding(
+    tid: Any, name: str, detail: str, start: float, orig_end: float, unit: str
+) -> Finding:
     return Finding(
         checker="trace",
         rule="retry-before-original",
@@ -74,21 +85,21 @@ def _retry_finding(tid, name, detail, start, orig_end, unit: str) -> Finding:
 
 
 def _check_timeline(
-    tid,
-    events: Sequence[Tuple],
+    tid: Any,
+    events: Sequence[Tuple[Any, ...]],
     unit: str,
 ) -> List[Finding]:
     """``events`` are (start, end, name, batch[, detail]) per-DPU tuples."""
     findings: List[Finding] = []
     ordered = sorted(events, key=lambda e: (e[0], e[1]))
 
-    def _detail(ev) -> str:
+    def _detail(ev: Tuple[Any, ...]) -> str:
         return str(ev[4]) if len(ev) > 4 and ev[4] is not None else ""
 
     # Retry ordering needs a pre-pass: a retry recorded entirely before
     # its original attempt must still be flagged, so collect every
     # non-retry attempt's latest end per (name, batch, detail) first.
-    attempt_end: Dict[Tuple, float] = {}
+    attempt_end: Dict[Tuple[Any, ...], float] = {}
     for ev in ordered:
         detail = _detail(ev)
         if detail and "#retry" not in detail:
@@ -133,9 +144,98 @@ def _check_timeline(
     return findings
 
 
-def check_events(events: Iterable) -> List[Finding]:
+def _arena_finding(rule: str, message: str, pid: Any, segment: str) -> Finding:
+    return Finding(
+        checker="trace",
+        rule=rule,
+        severity=Severity.ERROR,
+        message=message,
+        data={"pid": pid, "segment": segment},
+    )
+
+
+def check_arena_order(events: Iterable[Any]) -> List[Finding]:
+    """Per-process ordering invariants over arena lifecycle events.
+
+    ``events`` are :class:`~repro.analysis.sanitizer.ArenaEvent`-like
+    objects (``pid``/``seq``/``kind``/``segment`` attributes). Within
+    one process's timeline for one segment:
+
+    * **use-before-map** — ``view``/``write``/``close``/``unlink``
+      before the process created or attached the segment;
+    * **event-after-close** — any event after the process released its
+      mapping, except the owner's ``unlink`` (which legitimately
+      follows its own ``close``);
+    * **double-attach** — a second ``create``/``attach`` without an
+      intervening ``close`` (leaks the first mapping).
+    """
+    per_timeline: Dict[Tuple[Any, str], List[Any]] = {}
+    for ev in events:
+        per_timeline.setdefault((ev.pid, ev.segment), []).append(ev)
+
+    findings: List[Finding] = []
+    for (pid, segment) in sorted(per_timeline):
+        evs = sorted(per_timeline[(pid, segment)], key=lambda e: e.seq)
+        mapped = False
+        closed = False
+        ever_mapped = False
+        for ev in evs:
+            if closed and ev.kind != "unlink":
+                findings.append(
+                    _arena_finding(
+                        "arena-event-after-close",
+                        f"pid {pid}: {ev.kind!r} on segment {segment!r} "
+                        f"after the process closed its mapping",
+                        pid, segment,
+                    )
+                )
+                continue
+            if ev.kind in ("create", "attach"):
+                if mapped:
+                    findings.append(
+                        _arena_finding(
+                            "arena-double-attach",
+                            f"pid {pid}: {ev.kind!r} on segment "
+                            f"{segment!r} while already mapped; the first "
+                            f"mapping leaks",
+                            pid, segment,
+                        )
+                    )
+                mapped = True
+                ever_mapped = True
+                closed = False
+            elif ev.kind in ("view", "write", "close"):
+                if not mapped:
+                    findings.append(
+                        _arena_finding(
+                            "arena-use-before-map",
+                            f"pid {pid}: {ev.kind!r} on segment "
+                            f"{segment!r} before the process mapped it",
+                            pid, segment,
+                        )
+                    )
+                if ev.kind == "close":
+                    closed = True
+                    mapped = False
+            elif ev.kind == "unlink":
+                # The owner's unlink legitimately follows its own close
+                # (the name outlives the mapping); only an unlink by a
+                # process that never mapped the segment is malformed.
+                if not ever_mapped:
+                    findings.append(
+                        _arena_finding(
+                            "arena-use-before-map",
+                            f"pid {pid}: 'unlink' on segment {segment!r} "
+                            f"by a process that never mapped it",
+                            pid, segment,
+                        )
+                    )
+    return findings
+
+
+def check_events(events: Iterable[Any]) -> List[Finding]:
     """Check live ``TraceEvent``-like objects (cycles timeline)."""
-    per_dpu: Dict[object, List[Tuple]] = {}
+    per_dpu: Dict[object, List[Tuple[Any, ...]]] = {}
     findings: List[Finding] = []
     for e in events:
         if e.dpu_id < 0:
@@ -157,7 +257,7 @@ def check_events(events: Iterable) -> List[Finding]:
     return findings
 
 
-def check_tracer(tracer) -> List[Finding]:
+def check_tracer(tracer: Any) -> List[Finding]:
     """Check a live :class:`~repro.pim.trace.Tracer`."""
     return check_events(tracer.events)
 
@@ -195,7 +295,7 @@ def check_chrome_trace(path: str) -> List[Finding]:
                 file=path,
             )
         ]
-    per_tid: Dict[object, List[Tuple]] = {}
+    per_tid: Dict[object, List[Tuple[Any, ...]]] = {}
     findings: List[Finding] = []
     for rec in records:
         if not isinstance(rec, dict) or rec.get("ph") == "M":

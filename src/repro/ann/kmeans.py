@@ -125,7 +125,7 @@ def kmeans_fit(
 
         empty = np.flatnonzero(~nonempty)
         if len(empty):
-            far = np.argsort(-mind)[: len(empty)]
+            far = np.argsort(-mind, kind="stable")[: len(empty)]
             centroids[empty] = xt[far]
 
         if prev_inertia - inertia <= tol * max(prev_inertia, 1e-12):

@@ -11,6 +11,7 @@
     python -m repro serve  --rate 5000 --metrics-out metrics.json
     python -m repro chaos  --smoke
     python -m repro lint   --strict
+    python -m repro sanitize --json
 
 `build` trains + quantizes an index and writes it with
 :mod:`repro.core.persist`; `search` runs the simulated engine end to
@@ -20,8 +21,12 @@ performance model at any scale (no simulation); `tune` runs the
 Bayesian-optimization DSE against measured recall; `serve` replays an
 open-loop stream (``--metrics-out`` dumps the observability snapshot);
 `lint` runs the static analyzer (resource contracts, cost-claim
-cross-checks, AST rules, trace invariants — see
-``docs/static_analysis.md``).
+cross-checks, AST rules, the drimsan concurrency rules, trace
+invariants — see ``docs/static_analysis.md``; ``--sanitize`` folds the
+dynamic sanitizer's findings in); `sanitize` runs the drimsan dynamic
+prong standalone — an instrumented pool-backed search whose arena
+lifecycle events are replayed through a vector-clock happens-before
+checker.
 
 Every subcommand accepts ``--json``, which prints one machine-readable
 envelope on stdout::
@@ -257,7 +262,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="exit non-zero on any error-severity finding")
     li.add_argument("--select",
                     help="comma list of checker families to run "
-                         "(resources,costs,ast,trace)")
+                         "(resources,costs,ast,concurrency,trace)")
+    li.add_argument("--sanitize", action="store_true",
+                    help="also run the dynamic drimsan pass (instrumented "
+                         "pool-backed search) and merge its findings")
     li.add_argument("--trace",
                     help="check a Chrome trace JSON's timeline invariants "
                          "(runs only the trace family unless --select is given)")
@@ -280,6 +288,26 @@ def _build_parser() -> argparse.ArgumentParser:
     li.add_argument("--grid-tasklets", type=_int_list, default=None,
                     metavar="T,T,...", help="tasklet counts to vet the grid at")
     _add_json_arg(li)
+
+    sa = sub.add_parser(
+        "sanitize",
+        help="dynamic concurrency sanitizer: instrumented pool-backed "
+             "search + happens-before checks on the arena lifecycle",
+    )
+    sa.add_argument("--strict", action="store_true",
+                    help="exit non-zero on any error-severity finding")
+    sa.add_argument("--config", default="split-replicated",
+                    help="canonical engine config to drive (default: "
+                         "split-replicated)")
+    sa.add_argument("--workers", type=int, default=2,
+                    help="persistent pool workers for the sanitized run")
+    sa.add_argument("--trace-out", metavar="PATH",
+                    help="also export the arena event timeline as Chrome "
+                         "trace JSON")
+    sa.add_argument("--min-severity", default="info",
+                    choices=["info", "warning", "error"],
+                    help="hide findings below this severity in text output")
+    _add_json_arg(sa)
     return parser
 
 
@@ -872,7 +900,7 @@ def _cmd_lint(args) -> int:
         # --trace alone runs the trace checker standalone.
         families = ("trace",)
     else:
-        families = ("resources", "costs", "ast")
+        families = ("resources", "costs", "ast", "concurrency")
 
     defaults = LintOptions()
     options = LintOptions(
@@ -886,19 +914,69 @@ def _cmd_lint(args) -> int:
         grid_tasklets=args.grid_tasklets or defaults.grid_tasklets,
     )
     report = run_lint(options)
+    sanitize_stats = None
+    if args.sanitize:
+        from repro.analysis.sanitizer import run_sanitize
+
+        _say(args, "running dynamic sanitizer (instrumented pool search)...")
+        san_findings, sanitize_stats = run_sanitize()
+        report.extend(san_findings)
     if args.as_json:
+        results = json.loads(report.to_json())
+        if sanitize_stats is not None:
+            results["sanitize"] = sanitize_stats
         _emit(
             args,
             config={
                 "families": list(families),
                 "strict": args.strict,
+                "sanitize": args.sanitize,
                 "root": args.root,
                 "trace": args.trace,
                 "kernel_modules": list(args.kernel_module),
             },
-            results=json.loads(report.to_json()),
+            results=results,
         )
     else:
+        print(report.format_text(min_severity=Severity.parse(args.min_severity)))
+    return report.exit_code(strict=args.strict)
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.analysis.findings import Report, Severity
+    from repro.analysis.sanitizer import run_sanitize
+
+    _say(
+        args,
+        f"sanitizing the shared-memory data plane "
+        f"({args.config}, {args.workers} workers)...",
+    )
+    findings, stats = run_sanitize(
+        config=args.config,
+        shard_workers=args.workers,
+        trace_path=args.trace_out,
+    )
+    report = Report()
+    report.extend(findings)
+    if args.as_json:
+        results = json.loads(report.to_json())
+        results["sanitize"] = stats
+        _emit(
+            args,
+            config={
+                "config": args.config,
+                "workers": args.workers,
+                "strict": args.strict,
+                "trace_out": args.trace_out,
+            },
+            results=results,
+        )
+    else:
+        _say(
+            args,
+            f"recorded {stats['num_events']} arena events across "
+            f"{stats['num_processes']} processes",
+        )
         print(report.format_text(min_severity=Severity.parse(args.min_severity)))
     return report.exit_code(strict=args.strict)
 
@@ -914,6 +992,7 @@ _COMMANDS = {
     "frontier": _cmd_frontier,
     "chaos": _cmd_chaos,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
 }
 
 

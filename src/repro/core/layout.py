@@ -159,7 +159,7 @@ def generate_layout(
             index.cluster_codes[0].dtype.itemsize * index.num_subspaces + 8
         )
         budget_total = config.dup_budget_per_dpu * num_dpus
-        order = np.argsort(-cluster_heat)
+        order = np.argsort(-cluster_heat, kind="stable")
         spent = 0
         for cid in order:
             if cluster_heat[cid] <= 0:

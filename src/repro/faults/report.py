@@ -58,7 +58,7 @@ class FaultStats:
         """Compute per-query coverage from the uncovered task set."""
         self.num_queries = num_queries
         lost: Dict[int, Set[int]] = {}
-        for q, cid in self.uncovered:
+        for q, cid in sorted(self.uncovered):
             lost.setdefault(q, set()).add(cid)
         self.coverage_by_query = {
             q: 1.0 - len(cids) / max(nprobe, 1) for q, cids in lost.items()

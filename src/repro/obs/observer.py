@@ -48,7 +48,7 @@ serving_latency_seconds                          sketch
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Iterable, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry, MetricsSnapshot
 from repro.obs.spans import SpanRecorder
@@ -78,7 +78,7 @@ class ObsConfig:
             )
 
     def create(
-        self, tracer=None, frequency_hz: float = 450e6
+        self, tracer: Any = None, frequency_hz: float = 450e6
     ) -> Optional["EngineObserver"]:
         if not self.enabled:
             return None
@@ -101,7 +101,7 @@ class EngineObserver:
     def __init__(
         self,
         config: ObsConfig = ObsConfig(enabled=True),
-        tracer=None,
+        tracer: Any = None,
         frequency_hz: float = 450e6,
     ) -> None:
         self.config = config
@@ -133,8 +133,8 @@ class EngineObserver:
     # ----- scheduler -------------------------------------------------------
     def on_schedule(
         self,
-        tasks_per_dpu,
-        predicted_cycles,
+        tasks_per_dpu: Iterable[Tuple[int, float]],
+        predicted_cycles: Iterable[Tuple[int, float]],
         deferred: int,
         uncovered: int,
         dead_dpus: int,
@@ -174,7 +174,9 @@ class EngineObserver:
         ).inc(num_tasks)
 
     # ----- PIM system ------------------------------------------------------
-    def on_kernel(self, kernel: str, dpu: int, cycles: float, traffic) -> None:
+    def on_kernel(
+        self, kernel: str, dpu: int, cycles: float, traffic: Any
+    ) -> None:
         reg = self.registry
         reg.counter(
             "drimann_pim_kernel_cycles_total",
@@ -260,7 +262,7 @@ class EngineObserver:
         ).inc()
 
     # ----- faults ----------------------------------------------------------
-    def on_faults(self, stats) -> None:
+    def on_faults(self, stats: Any) -> None:
         """Absorb a finalized FaultStats into gauges/counters."""
         if stats is None:
             return

@@ -23,7 +23,7 @@ from __future__ import annotations
 import bisect
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.sketch import PercentileSketch
 
@@ -170,7 +170,14 @@ class MetricsRegistry:
         self._help: Dict[str, str] = {}
 
     # ----- get-or-create handles -------------------------------------------
-    def _get(self, kind: str, name: str, help: str, factory, labels) -> object:
+    def _get(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        factory: Callable[[], object],
+        labels: Dict[str, str],
+    ) -> object:
         known = self._kind.get(name)
         if known is None:
             self._kind[name] = kind
@@ -188,10 +195,10 @@ class MetricsRegistry:
             self._metrics[key] = metric
         return metric
 
-    def counter(self, name: str, help: str = "", **labels) -> Counter:
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
         return self._get("counter", name, help, Counter, labels)
 
-    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
         return self._get("gauge", name, help, Gauge, labels)
 
     def histogram(
@@ -199,7 +206,7 @@ class MetricsRegistry:
         name: str,
         buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS,
         help: str = "",
-        **labels,
+        **labels: str,
     ) -> Histogram:
         return self._get(
             "histogram", name, help, lambda: Histogram(buckets), labels
@@ -210,7 +217,7 @@ class MetricsRegistry:
         name: str,
         relative_accuracy: float = 0.01,
         help: str = "",
-        **labels,
+        **labels: str,
     ) -> PercentileSketch:
         return self._get(
             "sketch",
@@ -258,14 +265,14 @@ class MetricsSnapshot:
     samples: List[dict] = field(default_factory=list)
 
     # ----- lookups (tests, CLI) --------------------------------------------
-    def find(self, name: str, **labels) -> Optional[dict]:
+    def find(self, name: str, **labels: str) -> Optional[dict]:
         want = _label_key(labels)
         for s in self.samples:
             if s["name"] == name and _label_key(s["labels"]) == want:
                 return s
         return None
 
-    def value(self, name: str, **labels) -> float:
+    def value(self, name: str, **labels: str) -> float:
         """Counter/gauge value; 0.0 when the series was never touched."""
         s = self.find(name, **labels)
         if s is None:
@@ -362,7 +369,7 @@ def _prom_labels(labels: Dict[str, str], **extra: str) -> str:
     return "{" + body + "}"
 
 
-def _fmt(v) -> str:
+def _fmt(v: float) -> str:
     f = float(v)
     if f == int(f) and abs(f) < 1e15:
         return str(int(f))

@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricsRegistry
 
@@ -61,7 +61,7 @@ class SpanRecorder:
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
-        tracer=None,
+        tracer: Any = None,
         frequency_hz: float = 450e6,
     ) -> None:
         if frequency_hz <= 0:
@@ -109,7 +109,9 @@ class SpanRecorder:
         return rec
 
     @contextmanager
-    def span(self, name: str, *, track: str = "host", detail: str = ""):
+    def span(
+        self, name: str, *, track: str = "host", detail: str = ""
+    ) -> Iterator[None]:
         """Measure a real host-side block with ``time.perf_counter``."""
         t0 = time.perf_counter()
         try:

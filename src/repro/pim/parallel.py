@@ -48,6 +48,7 @@ makes the guarantee checkable from tests.
 from __future__ import annotations
 
 import atexit
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -170,7 +171,7 @@ def _sweep_segments() -> None:
     """atexit last resort: unlink any segment close() never reached."""
     from multiprocessing import shared_memory
 
-    for name in list(_TRACKED_SEGMENTS):
+    for name in sorted(_TRACKED_SEGMENTS):
         try:
             seg = shared_memory.SharedMemory(name=name)
             seg.close()
@@ -198,6 +199,42 @@ def assert_no_leaked_segments() -> None:
         raise AssertionError(
             f"leaked shared-memory segments: {', '.join(leaked)}"
         )
+
+
+def _san_record(kind: str, segment: str, key: Optional[str] = None) -> None:
+    """Report an arena lifecycle event to the drimsan recorder.
+
+    A no-op unless :func:`repro.analysis.sanitizer.enable` armed the
+    recorder in this process (the import is lazy, so the data plane
+    never pays for the analysis package on un-sanitized runs).
+    """
+    from repro.analysis import sanitizer
+
+    if sanitizer.active():
+        sanitizer.record_event(kind, segment, key)
+
+
+def _san_clock():
+    """Vector-clock snapshot to piggyback on a pipe message (or None)."""
+    from repro.analysis import sanitizer
+
+    return sanitizer.clock_snapshot() if sanitizer.active() else None
+
+
+def _san_merge(clock) -> None:
+    """Fold a received message's clock slot into ours (None = inactive)."""
+    if clock is None:
+        return
+    from repro.analysis import sanitizer
+
+    sanitizer.merge_clock(clock)
+
+
+def _san_spool():
+    """Spool directory for worker-side events (None when disarmed)."""
+    from repro.analysis import sanitizer
+
+    return sanitizer.spool_dir() if sanitizer.active() else None
 
 
 def _detach_from_resource_tracker(shm) -> None:
@@ -263,12 +300,14 @@ class SharedShardArena:
             offset += (-offset) % cls._ALIGN
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
         _track_segment(shm.name)
+        _san_record("create", shm.name)
         for key, arr in prepared.items():
             off, shape, dtype = manifest[key]
             if arr.nbytes:
                 dst = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
                 dst[...] = arr
                 del dst
+            _san_record("write", shm.name, key)
         return cls(shm, manifest, owner=True)
 
     @classmethod
@@ -278,12 +317,20 @@ class SharedShardArena:
         from multiprocessing import shared_memory
 
         shm = shared_memory.SharedMemory(name=name)
-        if untrack:
-            _detach_from_resource_tracker(shm)
-        return cls(shm, dict(manifest), owner=False)
+        try:
+            if untrack:
+                _detach_from_resource_tracker(shm)
+            _san_record("attach", shm.name)
+            return cls(shm, dict(manifest), owner=False)
+        except BaseException:
+            shm.close()
+            raise
 
     def view(self, key: str) -> np.ndarray:
         """Zero-copy read-only view of one array in the segment."""
+        # Recorded before any validity check so the sanitizer observes
+        # even (especially) views taken against a dead mapping.
+        _san_record("view", self._shm.name, key)
         off, shape, dtype = self.manifest[key]
         arr = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=off)
         arr.flags.writeable = False
@@ -301,6 +348,7 @@ class SharedShardArena:
         if self._closed:
             return
         self._closed = True
+        _san_record("close", self._shm.name)
         try:
             self._shm.close()
         except BufferError:
@@ -313,6 +361,7 @@ class SharedShardArena:
                 self._shm.unlink()
             except FileNotFoundError:
                 pass
+            _san_record("unlink", self._shm.name)
             _untrack_segment(self._shm.name)
 
     def __enter__(self) -> "SharedShardArena":
@@ -327,9 +376,25 @@ class SharedShardArena:
 # ---------------------------------------------------------------------------
 
 def _pool_worker(
-    conn, arena_name: str, manifest: Dict[str, tuple], untrack: bool
+    conn,
+    arena_name: str,
+    manifest: Dict[str, tuple],
+    untrack: bool,
+    san_spool: Optional[str] = None,
+    san_clock=None,
 ) -> None:
-    """Persistent worker: attach the arena once, scan until told to stop."""
+    """Persistent worker: attach the arena once, scan until told to stop.
+
+    Every pipe message in both directions carries a trailing
+    vector-clock slot (None on un-sanitized runs); ``san_spool`` /
+    ``san_clock`` arm the drimsan recorder in this process, seeded with
+    the owner's clock at spawn so the arena ``publish`` is ordered
+    before our ``attach``.
+    """
+    if san_spool is not None:
+        from repro.analysis import sanitizer
+
+        sanitizer.worker_init(san_spool, san_clock)
     arena = None
     views: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
     try:
@@ -337,6 +402,7 @@ def _pool_worker(
         while True:
             msg = conn.recv()
             tag = msg[0]
+            _san_merge(msg[-1])
             if tag == "scan":
                 out: List[ScanRows] = []
                 for key, luts, k in msg[1]:
@@ -349,22 +415,26 @@ def _pool_worker(
                         views[key] = pair
                     codes, ids = pair
                     out.append(scan_shard_group(luts, codes, ids, k))
-                conn.send(("rows", out))
+                conn.send(("rows", out, _san_clock()))
             elif tag == "ping":
-                conn.send(("pong",))
+                conn.send(("pong", _san_clock()))
             elif tag == "stop":
                 break
     except (EOFError, OSError, KeyboardInterrupt):
         pass
     except Exception as exc:  # pragma: no cover - defensive
         try:
-            conn.send(("error", repr(exc)))
+            conn.send(("error", repr(exc), _san_clock()))
         except Exception:
             pass
     finally:
-        views.clear()
         if arena is not None:
+            views.clear()
             arena.close()
+        if san_spool is not None:
+            from repro.analysis import sanitizer
+
+            sanitizer.flush_worker_events()
         try:
             conn.close()
         except Exception:
@@ -402,6 +472,10 @@ class PersistentShardPool:
         self._warm = False
         self._broken = False
         self._fallback_events: List[str] = []
+        # Serializes worker dispatch against teardown: close() from one
+        # thread while a round is in flight on another waits the round
+        # out instead of unlinking the arena under the workers.
+        self._lock = threading.RLock()
 
     # ----- state ----------------------------------------------------------
     @property
@@ -474,6 +548,7 @@ class PersistentShardPool:
             # registration); spawned workers have their own tracker and
             # must unregister or it unlinks the arena at worker exit.
             untrack = method != "fork"
+            _san_record("publish", self._arena.name)
             for _ in range(self.num_workers):
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
@@ -483,12 +558,14 @@ class PersistentShardPool:
                         self._arena.name,
                         self._arena.manifest,
                         untrack,
+                        _san_spool(),
+                        _san_clock(),
                     ),
                     daemon=True,
                 )
                 proc.start()
                 child_conn.close()
-                parent_conn.send(("ping",))
+                parent_conn.send(("ping", _san_clock()))
                 self._procs.append(proc)
                 self._conns.append(parent_conn)
                 self._awaiting_pong.append(parent_conn)
@@ -509,6 +586,7 @@ class PersistentShardPool:
                     if msg[0] != "pong":
                         self._mark_broken("warmup")
                         return False
+                    _san_merge(msg[-1])
                 else:
                     still.append(conn)
             except (EOFError, OSError):
@@ -541,7 +619,7 @@ class PersistentShardPool:
     def _stop_workers(self) -> None:
         for conn in self._conns:
             try:
-                conn.send(("stop",))
+                conn.send(("stop", _san_clock()))
             except Exception:
                 pass
         for proc in self._procs:
@@ -588,40 +666,53 @@ class PersistentShardPool:
             self.ensure_started()
         if not self.wait_warm():
             return [_scan_job(j) for j in jobs]
-        # Contiguous round-robin split preserves submission order on
-        # reassembly without an index shuffle.
-        num = len(self._conns)
-        bounds = np.linspace(0, len(jobs), num + 1).astype(int)
-        try:
-            sent = []
-            for wi, conn in enumerate(self._conns):
-                lo, hi = bounds[wi], bounds[wi + 1]
-                if hi <= lo:
-                    continue
-                payload = [
-                    (keys[j], jobs[j][0], jobs[j][3]) for j in range(lo, hi)
-                ]
-                conn.send(("scan", payload))
-                sent.append(conn)
-            results: List[ScanRows] = []
-            for conn in sent:
-                msg = conn.recv()
-                if msg[0] != "rows":
-                    raise RuntimeError(f"worker error: {msg[1:]}")
-                results.extend(msg[1])
-            return results
-        except Exception:
-            self._mark_broken("scan-failure")
-            return [_scan_job(j) for j in jobs]
+        with self._lock:
+            # A concurrent close() may have torn the pool down between
+            # the warmup check and here; the serial path is always safe.
+            if not self._conns or not self.parallel:
+                return [_scan_job(j) for j in jobs]
+            # Contiguous round-robin split preserves submission order on
+            # reassembly without an index shuffle.
+            num = len(self._conns)
+            bounds = np.linspace(0, len(jobs), num + 1).astype(int)
+            try:
+                sent = []
+                for wi, conn in enumerate(self._conns):
+                    lo, hi = bounds[wi], bounds[wi + 1]
+                    if hi <= lo:
+                        continue
+                    payload = [
+                        (keys[j], jobs[j][0], jobs[j][3]) for j in range(lo, hi)
+                    ]
+                    conn.send(("scan", payload, _san_clock()))
+                    sent.append(conn)
+                results: List[ScanRows] = []
+                for conn in sent:
+                    msg = conn.recv()
+                    if msg[0] != "rows":
+                        raise RuntimeError(f"worker error: {msg[1:]}")
+                    _san_merge(msg[-1])
+                    results.extend(msg[1])
+                return results
+            except Exception:
+                self._mark_broken("scan-failure")
+                return [_scan_job(j) for j in jobs]
 
     # ----- teardown -------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers and unlink the shared-memory arena."""
-        self._stop_workers()
-        if self._arena is not None:
-            self._arena.close()
-            self._arena = None
-        self._shard_keys = set()
+        """Stop the workers and unlink the shared-memory arena.
+
+        Safe (and idempotent) to call concurrently with an in-flight
+        :meth:`scan_groups` round: the dispatch lock makes close wait
+        the round out rather than unlinking the arena under the
+        workers.
+        """
+        with self._lock:
+            self._stop_workers()
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
+            self._shard_keys = set()
 
     def __enter__(self) -> "PersistentShardPool":
         return self

@@ -505,7 +505,7 @@ class PimSystem:
                 kernel_after[kname] = kernel_after.get(kname, 0.0) + c
         kernel_cycles = {
             kname: kernel_after.get(kname, 0.0) - kernel_before.get(kname, 0.0)
-            for kname in set(kernel_before) | set(kernel_after)
+            for kname in sorted(set(kernel_before) | set(kernel_after))
         }
 
         timing = BatchTiming(

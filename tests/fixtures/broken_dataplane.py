@@ -1,0 +1,59 @@
+"""Seeded-broken data-plane module for the drimsan static rules.
+
+Every function below violates exactly one of AL006-AL012; the test
+suite asserts :func:`repro.analysis.concurrency.lint_file` reports each
+of them (and nothing else) on this file. Never import this module.
+"""
+
+import random
+import threading
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+PENDING = []  # AL007: module-level mutable state read by a worker
+
+
+def al006_leaky_segment(payload):
+    shm = shared_memory.SharedMemory(create=True, size=1024)
+    shm.buf[: len(payload)] = payload  # an exception here leaks the segment
+    shm.close()
+    shm.unlink()
+
+
+def al007_worker():
+    return list(PENDING)
+
+
+def al007_spawn():
+    t = threading.Thread(target=al007_worker)
+    t.start()
+    t.join()
+    return t
+
+
+def al008_jitter():
+    return random.random() * 0.010
+
+
+def al009_merge(shard_ids):
+    pending = set(shard_ids)
+    out = []
+    for sid in pending:
+        out.append(sid)
+    return out
+
+
+def al010_stamped_result(rows):
+    stamp = time.time()
+    return {"rows": rows, "stamp": stamp}
+
+
+def al011_rank(distances):
+    return np.argsort(distances)
+
+
+def al012_fire_and_forget(fn):
+    t = threading.Thread(target=fn)
+    t.start()

@@ -108,3 +108,53 @@ class TestMinSeverity:
         # The underfill warnings exist but are hidden from the text.
         assert "tasklet-underfill" not in out
         assert "finding(s)" in out
+
+
+class TestConcurrencyFamily:
+    def test_concurrency_family_selectable_and_clean(self, capsys):
+        assert main(["lint", "--strict", "--select", "concurrency"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_default_families_include_concurrency(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["families"] == [
+            "resources", "costs", "ast", "concurrency"
+        ]
+
+
+class TestSanitizeCommand:
+    def test_sanitize_strict_is_clean(self, capsys):
+        assert main(["sanitize", "--strict", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "sanitize"
+        assert payload["results"]["counts"]["error"] == 0
+        stats = payload["results"]["sanitize"]
+        assert stats["num_events"] > 0 and stats["num_processes"] >= 1
+        assert stats["kinds"]["unlink"] == 1
+
+    def test_lint_sanitize_merges_envelope(self, capsys):
+        rc = main(
+            ["lint", "--strict", "--sanitize", "--select", "concurrency",
+             "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["sanitize"] is True
+        assert "sanitize" in payload["results"]
+        assert payload["results"]["counts"]["error"] == 0
+
+    def test_sanitize_trace_out(self, tmp_path, capsys):
+        path = str(tmp_path / "arena.json")
+        assert main(["sanitize", "--trace-out", path, "--json"]) == 0
+        capsys.readouterr()
+        with open(path) as f:
+            trace = json.load(f)
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "arena:create" in names and "arena:unlink" in names
+
+    def test_sanitize_unknown_config_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="config"):
+            main(["sanitize", "--config", "nope"])

@@ -489,3 +489,103 @@ class TestEndToEndParity:
         engine.search(queries)
         engine.close()
         assert_no_leaked_segments()
+
+
+class TestCrashPathHardening:
+    """Teardown guarantees under worker SIGKILL and concurrent close."""
+
+    def _hosted_pool(self, rng, jobs, workers=2):
+        pool = PersistentShardPool(workers)
+        keys = [f"s{i}" for i in range(len(jobs))]
+        pool.host_shards({k: (j[1], j[2]) for k, j in zip(keys, jobs)})
+        return pool, keys
+
+    def test_sigkilled_workers_still_unlink_on_close(self, rng):
+        """SIGKILL (no cleanup handlers run) must not break the unlink."""
+        import os
+        import signal
+
+        jobs = _jobs(rng, n_jobs=4)
+        serial = [scan_shard_group(*j) for j in jobs]
+        pool, keys = self._hosted_pool(rng, jobs)
+        with pool:
+            assert pool.wait_warm()
+            assert leaked_segment_names()  # arena is live and tracked
+            for proc in pool._procs:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=2.0)
+            got = pool.scan_groups(jobs, keys=keys)  # degrades, no raise
+            assert pool._broken and not pool.parallel
+            for g, s in zip(got, serial):
+                _assert_rows_equal(g, s)
+        assert_no_leaked_segments()
+
+    def test_double_close_after_worker_crash(self, rng):
+        import os
+        import signal
+
+        jobs = _jobs(rng, n_jobs=3)
+        pool, keys = self._hosted_pool(rng, jobs)
+        pool.ensure_started()
+        assert pool.wait_warm()
+        for proc in pool._procs:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=2.0)
+        pool.close()
+        pool.close()  # idempotent after a crash too
+        assert_no_leaked_segments()
+
+    def test_close_concurrent_with_inflight_search(self, rng):
+        """close() from another thread waits a round out; results stay
+        bit-exact (any post-close round falls back to the serial path)."""
+        import threading
+
+        jobs = _jobs(rng, n_jobs=6, n=200)
+        serial = [scan_shard_group(*j) for j in jobs]
+        pool, keys = self._hosted_pool(rng, jobs)
+        pool.ensure_started()
+        assert pool.wait_warm()
+
+        results = []
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(10):
+                    results.append(pool.scan_groups(jobs, keys=keys))
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        t = threading.Thread(target=hammer)
+        t.start()
+        pool.close()
+        t.join(timeout=30.0)
+        assert not t.is_alive() and not errors
+        assert len(results) == 10
+        for got in results:
+            for g, s in zip(got, serial):
+                _assert_rows_equal(g, s)
+        assert_no_leaked_segments()
+
+    def test_engine_close_after_worker_sigkill(self):
+        """Engine-level teardown unlinks even after workers were killed."""
+        import os
+        import signal
+
+        engine = build_canonical_engine(
+            "split-replicated", plan="pool", shard_workers=2
+        )
+        queries = canonical_dataset().queries[:8]
+        try:
+            res_first, _ = engine.search(queries)
+            executor = engine.system.executor
+            if executor is not None and executor.started:
+                for proc in executor._procs:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    proc.join(timeout=2.0)
+            res_again, _ = engine.search(queries)  # degrades serially
+            np.testing.assert_array_equal(res_first.ids, res_again.ids)
+        finally:
+            engine.close()
+            engine.close()  # engine close is idempotent
+        assert_no_leaked_segments()
