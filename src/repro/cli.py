@@ -249,6 +249,14 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="per-batch results-gather timeout probability")
     ch.add_argument("--no-dup", action="store_true",
                     help="disable cluster duplication (no failover replicas)")
+    ch.add_argument("--cluster", action="store_true",
+                    help="rack-tier chaos instead: dead-shard failover, "
+                         "graceful degradation, and straggler hedging "
+                         "across sharded engine replicas")
+    ch.add_argument("--shards", type=int, default=4,
+                    help="engine shards behind the frontend (--cluster)")
+    ch.add_argument("--slow-factor", type=float, default=8.0,
+                    help="straggler node latency multiplier (--cluster)")
     _add_json_arg(ch)
 
     def _int_list(text: str):
@@ -850,6 +858,8 @@ def _cmd_chaos(args) -> int:
 
     from repro.faults.chaos import ChaosConfig, run_chaos
 
+    if args.cluster:
+        return _cmd_chaos_cluster(args)
     if args.smoke:
         config = ChaosConfig.smoke(duplicate=not args.no_dup, seed=args.seed)
         if args.rates:
@@ -878,6 +888,54 @@ def _cmd_chaos(args) -> int:
     # The sweep is diagnostic: degraded points are expected output, not
     # a failure. Only a crash (exception) fails the command.
     return 0
+
+
+def _cmd_chaos_cluster(args) -> int:
+    from repro.cluster.chaos import ClusterChaosConfig, run_cluster_chaos
+
+    if args.smoke:
+        config = ClusterChaosConfig.smoke(seed=args.seed)
+    else:
+        config = ClusterChaosConfig(
+            num_shards=args.shards,
+            num_vectors=args.vectors,
+            num_queries=args.queries,
+            nlist=args.nlist,
+            nprobe=args.nprobe,
+            k=args.k,
+            num_subspaces=args.m,
+            codebook_size=args.cb,
+            slow_factor=args.slow_factor,
+            seed=args.seed,
+        )
+    report = run_cluster_chaos(config)
+    _say(args, report.summary())
+    d = report.to_dict()
+    _emit(args, config=d["config"], results={
+        "arms": d["arms"],
+        "healthy_e2e_ms_p99": d["healthy_e2e_ms_p99"],
+        "straggler_unhedged_e2e_ms_p99": d["straggler_unhedged_e2e_ms_p99"],
+    })
+    # Unlike the diagnostic DPU sweep, the cluster arms carry hard
+    # claims CI relies on: replicated failover stays bit-exact, an
+    # unreplicated crash degrades (accurately, without raising), and
+    # hedging bounds the straggler tail below the unhedged control.
+    replicated = report.arm("replicated_crash")
+    unreplicated = report.arm("unreplicated_crash")
+    straggler = report.arm("straggler_hedged")
+    ok = (
+        replicated.exact
+        and not replicated.raised
+        and not unreplicated.raised
+        and unreplicated.mean_coverage < 1.0
+        and unreplicated.coverage_accurate
+        and not straggler.raised
+        and straggler.exact
+        and straggler.e2e_ms_p99 < report.straggler_unhedged_e2e_ms_p99
+    )
+    if not ok:
+        _say(args, "cluster chaos claims FAILED")
+    return 0 if ok else 1
 
 
 def _cmd_lint(args) -> int:

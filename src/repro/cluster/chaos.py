@@ -1,0 +1,372 @@
+"""Cluster chaos: prove the rack tier's three robustness claims.
+
+``repro chaos --cluster`` runs three arms over one shared workload and
+index, each a seeded, deterministic experiment:
+
+* **replicated_crash** — one node fail-stops at round 0 with
+  ``replication=2``: the frontend fails over to the surviving replica
+  and results stay **bit-identical** to the single-engine oracle;
+* **unreplicated_crash** — the same crash with ``replication=1``: the
+  dead shard's probes are uncovered, affected queries degrade with
+  **accurate per-query coverage** (checked against the probe→owner
+  table), and nothing raises;
+* **straggler_hedged** — one node runs ``slow_factor``× slow: hedged
+  requests bound the tail, so per-round e2e stays near the healthy
+  baseline instead of scaling with the straggler (the no-hedging
+  control arm shows the counterfactual).
+
+Mirrors :mod:`repro.faults.chaos` one level up; not imported by
+``repro.cluster.__init__``'s dependents implicitly — it pulls in the
+synthetic-data stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.cluster.frontend import ClusterFrontend, FrontendConfig
+from repro.cluster.index import ClusterConfig, build_cluster_index
+from repro.core.config import EngineConfig
+from repro.core.layout import LayoutConfig
+from repro.core.params import IndexParams
+from repro.core.quantized import build_quantized_index
+from repro.ann.ivfpq import IVFPQIndex
+from repro.ann.recall import recall_at_k
+from repro.data.synthetic import SyntheticSpec, make_clustered_dataset
+from repro.faults.plan import NodeFaultConfig, NodeFaultPlan
+from repro.pim.config import PimSystemConfig
+
+
+@dataclass(frozen=True)
+class ClusterChaosConfig:
+    """Workload shape + rack topology for the three arms."""
+
+    num_shards: int = 4
+    dpus_per_node: int = 32
+    num_vectors: int = 4096
+    dim: int = 32
+    num_queries: int = 64
+    nlist: int = 64
+    nprobe: int = 8
+    k: int = 10
+    num_subspaces: int = 8
+    codebook_size: int = 256
+    slow_factor: float = 8.0  # straggler node latency multiplier
+    rounds: int = 4  # search rounds per arm (p99 needs several)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+
+    @classmethod
+    def smoke(cls, *, seed: int = 0) -> "ClusterChaosConfig":
+        """A seconds-scale run for CI."""
+        return cls(
+            num_shards=3,
+            dpus_per_node=16,
+            num_vectors=2048,
+            dim=16,
+            num_queries=32,
+            nlist=32,
+            nprobe=4,
+            num_subspaces=4,
+            rounds=2,
+            seed=seed,
+        )
+
+
+@dataclass
+class ClusterChaosArm:
+    """Measurements from one arm."""
+
+    name: str
+    replication: int
+    exact: bool  # bit-identical to the oracle, every round
+    recall: float  # vs the oracle, @k (worst round)
+    mean_coverage: float  # worst round
+    coverage_accurate: bool  # matches the probe->owner prediction
+    degraded_queries: int  # total across rounds
+    node_retries: int
+    hedged_requests: int
+    dead_nodes: int
+    raised: bool  # any round raised (must stay False)
+    e2e_ms_p99: float  # p99 of per-round e2e across rounds
+
+    def row(self) -> str:
+        flag = "exact" if self.exact else "     "
+        return (
+            f"{self.name:20s} r={self.replication} {flag} "
+            f"recall {self.recall:6.4f}  cov {self.mean_coverage:6.1%} "
+            f"retries {self.node_retries:3d} hedges {self.hedged_requests:3d} "
+            f"dead {self.dead_nodes:2d}  p99 {self.e2e_ms_p99:8.3f} ms"
+        )
+
+
+@dataclass
+class ClusterChaosReport:
+    """All arms, plus the healthy-baseline tail for context."""
+
+    config: ClusterChaosConfig
+    healthy_e2e_ms_p99: float = 0.0
+    straggler_unhedged_e2e_ms_p99: float = 0.0
+    arms: List[ClusterChaosArm] = field(default_factory=list)
+
+    def arm(self, name: str) -> ClusterChaosArm:
+        for a in self.arms:
+            if a.name == name:
+                return a
+        raise KeyError(f"no chaos arm named {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "config": asdict(self.config),
+            "healthy_e2e_ms_p99": self.healthy_e2e_ms_p99,
+            "straggler_unhedged_e2e_ms_p99": (
+                self.straggler_unhedged_e2e_ms_p99
+            ),
+            "arms": [asdict(a) for a in self.arms],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"cluster chaos: {self.config.num_shards} shards x "
+            f"{self.config.dpus_per_node} DPUs, "
+            f"{self.config.num_queries} queries, seed {self.config.seed}",
+            f"healthy p99 {self.healthy_e2e_ms_p99:.3f} ms; "
+            f"straggler without hedging p99 "
+            f"{self.straggler_unhedged_e2e_ms_p99:.3f} ms",
+        ]
+        lines.extend(a.row() for a in self.arms)
+        return "\n".join(lines)
+
+
+def _run_arm(
+    name: str,
+    cluster,
+    frontend: ClusterFrontend,
+    queries: np.ndarray,
+    gold,
+    k: int,
+    rounds: int,
+) -> ClusterChaosArm:
+    """Drive one frontend for ``rounds`` rounds and score it."""
+    exact = True
+    worst_recall = 1.0
+    worst_cov = 1.0
+    degraded = 0
+    raised = False
+    e2e_ms: List[float] = []
+    retries = hedges = 0
+    probes = cluster.locate(queries)
+    for _ in range(rounds):
+        try:
+            res, rep = frontend.search(queries)
+        except Exception:
+            raised = True
+            break
+        exact = exact and bool(
+            np.array_equal(res.ids, gold.ids)
+            and np.array_equal(res.distances, gold.distances)
+        )
+        worst_recall = min(worst_recall, recall_at_k(res.ids, gold.ids, k))
+        worst_cov = min(worst_cov, rep.mean_coverage)
+        degraded += len(rep.degraded_queries)
+        retries += rep.node_retries
+        hedges += rep.hedged_requests
+        e2e_ms.append(rep.e2e_seconds * 1e3)
+    # Coverage prediction: a probe is covered iff its owner shard kept
+    # >= 1 live replica. Uses the *final* health state, which is the
+    # steady state every round after the crash round shares.
+    live_shards = {
+        s.shard_id
+        for s in cluster.shards
+        if any(
+            cluster.node_id(s.shard_id, r) not in frontend.dead_nodes
+            for r in range(cluster.replication)
+        )
+    }
+    predicted = np.isin(cluster.owner[probes], sorted(live_shards)).mean(
+        axis=1
+    )
+    last_cov = frontend_last_coverage = None
+    if not raised:
+        frontend_last_coverage = rep.coverage
+        last_cov = np.allclose(frontend_last_coverage, predicted)
+    return ClusterChaosArm(
+        name=name,
+        replication=cluster.replication,
+        exact=exact and not raised,
+        recall=worst_recall if not raised else 0.0,
+        mean_coverage=worst_cov if not raised else 0.0,
+        coverage_accurate=bool(last_cov) if last_cov is not None else False,
+        degraded_queries=degraded,
+        node_retries=retries,
+        hedged_requests=hedges,
+        dead_nodes=len(frontend.dead_nodes),
+        raised=raised,
+        e2e_ms_p99=float(np.percentile(e2e_ms, 99)) if e2e_ms else 0.0,
+    )
+
+
+def run_cluster_chaos(
+    config: ClusterChaosConfig = ClusterChaosConfig(),
+) -> ClusterChaosReport:
+    """Run the three arms. Deterministic for a fixed ``config``."""
+    ds = make_clustered_dataset(
+        SyntheticSpec(
+            num_vectors=config.num_vectors,
+            dim=config.dim,
+            num_components=min(config.nlist, 64),
+        ),
+        num_queries=config.num_queries,
+        seed=config.seed,
+    )
+    params = IndexParams(
+        nlist=config.nlist,
+        nprobe=config.nprobe,
+        k=config.k,
+        num_subspaces=config.num_subspaces,
+        codebook_size=config.codebook_size,
+    )
+    index = IVFPQIndex.build(
+        ds.base,
+        nlist=params.nlist,
+        num_subspaces=params.num_subspaces,
+        codebook_size=params.codebook_size,
+        seed=config.seed,
+    )
+    quantized = build_quantized_index(index)
+    engine_config = EngineConfig(
+        index=params,
+        system=PimSystemConfig(
+            num_dpus=config.dpus_per_node,
+            dpus_per_rank=min(config.dpus_per_node, 64),
+        ),
+        layout=LayoutConfig(max_copies=2),
+    )
+
+    def build(replication: int):
+        return build_cluster_index(
+            ds.base,
+            engine_config,
+            ClusterConfig(
+                num_shards=config.num_shards, replication=replication
+            ),
+            heat_queries=ds.queries,
+            prebuilt_quantized=quantized,
+            seed=config.seed,
+        )
+
+    report = ClusterChaosReport(config=config)
+    crash = NodeFaultConfig()  # explicit plans below; config stays benign
+
+    with build(2) as replicated:
+        gold = replicated.oracle_search(ds.queries)
+
+        # Healthy baseline tail (also sanity-checks bit-exactness).
+        healthy = ClusterFrontend(replicated, seed=config.seed)
+        e2e = []
+        for _ in range(config.rounds):
+            res, rep = healthy.search(ds.queries)
+            if not np.array_equal(res.ids, gold.ids):
+                raise RuntimeError(
+                    "healthy cluster diverged from the single-engine oracle"
+                )
+            e2e.append(rep.e2e_seconds * 1e3)
+        report.healthy_e2e_ms_p99 = float(np.percentile(e2e, 99))
+        # Hedge budget: 1.5x the slowest healthy shard path, so a
+        # slow_factor-x straggler always trips it but healthy jitter
+        # never does (the budget scales with the workload, keeping the
+        # smoke arm honest at any size).
+        hedge_after_s = 1.5 * max(rep.shard_latencies_s.values())
+
+        # Arm 1: crash node 0 (a replica of shard 0) at round 0.
+        plan = NodeFaultPlan(
+            num_nodes=replicated.num_nodes,
+            config=crash,
+            crash_at_round={0: 0},
+        )
+        report.arms.append(
+            _run_arm(
+                "replicated_crash",
+                replicated,
+                ClusterFrontend(
+                    replicated, node_faults=plan, seed=config.seed
+                ),
+                ds.queries,
+                gold,
+                params.k,
+                config.rounds,
+            )
+        )
+
+        # Arm 3: straggler node, hedging on vs off.
+        slow = np.ones(replicated.num_nodes)
+        slow[0] = config.slow_factor
+        straggle = NodeFaultPlan(
+            num_nodes=replicated.num_nodes,
+            config=NodeFaultConfig(
+                slow_fraction=1.0 / replicated.num_nodes,
+                slow_factor=(config.slow_factor, config.slow_factor),
+            ),
+            slow_factors=slow,
+        )
+        hedge_cfg = FrontendConfig(hedge_after_s=hedge_after_s)
+        report.arms.append(
+            _run_arm(
+                "straggler_hedged",
+                replicated,
+                ClusterFrontend(
+                    replicated,
+                    hedge_cfg,
+                    node_faults=straggle,
+                    seed=config.seed,
+                ),
+                ds.queries,
+                gold,
+                params.k,
+                config.rounds,
+            )
+        )
+        no_hedge = ClusterFrontend(
+            replicated,
+            FrontendConfig(hedge_after_s=None),
+            node_faults=straggle,
+            seed=config.seed,
+        )
+        e2e = []
+        for _ in range(config.rounds):
+            _, rep = no_hedge.search(ds.queries)
+            e2e.append(rep.e2e_seconds * 1e3)
+        report.straggler_unhedged_e2e_ms_p99 = float(np.percentile(e2e, 99))
+
+    # Arm 2: the same crash with no redundancy.
+    with build(1) as unreplicated:
+        plan = NodeFaultPlan(
+            num_nodes=unreplicated.num_nodes,
+            config=crash,
+            crash_at_round={0: 0},
+        )
+        report.arms.append(
+            _run_arm(
+                "unreplicated_crash",
+                unreplicated,
+                ClusterFrontend(
+                    unreplicated, node_faults=plan, seed=config.seed
+                ),
+                ds.queries,
+                gold,
+                params.k,
+                config.rounds,
+            )
+        )
+
+    return report

@@ -28,7 +28,7 @@ from repro.core.engine import DrimAnnEngine, EngineReport
 from repro.core.breakdown import TimingBreakdown
 from repro.core.accuracy import AccuracyTable, measure_accuracy_table
 from repro.core.dse import DesignSpaceExplorer, DseResult
-from repro.core.persist import load_quantized, save_quantized
+from repro.core.persist import IndexFormatError, load_quantized, save_quantized
 from repro.core.serving import (
     BatchingPolicy,
     PoissonArrivals,
@@ -65,6 +65,7 @@ __all__ = [
     "measure_accuracy_table",
     "DesignSpaceExplorer",
     "DseResult",
+    "IndexFormatError",
     "load_quantized",
     "save_quantized",
     "BatchingPolicy",

@@ -387,6 +387,7 @@ class DrimAnnEngine:
         with_scheduler: bool = True,
         execution: Optional[str] = None,
         plan: Optional[str] = None,
+        probes: Optional[np.ndarray] = None,
     ) -> SearchOutcome:
         """Batched top-k search.
 
@@ -416,6 +417,15 @@ class DrimAnnEngine:
         ``with_scheduler=False`` forces the static policy (replica 0,
         no filter) — the ablation arm of Fig. 11.
 
+        ``probes`` skips cluster location entirely and probes the given
+        per-query cluster ids instead: an ``(nq, p)`` int array of
+        cluster ids local to this engine's index, padded with ``-1``
+        for queries that probe fewer than ``p`` clusters here. This is
+        the cluster frontend's routing path — the rack-level frontend
+        locates against the *global* coarse index once and hands each
+        shard only the probes it owns, so no per-shard CL host time is
+        charged (the frontend accounts for the global CL itself).
+
         Under a fault plan, tasks lost to fail-stopped DPUs are
         re-dispatched to surviving replicas with exponential backoff
         charged to the run; dead DPUs are blacklisted in the scheduler.
@@ -443,6 +453,17 @@ class DrimAnnEngine:
             raise ValueError(
                 f"plan must be one of {PLAN_MODES}, got {plan_mode!r}"
             )
+        if probes is not None:
+            probes = np.asarray(probes)
+            if probes.ndim != 2 or probes.shape[0] != nq:
+                raise ValueError(
+                    f"probes must be (num_queries, p), got {probes.shape}"
+                )
+            if probes.size and int(probes.max()) >= self.quantized.nlist:
+                raise ValueError(
+                    f"probe cluster id {int(probes.max())} out of range "
+                    f"[0, {self.quantized.nlist})"
+                )
         if mode == "batched":
             bs = max(nq, 1)
         elif mode == "chunked":
@@ -481,18 +502,26 @@ class DrimAnnEngine:
         batch_starts = list(range(0, nq, bs))
         for bi, q0 in enumerate(batch_starts):
             q1 = min(q0 + bs, nq)
-            if cl_on_pim:
-                probes, cl_sec, cl_cycles = self.system.locate_on_pim(
+            if probes is not None:
+                batch_probes = probes[q0:q1]
+                cl_sec, cl_cycles = 0.0, 0.0
+                host_s = 0.0
+            elif cl_on_pim:
+                batch_probes, cl_sec, cl_cycles = self.system.locate_on_pim(
                     queries[q0:q1], self.params.nprobe
                 )
                 host_s = 0.0
             else:
-                probes = self.quantized.locate(queries[q0:q1], self.params.nprobe)
+                batch_probes = self.quantized.locate(
+                    queries[q0:q1], self.params.nprobe
+                )
                 cl_sec, cl_cycles = 0.0, 0.0
                 host_s = self._host_cl_seconds(q1 - q0)
             tasks = list(carried)
             for local, qidx in enumerate(range(q0, q1)):
-                tasks.extend((qidx, int(c)) for c in probes[local])
+                tasks.extend(
+                    (qidx, int(c)) for c in batch_probes[local] if c >= 0
+                )
             outcome = scheduler.schedule_batch(tasks)
             carried = list(outcome.deferred)
             stats.uncovered.update(outcome.uncovered)
@@ -662,6 +691,9 @@ class DrimAnnEngine:
         """
         stats = breakdown.faults
         fplan = self.fault_plan
+        retries = (
+            None if fplan is None else fplan.config.backoff_policy().sequence()
+        )
         attempt = 0
         while failed:
             observed = self.system.dead_dpus()
@@ -675,7 +707,7 @@ class DrimAnnEngine:
                         (qidx, self.plan.shards[key].cluster_id)
                     )
                 break
-            backoff = fplan.config.retry_backoff_s * (2.0 ** attempt)
+            backoff = retries.next_delay()
             breakdown.add_stall(backoff)
             stats.backoff_seconds += backoff
             stats.redispatch_rounds += 1

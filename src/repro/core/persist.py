@@ -14,11 +14,20 @@ NumPy archive with a format-version header.
 Cluster arrays are stored concatenated with offset tables rather than
 as thousands of tiny npz members (npz per-member overhead is brutal at
 nlist=2^16).
+
+Writes are **crash-safe**: the archive is staged to a temp file in the
+target directory and atomically :func:`os.replace`\\ d into place, so
+a crash mid-save leaves either the old index or none — never a
+truncated one a serving node would then choke on. Reads validate the
+magic/version header and raise :class:`IndexFormatError` (with the
+offending path) on anything corrupt, truncated, or foreign.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
+import zipfile
 
 import numpy as np
 
@@ -28,8 +37,18 @@ FORMAT_VERSION = 1
 _MAGIC = "drimann-quantized-index"
 
 
+class IndexFormatError(ValueError):
+    """The file is not a readable DRIM-ANN index archive."""
+
+
 def save_quantized(index: QuantizedIndexData, path: str) -> None:
-    """Write the index to ``path`` (.npz, compressed)."""
+    """Write the index to ``path`` (.npz, compressed), atomically.
+
+    The payload is staged as a temp file in ``path``'s directory (same
+    filesystem, so the final rename is atomic) and moved into place
+    with :func:`os.replace` only after the write completed. Readers
+    therefore never observe a partially written archive.
+    """
     sizes = index.cluster_sizes()
     offsets = np.zeros(index.nlist + 1, dtype=np.int64)
     np.cumsum(sizes, out=offsets[1:])
@@ -43,40 +62,78 @@ def save_quantized(index: QuantizedIndexData, path: str) -> None:
         if index.num_points
         else np.empty((0, index.num_subspaces), dtype=np.uint8)
     )
-    np.savez_compressed(
-        path,
-        magic=np.array(_MAGIC),
-        version=np.array(FORMAT_VERSION),
-        centroids=index.centroids,
-        codebooks=index.codebooks,
-        offsets=offsets,
-        ids_flat=ids_flat,
-        codes_flat=codes_flat,
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez_compressed(
+                f,
+                magic=np.array(_MAGIC),
+                version=np.array(FORMAT_VERSION),
+                centroids=index.centroids,
+                codebooks=index.codebooks,
+                offsets=offsets,
+                ids_flat=ids_flat,
+                codes_flat=codes_flat,
+            )
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Failed mid-stage: drop the temp file, leave `path` untouched.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_quantized(path: str) -> QuantizedIndexData:
-    """Read an index written by :func:`save_quantized`."""
+    """Read an index written by :func:`save_quantized`.
+
+    Raises :class:`IndexFormatError` on truncated, corrupt, or foreign
+    files (instead of leaking ``KeyError`` / ``BadZipFile`` from the
+    archive internals), and on versions newer than this build reads.
+    """
     if not os.path.exists(path):
         raise FileNotFoundError(path)
-    with np.load(path, allow_pickle=False) as z:
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as e:
+        raise IndexFormatError(
+            f"{path!r} is not a DRIM-ANN index file (unreadable archive: {e})"
+        ) from e
+    with archive as z:
         try:
             magic = str(z["magic"])
             version = int(z["version"])
         except KeyError as e:
-            raise ValueError(f"{path!r} is not a DRIM-ANN index file") from e
+            raise IndexFormatError(
+                f"{path!r} is not a DRIM-ANN index file (no header)"
+            ) from e
         if magic != _MAGIC:
-            raise ValueError(f"{path!r} is not a DRIM-ANN index file")
+            raise IndexFormatError(
+                f"{path!r} is not a DRIM-ANN index file "
+                f"(bad magic {magic!r})"
+            )
         if version > FORMAT_VERSION:
-            raise ValueError(
+            raise IndexFormatError(
                 f"{path!r} has format version {version}; this build reads "
                 f"<= {FORMAT_VERSION}"
             )
-        centroids = z["centroids"]
-        codebooks = z["codebooks"]
-        offsets = z["offsets"]
-        ids_flat = z["ids_flat"]
-        codes_flat = z["codes_flat"]
+        try:
+            centroids = z["centroids"]
+            codebooks = z["codebooks"]
+            offsets = z["offsets"]
+            ids_flat = z["ids_flat"]
+            codes_flat = z["codes_flat"]
+        except (KeyError, zipfile.BadZipFile, ValueError, OSError) as e:
+            raise IndexFormatError(
+                f"{path!r} is truncated or corrupt "
+                f"(missing or unreadable member: {e})"
+            ) from e
     nlist = len(offsets) - 1
     cluster_ids = [
         ids_flat[offsets[i] : offsets[i + 1]].copy() for i in range(nlist)
@@ -84,9 +141,14 @@ def load_quantized(path: str) -> QuantizedIndexData:
     cluster_codes = [
         codes_flat[offsets[i] : offsets[i + 1]].copy() for i in range(nlist)
     ]
-    return QuantizedIndexData(
-        centroids=centroids,
-        codebooks=codebooks,
-        cluster_ids=cluster_ids,
-        cluster_codes=cluster_codes,
-    )
+    try:
+        return QuantizedIndexData(
+            centroids=centroids,
+            codebooks=codebooks,
+            cluster_ids=cluster_ids,
+            cluster_codes=cluster_codes,
+        )
+    except (TypeError, ValueError) as e:
+        raise IndexFormatError(
+            f"{path!r} holds inconsistent index arrays: {e}"
+        ) from e

@@ -175,6 +175,12 @@ class ServingReport:
     transient_faults: int = 0
     dead_dpus: int = 0  # distinct fail-stopped DPUs observed
     backoff_seconds: float = 0.0
+    # Cluster-tier accounting (zero on single-engine runs).
+    admission_rejected: int = 0  # turned away before queueing
+    hedged_requests: int = 0  # shard requests hedged past the budget
+    node_retries: int = 0  # shard requests failed over to a replica
+    dead_nodes: int = 0  # engine replicas blacklisted as crashed
+    mean_coverage: float = 1.0  # mean served-probe fraction per query
 
     @property
     def num_queries(self) -> int:
@@ -183,8 +189,8 @@ class ServingReport:
 
     @property
     def num_offered(self) -> int:
-        """Queries that arrived, served or shed."""
-        return self.num_queries + self.shed_queries
+        """Queries that arrived, served, shed, or rejected."""
+        return self.num_queries + self.shed_queries + self.admission_rejected
 
     def percentile_ms(self, q: float) -> float:
         if self.num_queries == 0:
@@ -247,6 +253,11 @@ class ServingReport:
             "transient_faults": self.transient_faults,
             "dead_dpus": self.dead_dpus,
             "backoff_seconds": self.backoff_seconds,
+            "admission_rejected": self.admission_rejected,
+            "hedged_requests": self.hedged_requests,
+            "node_retries": self.node_retries,
+            "dead_nodes": self.dead_nodes,
+            "mean_coverage": self.mean_coverage,
             "availability": self.availability,
         }
 
@@ -264,6 +275,15 @@ class ServingReport:
             text += (
                 f"; {self.shed_queries} shed, "
                 f"{self.deadline_misses} deadline misses"
+            )
+        if self.admission_rejected:
+            text += f"; {self.admission_rejected} rejected by admission"
+        if self.hedged_requests or self.node_retries or self.dead_nodes:
+            text += (
+                f"; cluster: {self.dead_nodes} dead nodes, "
+                f"{self.node_retries} node retries, "
+                f"{self.hedged_requests} hedges, "
+                f"coverage {self.mean_coverage:.1%}"
             )
         if self.degraded_queries or self.dead_dpus or self.task_retries:
             text += (

@@ -12,7 +12,18 @@ See ``docs/fault_tolerance.md`` for the fault taxonomy and recovery
 semantics.
 """
 
-from repro.faults.plan import FaultConfig, FaultPlan
+from repro.faults.plan import (
+    FaultConfig,
+    FaultPlan,
+    NodeFaultConfig,
+    NodeFaultPlan,
+)
 from repro.faults.report import FaultStats
 
-__all__ = ["FaultConfig", "FaultPlan", "FaultStats"]
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "FaultStats",
+    "NodeFaultConfig",
+    "NodeFaultPlan",
+]

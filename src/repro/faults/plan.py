@@ -32,7 +32,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.utils import ensure_rng
+from repro.utils import BackoffPolicy, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -84,6 +84,10 @@ class FaultConfig:
                 raise ValueError(f"{name} must be >= 0")
         if self.max_redispatch_attempts < 1:
             raise ValueError("max_redispatch_attempts must be >= 1")
+
+    def backoff_policy(self) -> BackoffPolicy:
+        """The failover backoff schedule (see :mod:`repro.utils.backoff`)."""
+        return BackoffPolicy(base_s=self.retry_backoff_s, multiplier=2.0)
 
 
 @dataclass(frozen=True)
@@ -257,4 +261,204 @@ class FaultPlan:
             f"{len(self.transients)} transient kernel faults, "
             f"{len(self.transfer_timeouts)} transfer timeouts "
             f"(horizon {self.config.horizon_batches} batches)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Node-level faults (rack / cluster granularity)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeFaultConfig:
+    """Node-granularity fault knobs for the cluster layer.
+
+    The DPU-level :class:`FaultConfig` models what breaks *inside* one
+    PIM platform; this bundle models what breaks *between* platforms in
+    a rack: a whole engine replica crashing, the network to a node
+    dropping requests for a while, and a node that is simply slow
+    (thermal throttling, a noisy neighbor, a background compaction).
+    Rates follow the same conventions as :class:`FaultConfig`.
+    """
+
+    # Fraction of nodes that crash fail-stop; each draws a crash round
+    # uniformly from [0, crash_max_round].
+    crash_fraction: float = 0.0
+    crash_max_round: int = 4
+    # Per-(node, round) probability that requests to the node time out
+    # (the node is alive but unreachable this round).
+    partition_rate: float = 0.0
+    # Fraction of nodes running slow, and the latency multiplier range.
+    slow_fraction: float = 0.0
+    slow_factor: Tuple[float, float] = (2.0, 6.0)
+    # Rounds for which partition events are pre-drawn.
+    horizon_rounds: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("crash_fraction", "partition_rate", "slow_fraction"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        lo, hi = self.slow_factor
+        if not 1.0 <= lo <= hi:
+            raise ValueError(
+                f"slow_factor must satisfy 1 <= lo <= hi, got {self.slow_factor}"
+            )
+        if self.crash_max_round < 0:
+            raise ValueError("crash_max_round must be >= 0")
+        if self.horizon_rounds < 1:
+            raise ValueError("horizon_rounds must be >= 1")
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """A fully pre-drawn node-fault schedule for one cluster run.
+
+    Mirrors :class:`FaultPlan` one level up: every event is drawn at
+    construction from one seed, so injection is a pure table lookup at
+    request time and two runs with the same seed see byte-identical
+    fault sequences. "Round" is the cluster frontend's batch counter.
+    """
+
+    num_nodes: int
+    config: NodeFaultConfig
+    crash_at_round: Dict[int, int] = field(default_factory=dict)  # node -> round
+    partitions: FrozenSet[Tuple[int, int]] = frozenset()  # (node, round)
+    slow_factors: np.ndarray = field(default_factory=lambda: np.ones(0))
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be > 0")
+        factors = np.asarray(self.slow_factors, dtype=np.float64)
+        if factors.shape != (self.num_nodes,):
+            factors = np.ones(self.num_nodes)
+        if np.any(factors < 1):
+            raise ValueError("slow_factors must be >= 1")
+        object.__setattr__(self, "slow_factors", factors)
+        for node, rnd in self.crash_at_round.items():
+            if not 0 <= node < self.num_nodes:
+                raise ValueError(
+                    f"crash node {node} out of range [0, {self.num_nodes})"
+                )
+            if rnd < 0:
+                raise ValueError(f"crash round must be >= 0, got {rnd}")
+
+    # ----- construction ---------------------------------------------------
+    @classmethod
+    def none(cls, num_nodes: int) -> "NodeFaultPlan":
+        """A benign plan: every node healthy, fast, reachable."""
+        return cls(num_nodes=num_nodes, config=NodeFaultConfig())
+
+    @classmethod
+    def generate(
+        cls, num_nodes: int, config: NodeFaultConfig, seed=None
+    ) -> "NodeFaultPlan":
+        """Pre-draw every node fault from one seed.
+
+        Crashed and slow node sets are disjoint, as in
+        :meth:`FaultPlan.generate`.
+        """
+        rng = ensure_rng(seed)
+        ids = rng.permutation(num_nodes)
+        n_crash = int(round(config.crash_fraction * num_nodes))
+        n_slow = int(round(config.slow_fraction * num_nodes))
+        n_slow = min(n_slow, num_nodes - n_crash)
+        crash_ids = ids[:n_crash]
+        slow_ids = ids[n_crash : n_crash + n_slow]
+
+        crash_at = {
+            int(n): int(rng.integers(0, config.crash_max_round + 1))
+            for n in crash_ids
+        }
+        factors = np.ones(num_nodes)
+        lo, hi = config.slow_factor
+        for n in slow_ids:
+            factors[int(n)] = float(rng.uniform(lo, hi))
+
+        partitions: Set[Tuple[int, int]] = set()
+        if config.partition_rate > 0:
+            hits = (
+                rng.random((config.horizon_rounds, num_nodes))
+                < config.partition_rate
+            )
+            for r, n in zip(*np.nonzero(hits)):
+                partitions.add((int(n), int(r)))
+
+        return cls(
+            num_nodes=num_nodes,
+            config=config,
+            crash_at_round=crash_at,
+            partitions=frozenset(partitions),
+            slow_factors=factors,
+        )
+
+    # ----- lookups (pure, O(1)) -------------------------------------------
+    def crashed_at(self, node_id: int, round_index: int) -> bool:
+        """Has ``node_id`` fail-stopped by (the start of) this round?"""
+        rnd = self.crash_at_round.get(node_id)
+        return rnd is not None and rnd <= round_index
+
+    def partitioned_at(self, node_id: int, round_index: int) -> bool:
+        return (node_id, round_index) in self.partitions
+
+    def slow_factor_of(self, node_id: int) -> float:
+        return float(self.slow_factors[node_id])
+
+    # ----- views ----------------------------------------------------------
+    @property
+    def crashed_nodes(self) -> List[int]:
+        return sorted(self.crash_at_round)
+
+    @property
+    def slow_nodes(self) -> List[int]:
+        return [int(n) for n in np.flatnonzero(self.slow_factors > 1.0)]
+
+    @property
+    def is_benign(self) -> bool:
+        return (
+            not self.crash_at_round
+            and not self.partitions
+            and not self.slow_nodes
+        )
+
+    # ----- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips through :meth:`from_dict`."""
+        return {
+            "num_nodes": self.num_nodes,
+            "config": asdict(self.config),
+            "crash_at_round": {
+                str(n): int(r) for n, r in sorted(self.crash_at_round.items())
+            },
+            "partitions": sorted([n, r] for n, r in self.partitions),
+            "slow_factors": [float(x) for x in self.slow_factors],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "NodeFaultPlan":
+        cfg = dict(d.get("config", {}))
+        if "slow_factor" in cfg:
+            cfg["slow_factor"] = tuple(cfg["slow_factor"])
+        return cls(
+            num_nodes=int(d["num_nodes"]),
+            config=NodeFaultConfig(**cfg),
+            crash_at_round={
+                int(k): int(v) for k, v in d.get("crash_at_round", {}).items()
+            },
+            partitions=frozenset(
+                (int(n), int(r)) for n, r in d.get("partitions", [])
+            ),
+            slow_factors=np.asarray(
+                d.get("slow_factors", np.ones(int(d["num_nodes"]))),
+                dtype=np.float64,
+            ),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"node fault plan over {self.num_nodes} nodes: "
+            f"{len(self.crash_at_round)} crashes, "
+            f"{len(self.slow_nodes)} slow nodes, "
+            f"{len(self.partitions)} partition events "
+            f"(horizon {self.config.horizon_rounds} rounds)"
         )

@@ -306,6 +306,37 @@ class EngineObserver:
             help="completed queries that missed the deadline",
         ).inc(num_queries)
 
+    def on_admission_reject(self, num_queries: int = 1) -> None:
+        self.registry.counter(
+            "drimann_serving_admission_rejected_total",
+            help="queries rejected up front by admission control",
+        ).inc(num_queries)
+
+    # ----- cluster ---------------------------------------------------------
+    def on_node_retry(self, num_requests: int = 1) -> None:
+        self.registry.counter(
+            "drimann_cluster_node_retries_total",
+            help="shard requests re-dispatched to another replica",
+        ).inc(num_requests)
+
+    def on_hedge(self, num_requests: int = 1) -> None:
+        self.registry.counter(
+            "drimann_cluster_hedges_total",
+            help="hedged shard requests issued past the latency budget",
+        ).inc(num_requests)
+
+    def on_dead_nodes(self, num_nodes: int) -> None:
+        self.registry.gauge(
+            "drimann_cluster_dead_nodes",
+            help="engine replicas blacklisted as crashed",
+        ).set(num_nodes)
+
+    def on_coverage(self, coverage: float) -> None:
+        self.registry.gauge(
+            "drimann_cluster_coverage",
+            help="mean fraction of probes served in the last round",
+        ).set(coverage)
+
     def on_query_latency(self, seconds: float) -> None:
         self.registry.sketch(
             "drimann_serving_latency_seconds",

@@ -1,5 +1,6 @@
-"""Shared utilities: seeded RNG helpers, validation, timers, logging."""
+"""Shared utilities: seeded RNG helpers, validation, timers, backoff."""
 
+from repro.utils.backoff import BackoffPolicy, BackoffSequence
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.validation import (
     check_2d,
@@ -10,6 +11,8 @@ from repro.utils.validation import (
 from repro.utils.timing import Stopwatch
 
 __all__ = [
+    "BackoffPolicy",
+    "BackoffSequence",
     "ensure_rng",
     "spawn_rngs",
     "check_2d",

@@ -1,0 +1,114 @@
+"""Shared retry/backoff policy: seeded, jittered, capped.
+
+The exponential-backoff schedule used by the engine's replica failover
+(:meth:`repro.core.engine.DrimAnnEngine._recover`) is the same one the
+cluster frontend needs for cross-node retries; this module is the
+single definition both reuse.
+
+Delays are **modeled** seconds charged to a run's wall-clock ledger,
+never slept: the simulator stays deterministic and fast. Jitter — the
+standard defense against retry synchronization across callers — is
+therefore also deterministic: it is pre-drawn from an explicit seed at
+:meth:`BackoffPolicy.sequence` time, so two runs with the same seed
+charge byte-identical delays (the chaos determinism tests rely on
+this). With ``jitter=0`` (the default) the schedule is exactly
+``base_s * multiplier**attempt`` capped at ``cap_s`` — bit-compatible
+with the pre-extraction engine behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff: ``base_s * multiplier**attempt``, capped.
+
+    ``jitter`` is the fractional half-width of a uniform perturbation:
+    a delay ``d`` becomes ``d * (1 + u)`` with ``u ~ U(-jitter, +jitter)``
+    drawn from the seeded stream a :class:`BackoffSequence` owns.
+    """
+
+    base_s: float = 100e-6
+    multiplier: float = 2.0
+    cap_s: Optional[float] = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ValueError(f"base_s must be >= 0, got {self.base_s}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.cap_s is not None and self.cap_s < 0:
+            raise ValueError(f"cap_s must be >= 0 or None, got {self.cap_s}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def raw_delay(self, attempt: int) -> float:
+        """The un-jittered delay for 0-based ``attempt``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        d = self.base_s * self.multiplier**attempt
+        if self.cap_s is not None:
+            d = min(d, self.cap_s)
+        return d
+
+    def sequence(self, seed=None) -> "BackoffSequence":
+        """A stateful delay stream; deterministic for a given seed."""
+        return BackoffSequence(self, seed=seed)
+
+    def to_dict(self) -> dict:
+        return {
+            "base_s": self.base_s,
+            "multiplier": self.multiplier,
+            "cap_s": self.cap_s,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BackoffPolicy":
+        return cls(**d)
+
+
+class BackoffSequence:
+    """One caller's delay stream.
+
+    ``next_delay()`` advances the attempt counter; ``delay(attempt)``
+    evaluates an arbitrary attempt without advancing (jitter for a
+    given (seed, draw-index) is fixed either way). ``reset()`` restarts
+    the attempt counter but keeps consuming the same jitter stream, so
+    distinct retry bursts inside one run stay decorrelated.
+    """
+
+    def __init__(self, policy: BackoffPolicy, seed=None) -> None:
+        self.policy = policy
+        self._rng = ensure_rng(seed)
+        self._attempt = 0
+        self.total_s = 0.0
+
+    @property
+    def attempt(self) -> int:
+        return self._attempt
+
+    def _jittered(self, raw: float) -> float:
+        j = self.policy.jitter
+        if j == 0.0 or raw == 0.0:
+            return raw
+        u = float(self._rng.uniform(-j, j))
+        return raw * (1.0 + u)
+
+    def next_delay(self) -> float:
+        """Delay for the current attempt; advances the counter."""
+        d = self._jittered(self.policy.raw_delay(self._attempt))
+        self._attempt += 1
+        self.total_s += d
+        return d
+
+    def reset(self) -> None:
+        self._attempt = 0

@@ -312,6 +312,72 @@ class TestLeakedWorker:
             """
         ) == []
 
+    def test_leaked_asyncio_task_flagged(self):
+        assert _rules(
+            """
+            import asyncio
+
+            async def fire(coro):
+                t = asyncio.create_task(coro)
+                return 1
+            """
+        ) == ["leaked-worker"]
+
+    def test_leaked_ensure_future_flagged(self):
+        assert _rules(
+            """
+            import asyncio
+
+            async def fire(coro):
+                fut = asyncio.ensure_future(coro)
+            """
+        ) == ["leaked-worker"]
+
+    def test_awaited_asyncio_task_clean(self):
+        assert _rules(
+            """
+            import asyncio
+
+            async def run(coro):
+                t = asyncio.create_task(coro)
+                return await t
+            """
+        ) == []
+
+    def test_gathered_asyncio_task_clean(self):
+        assert _rules(
+            """
+            import asyncio
+
+            async def run(a, b):
+                t1 = asyncio.create_task(a)
+                t2 = asyncio.create_task(b)
+                return await asyncio.gather(t1, t2)
+            """
+        ) == []
+
+    def test_cancelled_asyncio_task_clean(self):
+        assert _rules(
+            """
+            import asyncio
+
+            async def bound(coro, s):
+                t = asyncio.ensure_future(coro)
+                await asyncio.sleep(s)
+                t.cancel()
+            """
+        ) == []
+
+    def test_taskgroup_create_task_not_flagged(self):
+        # TaskGroup awaits its children on exit; tg.create_task never
+        # needs a manual discharge.
+        assert _rules(
+            """
+            async def run(tg, coro):
+                t = tg.create_task(coro)
+            """
+        ) == []
+
 
 class TestEntryPoints:
     def test_broken_fixture_trips_every_rule(self):

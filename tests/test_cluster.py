@@ -1,0 +1,496 @@
+"""Cluster tier: sharding, scatter-gather bit-exactness, failover.
+
+The load-bearing claim is structural: shards own **disjoint** cluster
+sets and the merge uses the canonical ``(distance, id)`` tie-break, so
+the cluster result is bit-identical to the single-engine oracle
+whenever every probed shard answers — regardless of execution mode,
+shard count, replication, or response arrival order. The fault tests
+then show that claim surviving a crash (with replication) and
+degrading with *accurate* coverage (without).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ann.heap import topk_canonical
+from repro.cluster import (
+    ClusterConfig,
+    ClusterFrontend,
+    FrontendConfig,
+    ShardResponse,
+    build_cluster_index,
+    merge_shard_results,
+    partition_clusters,
+    simulate_cluster_serving,
+)
+from repro.core import EngineConfig, LayoutConfig, SearchParams
+from repro.core.serving import BatchingPolicy
+from repro.faults.plan import NodeFaultConfig, NodeFaultPlan
+from repro.pim.config import PimSystemConfig
+
+
+@pytest.fixture(scope="module")
+def engine_config(small_params):
+    return EngineConfig(
+        index=small_params,
+        search=SearchParams(batch_size=64),
+        system=PimSystemConfig(num_dpus=16),
+        layout=LayoutConfig(min_split_size=400, max_copies=2),
+    )
+
+
+@pytest.fixture(scope="module")
+def replicated_cluster(small_ds, small_quantized, engine_config):
+    """3 shards x 2 replicas over the shared 20k corpus."""
+    with build_cluster_index(
+        small_ds.base,
+        engine_config,
+        ClusterConfig(num_shards=3, replication=2),
+        heat_queries=small_ds.queries[:50],
+        prebuilt_quantized=small_quantized,
+        seed=0,
+    ) as cluster:
+        yield cluster
+
+
+@pytest.fixture(scope="module")
+def unreplicated_cluster(small_ds, small_quantized, engine_config):
+    with build_cluster_index(
+        small_ds.base,
+        engine_config,
+        ClusterConfig(num_shards=3, replication=1),
+        heat_queries=small_ds.queries[:50],
+        prebuilt_quantized=small_quantized,
+        seed=0,
+    ) as cluster:
+        yield cluster
+
+
+@pytest.fixture(scope="module")
+def queries(small_ds):
+    return small_ds.queries[:32]
+
+
+@pytest.fixture(scope="module")
+def gold(replicated_cluster, queries):
+    return replicated_cluster.oracle_search(queries)
+
+
+def crash_plan(cluster, node_ids, round_index=0):
+    return NodeFaultPlan(
+        num_nodes=cluster.num_nodes,
+        config=NodeFaultConfig(),
+        crash_at_round={n: round_index for n in node_ids},
+    )
+
+
+class TestPartitionClusters:
+    def test_disjoint_and_complete(self, rng):
+        heat = rng.random(64)
+        owner = partition_clusters(heat, 4)
+        assert owner.shape == (64,)
+        assert set(np.unique(owner)) == {0, 1, 2, 3}
+
+    def test_deterministic(self, rng):
+        heat = rng.random(64)
+        np.testing.assert_array_equal(
+            partition_clusters(heat, 4), partition_clusters(heat.copy(), 4)
+        )
+
+    def test_balances_heat(self, rng):
+        heat = rng.random(256)
+        owner = partition_clusters(heat, 4)
+        loads = np.array([heat[owner == s].sum() for s in range(4)])
+        # Greedy least-loaded-first lands within a few percent of even.
+        assert loads.max() / loads.min() < 1.1
+
+    def test_single_shard_owns_everything(self, rng):
+        owner = partition_clusters(rng.random(16), 1)
+        assert np.all(owner == 0)
+
+
+class TestClusterTopology:
+    def test_shards_partition_the_clusters(self, replicated_cluster):
+        owned = np.concatenate(
+            [s.global_cids for s in replicated_cluster.shards]
+        )
+        assert sorted(owned) == list(range(replicated_cluster.router.nlist))
+
+    def test_node_grid(self, replicated_cluster):
+        c = replicated_cluster
+        assert c.num_nodes == c.num_shards * c.replication
+        for s in range(c.num_shards):
+            for r in range(c.replication):
+                node = c.node_id(s, r)
+                assert c.shard_of_node(node) == s
+
+    def test_local_probe_routing(self, replicated_cluster, queries):
+        c = replicated_cluster
+        probes = c.locate(queries)
+        for shard in c.shards:
+            lp = shard.local_probes(probes)
+            owned = lp >= 0
+            # Exactly the probes this shard owns map to local ids.
+            np.testing.assert_array_equal(
+                owned, c.owner[probes] == shard.shard_id
+            )
+            if np.any(owned):
+                assert lp[owned].max() < len(shard.global_cids)
+
+
+class TestBitExactness:
+    def test_healthy_matches_oracle(self, replicated_cluster, queries, gold):
+        res, rep = ClusterFrontend(replicated_cluster, seed=0).search(queries)
+        np.testing.assert_array_equal(res.ids, gold.ids)
+        np.testing.assert_array_equal(res.distances, gold.distances)
+        assert rep.mean_coverage == 1.0
+        assert rep.failed_shards == []
+
+    @pytest.mark.parametrize("execution", ["batched", "chunked", "per_query"])
+    def test_every_execution_mode_matches_oracle(
+        self, replicated_cluster, queries, gold, execution
+    ):
+        res, _ = ClusterFrontend(replicated_cluster, seed=0).search(
+            queries, execution=execution
+        )
+        np.testing.assert_array_equal(res.ids, gold.ids)
+        np.testing.assert_array_equal(res.distances, gold.distances)
+
+    def test_unreplicated_healthy_matches_oracle(
+        self, unreplicated_cluster, queries, gold
+    ):
+        res, _ = ClusterFrontend(unreplicated_cluster, seed=0).search(queries)
+        np.testing.assert_array_equal(res.ids, gold.ids)
+
+    def test_shard_count_invariance(
+        self, small_ds, small_quantized, engine_config, queries, gold
+    ):
+        with build_cluster_index(
+            small_ds.base,
+            engine_config,
+            ClusterConfig(num_shards=2, replication=1),
+            heat_queries=small_ds.queries[:50],
+            prebuilt_quantized=small_quantized,
+            seed=0,
+        ) as two_shards:
+            res, _ = ClusterFrontend(two_shards, seed=0).search(queries)
+        np.testing.assert_array_equal(res.ids, gold.ids)
+        np.testing.assert_array_equal(res.distances, gold.distances)
+
+    def test_repeated_rounds_are_deterministic(
+        self, replicated_cluster, queries
+    ):
+        f1 = ClusterFrontend(replicated_cluster, seed=0)
+        f2 = ClusterFrontend(replicated_cluster, seed=0)
+        for _ in range(3):
+            r1, rep1 = f1.search(queries)
+            r2, rep2 = f2.search(queries)
+            np.testing.assert_array_equal(r1.ids, r2.ids)
+            np.testing.assert_array_equal(r1.distances, r2.distances)
+            d1, d2 = rep1.to_dict(), rep2.to_dict()
+            # Modeled latencies drift in the last ulp across repeated
+            # searches on one engine instance (pre-existing engine
+            # behavior); everything structural must match exactly.
+            lat1 = d1.pop("shard_latencies_s")
+            lat2 = d2.pop("shard_latencies_s")
+            e1, e2 = d1.pop("e2e_seconds"), d2.pop("e2e_seconds")
+            assert d1 == d2
+            assert e1 == pytest.approx(e2)
+            assert sorted(lat1) == sorted(lat2)
+            for s in lat1:
+                assert lat1[s] == pytest.approx(lat2[s])
+
+
+class TestFailover:
+    def test_replicated_crash_stays_exact(
+        self, replicated_cluster, queries, gold
+    ):
+        c = replicated_cluster
+        frontend = ClusterFrontend(
+            c, node_faults=crash_plan(c, [c.node_id(0, 0)]), seed=0
+        )
+        res, rep = frontend.search(queries)
+        np.testing.assert_array_equal(res.ids, gold.ids)
+        np.testing.assert_array_equal(res.distances, gold.distances)
+        assert rep.mean_coverage == 1.0
+        assert rep.node_retries >= 1
+        assert frontend.dead_nodes == {c.node_id(0, 0)}
+        # Next round the dead node is skipped outright: no new retries.
+        res, rep = frontend.search(queries)
+        np.testing.assert_array_equal(res.ids, gold.ids)
+
+    def test_unreplicated_crash_degrades_with_accurate_coverage(
+        self, unreplicated_cluster, queries, gold
+    ):
+        c = unreplicated_cluster
+        frontend = ClusterFrontend(
+            c, node_faults=crash_plan(c, [c.node_id(0, 0)]), seed=0
+        )
+        res, rep = frontend.search(queries)
+        assert rep.failed_shards == [0]
+        assert rep.mean_coverage < 1.0
+        probes = c.locate(queries)
+        predicted = (c.owner[probes] != 0).mean(axis=1)
+        np.testing.assert_allclose(rep.coverage, predicted)
+        assert rep.degraded_queries == [
+            int(q) for q in np.flatnonzero(predicted < 1.0)
+        ]
+        # Fully-covered queries are still bit-exact.
+        full = np.flatnonzero(predicted == 1.0)
+        np.testing.assert_array_equal(res.ids[full], gold.ids[full])
+
+    def test_all_shards_down_returns_empty_not_raises(
+        self, unreplicated_cluster, queries
+    ):
+        c = unreplicated_cluster
+        frontend = ClusterFrontend(
+            c, node_faults=crash_plan(c, range(c.num_nodes)), seed=0
+        )
+        res, rep = frontend.search(queries)
+        assert np.all(res.ids == -1)
+        assert np.all(np.isinf(res.distances))
+        np.testing.assert_array_equal(rep.coverage, np.zeros(len(queries)))
+        assert rep.mean_coverage == 0.0
+        assert sorted(rep.failed_shards) == list(range(c.num_shards))
+        assert rep.degraded_queries == list(range(len(queries)))
+
+    def test_both_replicas_down_degrades(
+        self, replicated_cluster, queries, gold
+    ):
+        c = replicated_cluster
+        dead = [c.node_id(0, r) for r in range(c.replication)]
+        frontend = ClusterFrontend(c, node_faults=crash_plan(c, dead), seed=0)
+        res, rep = frontend.search(queries)
+        assert rep.failed_shards == [0]
+        assert rep.mean_coverage < 1.0
+        assert frontend.dead_nodes == set(dead)
+
+    def test_partition_suspends_then_recovers(
+        self, replicated_cluster, queries, gold
+    ):
+        c = replicated_cluster
+        node = c.node_id(1, 0)
+        plan = NodeFaultPlan(
+            num_nodes=c.num_nodes,
+            config=NodeFaultConfig(),
+            partitions=frozenset({(node, 0), (node, 1)}),
+        )
+        frontend = ClusterFrontend(
+            c,
+            FrontendConfig(suspend_after=2, suspend_rounds=1),
+            node_faults=plan,
+            seed=0,
+        )
+        for _ in range(4):
+            res, rep = frontend.search(queries)
+            np.testing.assert_array_equal(res.ids, gold.ids)
+        # Partitions are transient: nothing is permanently dead.
+        assert frontend.dead_nodes == set()
+        assert not frontend._node_available(node) or frontend.round_index >= 3
+
+    def test_straggler_hedging_bounds_latency(
+        self, replicated_cluster, queries, gold
+    ):
+        c = replicated_cluster
+        healthy = ClusterFrontend(c, seed=0)
+        _, rep = healthy.search(queries)
+        budget = 1.5 * max(rep.shard_latencies_s.values())
+        slow = np.ones(c.num_nodes)
+        slow[0] = 16.0
+        plan = NodeFaultPlan(
+            num_nodes=c.num_nodes,
+            config=NodeFaultConfig(),
+            slow_factors=slow,
+        )
+        hedged = ClusterFrontend(
+            c,
+            FrontendConfig(hedge_after_s=budget),
+            node_faults=plan,
+            seed=0,
+        )
+        res_h, rep_h = hedged.search(queries)
+        unhedged = ClusterFrontend(
+            c,
+            FrontendConfig(hedge_after_s=None),
+            node_faults=plan,
+            seed=0,
+        )
+        res_u, rep_u = unhedged.search(queries)
+        # Same bits either way; hedging only changes the clock.
+        np.testing.assert_array_equal(res_h.ids, gold.ids)
+        np.testing.assert_array_equal(res_u.ids, gold.ids)
+        assert rep_h.hedged_requests >= 1
+        assert rep_h.e2e_seconds < rep_u.e2e_seconds
+
+    def test_mismatched_fault_plan_rejected(self, replicated_cluster):
+        with pytest.raises(ValueError, match="nodes"):
+            ClusterFrontend(
+                replicated_cluster,
+                node_faults=NodeFaultPlan.none(99),
+            )
+
+
+def _merge_oracle(pools, k):
+    """Brute-force global top-k over per-query candidate pools."""
+    nq = len(pools)
+    out_ids = np.full((nq, k), -1, dtype=np.int64)
+    out_dist = np.full((nq, k), np.inf)
+    for qi, (ids, dists) in enumerate(pools):
+        if len(ids) == 0:
+            continue
+        kk = min(k, len(ids))
+        sel_i, sel_d = topk_canonical(
+            np.asarray(dists, dtype=np.float64),
+            np.asarray(ids, dtype=np.int64),
+            kk,
+        )
+        out_ids[qi, :kk] = sel_i
+        out_dist[qi, :kk] = sel_d
+    return out_ids, out_dist
+
+
+class TestMergeProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_invariant_to_sharding_and_order(self, data):
+        """Sharded merge == global top-k, for any shard split/arrival order.
+
+        Candidates are drawn with possibly-duplicated distances (ties
+        exercise the canonical tie-break) but ids unique per query, as
+        disjoint shard ownership guarantees in the real system.
+        """
+        nq = data.draw(st.integers(1, 4), label="nq")
+        k = data.draw(st.integers(1, 8), label="k")
+        num_shards = data.draw(st.integers(1, 5), label="shards")
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+
+        pools = []
+        per_shard_rows = [[] for _ in range(num_shards)]
+        per_shard_ids = [[] for _ in range(num_shards)]
+        per_shard_dists = [[] for _ in range(num_shards)]
+        for qi in range(nq):
+            n_cand = int(rng.integers(0, 24))
+            ids = rng.choice(1000, size=n_cand, replace=False)
+            dists = rng.integers(0, 6, size=n_cand).astype(np.float64)
+            pools.append((ids, dists))
+            shard_of = rng.integers(0, num_shards, size=n_cand)
+            for s in range(num_shards):
+                mine = shard_of == s
+                per_shard_rows[s].append(qi)
+                per_shard_ids[s].append(ids[mine])
+                per_shard_dists[s].append(dists[mine])
+
+        responses = []
+        for s in range(num_shards):
+            # Each shard reports its local top-k, padded to k like the
+            # engine does.
+            ids_mat = np.full((nq, k), -1, dtype=np.int64)
+            dist_mat = np.full((nq, k), np.inf)
+            for row, (ids, dists) in enumerate(
+                zip(per_shard_ids[s], per_shard_dists[s])
+            ):
+                kk = min(k, len(ids))
+                if kk:
+                    sel_i, sel_d = topk_canonical(dists, ids, kk)
+                    ids_mat[row, :kk] = sel_i
+                    dist_mat[row, :kk] = sel_d
+            responses.append(
+                ShardResponse(
+                    shard_id=s,
+                    query_rows=np.array(per_shard_rows[s]),
+                    ids=ids_mat,
+                    distances=dist_mat,
+                )
+            )
+        order = rng.permutation(num_shards)
+        merged = merge_shard_results(
+            [responses[i] for i in order], nq, k
+        )
+        want_ids, want_dist = _merge_oracle(pools, k)
+        np.testing.assert_array_equal(merged.ids, want_ids)
+        np.testing.assert_array_equal(merged.distances, want_dist)
+
+    def test_failed_responses_contribute_nothing(self):
+        ok = ShardResponse(
+            shard_id=0,
+            query_rows=np.array([0]),
+            ids=np.array([[3, 1]]),
+            distances=np.array([[1.0, 2.0]]),
+        )
+        failed = ShardResponse(
+            shard_id=1, query_rows=np.array([0]), failed=True
+        )
+        res = merge_shard_results([ok, failed], 1, 2)
+        np.testing.assert_array_equal(res.ids, [[3, 1]])
+
+    def test_no_responses_yields_sentinel_fill(self):
+        res = merge_shard_results([], 2, 3)
+        assert np.all(res.ids == -1)
+        assert np.all(np.isinf(res.distances))
+
+
+class TestClusterServing:
+    def test_serving_healthy_stream(self, replicated_cluster, queries, gold):
+        frontend = ClusterFrontend(replicated_cluster, seed=0)
+        arrivals = np.linspace(0.0, 0.05, len(queries))
+        outcome = simulate_cluster_serving(
+            frontend,
+            queries,
+            arrivals,
+            BatchingPolicy(batch_size=8, max_wait_s=5e-3),
+            return_results=True,
+        )
+        rep = outcome.report
+        assert rep.num_queries == len(queries)
+        assert rep.admission_rejected == 0
+        assert rep.mean_coverage == 1.0
+        np.testing.assert_array_equal(outcome.results.ids, gold.ids)
+
+    def test_admission_control_rejects_overflow(
+        self, replicated_cluster, queries
+    ):
+        frontend = ClusterFrontend(
+            replicated_cluster,
+            FrontendConfig(admission_queue_limit=8),
+            seed=0,
+        )
+        # Everyone arrives at once: only the limit's worth may queue.
+        arrivals = np.zeros(len(queries))
+        outcome = simulate_cluster_serving(
+            frontend,
+            queries,
+            arrivals,
+            BatchingPolicy(batch_size=64, max_wait_s=1e-3),
+            return_results=True,
+        )
+        rep = outcome.report
+        assert rep.admission_rejected > 0
+        assert rep.num_queries + rep.admission_rejected == len(queries)
+        assert rep.num_offered == len(queries)
+        # Rejected queries keep the sentinel fill.
+        rejected_rows = np.all(outcome.results.ids == -1, axis=1)
+        assert rejected_rows.sum() == rep.admission_rejected
+
+    def test_serving_report_carries_cluster_ledger(
+        self, replicated_cluster, queries
+    ):
+        c = replicated_cluster
+        frontend = ClusterFrontend(
+            c, node_faults=crash_plan(c, [c.node_id(0, 0)]), seed=0
+        )
+        arrivals = np.linspace(0.0, 0.01, len(queries))
+        outcome = simulate_cluster_serving(frontend, queries, arrivals)
+        rep = outcome.report
+        assert rep.node_retries >= 1
+        assert rep.dead_nodes == 1
+        assert rep.mean_coverage == 1.0
+        d = rep.to_dict()
+        for key in (
+            "admission_rejected",
+            "hedged_requests",
+            "node_retries",
+            "dead_nodes",
+            "mean_coverage",
+        ):
+            assert key in d

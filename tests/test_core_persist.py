@@ -1,7 +1,13 @@
+import os
+
 import numpy as np
 import pytest
 
-from repro.core.persist import load_quantized, save_quantized
+from repro.core.persist import (
+    IndexFormatError,
+    load_quantized,
+    save_quantized,
+)
 
 
 class TestRoundTrip:
@@ -87,3 +93,76 @@ class TestErrors:
         back = load_quantized(path)
         assert len(back.cluster_ids[1]) == 0
         np.testing.assert_array_equal(back.cluster_ids[0], [5, 7])
+
+    def test_format_error_is_a_value_error(self):
+        assert issubclass(IndexFormatError, ValueError)
+
+    def test_garbage_file_raises_format_error(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as f:
+            f.write(b"this is not a zip archive")
+        with pytest.raises(IndexFormatError):
+            load_quantized(path)
+
+    def test_truncated_file_raises_format_error(
+        self, small_quantized, tmp_path
+    ):
+        path = str(tmp_path / "index.npz")
+        save_quantized(small_quantized, path)
+        size = os.path.getsize(path)
+        with open(path, "rb") as f:
+            head = f.read(size // 2)
+        with open(path, "wb") as f:
+            f.write(head)
+        with pytest.raises(IndexFormatError):
+            load_quantized(path)
+
+    def test_empty_file_raises_format_error(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        open(path, "wb").close()
+        with pytest.raises(IndexFormatError):
+            load_quantized(path)
+
+
+class TestCrashSafety:
+    def test_successful_save_leaves_no_temp_files(
+        self, small_quantized, tmp_path
+    ):
+        path = str(tmp_path / "index.npz")
+        save_quantized(small_quantized, path)
+        assert sorted(os.listdir(tmp_path)) == ["index.npz"]
+
+    def test_failed_save_preserves_previous_index(
+        self, small_quantized, tmp_path, monkeypatch
+    ):
+        import repro.core.persist as persist
+
+        path = str(tmp_path / "index.npz")
+        save_quantized(small_quantized, path)
+        before = open(path, "rb").read()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persist.np, "savez_compressed", boom)
+        with pytest.raises(OSError, match="disk full"):
+            save_quantized(small_quantized, path)
+        # The old archive is untouched and no temp debris remains.
+        assert open(path, "rb").read() == before
+        assert sorted(os.listdir(tmp_path)) == ["index.npz"]
+        load_quantized(path)
+
+    def test_failed_first_save_leaves_nothing(
+        self, small_quantized, tmp_path, monkeypatch
+    ):
+        import repro.core.persist as persist
+
+        path = str(tmp_path / "index.npz")
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persist.np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            save_quantized(small_quantized, path)
+        assert os.listdir(tmp_path) == []

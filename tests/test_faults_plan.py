@@ -1,7 +1,12 @@
 import numpy as np
 import pytest
 
-from repro.faults import FaultConfig, FaultPlan
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    NodeFaultConfig,
+    NodeFaultPlan,
+)
 
 
 class TestFaultConfig:
@@ -123,3 +128,119 @@ class TestLookups:
         cfg = FaultConfig(fail_stop_fraction=0.25)
         plan = FaultPlan.generate(8, cfg, seed=0)
         assert "2 fail-stop" in plan.summary()
+
+
+class TestNodeFaultConfig:
+    def test_defaults_are_benign(self):
+        cfg = NodeFaultConfig()
+        assert cfg.crash_fraction == 0.0
+        assert cfg.partition_rate == 0.0
+        assert cfg.slow_fraction == 0.0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"crash_fraction": 1.5},
+            {"partition_rate": -0.1},
+            {"slow_fraction": 2.0},
+            {"slow_factor": (0.5, 2.0)},
+            {"slow_factor": (4.0, 2.0)},
+            {"crash_max_round": -1},
+            {"horizon_rounds": 0},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            NodeFaultConfig(**kw)
+
+
+class TestNodeFaultPlan:
+    def test_none_is_benign(self):
+        plan = NodeFaultPlan.none(6)
+        assert plan.is_benign
+        assert not plan.crashed_at(0, 100)
+        assert not plan.partitioned_at(3, 0)
+        assert plan.slow_factor_of(5) == 1.0
+
+    def test_generate_deterministic_for_seed(self):
+        cfg = NodeFaultConfig(
+            crash_fraction=0.25, partition_rate=0.05, slow_fraction=0.25
+        )
+        a = NodeFaultPlan.generate(8, cfg, seed=3)
+        b = NodeFaultPlan.generate(8, cfg, seed=3)
+        assert a.crash_at_round == b.crash_at_round
+        assert a.partitions == b.partitions
+        np.testing.assert_array_equal(a.slow_factors, b.slow_factors)
+        c = NodeFaultPlan.generate(8, cfg, seed=4)
+        assert a.to_dict() != c.to_dict()
+
+    def test_crash_and_slow_nodes_disjoint(self):
+        cfg = NodeFaultConfig(crash_fraction=0.5, slow_fraction=0.5)
+        plan = NodeFaultPlan.generate(8, cfg, seed=0)
+        assert not set(plan.crashed_nodes) & set(plan.slow_nodes)
+
+    def test_crashed_at_is_cumulative(self):
+        plan = NodeFaultPlan(
+            num_nodes=4, config=NodeFaultConfig(), crash_at_round={2: 3}
+        )
+        assert not plan.crashed_at(2, 2)
+        assert plan.crashed_at(2, 3)
+        assert plan.crashed_at(2, 99)
+        assert not plan.crashed_at(1, 99)
+
+    def test_slow_factors_in_configured_range(self):
+        cfg = NodeFaultConfig(slow_fraction=0.5, slow_factor=(3.0, 5.0))
+        plan = NodeFaultPlan.generate(8, cfg, seed=1)
+        slow = plan.slow_factors[plan.slow_nodes]
+        assert len(slow) == 4
+        assert np.all((slow >= 3.0) & (slow <= 5.0))
+
+    def test_dict_roundtrip(self):
+        cfg = NodeFaultConfig(
+            crash_fraction=0.25,
+            partition_rate=0.02,
+            slow_fraction=0.25,
+            slow_factor=(2.0, 4.0),
+        )
+        plan = NodeFaultPlan.generate(8, cfg, seed=7)
+        back = NodeFaultPlan.from_dict(plan.to_dict())
+        assert back.config == plan.config
+        assert back.crash_at_round == plan.crash_at_round
+        assert back.partitions == plan.partitions
+        np.testing.assert_array_equal(back.slow_factors, plan.slow_factors)
+        assert back.to_dict() == plan.to_dict()
+
+    def test_roundtrip_survives_json(self):
+        import json
+
+        plan = NodeFaultPlan.generate(
+            6,
+            NodeFaultConfig(crash_fraction=0.5, partition_rate=0.1),
+            seed=2,
+        )
+        wire = json.loads(json.dumps(plan.to_dict()))
+        assert NodeFaultPlan.from_dict(wire).to_dict() == plan.to_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeFaultPlan(num_nodes=0, config=NodeFaultConfig())
+        with pytest.raises(ValueError):
+            NodeFaultPlan(
+                num_nodes=4, config=NodeFaultConfig(), crash_at_round={9: 0}
+            )
+        with pytest.raises(ValueError):
+            NodeFaultPlan(
+                num_nodes=4, config=NodeFaultConfig(), crash_at_round={1: -1}
+            )
+        with pytest.raises(ValueError):
+            NodeFaultPlan(
+                num_nodes=4,
+                config=NodeFaultConfig(),
+                slow_factors=np.array([1.0, 0.5, 1.0, 1.0]),
+            )
+
+    def test_summary_mentions_counts(self):
+        plan = NodeFaultPlan.generate(
+            8, NodeFaultConfig(crash_fraction=0.25), seed=0
+        )
+        assert "2 crashes" in plan.summary()

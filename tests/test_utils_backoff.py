@@ -1,0 +1,99 @@
+"""Unit tests for the shared retry/backoff policy."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultConfig
+from repro.utils.backoff import BackoffPolicy, BackoffSequence
+
+
+class TestPolicy:
+    def test_raw_delay_is_exponential(self):
+        p = BackoffPolicy(base_s=1e-4, multiplier=2.0)
+        assert p.raw_delay(0) == pytest.approx(1e-4)
+        assert p.raw_delay(1) == pytest.approx(2e-4)
+        assert p.raw_delay(3) == pytest.approx(8e-4)
+
+    def test_cap_limits_delay(self):
+        p = BackoffPolicy(base_s=1e-4, multiplier=2.0, cap_s=3e-4)
+        assert p.raw_delay(0) == pytest.approx(1e-4)
+        assert p.raw_delay(5) == pytest.approx(3e-4)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError, match="attempt"):
+            BackoffPolicy().raw_delay(-1)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"base_s": -1.0},
+            {"multiplier": 0.5},
+            {"cap_s": -1.0},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kw)
+
+    def test_dict_roundtrip(self):
+        p = BackoffPolicy(base_s=2e-4, multiplier=3.0, cap_s=1e-2, jitter=0.25)
+        assert BackoffPolicy.from_dict(p.to_dict()) == p
+
+    def test_fault_config_exposes_policy(self):
+        cfg = FaultConfig(retry_backoff_s=5e-4)
+        p = cfg.backoff_policy()
+        assert p.base_s == pytest.approx(5e-4)
+        assert p.multiplier == pytest.approx(2.0)
+        # No jitter: bit-compatible with the pre-extraction engine path.
+        assert p.jitter == 0.0
+
+
+class TestSequence:
+    def test_no_jitter_matches_raw_schedule(self):
+        p = BackoffPolicy(base_s=1e-4, multiplier=2.0)
+        seq = p.sequence(seed=0)
+        delays = [seq.next_delay() for _ in range(4)]
+        assert delays == pytest.approx([p.raw_delay(i) for i in range(4)])
+        assert seq.total_s == pytest.approx(sum(delays))
+
+    def test_jitter_is_seed_deterministic(self):
+        p = BackoffPolicy(base_s=1e-4, jitter=0.5)
+        a = [p.sequence(seed=7).next_delay() for _ in range(1)]
+        b = [p.sequence(seed=7).next_delay() for _ in range(1)]
+        assert a == b
+        seq1, seq2 = p.sequence(seed=7), p.sequence(seed=7)
+        assert [seq1.next_delay() for _ in range(6)] == pytest.approx(
+            [seq2.next_delay() for _ in range(6)]
+        )
+
+    def test_jitter_bounded(self):
+        p = BackoffPolicy(base_s=1e-4, multiplier=1.0, jitter=0.3)
+        seq = p.sequence(seed=3)
+        for _ in range(64):
+            d = seq.next_delay()
+            assert 0.7e-4 <= d <= 1.3e-4
+
+    def test_jitter_streams_differ_across_seeds(self):
+        p = BackoffPolicy(base_s=1e-4, jitter=0.5)
+        a = p.sequence(seed=1)
+        b = p.sequence(seed=2)
+        assert any(
+            a.next_delay() != pytest.approx(b.next_delay()) for _ in range(8)
+        )
+
+    def test_reset_restarts_attempts_but_not_jitter_stream(self):
+        p = BackoffPolicy(base_s=1e-4, multiplier=2.0, jitter=0.5)
+        seq = p.sequence(seed=11)
+        first_burst = [seq.next_delay() for _ in range(3)]
+        seq.reset()
+        assert seq.attempt == 0
+        second_burst = [seq.next_delay() for _ in range(3)]
+        # Same schedule, fresh jitter draws: bursts stay decorrelated.
+        assert first_burst != pytest.approx(second_burst)
+
+    def test_accepts_generator_seed(self):
+        rng = np.random.default_rng(5)
+        seq = BackoffSequence(BackoffPolicy(jitter=0.5), seed=rng)
+        assert seq.next_delay() > 0.0
