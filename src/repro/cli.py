@@ -3,7 +3,11 @@
 ::
 
     python -m repro info
-    python -m repro build  --preset sift-like-20k --nlist 128 --out index.npz
+    python -m repro index build   --preset sift-like-20k --nlist 128 \
+                                  --out index.drim
+    python -m repro index info    index.drim
+    python -m repro index verify  index.drim
+    python -m repro index compact index.drim
     python -m repro search --preset sift-like-20k --nlist 128 --nprobe 8
     python -m repro model  --points 100000000 --dim 128 --queries 10000 \
                            --nlist 16384 --nprobe 96
@@ -13,8 +17,15 @@
     python -m repro lint   --strict
     python -m repro sanitize --json
 
-`build` trains + quantizes an index and writes it with
-:mod:`repro.core.persist`; `search` runs the simulated engine end to
+`index` is the durable-lifecycle group: `index build` trains +
+quantizes and writes the versioned on-disk format (v2 binary by
+default — the mmap cold-start path of ``DrimAnnEngine.load``),
+`index info` reads the header without decoding payloads,
+`index verify` checks structure + per-segment checksums, and
+`index compact` drops tombstoned points and atomically rewrites the
+file. `build` is the deprecated v1 alias (`index build --format v1`).
+`search`/`serve`/`chaos` accept ``--index PATH`` to run from a saved
+index instead of retraining; `search` runs the simulated engine end to
 end and reports recall and the timing breakdown (``--profile`` adds
 the per-phase metrics profile); `model` evaluates the analytic
 performance model at any scale (no simulation); `tune` runs the
@@ -109,17 +120,64 @@ def _build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("info", help="version, presets, default hardware")
     _add_json_arg(i)
 
-    b = sub.add_parser("build", help="train + quantize an index, save to .npz")
+    b = sub.add_parser(
+        "build",
+        help="train + quantize an index, save to legacy .npz "
+             "(deprecated alias of `index build --format v1`)",
+    )
     b.add_argument("--preset", default="sift-like-20k")
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("--out", required=True, help="output .npz path")
     _add_index_args(b)
     _add_json_arg(b)
 
+    ix = sub.add_parser(
+        "index",
+        help="durable index lifecycle: build, inspect, verify, compact",
+    )
+    ixs = ix.add_subparsers(dest="index_command", required=True)
+
+    ib = ixs.add_parser(
+        "build", help="train + quantize, write the v2 binary index file"
+    )
+    ib.add_argument("--preset", default="sift-like-20k")
+    ib.add_argument("--seed", type=int, default=0)
+    ib.add_argument("--out", required=True, help="output index path")
+    ib.add_argument("--format", dest="fmt", default="v2",
+                    choices=("v2", "v1"),
+                    help="on-disk format: v2 binary (default, mmap-able) "
+                         "or legacy v1 .npz")
+    _add_index_args(ib)
+    _add_json_arg(ib)
+
+    ii = ixs.add_parser(
+        "info", help="header-only inspection of an index file"
+    )
+    ii.add_argument("path", help="index file (v1 .npz or v2 binary)")
+    _add_json_arg(ii)
+
+    iv = ixs.add_parser(
+        "verify",
+        help="structural + checksum validation; non-zero exit on corruption",
+    )
+    iv.add_argument("path", help="index file (v1 .npz or v2 binary)")
+    _add_json_arg(iv)
+
+    ic = ixs.add_parser(
+        "compact",
+        help="drop tombstoned points and rewrite the file atomically",
+    )
+    ic.add_argument("path", help="index file to compact")
+    ic.add_argument("--out",
+                    help="write the compacted index here instead of "
+                         "replacing the input in place")
+    _add_json_arg(ic)
+
     s = sub.add_parser("search", help="run the simulated engine end to end")
     s.add_argument("--preset", default="sift-like-20k")
     s.add_argument("--seed", type=int, default=0)
-    s.add_argument("--index", help="prebuilt .npz from `repro build`")
+    s.add_argument("--index", help="prebuilt index file (`repro index build` "
+                                   "v2 binary or legacy `repro build` .npz)")
     s.add_argument("--dpus", type=int, default=32)
     s.add_argument("--queries", type=int, default=200)
     s.add_argument("--execution", default="batched",
@@ -175,6 +233,8 @@ def _build_parser() -> argparse.ArgumentParser:
     v = sub.add_parser("serve", help="simulate an open-loop query stream")
     v.add_argument("--preset", default="sift-like-20k")
     v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--index", help="prebuilt index file to serve from "
+                                   "(skips training)")
     v.add_argument("--rate", "--qps", dest="rate", type=float, default=5000,
                    help="arrival QPS")
     v.add_argument("--queries", type=int, default=300)
@@ -225,6 +285,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("--smoke", action="store_true",
                     help="seconds-scale sweep for CI (overrides sizes)")
+    ch.add_argument("--index", help="prebuilt index file to sweep over "
+                                    "(skips training; geometry must match)")
     ch.add_argument("--seed", type=int, default=0)
     ch.add_argument("--dpus", type=int, default=64)
     ch.add_argument("--vectors", type=int, default=4096)
@@ -383,11 +445,12 @@ def _params(args):
     )
 
 
-def _cmd_build(args) -> int:
+def _train_and_write(args, fmt: str) -> int:
+    """Shared body of ``repro build`` and ``repro index build``."""
     from dataclasses import asdict
 
     from repro.ann import IVFPQIndex
-    from repro.core.persist import save_quantized
+    from repro.core.persist import save_index, write_v1
     from repro.core.quantized import build_quantized_index
     from repro.data import load_dataset
 
@@ -404,21 +467,100 @@ def _cmd_build(args) -> int:
         seed=args.seed,
     )
     quant = build_quantized_index(index)
-    save_quantized(quant, args.out)
-    _say(args, f"wrote {args.out}: {quant.num_points} points, "
+    if fmt == "v1":
+        write_v1(quant, args.out)
+    else:
+        save_index(quant, args.out)
+    _say(args, f"wrote {args.out} ({fmt}): {quant.num_points} points, "
                f"{quant.nlist} clusters, dim {quant.dim}")
     _emit(
         args,
         config={
             "preset": args.preset,
             "seed": args.seed,
+            "format": fmt,
             "index": asdict(params),
         },
         results={
             "out": args.out,
+            "format": fmt,
             "num_points": quant.num_points,
             "nlist": quant.nlist,
             "dim": quant.dim,
+        },
+    )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    return _train_and_write(args, "v1")
+
+
+def _cmd_index(args) -> int:
+    args.command = f"index {args.index_command}"
+    if args.index_command == "build":
+        return _train_and_write(args, args.fmt)
+    if args.index_command == "info":
+        return _cmd_index_info(args)
+    if args.index_command == "verify":
+        return _cmd_index_verify(args)
+    return _cmd_index_compact(args)
+
+
+def _cmd_index_info(args) -> int:
+    from repro.core.persist import index_info
+
+    info = index_info(args.path)
+    _say(args, f"{args.path}: {info['container']} "
+               f"(format v{info['format_version']})")
+    _say(args, f"  {info['num_points']} points, {info['nlist']} clusters, "
+               f"dim {info['dim']}, M={info['num_subspaces']}, "
+               f"CB={info['codebook_size']}")
+    _say(args, f"  tombstones: {info['num_tombstones']} "
+               f"({info['tombstone_ratio']:.1%})")
+    _say(args, f"  cluster heat: {'yes' if info['has_cluster_heat'] else 'no'}"
+               f", OPQ: {'yes' if info['has_opq'] else 'no'}"
+               f", {info['file_bytes']} bytes on disk")
+    _emit(args, config={"path": args.path}, results=info)
+    return 0
+
+
+def _cmd_index_verify(args) -> int:
+    from repro.core.persist import verify_index
+
+    report = verify_index(args.path)
+    if report["ok"]:
+        _say(args, f"{args.path}: OK "
+                   f"({report['checked_segments']} segments verified)")
+    else:
+        for err in report["errors"]:
+            _say(args, f"{args.path}: {err}")
+    _emit(args, config={"path": args.path}, results=report)
+    return 0 if report["ok"] else 1
+
+
+def _cmd_index_compact(args) -> int:
+    from repro.core.persist import load_index_bundle, save_index
+
+    bundle = load_index_bundle(args.path, mmap=False)
+    removed = bundle.index.num_tombstones
+    compacted = bundle.index.compact()
+    target = args.out or args.path
+    save_index(
+        compacted,
+        target,
+        cluster_heat=bundle.cluster_heat,
+        preprocessor=bundle.preprocessor,
+    )
+    _say(args, f"compacted {args.path} -> {target}: dropped {removed} "
+               f"tombstones, {compacted.num_points} points remain")
+    _emit(
+        args,
+        config={"path": args.path, "out": args.out},
+        results={
+            "out": target,
+            "removed_tombstones": removed,
+            "num_points": compacted.num_points,
         },
     )
     return 0
@@ -442,7 +584,7 @@ def _profile_lines(snapshot) -> List[str]:
 def _cmd_search(args) -> int:
     from repro.ann import recall_at_k
     from repro.core import DrimAnnEngine, EngineConfig, LayoutConfig, SearchParams
-    from repro.core.persist import load_quantized
+    from repro.core.persist import load_index
     from repro.data import load_dataset
     from repro.obs import ObsConfig
     from repro.pim.config import PimSystemConfig
@@ -452,7 +594,7 @@ def _cmd_search(args) -> int:
     ds = load_dataset(
         args.preset, seed=args.seed, num_queries=args.queries, ground_truth_k=params.k
     )
-    quant = load_quantized(args.index) if args.index else None
+    quant = load_index(args.index) if args.index else None
     layout = (
         LayoutConfig(min_split_size=None, max_copies=0, allocation="id_order")
         if args.no_balance
@@ -680,11 +822,17 @@ def _cmd_serve(args) -> int:
         ),
         obs=ObsConfig(enabled=obs_on),
     )
+    quant = None
+    if args.index:
+        from repro.core.persist import load_index
+
+        quant = load_index(args.index)
     _say(args, f"building engine ({args.dpus} DPUs) ...")
     engine = DrimAnnEngine.from_config(
         ds.base,
         config,
         heat_queries=ds.queries[: args.queries // 4],
+        prebuilt_quantized=quant,
         seed=args.seed,
     )
     arrivals = PoissonArrivals(args.rate).sample(args.queries, seed=args.seed)
@@ -860,6 +1008,11 @@ def _cmd_chaos(args) -> int:
 
     if args.cluster:
         return _cmd_chaos_cluster(args)
+    prebuilt = None
+    if args.index:
+        from repro.core.persist import load_index
+
+        prebuilt = load_index(args.index)
     if args.smoke:
         config = ChaosConfig.smoke(duplicate=not args.no_dup, seed=args.seed)
         if args.rates:
@@ -881,7 +1034,7 @@ def _cmd_chaos(args) -> int:
             duplicate=not args.no_dup,
             seed=args.seed,
         )
-    report = run_chaos(config)
+    report = run_chaos(config, prebuilt_quantized=prebuilt)
     _say(args, report.summary())
     d = report.to_dict()
     _emit(args, config=d["config"], results={"points": d["points"]})
@@ -1042,6 +1195,7 @@ def _cmd_sanitize(args) -> int:
 _COMMANDS = {
     "info": _cmd_info,
     "build": _cmd_build,
+    "index": _cmd_index,
     "search": _cmd_search,
     "model": _cmd_model,
     "tune": _cmd_tune,

@@ -28,6 +28,7 @@ from repro.cluster.index import (
     ClusterIndex,
     ShardHandle,
     build_cluster_index,
+    load_cluster_index,
     partition_clusters,
 )
 from repro.cluster.serving import simulate_cluster_serving
@@ -42,6 +43,7 @@ __all__ = [
     "ShardHandle",
     "ShardResponse",
     "build_cluster_index",
+    "load_cluster_index",
     "merge_shard_results",
     "partition_clusters",
     "simulate_cluster_serving",

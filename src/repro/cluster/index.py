@@ -27,6 +27,8 @@ bit-identical to the single-engine oracle
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
@@ -36,8 +38,18 @@ from repro.ann.ivfpq import IVFPQIndex
 from repro.core.config import EngineConfig
 from repro.core.engine import DrimAnnEngine
 from repro.core.layout import estimate_cluster_heat
+from repro.core.persist import (
+    IndexFormatError,
+    _atomic_write,
+    load_index_bundle,
+    save_index,
+)
 from repro.core.quantized import QuantizedIndexData, build_quantized_index
 from repro.utils import check_2d
+
+#: Manifest identity for on-disk cluster directories.
+_CLUSTER_MAGIC = "drimann-cluster-index"
+CLUSTER_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -95,11 +107,15 @@ def _sub_index(
     Local cluster ``i`` is global cluster ``owned[i]``; point ids stay
     global, so per-shard results merge directly.
     """
+    masks = quantized.tombstone_masks()
     return QuantizedIndexData(
         centroids=quantized.centroids[owned].copy(),
         codebooks=quantized.codebooks,
         cluster_ids=[quantized.cluster_ids[int(c)] for c in owned],
         cluster_codes=[quantized.cluster_codes[int(c)] for c in owned],
+        tombstones=(
+            None if masks is None else [masks[int(c)].copy() for c in owned]
+        ),
     )
 
 
@@ -182,6 +198,55 @@ class ClusterIndex:
         return self.router.reference_search(
             queries, self.params.k, self.params.nprobe
         )
+
+    # ----- persistence ------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Persist the rack to ``directory`` (router + one file per shard).
+
+        Layout: ``router.drim`` (the global routing index),
+        ``shard_NNNN.drim`` (each shard's sub-index with its engines'
+        intra-platform cluster heat, so a reload reproduces the exact
+        DPU layout), and ``manifest.json``. The manifest is written
+        *last* and atomically — a crash mid-save leaves either the old
+        manifest (old rack still loadable) or no manifest (directory
+        recognizably incomplete), never a manifest pointing at missing
+        shard files.
+        """
+        os.makedirs(directory, exist_ok=True)
+        save_index(self.router, os.path.join(directory, "router.drim"))
+        shard_entries = []
+        for shard in self.shards:
+            fname = f"shard_{shard.shard_id:04d}.drim"
+            heat = shard.engines[0].cluster_heat if shard.engines else None
+            save_index(
+                shard.sub_index,
+                os.path.join(directory, fname),
+                cluster_heat=heat,
+            )
+            shard_entries.append(
+                {
+                    "shard_id": shard.shard_id,
+                    "file": fname,
+                    "global_cids": [int(c) for c in shard.global_cids],
+                }
+            )
+        manifest = {
+            "magic": _CLUSTER_MAGIC,
+            "format_version": CLUSTER_FORMAT_VERSION,
+            "num_shards": self.config.num_shards,
+            "replication": self.config.replication,
+            "nlist": int(self.router.nlist),
+            "num_subspaces": int(self.router.num_subspaces),
+            "codebook_size": int(self.router.codebook_size),
+            "owner": [int(s) for s in self.owner],
+            "shards": shard_entries,
+        }
+        payload = json.dumps(manifest, indent=2, sort_keys=True)
+
+        def _write(f) -> None:
+            f.write(payload.encode("utf-8"))
+
+        _atomic_write(os.path.join(directory, "manifest.json"), _write)
 
     # ----- lifecycle --------------------------------------------------------
     def close(self) -> None:
@@ -268,7 +333,7 @@ def build_cluster_index(
             point_weight=point_weight,
         )
     else:
-        sizes = quantized.cluster_sizes().astype(np.float64)
+        sizes = quantized.cluster_live_sizes().astype(np.float64)
         heat = sizes * point_weight + lut_weight
 
     owner = partition_clusters(heat, cluster.num_shards)
@@ -313,6 +378,135 @@ def build_cluster_index(
 
     return ClusterIndex(
         router=quantized,
+        params=params,
+        config=cluster,
+        owner=owner,
+        shards=shards,
+    )
+
+
+def load_cluster_index(
+    directory: str,
+    config: EngineConfig,
+    *,
+    seed=None,
+    mmap: bool = True,
+) -> ClusterIndex:
+    """Reopen a rack saved by :meth:`ClusterIndex.save`.
+
+    ``config`` plays the same role as in :func:`build_cluster_index`
+    (per-node system/search parameters); its index geometry must match
+    the manifest. Shard engines are reassembled from the stored
+    sub-indexes with their *stored* intra-platform cluster heat, so a
+    reloaded rack answers bit-identically to the one that was saved —
+    results and cycle ledgers both.
+    """
+    manifest_path = os.path.join(directory, "manifest.json")
+    if not os.path.isfile(manifest_path):
+        raise FileNotFoundError(
+            f"no cluster manifest at {manifest_path!r}; was the directory "
+            "saved with ClusterIndex.save()?"
+        )
+    with open(manifest_path, "r", encoding="utf-8") as f:
+        try:
+            manifest = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise IndexFormatError(
+                f"{manifest_path!r}: manifest is not valid JSON: {exc}"
+            ) from None
+    if manifest.get("magic") != _CLUSTER_MAGIC:
+        raise IndexFormatError(
+            f"{manifest_path!r}: not a cluster-index manifest "
+            f"(magic={manifest.get('magic')!r})"
+        )
+    version = manifest.get("format_version")
+    if version != CLUSTER_FORMAT_VERSION:
+        raise IndexFormatError(
+            f"{manifest_path!r} has cluster format version {version}; "
+            f"this build reads {CLUSTER_FORMAT_VERSION}"
+        )
+    if config.use_opq:
+        raise ValueError(
+            "cluster sharding does not support use_opq: the rotation is a "
+            "corpus-level preprocess; apply it before building the cluster"
+        )
+    if config.faults is not None:
+        raise ValueError(
+            "config.faults is DPU-granularity; node faults belong to the "
+            "frontend's NodeFaultPlan — pass faults=None here"
+        )
+    params = config.index
+    for name in ("nlist", "num_subspaces", "codebook_size"):
+        want = int(manifest[name])
+        got = int(getattr(params, name))
+        if got != want:
+            raise ValueError(
+                f"config.index.{name}={got} does not match the saved "
+                f"cluster at {directory!r} ({name}={want})"
+            )
+
+    cluster = ClusterConfig(
+        num_shards=int(manifest["num_shards"]),
+        replication=int(manifest["replication"]),
+    )
+    router = load_index_bundle(
+        os.path.join(directory, "router.drim"), mmap=mmap
+    ).index
+    owner = np.asarray(manifest["owner"], dtype=np.int64)
+    if owner.shape != (router.nlist,):
+        raise IndexFormatError(
+            f"{manifest_path!r}: owner list has {owner.shape[0]} entries, "
+            f"router has {router.nlist} clusters"
+        )
+
+    shards: List[ShardHandle] = []
+    for entry in manifest["shards"]:
+        sid = int(entry["shard_id"])
+        owned = np.asarray(entry["global_cids"], dtype=np.int64)
+        shard_path = os.path.join(directory, entry["file"])
+        if not os.path.isfile(shard_path):
+            raise IndexFormatError(
+                f"{manifest_path!r} references missing shard file "
+                f"{entry['file']!r}"
+            )
+        bundle = load_index_bundle(shard_path, mmap=mmap)
+        sub = bundle.index
+        if sub.nlist != len(owned):
+            raise IndexFormatError(
+                f"{shard_path!r} has {sub.nlist} clusters, manifest says "
+                f"shard {sid} owns {len(owned)}"
+            )
+        g2l = np.full(router.nlist, -1, dtype=np.int64)
+        g2l[owned] = np.arange(len(owned))
+        shard_config = config.replace(
+            index=replace(
+                params,
+                nlist=len(owned),
+                nprobe=min(params.nprobe, len(owned)),
+            ),
+        )
+        engines = [
+            DrimAnnEngine.from_quantized(
+                sub,
+                shard_config,
+                cluster_heat=bundle.cluster_heat,
+                seed=seed,
+                index_path=shard_path,
+            )
+            for _ in range(cluster.replication)
+        ]
+        shards.append(
+            ShardHandle(
+                shard_id=sid,
+                global_cids=owned,
+                global_to_local=g2l,
+                sub_index=sub,
+                engines=engines,
+            )
+        )
+
+    return ClusterIndex(
+        router=router,
         params=params,
         config=cluster,
         owner=owner,

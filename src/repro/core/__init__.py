@@ -13,7 +13,10 @@
 * :mod:`repro.core.scheduler` — runtime predictor + inter-batch filter
   (§IV-D);
 * :mod:`repro.core.engine` — the end-to-end DRIM-ANN engine (§IV-A);
-* :mod:`repro.core.breakdown` — timing breakdowns (Fig. 8).
+* :mod:`repro.core.breakdown` — timing breakdowns (Fig. 8);
+* :mod:`repro.core.persist` — the versioned on-disk index format
+  (v2 ``DRIMIDX2`` binary + legacy v1 ``.npz``) behind
+  ``DrimAnnEngine.save``/``load``.
 """
 
 from repro.core.square_lut import SquareLut
@@ -28,7 +31,18 @@ from repro.core.engine import DrimAnnEngine, EngineReport
 from repro.core.breakdown import TimingBreakdown
 from repro.core.accuracy import AccuracyTable, measure_accuracy_table
 from repro.core.dse import DesignSpaceExplorer, DseResult
-from repro.core.persist import IndexFormatError, load_quantized, save_quantized
+from repro.core.persist import (
+    IndexBundle,
+    IndexFormatError,
+    index_info,
+    load_index,
+    load_index_bundle,
+    load_quantized,
+    save_index,
+    save_quantized,
+    verify_index,
+    write_v1,
+)
 from repro.core.serving import (
     BatchingPolicy,
     PoissonArrivals,
@@ -65,9 +79,16 @@ __all__ = [
     "measure_accuracy_table",
     "DesignSpaceExplorer",
     "DseResult",
+    "IndexBundle",
     "IndexFormatError",
+    "index_info",
+    "load_index",
+    "load_index_bundle",
     "load_quantized",
+    "save_index",
     "save_quantized",
+    "verify_index",
+    "write_v1",
     "BatchingPolicy",
     "PoissonArrivals",
     "ServingReport",

@@ -26,9 +26,10 @@ any configuration it must equal
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from repro.core.params import (
     SearchParams,
 )
 from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
+from repro.core.persist import load_index_bundle, save_index
 from repro.core.quantized import QuantizedIndexData, build_quantized_index
 from repro.core.results import SearchOutcome
 from repro.core.scheduler import RuntimeScheduler, SchedulerConfig
@@ -73,6 +75,20 @@ class EngineReport:
     num_shards: int
     offline_transfer_seconds: float
     replica_counts: Dict[int, int]
+
+
+def _rows_slice(rows: np.ndarray) -> Union[slice, np.ndarray]:
+    """A basic slice equivalent to contiguous ascending row indices.
+
+    Layout parts are ``np.array_split`` ranges, so this almost always
+    returns a slice — indexing with it yields a zero-copy view (fancy
+    indexing would copy), which keeps mmap-loaded clusters unmaterialized
+    all the way into shard placement and the shared-memory arena.
+    """
+    rows = np.asarray(rows)
+    if rows.size and int(rows[-1]) - int(rows[0]) + 1 == rows.size:
+        return slice(int(rows[0]), int(rows[-1]) + 1)
+    return rows
 
 
 class DrimAnnEngine:
@@ -103,6 +119,11 @@ class DrimAnnEngine:
         self.observer = observer
         self.scheduler.observer = observer
         self.system.observer = observer
+        # Lifecycle state (populated by from_quantized / load / save).
+        self._config: Optional[EngineConfig] = None
+        self.cluster_heat: Optional[np.ndarray] = None
+        self.index_path: Optional[str] = None
+        self._unloaded = False
 
     @property
     def fault_plan(self) -> Optional[FaultPlan]:
@@ -119,13 +140,289 @@ class DrimAnnEngine:
         :func:`repro.pim.parallel.assert_no_leaked_segments` can then
         verify nothing leaked.
         """
-        self.system.close()
+        if self.system is not None:
+            self.system.close()
 
     def __enter__(self) -> "DrimAnnEngine":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def _check_loaded(self) -> None:
+        if self._unloaded:
+            raise RuntimeError(
+                "engine is unloaded; re-open it with DrimAnnEngine.load(path)"
+            )
+
+    def save(self, path: str) -> None:
+        """Persist the index (v2 format) for :meth:`load`, atomically.
+
+        Writes the quantized index plus the cluster-heat vector the
+        layout was generated from (so a reload reproduces the exact
+        shard layout and cycle ledgers) and the OPQ preprocessor if one
+        is attached. Tombstones are stored as-is; run :meth:`compact`
+        first to reclaim them.
+        """
+        self._check_loaded()
+        save_index(
+            self.quantized,
+            path,
+            cluster_heat=self.cluster_heat,
+            preprocessor=self.preprocessor,
+        )
+        self.index_path = path
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        config: Optional[EngineConfig] = None,
+        *,
+        heat_queries: Optional[np.ndarray] = None,
+        mmap: bool = True,
+        cpu_profile: Optional[HardwareProfile] = None,
+        tracer=None,
+        seed=None,
+    ) -> "DrimAnnEngine":
+        """Cold-start an engine from an index file — a load, not a rebuild.
+
+        v2 files open as :func:`numpy.memmap` views (``mmap=False``
+        materializes them); shard placement slices those views, so the
+        only copy on the cold-start path is the arena publish. With
+        ``config=None`` the index parameters are derived from the file
+        (nprobe defaults to ``min(8, nlist)``, k to 10); an explicit
+        config must agree with the file's nlist/M/CB. Search behaviour
+        is bit-exact vs. the engine that saved the file: the stored
+        cluster-heat vector reproduces the layout (pass ``heat_queries``
+        to re-estimate instead). Timings land on the observer as
+        ``drimann_index_load_seconds{phase="open"|"assemble"}`` — they
+        are observability data, never part of search results
+        (drimsan: allow wallclock-in-result).
+        """
+        t0 = time.perf_counter()
+        bundle = load_index_bundle(path, mmap=mmap)
+        open_seconds = time.perf_counter() - t0
+        quantized = bundle.index
+        if config is None:
+            config = EngineConfig(
+                index=IndexParams(
+                    nlist=quantized.nlist,
+                    nprobe=min(8, quantized.nlist),
+                    k=10,
+                    num_subspaces=quantized.num_subspaces,
+                    codebook_size=quantized.codebook_size,
+                )
+            )
+        else:
+            if config.use_opq:
+                raise ValueError(
+                    "use_opq trains on a raw corpus; load() restores any "
+                    "OPQ transform from the index file itself"
+                )
+            p = config.index
+            for name, got, want in (
+                ("nlist", p.nlist, quantized.nlist),
+                ("num_subspaces", p.num_subspaces, quantized.num_subspaces),
+                ("codebook_size", p.codebook_size, quantized.codebook_size),
+            ):
+                if got != want:
+                    raise ValueError(
+                        f"config.index.{name}={got} does not match the "
+                        f"index file {path!r} ({name}={want})"
+                    )
+        t1 = time.perf_counter()
+        engine = cls.from_quantized(
+            quantized,
+            config,
+            heat_queries=heat_queries,
+            cluster_heat=bundle.cluster_heat if heat_queries is None else None,
+            cpu_profile=cpu_profile,
+            tracer=tracer,
+            preprocessor=bundle.preprocessor,
+            seed=seed,
+            index_path=path,
+        )
+        assemble_seconds = time.perf_counter() - t1
+        obs = engine.observer
+        if obs is not None:
+            obs.on_index_load("open", open_seconds)
+            obs.on_index_load("assemble", assemble_seconds)
+            obs.on_tombstones(quantized.tombstone_ratio)
+        return engine
+
+    def unload(self) -> None:
+        """Release every search resource; the engine becomes inert.
+
+        Tears down the worker pool and shared-memory arena and drops the
+        index arrays (for an mmap-backed index this releases the
+        mapping). Any subsequent search/save/mutation raises
+        ``RuntimeError`` — re-open with :meth:`load`. Idempotent.
+        """
+        if self._unloaded:
+            return
+        self.close()
+        self.quantized = None  # type: ignore[assignment]
+        self.system = None  # type: ignore[assignment]
+        self.plan = None  # type: ignore[assignment]
+        self.scheduler = None  # type: ignore[assignment]
+        self._unloaded = True
+
+    # ------------------------------------------------------------- mutation
+    def _sync_liveness(self) -> None:
+        """Push per-shard live-row filters into the PIM system."""
+        masks = self.quantized.tombstone_masks()
+        for key, shard in self.plan.shards.items():
+            live = None
+            if masks is not None:
+                dead = np.asarray(masks[shard.cluster_id])[shard.point_rows]
+                if dead.any():
+                    live = np.flatnonzero(~dead)
+            self.system.set_shard_liveness(key, live)
+
+    def add(
+        self, vectors: np.ndarray, ids: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Encode and append new vectors to the serving engine.
+
+        Vectors run through the OPQ transform (if any), are assigned and
+        PQ-encoded with the trained index
+        (:meth:`~repro.core.quantized.QuantizedIndexData.encode`), and
+        land in the *last part* of every replica of their cluster — the
+        one whose row range ends at the cluster's old size, so every
+        shard stays a contiguous (zero-copy-able) row range. The
+        appended rows' host→PIM transfer is charged, and the
+        scheduler's per-group cost cache is rebuilt so load balancing
+        sees the new sizes. Returns the assigned point ids.
+        """
+        self._check_loaded()
+        vectors = check_2d(vectors, "vectors")
+        if self.preprocessor is not None:
+            vectors = self.preprocessor.transform(vectors)
+        old_sizes = self.quantized.cluster_sizes()
+        new_ids, assign = self.quantized.add(vectors, ids)
+        if len(new_ids) == 0:
+            return new_ids
+        quantized = self.quantized
+        added_bytes = 0.0
+        for cid in (int(c) for c in np.unique(assign)):
+            n_old = int(old_sizes[cid])
+            n_new = len(quantized.cluster_ids[cid])
+            row_bytes = (
+                quantized.cluster_codes[cid].dtype.itemsize
+                * quantized.num_subspaces
+                + 8
+            )
+            for group in self.plan.replica_groups[cid]:
+                key = group[-1]  # the part whose row range ends at n_old
+                shard = self.plan.shards[key]
+                rows = shard.point_rows
+                start = int(rows[0]) if len(rows) else n_old
+                shard.point_rows = np.arange(start, n_new, dtype=np.int64)
+                self.system.update_shard(
+                    key,
+                    quantized.cluster_ids[cid][start:n_new],
+                    quantized.cluster_codes[cid][start:n_new],
+                )
+                added_bytes += (n_new - n_old) * row_bytes
+        self.report.offline_transfer_seconds += self.system.transfer.scatter(
+            "shards", added_bytes
+        )
+        self.report.mram_used_per_dpu = self.system.mram_usage()
+        if quantized.has_tombstones:
+            self._sync_liveness()
+        # The scheduler precomputes per-group latency from shard sizes;
+        # rebuild it (cheap) so predictions track the grown shards.
+        scheduler = RuntimeScheduler(self.plan, self.scheduler.config)
+        scheduler.adopt_fault_state(self.scheduler)
+        self.scheduler = scheduler
+        return new_ids
+
+    def delete(self, ids: np.ndarray) -> int:
+        """Tombstone points by id; returns how many were newly deleted.
+
+        Deleted rows stay resident (DC still streams and is charged for
+        them — the ledger stays honest) but are filtered out of every
+        scan before top-k, so they can never appear in results.
+        :meth:`compact` reclaims the space.
+        """
+        self._check_loaded()
+        count = self.quantized.delete(ids)
+        if count:
+            self._sync_liveness()
+        if self.observer is not None:
+            self.observer.on_tombstones(self.quantized.tombstone_ratio)
+        return count
+
+    def compact(
+        self,
+        *,
+        heat_queries: Optional[np.ndarray] = None,
+        save_to: Optional[str] = None,
+        seed=None,
+    ) -> Dict[str, object]:
+        """Re-encode survivors, rebalance the layout, replace the file.
+
+        Builds a fresh fully-materialized index holding only live rows,
+        regenerates the DPU layout from current cluster heat (estimated
+        from ``heat_queries`` when given, else live sizes), writes the
+        new segments atomically over ``save_to`` (default: the path the
+        engine was loaded from / last saved to — skipped if neither), and
+        only then swaps the in-memory state. A crash mid-write leaves
+        both the old file and the running engine fully usable.
+        """
+        self._check_loaded()
+        removed = self.quantized.num_tombstones
+        new_quantized = self.quantized.compact()
+        config = self._config
+        if config is None:
+            config = EngineConfig(
+                index=self.params,
+                search=self.search_params,
+                system=self.system.config,
+            )
+        fresh = DrimAnnEngine.from_quantized(
+            new_quantized,
+            config,
+            heat_queries=heat_queries,
+            cpu_profile=self.cpu_profile,
+            preprocessor=self.preprocessor,
+            seed=seed,
+            index_path=self.index_path,
+        )
+        target = save_to if save_to is not None else self.index_path
+        if target is not None:
+            try:
+                save_index(
+                    new_quantized,
+                    target,
+                    cluster_heat=fresh.cluster_heat,
+                    preprocessor=self.preprocessor,
+                )
+            except BaseException:
+                # Crash-safe: the staged temp file is already cleaned up
+                # by the writer; drop the half-built replacement system
+                # and leave this engine (and the old file) untouched.
+                fresh.close()
+                raise
+        self.close()
+        self.quantized = fresh.quantized
+        self.system = fresh.system
+        self.plan = fresh.plan
+        self.scheduler = fresh.scheduler
+        self.report = fresh.report
+        self.cluster_heat = fresh.cluster_heat
+        self.index_path = target if target is not None else self.index_path
+        # Keep the original observer wiring (fresh carried its own).
+        self.system.observer = self.observer
+        self.scheduler.observer = self.observer
+        if self.observer is not None:
+            self.observer.on_tombstones(0.0)
+        return {
+            "removed_tombstones": removed,
+            "num_points": new_quantized.num_points,
+            "path": target,
+        }
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -205,10 +502,6 @@ class DrimAnnEngine:
         ``config.obs`` switches on the :mod:`repro.obs` metrics layer.
         """
         params = config.index
-        search_params = config.search
-        system_config = config.system
-        layout_config = config.layout
-        fault_plan = config.faults
         use_opq = config.use_opq
         base = check_2d(dataset, "base")
         params.validate_for(base.shape[1])
@@ -246,6 +539,49 @@ class DrimAnnEngine:
                 )
             quantized = build_quantized_index(index)
 
+        return cls.from_quantized(
+            quantized,
+            config,
+            heat_queries=heat_queries,
+            cpu_profile=cpu_profile,
+            tracer=tracer,
+            preprocessor=preprocessor,
+            seed=rng,
+        )
+
+    @classmethod
+    def from_quantized(
+        cls,
+        quantized: QuantizedIndexData,
+        config: EngineConfig,
+        *,
+        heat_queries: Optional[np.ndarray] = None,
+        cluster_heat: Optional[np.ndarray] = None,
+        cpu_profile: Optional[HardwareProfile] = None,
+        tracer=None,
+        preprocessor: Optional[OpqPreprocessor] = None,
+        seed=None,
+        index_path: Optional[str] = None,
+    ) -> "DrimAnnEngine":
+        """Assemble an engine around an existing quantized index.
+
+        The training-free half of :meth:`from_config`: layout, PIM
+        system bring-up, and shard placement — and the core of
+        :meth:`load`. Heat precedence: an explicit ``cluster_heat``
+        vector (e.g. the one stored in a v2 index file, which makes the
+        reloaded layout — and therefore the cycle ledgers — bit-exact),
+        else an estimate from ``heat_queries``, else the live-size
+        fallback. ``preprocessor`` attaches an already-trained OPQ
+        transform (``heat_queries`` must already be in its domain).
+        """
+        params = config.index
+        search_params = config.search
+        system_config = config.system
+        layout_config = config.layout
+        fault_plan = config.faults
+        params.validate_for(quantized.dim)
+        rng = ensure_rng(seed)
+
         if quantized.nlist != params.nlist:
             raise ValueError(
                 f"index nlist {quantized.nlist} != params.nlist {params.nlist}"
@@ -278,12 +614,19 @@ class DrimAnnEngine:
         weights_kw = dict(
             lut_weight=lut_latency, point_weight=per_point_calc + per_point_sort
         )
-        if heat_queries is not None:
+        if cluster_heat is not None:
+            heat = np.asarray(cluster_heat, dtype=np.float64)
+            if heat.shape != (quantized.nlist,):
+                raise ValueError(
+                    f"cluster_heat must have shape ({quantized.nlist},), "
+                    f"got {heat.shape}"
+                )
+        elif heat_queries is not None:
             heat = estimate_cluster_heat(
                 quantized, heat_queries, params.nprobe, **weights_kw
             )
         else:
-            sizes = quantized.cluster_sizes().astype(np.float64)
+            sizes = quantized.cluster_live_sizes().astype(np.float64)
             heat = sizes * (weights_kw["point_weight"]) + weights_kw["lut_weight"]
 
         plan = generate_layout(
@@ -311,7 +654,12 @@ class DrimAnnEngine:
             offline_xfer += system.load_centroid_slices(quantized.centroids)
         for key, shard in plan.shards.items():
             cid = shard.cluster_id
-            rows = shard.point_rows
+            # Contiguous row ranges become basic slices: the ShardData
+            # then holds zero-copy views into the cluster arrays — for
+            # an mmap-loaded index, placement (and the arena publish
+            # that copies these into shared memory) never materializes
+            # an intermediate per-shard copy.
+            rows = _rows_slice(shard.point_rows)
             system.place_shard(
                 plan.placement[key],
                 ShardData(
@@ -321,12 +669,18 @@ class DrimAnnEngine:
                     codes=quantized.cluster_codes[cid][rows],
                 ),
             )
-        # Shard payloads also traverse the host channel once, offline.
+        # Shard payloads also traverse the host channel once, offline
+        # (byte count from shapes alone — no array materialization).
+        code_row_bytes = (
+            quantized.codebooks.shape[0]
+            * (1 if quantized.codebook_size <= 256 else 2)
+            if quantized.nlist == 0
+            else quantized.cluster_codes[0].dtype.itemsize
+            * quantized.num_subspaces
+        )
         total_bytes = float(
             sum(
-                quantized.cluster_codes[s.cluster_id][s.point_rows].nbytes
-                + len(s.point_rows) * 8
-                + quantized.dim
+                s.num_points * (code_row_bytes + 8) + quantized.dim
                 for s in plan.shards.values()
             )
         )
@@ -356,7 +710,7 @@ class DrimAnnEngine:
             offline_transfer_seconds=offline_xfer,
             replica_counts={c: len(g) for c, g in plan.replica_groups.items()},
         )
-        return cls(
+        engine = cls(
             quantized=quantized,
             params=params,
             search_params=search_params,
@@ -368,6 +722,12 @@ class DrimAnnEngine:
             preprocessor=preprocessor,
             observer=observer,
         )
+        engine._config = config
+        engine.cluster_heat = heat
+        engine.index_path = index_path
+        if quantized.has_tombstones:
+            engine._sync_liveness()
+        return engine
 
     # ------------------------------------------------------------------ search
     def _host_cl_seconds(self, num_queries: int) -> float:
@@ -434,6 +794,7 @@ class DrimAnnEngine:
         ``breakdown.faults`` carries per-query coverage plus the
         ``degraded`` flag (the engine never raises on a fault).
         """
+        self._check_loaded()
         queries = check_2d(queries, "queries")
         if queries.shape[1] != self.quantized.dim:
             raise ValueError(
@@ -723,6 +1084,7 @@ class DrimAnnEngine:
     # ---------------------------------------------------------------- helpers
     def reference_search(self, queries: np.ndarray) -> SearchResult:
         """Host gold standard with identical integer math."""
+        self._check_loaded()
         if self.preprocessor is not None:
             queries = self.preprocessor.transform(queries)
         return self.quantized.reference_search(

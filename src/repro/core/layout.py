@@ -129,7 +129,10 @@ def estimate_cluster_heat(
     probes = index.locate(sample_queries, nprobe)
     freq = np.bincount(probes.ravel(), minlength=index.nlist).astype(np.float64)
     freq += smoothing
-    sizes = index.cluster_sizes().astype(np.float64)
+    # Live sizes: tombstoned rows no longer reach TS, so they stop
+    # counting toward heat (identical to cluster_sizes() when nothing
+    # was deleted — golden ledgers are unaffected).
+    sizes = index.cluster_live_sizes().astype(np.float64)
     return freq * (lut_weight + point_weight * sizes)
 
 

@@ -21,8 +21,8 @@ change results).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +45,9 @@ class QuantizedIndexData:
     codebooks: np.ndarray  # (M, CB, dsub) int16
     cluster_ids: List[np.ndarray]  # per cluster, (n_c,) int64 point ids
     cluster_codes: List[np.ndarray]  # per cluster, (n_c, M) uint8/uint16
+    # Per cluster, (n_c,) bool — True marks a deleted (tombstoned) row.
+    # None means "no deletions ever"; rows are only reclaimed by compact().
+    tombstones: Optional[List[np.ndarray]] = field(default=None)
 
     def __post_init__(self) -> None:
         self.centroids = check_2d(self.centroids, "centroids")
@@ -60,6 +63,25 @@ class QuantizedIndexData:
             raise ValueError(
                 f"{len(self.cluster_ids)} clusters != {self.centroids.shape[0]} centroids"
             )
+        tombs = self.__dict__.get("tombstones")
+        if tombs is not None:
+            if len(tombs) != len(self.cluster_ids):
+                raise ValueError(
+                    f"{len(tombs)} tombstone masks != "
+                    f"{len(self.cluster_ids)} clusters"
+                )
+            coerced = []
+            for i, (mask, ids) in enumerate(zip(tombs, self.cluster_ids)):
+                mask = np.asarray(mask)
+                if mask.shape != (len(ids),):
+                    raise ValueError(
+                        f"tombstones[{i}] has shape {mask.shape}; "
+                        f"cluster holds {len(ids)} rows"
+                    )
+                coerced.append(
+                    mask if mask.dtype == np.bool_ else mask.astype(bool)
+                )
+            self.tombstones = coerced
         # Per-cluster ||centroid||² rows reused across locate() calls
         # (serving recomputed them every micro-batch otherwise).
         self._square_terms = SquareTermCache()
@@ -116,6 +138,227 @@ class QuantizedIndexData:
     def codes_nbytes(self, cluster_id: int) -> int:
         return self.cluster_codes[cluster_id].nbytes
 
+    # ----- tombstones -----------------------------------------------------
+    def tombstone_masks(self) -> Optional[List[np.ndarray]]:
+        """Per-cluster deletion masks, or ``None`` when nothing was deleted.
+
+        Lazy accessor (like :meth:`square_term_cache`): instances
+        restored by pickle bypass ``__post_init__`` and may predate the
+        field entirely.
+        """
+        return self.__dict__.get("tombstones")
+
+    def _ensure_tombstones(self) -> List[np.ndarray]:
+        masks = self.tombstone_masks()
+        if masks is None:
+            masks = [
+                np.zeros(len(ids), dtype=bool) for ids in self.cluster_ids
+            ]
+            self.tombstones = masks
+        return masks
+
+    @property
+    def num_tombstones(self) -> int:
+        masks = self.tombstone_masks()
+        if masks is None:
+            return 0
+        return int(sum(int(m.sum()) for m in masks))
+
+    @property
+    def has_tombstones(self) -> bool:
+        return self.num_tombstones > 0
+
+    @property
+    def num_live_points(self) -> int:
+        return self.num_points - self.num_tombstones
+
+    @property
+    def tombstone_ratio(self) -> float:
+        total = self.num_points
+        return self.num_tombstones / total if total else 0.0
+
+    def cluster_live_sizes(self) -> np.ndarray:
+        """Like :meth:`cluster_sizes`, minus tombstoned rows."""
+        sizes = self.cluster_sizes()
+        masks = self.tombstone_masks()
+        if masks is not None:
+            sizes = sizes - np.array(
+                [int(m.sum()) for m in masks], dtype=np.int64
+            )
+        return sizes
+
+    def live_rows(self, cluster_id: int) -> Optional[np.ndarray]:
+        """Row indices of live points in a cluster, ``None`` if all live."""
+        masks = self.tombstone_masks()
+        if masks is None or not masks[cluster_id].any():
+            return None
+        return np.flatnonzero(~masks[cluster_id])
+
+    # ----- mutable lifecycle ----------------------------------------------
+    def encode(self, vectors: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Assign and PQ-encode raw uint8 vectors with the trained index.
+
+        Pure integer pipeline: assignment is :meth:`locate` with
+        nprobe=1 (int64 distances, canonical lowest-index tie-break),
+        and codes are the per-subspace argmin over the int16 codebooks
+        in int64. Returns ``(assign, codes)`` — ``(n,)`` cluster ids and
+        ``(n, M)`` codes in the index's code dtype.
+        """
+        vectors = check_2d(vectors, "vectors")
+        if vectors.dtype != np.uint8:
+            raise TypeError(f"vectors must be uint8, got {vectors.dtype}")
+        if vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"vectors have dim {vectors.shape[1]}; index has {self.dim}"
+            )
+        n = vectors.shape[0]
+        m, cb, dsub = self.codebooks.shape
+        code_dtype = np.uint8 if cb <= 256 else np.uint16
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, m), dtype=code_dtype),
+            )
+        assign = self.locate(vectors, 1)[:, 0]
+        codes = np.empty((n, m), dtype=code_dtype)
+        books = self.codebooks.astype(np.int64)[None]
+        # Chunk the (chunk, M, CB, dsub) int64 workspace to ~128 MiB.
+        chunk = max(1, (1 << 27) // max(1, m * cb * dsub * 8))
+        for lo in range(0, n, chunk):
+            hi = min(n, lo + chunk)
+            res = vectors[lo:hi].astype(np.int32) - self.centroids[
+                assign[lo:hi]
+            ].astype(np.int32)
+            r = res.astype(np.int64).reshape(hi - lo, m, 1, dsub)
+            diff = r - books
+            dist = np.einsum("nmcd,nmcd->nmc", diff, diff)
+            codes[lo:hi] = dist.argmin(axis=2).astype(code_dtype)
+        return assign, codes
+
+    def add(
+        self, vectors: np.ndarray, ids: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode and append new vectors; returns ``(new_ids, assign)``.
+
+        Ids default to a fresh contiguous range above the current
+        maximum (tombstoned ids still count as taken until
+        :meth:`compact`). Appending re-materializes the touched
+        clusters' arrays, so mmap-backed clusters become ordinary
+        in-memory arrays for exactly the clusters that grew.
+        """
+        assign, codes = self.encode(vectors)
+        n = len(assign)
+        if ids is None:
+            existing_max = -1
+            for arr in self.cluster_ids:
+                if len(arr):
+                    existing_max = max(existing_max, int(arr.max()))
+            ids = np.arange(existing_max + 1, existing_max + 1 + n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64).ravel()
+            if len(ids) != n:
+                raise ValueError(f"{len(ids)} ids for {n} vectors")
+            if len(np.unique(ids)) != n:
+                raise ValueError("duplicate ids in add() batch")
+            for arr in self.cluster_ids:
+                if len(arr) and bool(np.isin(ids, arr).any()):
+                    raise ValueError("add() ids collide with existing point ids")
+        if n == 0:
+            return ids, assign
+        masks = self.tombstone_masks()
+        for cid in np.unique(assign):
+            rows = assign == cid
+            cid = int(cid)
+            self.cluster_ids[cid] = np.concatenate(
+                [np.asarray(self.cluster_ids[cid]), ids[rows]]
+            )
+            self.cluster_codes[cid] = np.concatenate(
+                [
+                    np.asarray(self.cluster_codes[cid]),
+                    codes[rows].astype(self.cluster_codes[cid].dtype),
+                ]
+            )
+            if masks is not None:
+                masks[cid] = np.concatenate(
+                    [masks[cid], np.zeros(int(rows.sum()), dtype=bool)]
+                )
+        return ids, assign
+
+    def delete(self, ids: np.ndarray) -> int:
+        """Tombstone points by id; returns how many rows were newly marked.
+
+        Rows stay resident (the DC phase still streams them — the cycle
+        ledger charges that honestly) but are filtered out of every
+        result path until :meth:`compact` reclaims them.
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if len(ids) == 0:
+            return 0
+        masks = self._ensure_tombstones()
+        count = 0
+        for cid in range(self.nlist):
+            cluster = self.cluster_ids[cid]
+            if len(cluster) == 0:
+                continue
+            hit = np.isin(np.asarray(cluster), ids) & ~masks[cid]
+            if hit.any():
+                masks[cid] |= hit
+                count += int(hit.sum())
+        return count
+
+    def compact(self) -> "QuantizedIndexData":
+        """A fresh, fully-materialized index holding only live rows.
+
+        The result owns plain in-memory arrays (never mmap views) and
+        carries no tombstones — it is what gets re-encoded to disk when
+        the engine compacts.
+        """
+        masks = self.tombstone_masks()
+        new_ids: List[np.ndarray] = []
+        new_codes: List[np.ndarray] = []
+        for cid in range(self.nlist):
+            ids = np.asarray(self.cluster_ids[cid])
+            codes = np.asarray(self.cluster_codes[cid])
+            if masks is not None and masks[cid].any():
+                keep = ~masks[cid]
+                ids = ids[keep]
+                codes = codes[keep]
+            new_ids.append(np.array(ids, dtype=np.int64))
+            new_codes.append(np.array(codes))
+        return QuantizedIndexData(
+            centroids=np.array(self.centroids),
+            codebooks=np.array(self.codebooks),
+            cluster_ids=new_ids,
+            cluster_codes=new_codes,
+        )
+
+    @classmethod
+    def from_vectors(
+        cls,
+        centroids: np.ndarray,
+        codebooks: np.ndarray,
+        vectors: np.ndarray,
+        ids: Optional[np.ndarray] = None,
+    ) -> "QuantizedIndexData":
+        """Build an index by integer-encoding ``vectors`` against trained
+        centroids/codebooks — the gold standard ``compact()`` must match."""
+        m = codebooks.shape[0]
+        cb = codebooks.shape[1]
+        code_dtype = np.uint8 if cb <= 256 else np.uint16
+        nlist = centroids.shape[0]
+        inst = cls(
+            centroids=centroids,
+            codebooks=codebooks,
+            cluster_ids=[np.empty(0, dtype=np.int64) for _ in range(nlist)],
+            cluster_codes=[
+                np.empty((0, m), dtype=code_dtype) for _ in range(nlist)
+            ],
+        )
+        vectors = check_2d(vectors, "vectors")
+        if vectors.shape[0]:
+            inst.add(vectors, ids)
+        return inst
+
     # ----- integer search pipeline ----------------------------------------
     def locate(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
         """CL phase on integer centroids. ``(q, nprobe)`` ids, nearest first."""
@@ -164,15 +407,23 @@ class QuantizedIndexData:
         out_ids = np.full((nq, k), -1, dtype=np.int64)
         out_dist = np.full((nq, k), np.inf, dtype=np.float64)
         marange = np.arange(self.num_subspaces)
+        masks = self.tombstone_masks()
         for qi in range(nq):
             dparts = []
             iparts = []
             for cid in probes[qi]:
                 ids = self.cluster_ids[cid]
+                codes = self.cluster_codes[cid]
+                # Tombstoned rows are filtered BEFORE the scan/top-k so
+                # deleted points can never displace live candidates —
+                # the engine's scan path filters at the same stage.
+                if masks is not None and masks[cid].any():
+                    keep = ~masks[cid]
+                    ids = ids[keep]
+                    codes = codes[keep]
                 if len(ids) == 0:
                     continue
                 lut = self.build_lut(self.residual(queries[qi], cid))
-                codes = self.cluster_codes[cid]
                 d = lut[marange[None, :], codes.astype(np.intp)].sum(axis=1)
                 dparts.append(d)
                 iparts.append(ids)

@@ -3,6 +3,8 @@
 * :mod:`repro.faults.plan` — seeded, deterministic fault schedules
   (fail-stop crashes, stragglers, transient kernel faults, transfer
   timeouts);
+* :mod:`repro.faults.disk` — storage-fault injection for the durable
+  index lifecycle (crash-mid-save windows);
 * :mod:`repro.faults.report` — per-run fault/recovery accounting;
 * :mod:`repro.faults.chaos` — the chaos harness behind ``repro chaos``
   (imported explicitly — it depends on :mod:`repro.core`, which in
@@ -12,6 +14,7 @@ See ``docs/fault_tolerance.md`` for the fault taxonomy and recovery
 semantics.
 """
 
+from repro.faults.disk import CrashPoint, SimulatedCrash
 from repro.faults.plan import (
     FaultConfig,
     FaultPlan,
@@ -21,9 +24,11 @@ from repro.faults.plan import (
 from repro.faults.report import FaultStats
 
 __all__ = [
+    "CrashPoint",
     "FaultConfig",
     "FaultPlan",
     "FaultStats",
     "NodeFaultConfig",
     "NodeFaultPlan",
+    "SimulatedCrash",
 ]

@@ -29,7 +29,7 @@ whole engine stack, while ``repro.core`` imports the fault primitives.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.core.config import EngineConfig
 from repro.core.engine import DrimAnnEngine
 from repro.core.layout import LayoutConfig
 from repro.core.params import IndexParams, SearchParams
-from repro.core.quantized import build_quantized_index
+from repro.core.quantized import QuantizedIndexData, build_quantized_index
 from repro.ann.ivfpq import IVFPQIndex
 from repro.data.synthetic import SyntheticSpec, make_clustered_dataset
 from repro.faults.plan import FaultConfig, FaultPlan
@@ -152,8 +152,18 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosReport:
-    """Run the sweep. Deterministic for a fixed ``config``."""
+def run_chaos(
+    config: ChaosConfig = ChaosConfig(),
+    *,
+    prebuilt_quantized: Optional[QuantizedIndexData] = None,
+) -> ChaosReport:
+    """Run the sweep. Deterministic for a fixed ``config``.
+
+    ``prebuilt_quantized`` (e.g. loaded with
+    :func:`repro.core.persist.load_index`) skips the training step; its
+    geometry must match ``config``, and the synthetic query stream is
+    still generated from ``config``'s workload shape.
+    """
     ds = make_clustered_dataset(
         SyntheticSpec(
             num_vectors=config.num_vectors,
@@ -172,14 +182,29 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosReport:
     )
     # Train once; every sweep point reuses the same quantized index so
     # the only variable between points is the fault plan.
-    index = IVFPQIndex.build(
-        ds.base,
-        nlist=params.nlist,
-        num_subspaces=params.num_subspaces,
-        codebook_size=params.codebook_size,
-        seed=config.seed,
-    )
-    quantized = build_quantized_index(index)
+    if prebuilt_quantized is not None:
+        for name, want in (
+            ("nlist", params.nlist),
+            ("dim", config.dim),
+            ("num_subspaces", params.num_subspaces),
+            ("codebook_size", params.codebook_size),
+        ):
+            got = int(getattr(prebuilt_quantized, name))
+            if got != int(want):
+                raise ValueError(
+                    f"prebuilt index {name}={got} does not match the chaos "
+                    f"config ({name}={want})"
+                )
+        quantized = prebuilt_quantized
+    else:
+        index = IVFPQIndex.build(
+            ds.base,
+            nlist=params.nlist,
+            num_subspaces=params.num_subspaces,
+            codebook_size=params.codebook_size,
+            seed=config.seed,
+        )
+        quantized = build_quantized_index(index)
     gold = quantized.reference_search(ds.queries, params.k, params.nprobe)
 
     system_config = PimSystemConfig(

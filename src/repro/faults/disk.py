@@ -1,0 +1,67 @@
+"""Storage-fault injection for the durable index lifecycle.
+
+The persist layer's atomic-write protocol (stage to a temp file, fsync,
+``os.replace``) exposes exactly two interesting crash windows, and
+:func:`repro.core.persist.set_crash_hook` fires a callback at each:
+
+* ``"staged"`` — the temp file is fully written and fsynced, but the
+  rename has not happened. A crash here must leave the *previous*
+  index file untouched and loadable (or no file at all, if this was
+  the first save).
+* ``"replaced"`` — the rename landed. A crash here must leave the
+  *new* index file complete and loadable; there is no torn state.
+
+:class:`CrashPoint` is the test-facing way to open one of those
+windows: it installs a hook that raises :class:`SimulatedCrash` the
+first time the chosen stage fires, and always restores the previous
+hook on exit. Recovery tests wrap a save/compact in
+``with CrashPoint("staged"): ...`` and then assert the old index still
+verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import persist
+
+__all__ = ["CrashPoint", "SimulatedCrash"]
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by :class:`CrashPoint` to simulate dying mid-write."""
+
+
+class CrashPoint:
+    """Context manager that crashes the first atomic write at ``stage``.
+
+    ``stage`` must be ``"staged"`` or ``"replaced"``. Only the first
+    matching write crashes (``fired`` records whether one did), so a
+    recovery path that retries the save inside the same block
+    succeeds — mirroring a process restart after the crash.
+    """
+
+    def __init__(self, stage: str) -> None:
+        if stage not in ("staged", "replaced"):
+            raise ValueError(
+                f"stage must be 'staged' or 'replaced', got {stage!r}"
+            )
+        self.stage = stage
+        self.fired = False
+        self._previous: Optional[object] = None
+
+    def _hook(self, stage: str) -> None:
+        if stage == self.stage and not self.fired:
+            self.fired = True
+            raise SimulatedCrash(
+                f"simulated crash at atomic-write stage {stage!r}"
+            )
+
+    def __enter__(self) -> "CrashPoint":
+        self._previous = persist._crash_hook
+        persist.set_crash_hook(self._hook)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        persist.set_crash_hook(self._previous)  # type: ignore[arg-type]
+        self._previous = None

@@ -42,6 +42,8 @@ serving_batch_occupancy                          histogram
 serving_shed_total                               counter
 serving_deadline_misses_total                    counter
 serving_latency_seconds                          sketch
+index_load_seconds                               histogram  phase (open/assemble)
+index_tombstone_ratio                            gauge
 ===============================================  =========  ==========================
 """
 
@@ -129,6 +131,23 @@ class EngineObserver:
         self.registry.counter(
             "drimann_engine_batches_total", help="PIM batches executed"
         ).inc()
+
+    # ----- index lifecycle -------------------------------------------------
+    def on_index_load(self, phase: str, seconds: float) -> None:
+        """One cold-start phase: ``open`` (mmap/decode) or ``assemble``."""
+        self.registry.histogram(
+            "drimann_index_load_seconds",
+            help="cold-start time per load phase",
+            phase=phase,
+        ).observe(seconds)
+        self.spans.record(phase, seconds, track="cold_start")
+
+    def on_tombstones(self, ratio: float) -> None:
+        """Current deleted fraction of the index (0 after compaction)."""
+        self.registry.gauge(
+            "drimann_index_tombstone_ratio",
+            help="fraction of stored points that are tombstoned",
+        ).set(ratio)
 
     # ----- scheduler -------------------------------------------------------
     def on_schedule(

@@ -405,7 +405,13 @@ def _pool_worker(
             _san_merge(msg[-1])
             if tag == "scan":
                 out: List[ScanRows] = []
-                for key, luts, k in msg[1]:
+                for item in msg[1]:
+                    key, luts, k = item[0], item[1], item[2]
+                    # Older dispatchers ship 3-tuples; a 4th slot (when
+                    # present) is the live-row filter for shards with
+                    # tombstones — resident arrays keep the full rows,
+                    # deletions are applied at scan time.
+                    live = item[3] if len(item) > 3 else None
                     pair = views.get(key)
                     if pair is None:
                         pair = (
@@ -414,6 +420,9 @@ def _pool_worker(
                         )
                         views[key] = pair
                     codes, ids = pair
+                    if live is not None:
+                        codes = codes[live]
+                        ids = ids[live]
                     out.append(scan_shard_group(luts, codes, ids, k))
                 conn.send(("rows", out, _san_clock()))
             elif tag == "ping":
@@ -645,14 +654,20 @@ class PersistentShardPool:
         self,
         jobs: Sequence[ScanJob],
         keys: Optional[Sequence[str]] = None,
+        lives: Optional[Sequence[Optional[np.ndarray]]] = None,
     ) -> List[ScanRows]:
         """Run jobs (possibly on the workers); results in submission order.
 
         ``keys`` aligns each job with its resident shard key; workers
-        receive only ``(key, luts, k)``. Jobs without residency (no
-        ``keys``, unknown key, arena not hosted) and any pool failure
-        fall back to in-process execution — the results are identical
-        either way, and the fallback is recorded.
+        receive only ``(key, luts, k, live)``. ``lives`` (when given)
+        aligns each job with its live-row filter — ``None`` entries mean
+        every resident row is live; non-``None`` entries are the row
+        indices that survive tombstoning, applied worker-side against
+        the full resident arrays. Jobs without residency (no ``keys``,
+        unknown key, arena not hosted) and any pool failure fall back to
+        in-process execution — the results are identical either way
+        (the job arrays themselves are pre-filtered), and the fallback
+        is recorded.
         """
         if not self.parallel or len(jobs) < 2:
             return [_scan_job(j) for j in jobs]
@@ -682,7 +697,13 @@ class PersistentShardPool:
                     if hi <= lo:
                         continue
                     payload = [
-                        (keys[j], jobs[j][0], jobs[j][3]) for j in range(lo, hi)
+                        (
+                            keys[j],
+                            jobs[j][0],
+                            jobs[j][3],
+                            None if lives is None else lives[j],
+                        )
+                        for j in range(lo, hi)
                     ]
                     conn.send(("scan", payload, _san_clock()))
                     sent.append(conn)
@@ -780,14 +801,15 @@ class ShardExecutor:
         self,
         jobs: Sequence[ScanJob],
         keys: Optional[Sequence[str]] = None,
+        lives: Optional[Sequence[Optional[np.ndarray]]] = None,
     ) -> List[ScanRows]:
         """Run jobs (possibly in parallel); results in submission order.
 
         Falls back to in-process execution when the pool is disabled,
         cannot be created, or dies mid-flight — the results are
-        identical either way. ``keys`` is accepted for interface parity
-        with :class:`PersistentShardPool` and ignored (this pool ships
-        the full arrays regardless).
+        identical either way. ``keys`` and ``lives`` are accepted for
+        interface parity with :class:`PersistentShardPool` and ignored
+        (this pool ships the full, already-filtered arrays regardless).
         """
         if not self.parallel or len(jobs) < 2:
             return [_scan_job(j) for j in jobs]

@@ -135,6 +135,13 @@ class PimSystem:
         self.executor = make_executor(config.shard_workers, config.shard_pool)
         self.planner = ExecutionPlanner()
         self._residency_dirty = True
+        # Tombstone liveness: shard key → live row indices (None / absent
+        # means every stored row is live). Stored rows keep streaming
+        # through DC — only the candidate set shrinks — so the arena
+        # residency stays valid across deletions; the live filter ships
+        # per round instead.
+        self._live_rows: Dict[str, Optional[np.ndarray]] = {}
+        self._live_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
         self.codebooks: Optional[np.ndarray] = None
         self._codebooks64: Optional[np.ndarray] = None
         self.square_lut: Optional[SquareLut] = None
@@ -204,6 +211,63 @@ class PimSystem:
         # Placement changes invalidate the worker pool's zero-copy
         # residency; it is re-hosted on the next pool round.
         self._residency_dirty = True
+
+    def update_shard(self, shard_key: str, ids: np.ndarray, codes: np.ndarray) -> None:
+        """Replace an already-placed shard's rows (the add() grow path).
+
+        Re-stores the MRAM objects (budget-checked), mutates the shard
+        record in place so every holder of the :class:`ShardData` sees
+        the new rows, and invalidates pool residency and liveness
+        caches.
+        """
+        if shard_key not in self._shards:
+            raise KeyError(f"shard {shard_key!r} not placed")
+        if len(ids) != len(codes):
+            raise ValueError(
+                f"ids/codes row mismatch: {len(ids)} vs {len(codes)}"
+            )
+        dpu_id, shard = self._shards[shard_key]
+        dpu = self.dpus[dpu_id]
+        dpu.mram.store(f"codes:{shard_key}", codes)
+        dpu.mram.store(f"ids:{shard_key}", ids)
+        shard.ids = ids
+        shard.codes = codes
+        self._live_cache.pop(shard_key, None)
+        self._residency_dirty = True
+
+    def set_shard_liveness(
+        self, shard_key: str, live_rows: Optional[np.ndarray]
+    ) -> None:
+        """Install (or clear, with ``None``) a shard's live-row filter.
+
+        ``live_rows`` are indices into the shard's stored rows that
+        survive tombstoning. The scan path drops the other rows before
+        top-k; DC still streams every stored row and is charged for it.
+        """
+        if shard_key not in self._shards:
+            raise KeyError(f"shard {shard_key!r} not placed")
+        if live_rows is None:
+            self._live_rows.pop(shard_key, None)
+        else:
+            self._live_rows[shard_key] = np.asarray(live_rows, dtype=np.intp)
+        self._live_cache.pop(shard_key, None)
+
+    def _scan_arrays(
+        self, shard_key: str, shard: ShardData
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The (codes, ids) a scan sees: live rows only, cached."""
+        live = self._live_rows.get(shard_key)
+        if live is None:
+            return shard.codes, shard.ids
+        pair = self._live_cache.get(shard_key)
+        if pair is None:
+            pair = (shard.codes[live], shard.ids[live])
+            self._live_cache[shard_key] = pair
+        return pair
+
+    def _live_count(self, shard_key: str, shard: ShardData) -> int:
+        live = self._live_rows.get(shard_key)
+        return len(shard.ids) if live is None else len(live)
 
     def shard_location(self, shard_key: str) -> int:
         return self._shards[shard_key][0]
@@ -441,7 +505,10 @@ class PimSystem:
             dpu = self.dpus[dpu_id]
             shard = self._shards[skey][1]
             misses = group_misses[gi]
-            self._charge_shard_group(dpu, shard, len(qidxs), k, sq, misses, skey)
+            live_n = self._live_count(skey, shard)
+            self._charge_shard_group(
+                dpu, shard, len(qidxs), k, sq, misses, skey, live_n=live_n
+            )
             # One pre-drawn transient kernel fault per (DPU, logical
             # batch) at most: the first shard group's execution is
             # wasted and retried on the same DPU after a modeled
@@ -466,7 +533,7 @@ class PimSystem:
                     # ends (the `repro lint` trace invariant).
                     self._charge_shard_group(
                         dpu, shard, len(qidxs), k, sq, misses,
-                        f"{skey}#retry{retry + 1}",
+                        f"{skey}#retry{retry + 1}", live_n=live_n,
                     )
             for qidx, (rids, rdists) in zip(qidxs, group_rows[gi]):
                 partials.append(
@@ -552,7 +619,7 @@ class PimSystem:
             scan_points = 0
             m = self.codebooks.shape[0]
             for _, skey, qidxs in groups:
-                n = len(self._shards[skey][1].ids)
+                n = self._live_count(skey, self._shards[skey][1])
                 if n:
                     num_jobs += 1
                     scan_points += len(qidxs) * n * m
@@ -592,13 +659,15 @@ class PimSystem:
             job_gis = []
             for gi in gis:
                 qidxs = groups[gi][2]
-                shard = self._shards[groups[gi][1]][1]
+                skey = groups[gi][1]
+                shard = self._shards[skey][1]
                 group_misses[gi] = int(
                     sum(pair_misses[row_of[q]] for q in qidxs)
                 )
-                if len(shard.ids):
+                codes_s, ids_s = self._scan_arrays(skey, shard)
+                if len(ids_s):
                     luts_g = luts[[row_of[q] for q in qidxs]]
-                    jobs.append((luts_g, shard.codes, shard.ids, k))
+                    jobs.append((luts_g, codes_s, ids_s, k))
                     job_gis.append(gi)
                 else:
                     group_rows[gi] = [empty_row] * len(qidxs)
@@ -606,7 +675,12 @@ class PimSystem:
                 if path == "pool" and self.executor is not None:
                     if getattr(self.executor, "kind", "") == "persistent":
                         results = self.executor.scan_groups(
-                            jobs, keys=[groups[gi][1] for gi in job_gis]
+                            jobs,
+                            keys=[groups[gi][1] for gi in job_gis],
+                            lives=[
+                                self._live_rows.get(groups[gi][1])
+                                for gi in job_gis
+                            ],
                         )
                     else:
                         results = self.executor.scan_groups(jobs)
@@ -700,12 +774,17 @@ class PimSystem:
         sq: Optional[SquareLut],
         misses: int,
         detail: str,
+        live_n: Optional[int] = None,
     ) -> None:
         """Charge the RC→LC→DC→TS chain for one shard group.
 
         Costs come from the kernels' closed forms over shapes alone, so
         they are identical whether the numeric work ran per group, was
         deduplicated across shards, or executed in a worker process.
+        Tombstones are charged honestly: DC streams and scans every
+        *stored* row (deleted codes still occupy MRAM and flow through
+        the kernel — the filter happens during the scan), while TS sorts
+        only the *live* candidates that survive it.
         """
         d = int(np.asarray(shard.centroid).shape[0])
         m, cb, _ = self.codebooks.shape
@@ -720,11 +799,13 @@ class PimSystem:
             detail,
         )
         n = len(shard.ids)
+        live = n if live_n is None else live_n
         if n:
             self._charge(
                 dpu, distance_scan_cost(g, n, m, shard.codes.nbytes), detail
             )
-            self._charge(dpu, topk_sort_cost(g, n, k), detail)
+            if live:
+                self._charge(dpu, topk_sort_cost(g, live, k), detail)
 
     def reset_ledgers(self) -> None:
         for d in self.dpus:

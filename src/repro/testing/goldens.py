@@ -85,17 +85,16 @@ def _quantized(nlist: int, m: int, cb: int):
     return build_quantized_index(index)
 
 
-def build_canonical_engine(
+def canonical_config(
     name: str,
     *,
     execution: Optional[str] = None,
     plan: Optional[str] = None,
     shard_workers: int = 0,
     shard_pool: str = "persistent",
-) -> DrimAnnEngine:
-    """A fresh engine for one canonical config (index reuse is cached)."""
+) -> EngineConfig:
+    """The :class:`EngineConfig` for one canonical config name."""
     c = CANONICAL_CONFIGS[name]
-    ds = canonical_dataset()
     params = IndexParams(
         nlist=c["nlist"], nprobe=c["nprobe"], k=K,
         num_subspaces=c["m"], codebook_size=c["cb"],
@@ -108,7 +107,7 @@ def build_canonical_engine(
     if plan is not None:
         search_kwargs["plan"] = plan
     search = SearchParams(**search_kwargs)
-    config = EngineConfig(
+    return EngineConfig(
         index=params,
         search=search,
         system=PimSystemConfig(
@@ -118,13 +117,47 @@ def build_canonical_engine(
         ),
         layout=LayoutConfig(**c["layout"]),
     )
-    return DrimAnnEngine.from_config(
+
+
+def build_canonical_engine(
+    name: str,
+    *,
+    execution: Optional[str] = None,
+    plan: Optional[str] = None,
+    shard_workers: int = 0,
+    shard_pool: str = "persistent",
+    index_path: Optional[str] = None,
+) -> DrimAnnEngine:
+    """A fresh engine for one canonical config (index reuse is cached).
+
+    With ``index_path``, the engine takes the durable round trip
+    instead: build, ``save(index_path)``, close, and return
+    ``DrimAnnEngine.load`` of the file — the engine every
+    save/load-bit-exactness test compares against the frozen goldens.
+    """
+    c = CANONICAL_CONFIGS[name]
+    ds = canonical_dataset()
+    config = canonical_config(
+        name,
+        execution=execution,
+        plan=plan,
+        shard_workers=shard_workers,
+        shard_pool=shard_pool,
+    )
+    engine = DrimAnnEngine.from_config(
         ds.base,
         config,
         heat_queries=ds.queries[:50],
         prebuilt_quantized=_quantized(c["nlist"], c["m"], c["cb"]),
         seed=ENGINE_SEED,
     )
+    if index_path is None:
+        return engine
+    try:
+        engine.save(index_path)
+    finally:
+        engine.close()
+    return DrimAnnEngine.load(index_path, config=config)
 
 
 def brute_force_topk(

@@ -1,0 +1,141 @@
+"""CLI tests for the ``repro index`` lifecycle group."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BUILD_ARGS = ["--nlist", "64", "--m", "16", "--cb", "32"]
+
+
+def _payload(capsys):
+    captured = capsys.readouterr()
+    return json.loads(captured.out), captured.err
+
+
+@pytest.fixture(scope="module")
+def v2_index(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("idx") / "idx.drim")
+    assert main(["index", "build", "--out", path] + BUILD_ARGS) == 0
+    return path
+
+
+class TestIndexBuild:
+    def test_build_json_envelope(self, tmp_path, capsys):
+        out = str(tmp_path / "idx.drim")
+        rc = main(["index", "build", "--json", "--out", out] + BUILD_ARGS)
+        assert rc == 0
+        payload, _ = _payload(capsys)
+        assert payload["command"] == "index build"
+        assert payload["config"]["format"] == "v2"
+        assert payload["results"]["num_points"] == 20000
+        assert payload["results"]["nlist"] == 64
+
+    def test_build_v1_format(self, tmp_path, capsys):
+        out = str(tmp_path / "idx.npz")
+        rc = main(
+            ["index", "build", "--json", "--format", "v1", "--out", out]
+            + BUILD_ARGS
+        )
+        assert rc == 0
+        payload, _ = _payload(capsys)
+        assert payload["results"]["format"] == "v1"
+        # legacy container really is a NumPy archive
+        assert open(out, "rb").read(2) == b"PK"
+
+    def test_deprecated_build_alias_still_works(self, tmp_path, capsys):
+        out = str(tmp_path / "idx.npz")
+        rc = main(["build", "--preset", "sift-like-20k", "--out", out]
+                  + BUILD_ARGS)
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestIndexInfo:
+    def test_info_text(self, v2_index, capsys):
+        assert main(["index", "info", v2_index]) == 0
+        out = capsys.readouterr().out
+        assert "20000 points" in out
+        assert "tombstones: 0" in out
+
+    def test_info_json(self, v2_index, capsys):
+        assert main(["index", "info", "--json", v2_index]) == 0
+        payload, _ = _payload(capsys)
+        assert payload["command"] == "index info"
+        info = payload["results"]
+        assert info["container"] == "drimidx2"
+        assert info["num_points"] == 20000
+        assert info["num_tombstones"] == 0
+        assert "segments" in info
+
+
+class TestIndexVerify:
+    def test_verify_clean(self, v2_index, capsys):
+        assert main(["index", "verify", v2_index]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_corrupted_exits_nonzero(self, v2_index, tmp_path,
+                                            capsys):
+        from repro.core.persist import index_info
+
+        bad = tmp_path / "bad.drim"
+        raw = bytearray(open(v2_index, "rb").read())
+        seg = index_info(v2_index)["segments"]["codes_flat"]
+        raw[seg["offset"]] ^= 0xFF
+        bad.write_bytes(bytes(raw))
+        rc = main(["index", "verify", "--json", str(bad)])
+        assert rc == 1
+        payload, _ = _payload(capsys)
+        assert payload["results"]["ok"] is False
+        assert any("codes_flat" in e for e in payload["results"]["errors"])
+
+
+class TestIndexCompact:
+    def test_compact_out_of_place(self, v2_index, tmp_path, capsys):
+        from repro.core.persist import load_index, save_index
+
+        # stage a tombstoned copy so compaction has work to do
+        quant = load_index(v2_index, mmap=False)
+        quant = quant.compact()  # private writable copy
+        quant.delete([0, 1, 2])
+        src = str(tmp_path / "tomb.drim")
+        save_index(quant, src)
+
+        out = str(tmp_path / "compacted.drim")
+        rc = main(["index", "compact", "--json", src, "--out", out])
+        assert rc == 0
+        payload, _ = _payload(capsys)
+        assert payload["results"]["removed_tombstones"] == 3
+        assert payload["results"]["num_points"] == 19997
+
+        from repro.core.persist import index_info
+        assert index_info(out)["num_tombstones"] == 0
+        # the source was left untouched
+        assert index_info(src)["num_tombstones"] == 3
+
+    def test_compact_in_place(self, v2_index, tmp_path, capsys):
+        import shutil
+
+        from repro.core.persist import index_info
+
+        path = str(tmp_path / "idx.drim")
+        shutil.copyfile(v2_index, path)
+        rc = main(["index", "compact", path])
+        assert rc == 0
+        assert "dropped 0 tombstones" in capsys.readouterr().out
+        assert index_info(path)["num_tombstones"] == 0
+
+
+class TestSearchWithV2Index:
+    def test_search_loads_v2_file(self, v2_index, capsys):
+        rc = main(
+            [
+                "search", "--preset", "sift-like-20k", "--index", v2_index,
+                "--nlist", "64", "--nprobe", "4", "--m", "16", "--cb", "32",
+                "--dpus", "4", "--queries", "20",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recall@10" in out

@@ -60,6 +60,7 @@ class TestReadme:
             "data_model.md",
             "api.md",
             "static_analysis.md",
+            "index_lifecycle.md",
         ):
             assert os.path.exists(os.path.join(ROOT, "docs", doc))
 

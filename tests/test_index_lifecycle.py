@@ -1,0 +1,447 @@
+"""The mutable index lifecycle: add/delete/compact on the quantized
+index and the engine, the save/load round trip against the frozen
+goldens, crash-mid-compaction recovery, and the observability hooks.
+
+The load-bearing invariant throughout: every mutation path must leave
+the engine bit-identical to ``reference_search`` on the same quantized
+state — ids, distances, *and* (for save/load and compaction, which
+claim to reproduce the layout) the per-kernel cycle ledger.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DrimAnnEngine, EngineConfig, LayoutConfig, SearchParams
+from repro.core.persist import load_index, save_index
+from repro.core.quantized import QuantizedIndexData
+from repro.faults.disk import CrashPoint, SimulatedCrash
+from repro.pim.config import PimSystemConfig
+from repro.testing.goldens import (
+    CANONICAL_CONFIGS,
+    build_canonical_engine,
+    canonical_dataset,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "fixtures", "golden_cycles.json"
+)
+
+
+def _fresh_quantized(small_quantized):
+    """A private deep copy — the session fixture must never be mutated."""
+    return small_quantized.compact()
+
+
+def _engine(quantized, params, *, execution="batched", plan="auto",
+            num_dpus=8, obs=None):
+    ds = canonical_dataset()
+    kwargs = {}
+    if obs is not None:
+        kwargs["obs"] = obs
+    config = EngineConfig(
+        index=params,
+        search=SearchParams(batch_size=32, execution=execution, plan=plan),
+        system=PimSystemConfig(num_dpus=num_dpus),
+        layout=LayoutConfig(min_split_size=400, max_copies=2),
+        **kwargs,
+    )
+    return DrimAnnEngine.from_quantized(
+        quantized, config, heat_queries=ds.queries[:50], seed=0
+    )
+
+
+def _assert_matches_reference(engine, queries):
+    res, _ = engine.search(queries)
+    ref = engine.reference_search(queries)
+    np.testing.assert_array_equal(res.ids, ref.ids)
+    np.testing.assert_array_equal(res.distances, ref.distances)
+    return res
+
+
+# ---------------------------------------------------------------- quantized
+class TestQuantizedLifecycle:
+    def test_encode_assigns_and_codes(self, small_quantized, small_ds):
+        vecs = small_ds.base[:16]
+        assign, codes = small_quantized.encode(vecs)
+        assert assign.shape == (16,)
+        assert codes.shape == (16, small_quantized.num_subspaces)
+        assert assign.min() >= 0 and assign.max() < small_quantized.nlist
+
+    def test_add_then_search_finds_new_points(
+        self, small_quantized, small_ds
+    ):
+        quant = _fresh_quantized(small_quantized)
+        rng = np.random.default_rng(3)
+        vecs = rng.integers(0, 256, size=(8, quant.dim), dtype=np.int64).astype(
+            np.uint8
+        )
+        n_before = quant.num_points
+        new_ids, assign = quant.add(vecs)
+        assert quant.num_points == n_before + 8
+        np.testing.assert_array_equal(
+            new_ids, np.arange(n_before, n_before + 8)
+        )
+        # An exact-match query must surface the added point.
+        res = quant.reference_search(vecs[:1], 1, quant.nlist)
+        assert res.ids[0, 0] == new_ids[0]
+
+    def test_add_rejects_duplicate_ids(self, small_quantized):
+        quant = _fresh_quantized(small_quantized)
+        vecs = np.zeros((1, quant.dim), dtype=np.uint8)
+        with pytest.raises(ValueError, match="id"):
+            quant.add(vecs, ids=np.array([0]))  # id 0 already exists
+
+    def test_delete_hides_points_from_search(self, small_quantized, small_ds):
+        quant = _fresh_quantized(small_quantized)
+        q = small_ds.queries[:10]
+        before = quant.reference_search(q, 10, 8)
+        victims = np.unique(before.ids[before.ids >= 0])[:20]
+        assert quant.delete(victims) == len(victims)
+        after = quant.reference_search(q, 10, 8)
+        assert not np.intersect1d(after.ids, victims).size
+
+    def test_delete_is_idempotent(self, small_quantized):
+        quant = _fresh_quantized(small_quantized)
+        victim = quant.cluster_ids[0][:1]
+        assert quant.delete(victim) == 1
+        assert quant.delete(victim) == 0
+        assert quant.num_tombstones == 1
+
+    def test_compact_drops_tombstones(self, small_quantized):
+        quant = _fresh_quantized(small_quantized)
+        victims = quant.cluster_ids[0][:5]
+        quant.delete(victims)
+        n_live = quant.num_live_points
+        compacted = quant.compact()
+        assert compacted.num_points == n_live
+        assert compacted.num_tombstones == 0
+        assert not np.intersect1d(
+            np.concatenate(compacted.cluster_ids), victims
+        ).size
+
+    def test_compact_preserves_search(self, small_quantized, small_ds):
+        quant = _fresh_quantized(small_quantized)
+        q = small_ds.queries[:20]
+        quant.delete(np.unique(quant.reference_search(q, 5, 4).ids)[:10])
+        before = quant.reference_search(q, 10, 8)
+        compacted = quant.compact()
+        after = compacted.reference_search(q, 10, 8)
+        np.testing.assert_array_equal(before.ids, after.ids)
+        np.testing.assert_array_equal(before.distances, after.distances)
+
+
+class TestLifecycleProperty:
+    @settings(deadline=None, max_examples=20)
+    @given(data=st.data())
+    def test_add_delete_compact_equals_build_from_survivors(self, data):
+        """add -> delete -> compact == from_vectors(survivors)."""
+        rng = np.random.default_rng(
+            data.draw(st.integers(0, 2**31 - 1), label="seed")
+        )
+        nlist, m, cb, dsub = 4, 2, 16, 3
+        centroids = rng.integers(
+            0, 256, size=(nlist, m * dsub), dtype=np.int64
+        ).astype(np.uint8)
+        codebooks = rng.integers(
+            -200, 200, size=(m, cb, dsub), dtype=np.int64
+        ).astype(np.int16)
+        n = data.draw(st.integers(1, 40), label="n")
+        vectors = rng.integers(
+            0, 256, size=(n, m * dsub), dtype=np.int64
+        ).astype(np.uint8)
+
+        quant = QuantizedIndexData.from_vectors(centroids, codebooks, vectors)
+        num_dead = data.draw(st.integers(0, n - 1), label="num_dead")
+        dead = np.asarray(
+            sorted(rng.choice(n, size=num_dead, replace=False)), dtype=np.int64
+        )
+        assert quant.delete(dead) == num_dead
+        compacted = quant.compact()
+
+        survivors = np.setdiff1d(np.arange(n), dead)
+        rebuilt = QuantizedIndexData.from_vectors(
+            centroids, codebooks, vectors[survivors], ids=survivors
+        )
+        assert compacted.num_points == rebuilt.num_points
+        for a, b in zip(compacted.cluster_ids, rebuilt.cluster_ids):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(compacted.cluster_codes, rebuilt.cluster_codes):
+            np.testing.assert_array_equal(a, b)
+
+
+# ---------------------------------------------------------------- engine
+class TestEngineMutation:
+    @pytest.mark.parametrize("execution", ["batched", "chunked", "per_query"])
+    def test_delete_stays_bitexact(
+        self, small_quantized, small_ds, small_params, execution
+    ):
+        quant = _fresh_quantized(small_quantized)
+        engine = _engine(quant, small_params, execution=execution)
+        q = small_ds.queries[:40]
+        try:
+            first = engine.search(q)[0]
+            victims = np.unique(first.ids[first.ids >= 0])[:30]
+            assert engine.delete(victims) == len(victims)
+            res = _assert_matches_reference(engine, q)
+            assert not np.intersect1d(res.ids, victims).size
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("plan", ["serial", "vectorized"])
+    def test_delete_stays_bitexact_across_plans(
+        self, small_quantized, small_ds, small_params, plan
+    ):
+        quant = _fresh_quantized(small_quantized)
+        engine = _engine(quant, small_params, plan=plan)
+        q = small_ds.queries[:30]
+        try:
+            engine.delete(np.arange(0, 3000, 7))
+            _assert_matches_reference(engine, q)
+        finally:
+            engine.close()
+
+    def test_delete_reduces_ts_but_not_dc_cycles(
+        self, small_quantized, small_ds, small_params
+    ):
+        """Tombstones shrink the top-k (TS) work but the scan (DC) still
+        reads every stored row — the ledger must charge honestly."""
+        q = small_ds.queries[:30]
+        quant_a = _fresh_quantized(small_quantized)
+        engine_a = _engine(quant_a, small_params)
+        try:
+            bd_clean = engine_a.search(q)[1]
+        finally:
+            engine_a.close()
+        quant_b = _fresh_quantized(small_quantized)
+        engine_b = _engine(quant_b, small_params)
+        try:
+            engine_b.delete(np.arange(0, 8000, 2))
+            bd_tomb = engine_b.search(q)[1]
+        finally:
+            engine_b.close()
+        assert bd_tomb.kernel_cycles["DC"] == bd_clean.kernel_cycles["DC"]
+        assert bd_tomb.kernel_cycles["TS"] < bd_clean.kernel_cycles["TS"]
+
+    def test_add_stays_bitexact(self, small_quantized, small_ds, small_params):
+        quant = _fresh_quantized(small_quantized)
+        engine = _engine(quant, small_params)
+        rng = np.random.default_rng(11)
+        vecs = rng.integers(
+            0, 256, size=(32, quant.dim), dtype=np.int64
+        ).astype(np.uint8)
+        try:
+            new_ids = engine.add(vecs)
+            assert len(new_ids) == 32
+            _assert_matches_reference(engine, small_ds.queries[:40])
+            # The added vectors are reachable through the engine.
+            res = engine.search(vecs[:4])[0]
+            assert np.intersect1d(res.ids, new_ids).size
+        finally:
+            engine.close()
+
+    def test_add_then_delete_then_compact(
+        self, small_quantized, small_ds, small_params
+    ):
+        quant = _fresh_quantized(small_quantized)
+        engine = _engine(quant, small_params)
+        rng = np.random.default_rng(13)
+        q = small_ds.queries[:30]
+        try:
+            new_ids = engine.add(
+                rng.integers(0, 256, size=(16, quant.dim), dtype=np.int64)
+                .astype(np.uint8)
+            )
+            engine.delete(new_ids[:8])
+            engine.delete(np.arange(0, 2000, 3))
+            before = engine.search(q)[0]
+            stats = engine.compact()
+            assert stats["removed_tombstones"] == 8 + len(np.arange(0, 2000, 3))
+            assert engine.quantized.num_tombstones == 0
+            after = _assert_matches_reference(engine, q)
+            np.testing.assert_array_equal(before.ids, after.ids)
+            np.testing.assert_array_equal(before.distances, after.distances)
+        finally:
+            engine.close()
+
+    def test_unload_guards_search(self, small_quantized, small_params):
+        quant = _fresh_quantized(small_quantized)
+        engine = _engine(quant, small_params)
+        engine.unload()
+        engine.unload()  # idempotent
+        with pytest.raises(RuntimeError, match="unloaded"):
+            engine.search(np.zeros((1, 128), dtype=np.uint8))
+
+
+# ---------------------------------------------------------------- durability
+class TestSaveLoadGoldenMatrix:
+    """``save -> load`` must reproduce the frozen goldens: the loaded
+    engine is the *same* engine, down to the cycle ledger."""
+
+    @pytest.fixture(scope="class")
+    def goldens(self):
+        with open(GOLDEN_PATH) as f:
+            return json.load(f)
+
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_loaded_engine_matches_golden_cycles(
+        self, name, goldens, tmp_path
+    ):
+        c = CANONICAL_CONFIGS[name]
+        ds = canonical_dataset()
+        engine = build_canonical_engine(
+            name, index_path=str(tmp_path / f"{name}.drim")
+        )
+        try:
+            res, bd = engine.search(ds.queries[: c["num_queries"]])
+        finally:
+            engine.close()
+        want = goldens[name]["kernel_cycles"]
+        got = {k: v for k, v in sorted(bd.kernel_cycles.items())}
+        assert got == pytest.approx(want), (
+            f"save/load round trip drifted from the golden ledger for "
+            f"{name!r}"
+        )
+
+    @pytest.mark.parametrize("execution", ["batched", "chunked", "per_query"])
+    @pytest.mark.parametrize("plan", ["serial", "vectorized"])
+    def test_loaded_engine_bitexact_per_mode(
+        self, execution, plan, tmp_path
+    ):
+        name = "split-replicated"
+        ds = canonical_dataset()
+        q = ds.queries[:40]
+        direct = build_canonical_engine(name, execution=execution, plan=plan)
+        try:
+            res_a, bd_a = direct.search(q)
+        finally:
+            direct.close()
+        loaded = build_canonical_engine(
+            name,
+            execution=execution,
+            plan=plan,
+            index_path=str(tmp_path / "rt.drim"),
+        )
+        try:
+            res_b, bd_b = loaded.search(q)
+        finally:
+            loaded.close()
+        np.testing.assert_array_equal(res_a.ids, res_b.ids)
+        np.testing.assert_array_equal(res_a.distances, res_b.distances)
+        assert bd_a.kernel_cycles == bd_b.kernel_cycles
+
+    def test_tombstoned_roundtrip_bitexact(
+        self, small_quantized, small_ds, small_params, tmp_path
+    ):
+        quant = _fresh_quantized(small_quantized)
+        engine = _engine(quant, small_params)
+        q = small_ds.queries[:30]
+        path = str(tmp_path / "t.drim")
+        try:
+            engine.delete(np.arange(0, 5000, 4))
+            res_a, bd_a = engine.search(q)
+            engine.save(path)
+        finally:
+            engine.close()
+        loaded = DrimAnnEngine.load(path, config=engine._config)
+        try:
+            assert loaded.quantized.num_tombstones == quant.num_tombstones
+            res_b, bd_b = loaded.search(q)
+        finally:
+            loaded.close()
+        np.testing.assert_array_equal(res_a.ids, res_b.ids)
+        np.testing.assert_array_equal(res_a.distances, res_b.distances)
+        assert bd_a.kernel_cycles == bd_b.kernel_cycles
+
+    def test_load_rejects_mismatched_config(
+        self, small_quantized, small_params, tmp_path
+    ):
+        from dataclasses import replace
+
+        path = str(tmp_path / "c.drim")
+        save_index(small_quantized, path)
+        bad = EngineConfig(index=replace(small_params, nlist=32))
+        with pytest.raises(ValueError, match="nlist"):
+            DrimAnnEngine.load(path, config=bad)
+
+    def test_load_without_config_derives_one(
+        self, small_quantized, tmp_path
+    ):
+        path = str(tmp_path / "d.drim")
+        save_index(small_quantized, path)
+        engine = DrimAnnEngine.load(path)
+        try:
+            assert engine.params.nlist == small_quantized.nlist
+            res, _ = engine.search(
+                np.zeros((2, small_quantized.dim), dtype=np.uint8)
+            )
+            assert res.ids.shape == (2, engine.params.k)
+        finally:
+            engine.close()
+
+
+class TestCrashMidCompaction:
+    def test_crashed_compaction_recovers(
+        self, small_quantized, small_ds, small_params, tmp_path
+    ):
+        quant = _fresh_quantized(small_quantized)
+        engine = _engine(quant, small_params)
+        q = small_ds.queries[:20]
+        path = str(tmp_path / "idx.drim")
+        try:
+            engine.save(path)
+            before_bytes = open(path, "rb").read()
+            engine.delete(np.arange(0, 3000, 5))
+            res_before = engine.search(q)[0]
+            with CrashPoint("staged"):
+                with pytest.raises(SimulatedCrash):
+                    engine.compact()
+            # The on-disk index is the pre-compaction file, intact.
+            assert open(path, "rb").read() == before_bytes
+            load_index(path)
+            # The in-memory engine is still the tombstoned one and still
+            # answers bit-identically.
+            assert engine.quantized.num_tombstones > 0
+            res_after = _assert_matches_reference(engine, q)
+            np.testing.assert_array_equal(res_before.ids, res_after.ids)
+            # A retry (post-"restart") succeeds and drops the tombstones.
+            stats = engine.compact()
+            assert stats["removed_tombstones"] == len(np.arange(0, 3000, 5))
+            assert load_index(path).num_tombstones == 0
+        finally:
+            engine.close()
+
+
+class TestObservability:
+    def test_load_and_tombstone_metrics(
+        self, small_quantized, small_params, small_ds, tmp_path
+    ):
+        from repro.obs import ObsConfig
+
+        path = str(tmp_path / "o.drim")
+        save_index(_fresh_quantized(small_quantized), path)
+        config = EngineConfig(
+            index=small_params,
+            search=SearchParams(batch_size=32),
+            system=PimSystemConfig(num_dpus=8),
+            layout=LayoutConfig(min_split_size=400, max_copies=2),
+            obs=ObsConfig(enabled=True),
+        )
+        engine = DrimAnnEngine.load(path, config=config)
+        try:
+            engine.delete(np.arange(0, 1000, 2))
+            snap = engine.observer.snapshot()
+            series = {
+                s["labels"].get("phase")
+                for s in snap.series("drimann_index_load_seconds")
+            }
+            assert {"open", "assemble"} <= series
+            gauges = snap.series("drimann_index_tombstone_ratio")
+            assert gauges and gauges[0]["value"] == pytest.approx(
+                engine.quantized.tombstone_ratio
+            )
+        finally:
+            engine.close()
