@@ -19,6 +19,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.utils.topk_merge import topk_canonical  # noqa: F401
+
 
 def topk_smallest(
     values: np.ndarray, k: int, axis: int = -1
@@ -44,24 +46,9 @@ def topk_smallest(
     return idx, np.take_along_axis(values, idx, axis=axis)
 
 
-def topk_canonical(
-    dists: np.ndarray, ids: np.ndarray, k: int
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Top-k of a candidate pool with a canonical (distance, id) order.
-
-    Ties on distance are broken by ascending id, which makes the result
-    independent of the order in which candidates were concatenated —
-    the property that lets the engine's batched, chunked, and per-query
-    execution modes (and the host reference) agree bit-for-bit even
-    when partial results arrive in different orders.
-
-    Returns ``(ids_k, dists_k)``, ascending by ``(distance, id)``.
-    """
-    dists = np.asarray(dists)
-    ids = np.asarray(ids)
-    kk = min(k, len(dists))
-    order = np.lexsort((ids, dists))[:kk]
-    return ids[order], dists[order]
+# topk_canonical is re-exported above from repro.utils.topk_merge (the
+# shared home of the canonical (distance, id) merge, so the cluster tier
+# can use it without import cycles).
 
 
 class BoundedMaxHeap:

@@ -193,6 +193,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="data-plane strategy per round: planner-chosen "
                         "(default), serial loop, stacked vectorized scan, "
                         "or persistent worker pool — all bit-identical")
+    s.add_argument("--adaptive", default="off",
+                   choices=("off", "bound", "budget", "full"),
+                   help="query-adaptive probing: off (fixed nprobe), "
+                        "bound (exact early termination, bit-identical "
+                        "results), budget (per-query nprobe from the "
+                        "centroid-distance gap profile), or full (both)")
     s.add_argument("--shard-pool", default="persistent",
                    choices=("persistent", "percall"),
                    help="worker pool flavor when --shard-workers > 1: "
@@ -470,7 +476,9 @@ def _train_and_write(args, fmt: str) -> int:
     if fmt == "v1":
         write_v1(quant, args.out)
     else:
-        save_index(quant, args.out)
+        from repro.core.adaptive import cluster_radii_sq
+
+        save_index(quant, args.out, cluster_radii=cluster_radii_sq(quant))
     _say(args, f"wrote {args.out} ({fmt}): {quant.num_points} points, "
                f"{quant.nlist} clusters, dim {quant.dim}")
     _emit(
@@ -520,6 +528,7 @@ def _cmd_index_info(args) -> int:
                f"({info['tombstone_ratio']:.1%})")
     _say(args, f"  cluster heat: {'yes' if info['has_cluster_heat'] else 'no'}"
                f", OPQ: {'yes' if info['has_opq'] else 'no'}"
+               f", radii: {'yes' if info['has_cluster_radii'] else 'no'}"
                f", {info['file_bytes']} bytes on disk")
     _emit(args, config={"path": args.path}, results=info)
     return 0
@@ -542,6 +551,8 @@ def _cmd_index_verify(args) -> int:
 def _cmd_index_compact(args) -> int:
     from repro.core.persist import load_index_bundle, save_index
 
+    from repro.core.adaptive import cluster_radii_sq
+
     bundle = load_index_bundle(args.path, mmap=False)
     removed = bundle.index.num_tombstones
     compacted = bundle.index.compact()
@@ -551,6 +562,7 @@ def _cmd_index_compact(args) -> int:
         target,
         cluster_heat=bundle.cluster_heat,
         preprocessor=bundle.preprocessor,
+        cluster_radii=cluster_radii_sq(compacted),
     )
     _say(args, f"compacted {args.path} -> {target}: dropped {removed} "
                f"tombstones, {compacted.num_points} points remain")
@@ -603,7 +615,9 @@ def _cmd_search(args) -> int:
     obs_on = bool(args.profile or args.metrics_out or args.as_json)
     config = EngineConfig(
         index=params,
-        search=SearchParams(execution=args.execution, plan=args.plan),
+        search=SearchParams(
+            execution=args.execution, plan=args.plan, adaptive=args.adaptive
+        ),
         layout=layout,
         system=PimSystemConfig(
             num_dpus=args.dpus, shard_workers=args.shard_workers,
@@ -648,6 +662,10 @@ def _cmd_search(args) -> int:
             "recall_at_k": rec,
             "k": params.k,
             "breakdown": outcome.breakdown.to_dict(),
+            "adaptive": (
+                None if outcome.adaptive is None
+                else outcome.adaptive.to_dict()
+            ),
         },
         metrics=None if outcome.metrics is None else outcome.metrics.to_dict(),
     )

@@ -46,14 +46,20 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.ann.heap import topk_canonical
 from repro.ann.ivfpq import SearchResult
 from repro.cluster.index import ClusterIndex
-from repro.core.params import DatasetShape
+from repro.core.adaptive import probe_budgets
+from repro.core.params import ADAPTIVE_MODES, DatasetShape
 from repro.core.perf_model import AnalyticPerfModel, HardwareProfile
 from repro.faults.plan import NodeFaultPlan
 from repro.obs.observer import EngineObserver
-from repro.utils import BackoffPolicy, check_2d, ensure_rng, spawn_rngs
+from repro.utils import (
+    BackoffPolicy,
+    check_2d,
+    ensure_rng,
+    merge_topk_pools,
+    spawn_rngs,
+)
 
 
 @dataclass(frozen=True)
@@ -140,17 +146,7 @@ def merge_shard_results(
                 continue
             pools_i[int(row)].append(ids[keep])
             pools_d[int(row)].append(resp.distances[row_local][keep])
-    out_ids = np.full((num_queries, k), -1, dtype=np.int64)
-    out_dist = np.full((num_queries, k), np.inf, dtype=np.float64)
-    for qi in range(num_queries):
-        if not pools_i[qi]:
-            continue
-        ids = np.concatenate(pools_i[qi])
-        dists = np.concatenate(pools_d[qi]).astype(np.float64)
-        kk = min(k, len(ids))
-        sel_ids, sel_dists = topk_canonical(dists, ids, kk)
-        out_ids[qi, :kk] = sel_ids
-        out_dist[qi, :kk] = sel_dists
+    out_ids, out_dist = merge_topk_pools(pools_i, pools_d, num_queries, k)
     return SearchResult(ids=out_ids, distances=out_dist)
 
 
@@ -297,6 +293,7 @@ class ClusterFrontend:
         probes_local: np.ndarray,
         execution: Optional[str],
         plan: Optional[str],
+        adaptive: Optional[str] = None,
     ) -> _NodeCall:
         """One modeled request/response to one node."""
         deadline = self.config.shard_deadline_s
@@ -307,7 +304,8 @@ class ClusterFrontend:
                 return _NodeCall(False, "partition", deadline)
         engine = self.cluster.node_engine(node_id)
         res, bd = engine.search(
-            queries, probes=probes_local, execution=execution, plan=plan
+            queries, probes=probes_local, execution=execution, plan=plan,
+            adaptive=adaptive,
         )
         slow = (
             1.0
@@ -325,6 +323,7 @@ class ClusterFrontend:
         probes_local: np.ndarray,
         execution: Optional[str],
         plan: Optional[str],
+        adaptive: Optional[str],
         backoff_seed,
         report: ClusterReport,
     ) -> ShardResponse:
@@ -346,7 +345,7 @@ class ClusterFrontend:
                 if self.observer is not None:
                     self.observer.on_node_retry()
             call = self._call_node(
-                node, queries, probes_local, execution, plan
+                node, queries, probes_local, execution, plan, adaptive
             )
             await asyncio.sleep(0)  # yield: let sibling shards interleave
             if not call.ok:
@@ -374,7 +373,7 @@ class ClusterFrontend:
                 if hedge_nodes:
                     hedge = self._call_node(
                         hedge_nodes[0], queries, probes_local,
-                        execution, plan,
+                        execution, plan, adaptive,
                     )
                     await asyncio.sleep(0)
                     hedged = True
@@ -413,6 +412,7 @@ class ClusterFrontend:
         probes: np.ndarray,
         execution: Optional[str],
         plan: Optional[str],
+        adaptive: Optional[str],
         report: ClusterReport,
     ) -> List[ShardResponse]:
         coros = []
@@ -432,6 +432,7 @@ class ClusterFrontend:
                     lp[rows],
                     execution,
                     plan,
+                    adaptive,
                     seeds[shard.shard_id],
                     report,
                 )
@@ -446,6 +447,7 @@ class ClusterFrontend:
         *,
         execution: Optional[str] = None,
         plan: Optional[str] = None,
+        adaptive: Optional[str] = None,
     ) -> ClusterOutcome:
         """Batched cluster top-k; one fault-plan round per call.
 
@@ -453,6 +455,16 @@ class ClusterFrontend:
         :meth:`ClusterIndex.oracle_search` whenever every probed shard
         answered (always true with all replicas up, and still true
         under any fault pattern that leaves >= 1 replica per shard).
+
+        ``adaptive`` composes the engine-level modes with the rack's
+        ``probes=`` routing: ``"budget"``/``"full"`` compute per-query
+        probe budgets from the *global* router distances here and
+        truncate the probe matrix before scattering (shards never see
+        the dropped clusters), while ``"bound"``/``"full"`` additionally
+        run each shard with bound-based early termination — each
+        shard's skip decisions are locally conservative, and therefore
+        globally safe, because its pool is a subset of the global one.
+        ``"bound"`` alone keeps results bit-identical to ``adaptive=None``.
         """
         queries = check_2d(queries, "queries")
         if queries.shape[1] != self.cluster.router.dim:
@@ -460,28 +472,57 @@ class ClusterFrontend:
                 f"query dim {queries.shape[1]} != "
                 f"index dim {self.cluster.router.dim}"
             )
+        if adaptive is not None and adaptive not in ADAPTIVE_MODES:
+            raise ValueError(
+                f"adaptive must be one of {ADAPTIVE_MODES}, got {adaptive!r}"
+            )
         nq = queries.shape[0]
         params = self.cluster.params
-        probes = self.cluster.locate(queries)
+        if adaptive in ("budget", "full") and nq:
+            probes, rr = self.cluster.locate_with_distances(queries)
+            if probes.shape[1] > 1:
+                budgets = probe_budgets(
+                    rr, max(1, params.nprobe // 4), 2.0
+                )
+                probes = probes.copy()
+                probes[
+                    budgets[:, None] <= np.arange(probes.shape[1])[None, :]
+                ] = -1
+        else:
+            probes = self.cluster.locate(queries)
+        # Shard-level mode: budgets were applied globally above, so the
+        # shards only ever add bound-based (exact) termination.
+        shard_adaptive = {
+            None: None,
+            "off": "off",
+            "bound": "bound",
+            "budget": "off",
+            "full": "bound",
+        }[adaptive]
         cl_s = self._host_cl_seconds(nq)
 
         report = ClusterReport(
             num_queries=nq, e2e_seconds=0.0, cl_seconds=cl_s
         )
         responses = asyncio.run(
-            self._scatter_gather(queries, probes, execution, plan, report)
+            self._scatter_gather(
+                queries, probes, execution, plan, shard_adaptive, report
+            )
         )
 
         results = merge_shard_results(responses, nq, params.k)
 
         # Coverage: which of each query's nprobe probes reached a live
-        # shard. Failed shards drop exactly the probes they own.
+        # shard. Failed shards drop exactly the probes they own;
+        # budget-truncated (-1) slots were never requested and stay
+        # covered.
         covered = np.ones(probes.shape, dtype=bool)
         responded = {r.shard_id for r in responses if r.ok}
-        probe_owner = self.cluster.owner[probes]
+        requested = probes >= 0
+        probe_owner = self.cluster.owner[np.maximum(probes, 0)]
         for shard in self.cluster.shards:
             if shard.shard_id not in responded:
-                covered &= probe_owner != shard.shard_id
+                covered &= (probe_owner != shard.shard_id) | ~requested
         report.coverage = covered.mean(axis=1)
         for resp in responses:
             report.shard_latencies_s[resp.shard_id] = resp.latency_s

@@ -193,6 +193,14 @@ class ClusterIndex:
         """Global CL: ``(nq, nprobe)`` global cluster ids, nearest first."""
         return self.router.locate(queries, self.params.nprobe)
 
+    def locate_with_distances(self, queries: np.ndarray):
+        """Global CL keeping the int64 centroid distances.
+
+        ``(ids, dists)`` — the statistics the frontend's adaptive
+        budgets are computed from (see :mod:`repro.core.adaptive`).
+        """
+        return self.router.locate_with_distances(queries, self.params.nprobe)
+
     def oracle_search(self, queries: np.ndarray):
         """The single-engine gold standard the cluster must match."""
         return self.router.reference_search(

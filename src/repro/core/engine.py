@@ -34,7 +34,8 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.ann.ivfpq import IVFPQIndex, SearchResult
-from repro.ann.heap import topk_canonical
+from repro.core import adaptive as adaptive_probing
+from repro.core.adaptive import AdaptiveReport
 from repro.core.breakdown import TimingBreakdown
 from repro.core.config import EngineConfig
 from repro.core.layout import (
@@ -45,6 +46,7 @@ from repro.core.layout import (
 )
 from repro.core.opq_preprocess import OpqPreprocessor
 from repro.core.params import (
+    ADAPTIVE_MODES,
     EXECUTION_MODES,
     PLAN_MODES,
     DatasetShape,
@@ -62,7 +64,7 @@ from repro.faults.report import FaultStats
 from repro.obs.observer import EngineObserver
 from repro.pim.config import PimSystemConfig
 from repro.pim.system import PimSystem, ShardData
-from repro.utils import check_2d, ensure_rng
+from repro.utils import check_2d, ensure_rng, merge_topk_pools
 
 
 @dataclass
@@ -124,6 +126,12 @@ class DrimAnnEngine:
         self.cluster_heat: Optional[np.ndarray] = None
         self.index_path: Optional[str] = None
         self._unloaded = False
+        # Adaptive-probing state: per-cluster reconstruction radii
+        # (lazy; persisted as the optional v2 "cluster_radii" segment)
+        # and the codeword-norm table that incrementally maintains them.
+        self._radii_sq: Optional[np.ndarray] = None
+        self._radii_disabled = False
+        self._cb_norms_sq: Optional[np.ndarray] = None
 
     @property
     def fault_plan(self) -> Optional[FaultPlan]:
@@ -165,11 +173,20 @@ class DrimAnnEngine:
         first to reclaim them.
         """
         self._check_loaded()
+        radii = self._radii_sq
+        if radii is None:
+            # Compute fresh radii so the file always carries the
+            # adaptive segment — re-saving an old (radii-less) file
+            # upgrades it, and re-enables bound checks on this engine.
+            radii = adaptive_probing.cluster_radii_sq(self.quantized)
+            self._radii_sq = radii
+            self._radii_disabled = False
         save_index(
             self.quantized,
             path,
             cluster_heat=self.cluster_heat,
             preprocessor=self.preprocessor,
+            cluster_radii=radii,
         )
         self.index_path = path
 
@@ -242,7 +259,12 @@ class DrimAnnEngine:
             preprocessor=bundle.preprocessor,
             seed=seed,
             index_path=path,
+            cluster_radii=bundle.cluster_radii,
         )
+        # Older files have no radii segment: adaptive bound checks
+        # gracefully disable instead of recomputing behind the caller's
+        # back from a possibly-mmapped code store (save() upgrades).
+        engine._radii_disabled = bundle.cluster_radii is None
         assemble_seconds = time.perf_counter() - t1
         obs = engine.observer
         if obs is not None:
@@ -266,6 +288,8 @@ class DrimAnnEngine:
         self.system = None  # type: ignore[assignment]
         self.plan = None  # type: ignore[assignment]
         self.scheduler = None  # type: ignore[assignment]
+        self._radii_sq = None
+        self._cb_norms_sq = None
         self._unloaded = True
 
     # ------------------------------------------------------------- mutation
@@ -331,6 +355,25 @@ class DrimAnnEngine:
         self.report.mram_used_per_dpu = self.system.mram_usage()
         if quantized.has_tombstones:
             self._sync_liveness()
+        # Keep cached reconstruction radii an upper bound: max-update
+        # the touched clusters from the appended rows only (a radius can
+        # only grow on append; delete() keeps it valid conservatively).
+        if self._radii_sq is not None:
+            if self._cb_norms_sq is None:
+                self._cb_norms_sq = adaptive_probing.codebook_norms_sq(
+                    quantized.codebooks
+                )
+            for cid in (int(c) for c in np.unique(assign)):
+                n_old = int(old_sizes[cid])
+                new_codes = quantized.cluster_codes[cid][n_old:]
+                if len(new_codes):
+                    r = int(
+                        adaptive_probing.reconstruction_norms_sq(
+                            self._cb_norms_sq, new_codes
+                        ).max()
+                    )
+                    if r > self._radii_sq[cid]:
+                        self._radii_sq[cid] = r
         # The scheduler precomputes per-group latency from shard sizes;
         # rebuild it (cheap) so predictions track the grown shards.
         scheduler = RuntimeScheduler(self.plan, self.scheduler.config)
@@ -390,6 +433,7 @@ class DrimAnnEngine:
             seed=seed,
             index_path=self.index_path,
         )
+        new_radii = adaptive_probing.cluster_radii_sq(new_quantized)
         target = save_to if save_to is not None else self.index_path
         if target is not None:
             try:
@@ -398,6 +442,7 @@ class DrimAnnEngine:
                     target,
                     cluster_heat=fresh.cluster_heat,
                     preprocessor=self.preprocessor,
+                    cluster_radii=new_radii,
                 )
             except BaseException:
                 # Crash-safe: the staged temp file is already cleaned up
@@ -412,6 +457,9 @@ class DrimAnnEngine:
         self.scheduler = fresh.scheduler
         self.report = fresh.report
         self.cluster_heat = fresh.cluster_heat
+        self._radii_sq = new_radii
+        self._radii_disabled = False
+        self._cb_norms_sq = None
         self.index_path = target if target is not None else self.index_path
         # Keep the original observer wiring (fresh carried its own).
         self.system.observer = self.observer
@@ -562,6 +610,7 @@ class DrimAnnEngine:
         preprocessor: Optional[OpqPreprocessor] = None,
         seed=None,
         index_path: Optional[str] = None,
+        cluster_radii: Optional[np.ndarray] = None,
     ) -> "DrimAnnEngine":
         """Assemble an engine around an existing quantized index.
 
@@ -725,6 +774,14 @@ class DrimAnnEngine:
         engine._config = config
         engine.cluster_heat = heat
         engine.index_path = index_path
+        if cluster_radii is not None:
+            radii = np.array(cluster_radii, dtype=np.int64)
+            if radii.shape != (quantized.nlist,):
+                raise ValueError(
+                    f"cluster_radii must have shape ({quantized.nlist},), "
+                    f"got {radii.shape}"
+                )
+            engine._radii_sq = radii
         if quantized.has_tombstones:
             engine._sync_liveness()
         return engine
@@ -740,6 +797,41 @@ class DrimAnnEngine:
         model = AnalyticPerfModel(shape, self.cpu_profile)
         return model.phase(self.params, "CL").seconds
 
+    def cluster_radii_sq(self) -> Optional[np.ndarray]:
+        """Per-cluster squared reconstruction radii (lazily computed).
+
+        The statistic behind adaptive distance-bound termination (see
+        :mod:`repro.core.adaptive`). Engines loaded from index files
+        without the optional ``cluster_radii`` segment return ``None``
+        — bound checks gracefully disable rather than recompute from a
+        possibly-mmapped code store behind the caller's back; a
+        :meth:`save` computes fresh radii and upgrades the file.
+        """
+        self._check_loaded()
+        if self._radii_sq is None and not self._radii_disabled:
+            self._radii_sq = adaptive_probing.cluster_radii_sq(self.quantized)
+        return self._radii_sq
+
+    def _centroid_distances(
+        self, queries: np.ndarray, probes: np.ndarray
+    ) -> np.ndarray:
+        """Exact int64 squared distances to each query's probe centroids.
+
+        Same integer math as :meth:`QuantizedIndexData.locate`; invalid
+        (``-1``) probe slots produce values for centroid 0 — callers
+        mask them out. Used when the probe set arrives externally (the
+        frontend's ``probes=`` path or CL-on-PIM) and the adaptive path
+        still needs the distance statistics.
+        """
+        q = queries.astype(np.int64)
+        cents = self.quantized.centroids.astype(np.int64)
+        qq = np.einsum("ij,ij->i", q, q)
+        safe = np.maximum(np.asarray(probes), 0)
+        c = cents[safe]  # (nb, p, d)
+        cc = np.einsum("bpd,bpd->bp", c, c)
+        qc = np.einsum("bd,bpd->bp", q, c)
+        return qq[:, None] + cc - 2 * qc
+
     def search(
         self,
         queries: np.ndarray,
@@ -748,6 +840,7 @@ class DrimAnnEngine:
         execution: Optional[str] = None,
         plan: Optional[str] = None,
         probes: Optional[np.ndarray] = None,
+        adaptive: Optional[str] = None,
     ) -> SearchOutcome:
         """Batched top-k search.
 
@@ -785,6 +878,20 @@ class DrimAnnEngine:
         locates against the *global* coarse index once and hands each
         shard only the probes it owns, so no per-shard CL host time is
         charged (the frontend accounts for the global CL itself).
+
+        ``adaptive`` overrides ``search_params.adaptive`` for this
+        call (``"off"`` / ``"bound"`` / ``"budget"`` / ``"full"`` — see
+        :mod:`repro.core.adaptive`). ``"bound"`` stops each query as
+        soon as its k-th distance provably beats every remaining
+        cluster's lower bound — results stay bit-identical to
+        ``"off"``, only work (and therefore charged cycles) shrinks.
+        ``"budget"`` picks a per-query probe budget from the
+        centroid-distance gap profile; ``"full"`` combines both. With
+        an explicit ``probes=`` matrix the budget heuristic is skipped
+        (the caller already chose the probe set — the rack frontend
+        applies global budgets before scattering) but bound-based
+        termination still applies. The outcome's ``adaptive`` field
+        reports what was actually probed.
 
         Under a fault plan, tasks lost to fail-stopped DPUs are
         re-dispatched to surviving replicas with exponential backoff
@@ -831,6 +938,32 @@ class DrimAnnEngine:
             bs = self.search_params.batch_size
         else:  # per_query
             bs = 1
+        amode = adaptive if adaptive is not None else self.search_params.adaptive
+        if amode not in ADAPTIVE_MODES:
+            raise ValueError(
+                f"adaptive must be one of {ADAPTIVE_MODES}, got {amode!r}"
+            )
+        if amode != "off" and nq:
+            use_bound = (
+                amode in ("bound", "full")
+                and self.cluster_radii_sq() is not None
+            )
+            use_budget = amode in ("budget", "full") and probes is None
+            if use_bound or use_budget:
+                return self._search_adaptive(
+                    queries,
+                    k=k,
+                    nq=nq,
+                    bs=bs,
+                    plan_mode=plan_mode,
+                    probes=probes,
+                    with_scheduler=with_scheduler,
+                    amode=amode,
+                    use_bound=use_bound,
+                    use_budget=use_budget,
+                )
+            # Degenerate (e.g. radii-less old index under "bound"):
+            # fall through to the exhaustive path unchanged.
         obs = self.observer
         if obs is not None:
             obs.on_search_start(nq)
@@ -939,21 +1072,250 @@ class DrimAnnEngine:
         if obs is not None:
             obs.on_faults(stats)
 
-        out_ids = np.full((nq, k), -1, dtype=np.int64)
-        out_dist = np.full((nq, k), np.inf, dtype=np.float64)
-        for qi in range(nq):
-            if not pools_i[qi]:
-                continue
-            ids = np.concatenate(pools_i[qi])
-            dists = np.concatenate(pools_d[qi]).astype(np.float64)
-            kk = min(k, len(ids))
-            sel_ids, sel_dists = topk_canonical(dists, ids, kk)
-            out_ids[qi, :kk] = sel_ids
-            out_dist[qi, :kk] = sel_dists
+        out_ids, out_dist = merge_topk_pools(pools_i, pools_d, nq, k)
         return SearchOutcome(
             results=SearchResult(ids=out_ids, distances=out_dist),
             breakdown=breakdown,
             metrics=obs.snapshot() if obs is not None else None,
+        )
+
+    def _search_adaptive(
+        self,
+        queries: np.ndarray,
+        *,
+        k: int,
+        nq: int,
+        bs: int,
+        plan_mode: str,
+        probes: Optional[np.ndarray],
+        with_scheduler: bool,
+        amode: str,
+        use_bound: bool,
+        use_budget: bool,
+    ) -> SearchOutcome:
+        """The adaptive arm of :meth:`search` (``adaptive != "off"``).
+
+        Probes are dispatched in *rounds* — one cluster per still-active
+        query per round — so each query can stop the moment its k-th
+        distance beats the suffix-minimum lower bound of its remaining
+        clusters (``use_bound``), or when its gap-heuristic budget is
+        spent (``use_budget``). Everything else reuses the exhaustive
+        path's machinery: the runtime scheduler maps each round's
+        shrunken work list, ``_execute``/``_recover`` run and charge it,
+        and the CL/RC/LC/DC/TS ledger therefore contains *only* clusters
+        actually dispatched (kernel costs are linear in group size, so
+        per-round dispatch charges exactly what a single batch of the
+        same tasks would — the ledger-honesty property the conformance
+        suite replays through the fixed ``probes=`` path). Host CL time
+        is charged once per query batch, on its first round, exactly as
+        the exhaustive path does.
+
+        Results under ``use_bound`` alone are bit-identical to the
+        exhaustive scan: the bound is conservative (see
+        :mod:`repro.core.adaptive`), a partial pool's k-th distance only
+        overestimates the final one, and a strict ``d_k < bound`` test
+        means no remaining point can enter the top-k even on a
+        (distance, id) tie.
+        """
+        obs = self.observer
+        if obs is not None:
+            obs.on_search_start(nq)
+
+        scheduler = self.scheduler
+        if not with_scheduler:
+            scheduler = RuntimeScheduler(
+                self.plan,
+                SchedulerConfig(
+                    lut_latency=self.scheduler.config.lut_latency,
+                    per_point_calc=self.scheduler.config.per_point_calc,
+                    per_point_sort=self.scheduler.config.per_point_sort,
+                    filter_threshold=None,
+                    policy="static",
+                ),
+            )
+            scheduler.adopt_fault_state(self.scheduler)
+
+        stats = FaultStats()
+        if self.fault_plan is not None:
+            stats.straggler_dpus = set(self.fault_plan.straggler_dpus)
+
+        pools_i: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        pools_d: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        breakdown = TimingBreakdown()
+        breakdown.faults = stats
+        carried: List[Tuple[int, int]] = []
+
+        radii = self.cluster_radii_sq() if use_bound else None
+        nprobe_min = self.search_params.nprobe_min
+        if nprobe_min is None:
+            nprobe_min = max(1, self.params.nprobe // 4)
+        gap = self.search_params.adaptive_gap
+
+        executed: List[List[int]] = [[] for _ in range(nq)]
+        budgets = np.zeros(nq, dtype=np.int64)
+        reasons: List[str] = ["exhausted"] * nq
+
+        cl_on_pim = self.search_params.cluster_locate_on == "pim"
+        for q0 in range(0, nq, bs):
+            q1 = min(q0 + bs, nq)
+            nb = q1 - q0
+            if probes is not None:
+                batch_probes = np.asarray(probes[q0:q1])
+                cl_sec, cl_cycles = 0.0, 0.0
+                host_s = 0.0
+                rr = self._centroid_distances(queries[q0:q1], batch_probes)
+            elif cl_on_pim:
+                batch_probes, cl_sec, cl_cycles = self.system.locate_on_pim(
+                    queries[q0:q1], self.params.nprobe
+                )
+                host_s = 0.0
+                rr = self._centroid_distances(queries[q0:q1], batch_probes)
+            else:
+                batch_probes, rr = self.quantized.locate_with_distances(
+                    queries[q0:q1], self.params.nprobe
+                )
+                cl_sec, cl_cycles = 0.0, 0.0
+                host_s = self._host_cl_seconds(nb)
+
+            # Per-query compacted probe lists, budgets, and the
+            # suffix-minimum of the remaining clusters' lower bounds.
+            plists: List[np.ndarray] = []
+            lb_sfx: List[Optional[np.ndarray]] = []
+            limits = np.empty(nb, dtype=np.int64)
+            for i in range(nb):
+                row = np.asarray(batch_probes[i])
+                valid = row >= 0
+                plist = row[valid].astype(np.int64)
+                plists.append(plist)
+                limits[i] = len(plist)
+                if use_bound and len(plist):
+                    lb = adaptive_probing.lower_bounds(
+                        rr[i][valid], radii[plist]
+                    )
+                    lb_sfx.append(np.minimum.accumulate(lb[::-1])[::-1])
+                else:
+                    lb_sfx.append(None)
+                if use_budget and len(plist) > 1:
+                    b = int(
+                        adaptive_probing.probe_budgets(
+                            rr[i][valid][None, :], nprobe_min, gap
+                        )[0]
+                    )
+                    limits[i] = min(limits[i], b)
+                budgets[q0 + i] = limits[i]
+
+            ptr = np.zeros(nb, dtype=np.int64)
+            done = limits == 0
+            first_round = True
+            while not done.all():
+                tasks = list(carried)
+                for i in range(nb):
+                    if done[i]:
+                        continue
+                    gq = q0 + i
+                    cid = int(plists[i][ptr[i]])
+                    tasks.append((gq, cid))
+                    executed[gq].append(cid)
+                    ptr[i] += 1
+                outcome = scheduler.schedule_batch(tasks)
+                carried = list(outcome.deferred)
+                stats.uncovered.update(outcome.uncovered)
+                failed = self._execute(
+                    outcome.assignments, queries, k, pools_i, pools_d,
+                    breakdown,
+                    host_seconds=host_s if first_round else 0.0,
+                    num_new_queries=nb if first_round else 0,
+                    extra_pim_seconds=cl_sec if first_round else 0.0,
+                    extra_cl_cycles=cl_cycles if first_round else 0.0,
+                    batch_span=1,
+                    plan=plan_mode,
+                )
+                self._recover(
+                    failed, scheduler, queries, k, pools_i, pools_d,
+                    breakdown, plan=plan_mode,
+                )
+                first_round = False
+                for i in range(nb):
+                    if done[i]:
+                        continue
+                    gq = q0 + i
+                    if use_bound and ptr[i] < limits[i]:
+                        dk = adaptive_probing.kth_pool_distance(pools_d[gq], k)
+                        if dk < lb_sfx[i][ptr[i]]:
+                            done[i] = True
+                            reasons[gq] = "bound"
+                            continue
+                    if ptr[i] >= limits[i]:
+                        done[i] = True
+                        reasons[gq] = (
+                            "budget"
+                            if limits[i] < len(plists[i])
+                            else "exhausted"
+                        )
+
+        # Drain deferred tasks (filter off so the queue empties).
+        drain_guard = 0
+        while carried:
+            drain_guard += 1
+            if drain_guard > 100:
+                raise RuntimeError("scheduler failed to drain deferred tasks")
+            drain_sched = RuntimeScheduler(
+                self.plan,
+                SchedulerConfig(
+                    lut_latency=scheduler.config.lut_latency,
+                    per_point_calc=scheduler.config.per_point_calc,
+                    per_point_sort=scheduler.config.per_point_sort,
+                    filter_threshold=None,
+                    policy=scheduler.config.policy,
+                ),
+            )
+            drain_sched.adopt_fault_state(scheduler)
+            outcome = drain_sched.schedule_batch(carried)
+            carried = list(outcome.deferred)
+            stats.uncovered.update(outcome.uncovered)
+            failed = self._execute(
+                outcome.assignments, queries, k, pools_i, pools_d, breakdown,
+                host_seconds=0.0, num_new_queries=0, plan=plan_mode,
+            )
+            self._recover(
+                failed, drain_sched, queries, k, pools_i, pools_d, breakdown,
+                plan=plan_mode,
+            )
+            scheduler.mark_dead(drain_sched.dead_dpus - scheduler.dead_dpus)
+
+        stats.finalize(num_queries=nq, nprobe=self.params.nprobe)
+        if obs is not None:
+            obs.on_faults(stats)
+
+        # The report (and the ledger-honesty contract) counts clusters
+        # whose scans were charged: issued minus fault-uncovered. Under
+        # partial shard loss the whole cluster is conservatively
+        # dropped from the executed list.
+        for qidx, cid in stats.uncovered:
+            lst = executed[qidx]
+            if int(cid) in lst:
+                lst.remove(int(cid))
+        probes_exec = np.array(
+            [len(executed[q]) for q in range(nq)], dtype=np.int64
+        )
+        if obs is not None:
+            for q in range(nq):
+                obs.on_probes_executed(int(probes_exec[q]))
+                obs.on_adaptive_stop(reasons[q])
+
+        out_ids, out_dist = merge_topk_pools(pools_i, pools_d, nq, k)
+        return SearchOutcome(
+            results=SearchResult(ids=out_ids, distances=out_dist),
+            breakdown=breakdown,
+            metrics=obs.snapshot() if obs is not None else None,
+            adaptive=AdaptiveReport(
+                mode=amode,
+                nprobe_max=self.params.nprobe,
+                budgets=budgets,
+                probes_executed=probes_exec,
+                stop_reasons=reasons,
+                executed=executed,
+            ),
         )
 
     def _execute(

@@ -15,6 +15,7 @@ Three groups, mirroring the paper's notation table:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,12 @@ EXECUTION_MODES = ("batched", "chunked", "per_query")
 #: for a round's functional shard scans — see repro.pim.parallel).
 PLAN_MODES = ("auto", "serial", "vectorized", "pool")
 
+#: Valid values of :attr:`SearchParams.adaptive` (query-adaptive
+#: probing — see repro.core.adaptive). "off" is the fixed-nprobe
+#: baseline; "bound" adds exact distance-bound early termination;
+#: "budget" adds per-query nprobe selection; "full" combines both.
+ADAPTIVE_MODES = ("off", "bound", "budget", "full")
+
 
 @dataclass(frozen=True)
 class SearchParams:
@@ -110,6 +117,21 @@ class SearchParams:
     # values force one path. Bit-identical results and identical cycle
     # ledgers in every mode — only host wall-clock differs.
     plan: str = "auto"
+    # Query-adaptive probing (see repro.core.adaptive): "off" probes a
+    # fixed nprobe clusters per query; "bound" stops a query early when
+    # its k-th distance provably beats every remaining cluster's lower
+    # bound (exact — results stay bit-identical to "off"); "budget"
+    # picks a per-query probe budget in [nprobe_min, nprobe] from the
+    # centroid-distance gap profile (trades bounded recall for cycles);
+    # "full" applies both. The cycle ledger always charges only the
+    # clusters actually scanned.
+    adaptive: str = "off"
+    # Floor of the per-query budget under adaptive="budget"/"full";
+    # None means max(1, nprobe // 4).
+    nprobe_min: Optional[int] = None
+    # Gap-heuristic sensitivity: cut the probe list at the first
+    # centroid-distance gap exceeding adaptive_gap * (mean gap).
+    adaptive_gap: float = 2.0
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -125,6 +147,18 @@ class SearchParams:
         if self.plan not in PLAN_MODES:
             raise ValueError(
                 f"plan must be one of {PLAN_MODES}, got {self.plan!r}"
+            )
+        if self.adaptive not in ADAPTIVE_MODES:
+            raise ValueError(
+                f"adaptive must be one of {ADAPTIVE_MODES}, got {self.adaptive!r}"
+            )
+        if self.nprobe_min is not None and self.nprobe_min <= 0:
+            raise ValueError(
+                f"nprobe_min must be > 0 or None, got {self.nprobe_min}"
+            )
+        if self.adaptive_gap <= 0:
+            raise ValueError(
+                f"adaptive_gap must be > 0, got {self.adaptive_gap}"
             )
 
     def adc_lut_bytes(self, params: IndexParams, bits_lut: int = 32) -> int:

@@ -113,6 +113,10 @@ class IndexBundle:
     version: int = FORMAT_VERSION_V2
     path: str = ""
     header: dict = field(default_factory=dict)
+    # Per-cluster squared reconstruction radii (optional v2 segment;
+    # None for files written before adaptive probing — the engine then
+    # disables bound-based early termination instead of failing).
+    cluster_radii: Optional[np.ndarray] = None
 
 
 # ---------------------------------------------------------------------------
@@ -352,6 +356,7 @@ def _v2_segments(
     index: QuantizedIndexData,
     cluster_heat: Optional[np.ndarray],
     preprocessor: Optional[OpqPreprocessor],
+    cluster_radii: Optional[np.ndarray] = None,
 ) -> List[Tuple[str, np.ndarray]]:
     offsets, ids_flat, codes_flat, tomb_flat = _flatten_index(index)
     segments: List[Tuple[str, np.ndarray]] = [
@@ -377,6 +382,14 @@ def _v2_segments(
                 np.ascontiguousarray(preprocessor.rotation, dtype=np.float64),
             )
         )
+    if cluster_radii is not None:
+        radii = np.ascontiguousarray(cluster_radii, dtype=np.int64)
+        if radii.shape != (index.nlist,):
+            raise ValueError(
+                f"cluster_radii must have shape ({index.nlist},), "
+                f"got {radii.shape}"
+            )
+        segments.append(("cluster_radii", radii))
     return segments
 
 
@@ -386,15 +399,18 @@ def save_index(
     *,
     cluster_heat: Optional[np.ndarray] = None,
     preprocessor: Optional[OpqPreprocessor] = None,
+    cluster_radii: Optional[np.ndarray] = None,
 ) -> None:
     """Write the v2 ``DRIMIDX2`` binary index file, atomically.
 
     The file is memory-mappable: :func:`load_index` rebuilds every
     cluster's ids/codes as zero-copy views into one mapping. Optional
     payloads: the layout ``cluster_heat`` vector (reloads reproduce the
-    exact DPU layout) and an OPQ ``preprocessor``.
+    exact DPU layout), an OPQ ``preprocessor``, and the per-cluster
+    ``cluster_radii`` vector adaptive bound-termination needs (files
+    without it still load; adaptive bounds just disable).
     """
-    segments = _v2_segments(index, cluster_heat, preprocessor)
+    segments = _v2_segments(index, cluster_heat, preprocessor, cluster_radii)
     header: dict = {
         "magic": _MAGIC_V2.decode("ascii"),
         "version": FORMAT_VERSION_V2,
@@ -543,6 +559,7 @@ def _load_v2_bundle(path: str, mmap: bool) -> IndexBundle:
     tomb_flat = seg("tombstones")
     heat = seg("cluster_heat", required=False)
     rotation = seg("opq_rotation", required=False)
+    radii = seg("cluster_radii", required=False)
     _validate_flat_layout(
         path, offsets, ids_flat, codes_flat, nlist=len(centroids)
     )
@@ -601,6 +618,9 @@ def _load_v2_bundle(path: str, mmap: bool) -> IndexBundle:
         version=int(header["version"]),
         path=path,
         header=header,
+        cluster_radii=(
+            None if radii is None else np.array(radii, dtype=np.int64)
+        ),
     )
 
 
@@ -666,6 +686,12 @@ def index_info(path: str) -> dict:
             ),
             "has_cluster_heat": "cluster_heat" in header["segments"],
             "has_opq": "opq_rotation" in header["segments"],
+            "has_cluster_radii": "cluster_radii" in header["segments"],
+            "optional_segments": {
+                "cluster_heat": "cluster_heat" in header["segments"],
+                "opq_rotation": "opq_rotation" in header["segments"],
+                "cluster_radii": "cluster_radii" in header["segments"],
+            },
             "segments": {
                 name: {
                     "offset": int(meta["offset"]),
@@ -695,6 +721,12 @@ def index_info(path: str) -> dict:
         "tombstone_ratio": 0.0,
         "has_cluster_heat": False,
         "has_opq": False,
+        "has_cluster_radii": False,
+        "optional_segments": {
+            "cluster_heat": False,
+            "opq_rotation": False,
+            "cluster_radii": False,
+        },
         "segments": {},
     }
 

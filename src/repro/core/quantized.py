@@ -362,6 +362,19 @@ class QuantizedIndexData:
     # ----- integer search pipeline ----------------------------------------
     def locate(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
         """CL phase on integer centroids. ``(q, nprobe)`` ids, nearest first."""
+        ids, _ = self.locate_with_distances(queries, nprobe)
+        return ids
+
+    def locate_with_distances(
+        self, queries: np.ndarray, nprobe: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """CL phase keeping the integer centroid distances.
+
+        Returns ``(ids, dists)``: the ``(q, nprobe)`` nearest-first
+        cluster ids plus the matching int64 squared centroid distances
+        — the statistics the adaptive probing path (budgets and
+        distance bounds, see :mod:`repro.core.adaptive`) is driven by.
+        """
         queries = check_2d(queries, "queries")
         if not 1 <= nprobe <= self.nlist:
             raise ValueError(f"nprobe must be in [1, {self.nlist}], got {nprobe}")
@@ -370,8 +383,8 @@ class QuantizedIndexData:
         qq = np.einsum("ij,ij->i", q, q)[:, None]
         cc = self.square_term_cache().terms(self.centroids)
         d = qq + cc - 2 * (q @ c.T)
-        idx, _ = topk_smallest(d, nprobe, axis=1)
-        return idx.astype(np.int64)
+        idx, dists = topk_smallest(d, nprobe, axis=1)
+        return idx.astype(np.int64), dists
 
     def residual(self, query: np.ndarray, cluster_id: int) -> np.ndarray:
         """RC phase: int32 residual of one query to one centroid."""

@@ -23,6 +23,7 @@ from repro.core.breakdown import TimingBreakdown
 from repro.obs.registry import MetricsSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.adaptive import AdaptiveReport
     from repro.core.serving import ServingReport
     from repro.faults.report import FaultStats
 
@@ -36,6 +37,9 @@ class SearchOutcome:
     results: SearchResult
     breakdown: TimingBreakdown
     metrics: Optional[MetricsSnapshot] = None
+    # Populated when the call ran with adaptive != "off": what the
+    # adaptive path actually probed (see repro.core.adaptive).
+    adaptive: Optional["AdaptiveReport"] = None
 
     @property
     def faults(self) -> Optional["FaultStats"]:

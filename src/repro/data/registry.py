@@ -84,6 +84,26 @@ def _sift20k(seed=0, num_queries=None) -> Dataset:
     return _make(sift_like_spec(20_000, 64), "sift-like-20k", seed, num_queries, 200)
 
 
+@register_preset("sift-like-20k-skewed")
+def _sift20k_skewed(seed=0, num_queries=None) -> Dataset:
+    """The 20k corpus under a heavily skewed query workload.
+
+    ``zipf_skew=2.5`` concentrates queries on a few hot clusters, so
+    per-query difficulty varies widely — the regime where adaptive
+    probing (``benchmarks/bench_adaptive.py``) pays off: easy queries
+    terminate after one or two probes while hard ones keep the full
+    budget.
+    """
+    return _make(
+        sift_like_spec(20_000, 64),
+        "sift-like-20k-skewed",
+        seed,
+        num_queries,
+        200,
+        skew=2.5,
+    )
+
+
 @register_preset("sift-like-100k")
 def _sift100k(seed=0, num_queries=None) -> Dataset:
     """Mid-size corpus for tests: 100k x 128 uint8."""

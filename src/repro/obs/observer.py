@@ -44,6 +44,8 @@ serving_deadline_misses_total                    counter
 serving_latency_seconds                          sketch
 index_load_seconds                               histogram  phase (open/assemble)
 index_tombstone_ratio                            gauge
+probes_executed                                  histogram
+adaptive_stops_total                             counter    reason (bound/budget/exhausted)
 ===============================================  =========  ==========================
 """
 
@@ -59,6 +61,9 @@ __all__ = ["ObsConfig", "EngineObserver"]
 
 #: Buckets for batch occupancy (query counts, not seconds).
 OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+#: Buckets for per-query executed probes (cluster counts, not seconds).
+PROBE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass(frozen=True)
@@ -130,6 +135,23 @@ class EngineObserver:
     def on_batch(self) -> None:
         self.registry.counter(
             "drimann_engine_batches_total", help="PIM batches executed"
+        ).inc()
+
+    # ----- adaptive probing ------------------------------------------------
+    def on_probes_executed(self, count: int) -> None:
+        """Clusters actually scanned (and charged) for one query."""
+        self.registry.histogram(
+            "drimann_probes_executed",
+            buckets=PROBE_BUCKETS,
+            help="clusters scanned per query under adaptive probing",
+        ).observe(float(count))
+
+    def on_adaptive_stop(self, reason: str) -> None:
+        """Why one query stopped probing (bound/budget/exhausted)."""
+        self.registry.counter(
+            "drimann_adaptive_stops_total",
+            help="adaptive-probing stop decisions by reason",
+            reason=reason,
         ).inc()
 
     # ----- index lifecycle -------------------------------------------------

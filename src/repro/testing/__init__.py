@@ -11,20 +11,24 @@ drift apart.
 
 from repro.testing.goldens import (
     CANONICAL_CONFIGS,
+    GOLDEN_ADAPTIVE_MODES,
     brute_force_topk,
     build_canonical_engine,
     canonical_dataset,
     oracle_recall,
     run_canonical,
+    run_all_adaptive,
     run_all_canonical,
 )
 
 __all__ = [
     "CANONICAL_CONFIGS",
+    "GOLDEN_ADAPTIVE_MODES",
     "brute_force_topk",
     "build_canonical_engine",
     "canonical_dataset",
     "oracle_recall",
     "run_canonical",
+    "run_all_adaptive",
     "run_all_canonical",
 ]

@@ -196,8 +196,16 @@ def run_canonical(
     execution: Optional[str] = None,
     plan: Optional[str] = None,
     shard_workers: int = 0,
+    adaptive: Optional[str] = None,
 ) -> dict:
-    """One golden run: recall vs the oracle + frozen cycle counts."""
+    """One golden run: recall vs the oracle + frozen cycle counts.
+
+    ``adaptive`` selects the query-adaptive probing mode for the run
+    (``None`` leaves the engine default, i.e. ``"off"``). The
+    ``adaptive="off"`` cells must stay bit-identical to the frozen
+    goldens; the ``bound``/``budget`` cells are frozen separately in
+    ``tests/fixtures/golden_adaptive.json``.
+    """
     c = CANONICAL_CONFIGS[name]
     ds = canonical_dataset()
     engine = build_canonical_engine(
@@ -205,12 +213,13 @@ def run_canonical(
     )
     queries = ds.queries[: c["num_queries"]]
     try:
-        res, bd = engine.search(queries)
+        outcome = engine.search(queries, adaptive=adaptive)
+        res, bd = outcome.results, outcome.breakdown
     finally:
         engine.close()
     oracle = brute_force_topk(ds.base, queries, K)
     per_dpu = np.array([d.total_cycles for d in engine.system.dpus])
-    return {
+    record = {
         "recall_at_10": oracle_recall(res.ids, oracle),
         "kernel_cycles": {
             kname: v for kname, v in sorted(bd.kernel_cycles.items())
@@ -220,8 +229,28 @@ def run_canonical(
         "e2e_cycles_sum": float(per_dpu.sum()),
         "num_queries": int(c["num_queries"]),
     }
+    if outcome.adaptive is not None:
+        record["total_probes_executed"] = int(
+            np.sum(outcome.adaptive.probes_executed)
+        )
+    return record
 
 
 def run_all_canonical() -> Dict[str, dict]:
     """Golden runs for every canonical config, in definition order."""
     return {name: run_canonical(name) for name in CANONICAL_CONFIGS}
+
+
+#: The adaptive modes frozen in tests/fixtures/golden_adaptive.json.
+GOLDEN_ADAPTIVE_MODES = ("bound", "budget")
+
+
+def run_all_adaptive() -> Dict[str, Dict[str, dict]]:
+    """Golden adaptive runs: ``{config: {mode: record}}``."""
+    return {
+        name: {
+            mode: run_canonical(name, adaptive=mode)
+            for mode in GOLDEN_ADAPTIVE_MODES
+        }
+        for name in CANONICAL_CONFIGS
+    }

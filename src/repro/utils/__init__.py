@@ -9,8 +9,11 @@ from repro.utils.validation import (
     check_same_dim,
 )
 from repro.utils.timing import Stopwatch
+from repro.utils.topk_merge import merge_topk_pools, topk_canonical
 
 __all__ = [
+    "merge_topk_pools",
+    "topk_canonical",
     "BackoffPolicy",
     "BackoffSequence",
     "ensure_rng",

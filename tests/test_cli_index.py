@@ -69,6 +69,35 @@ class TestIndexInfo:
         assert info["num_tombstones"] == 0
         assert "segments" in info
 
+    def test_info_json_reports_optional_segments(self, v2_index, capsys):
+        assert main(["index", "info", "--json", v2_index]) == 0
+        payload, _ = _payload(capsys)
+        info = payload["results"]
+        assert set(info["optional_segments"]) == {
+            "cluster_heat", "opq_rotation", "cluster_radii",
+        }
+        # CLI builds persist the adaptive radii segment.
+        assert info["has_cluster_radii"] is True
+        assert info["optional_segments"]["cluster_radii"] is True
+        for name, present in info["optional_segments"].items():
+            assert present == (name in info["segments"])
+
+    def test_info_json_radii_less_file(self, v2_index, tmp_path, capsys):
+        from repro.core.persist import load_index, save_index
+
+        quant = load_index(v2_index, mmap=False)
+        bare = str(tmp_path / "bare.drim")
+        save_index(quant, bare)  # no optional payloads
+        assert main(["index", "info", "--json", bare]) == 0
+        payload, _ = _payload(capsys)
+        info = payload["results"]
+        assert info["has_cluster_radii"] is False
+        assert info["optional_segments"]["cluster_radii"] is False
+
+    def test_info_text_mentions_radii(self, v2_index, capsys):
+        assert main(["index", "info", v2_index]) == 0
+        assert "radii: yes" in capsys.readouterr().out
+
 
 class TestIndexVerify:
     def test_verify_clean(self, v2_index, capsys):
@@ -139,3 +168,35 @@ class TestSearchWithV2Index:
         assert rc == 0
         out = capsys.readouterr().out
         assert "recall@10" in out
+
+    @pytest.mark.parametrize("mode", ["bound", "budget"])
+    def test_search_adaptive_json_envelope(self, v2_index, capsys, mode):
+        rc = main(
+            [
+                "search", "--json", "--preset", "sift-like-20k",
+                "--index", v2_index, "--adaptive", mode,
+                "--nlist", "64", "--nprobe", "8", "--m", "16", "--cb", "32",
+                "--dpus", "4", "--queries", "20",
+            ]
+        )
+        assert rc == 0
+        payload, _ = _payload(capsys)
+        rep = payload["results"]["adaptive"]
+        assert rep["mode"] == mode
+        assert rep["nprobe_max"] == 8
+        assert 0 < rep["total_probes_executed"] <= 20 * 8
+        assert sum(rep["stop_reasons"].values()) == 20
+
+    def test_search_adaptive_off_reports_null(self, v2_index, capsys):
+        rc = main(
+            [
+                "search", "--json", "--preset", "sift-like-20k",
+                "--index", v2_index, "--adaptive", "off",
+                "--nlist", "64", "--nprobe", "4", "--m", "16", "--cb", "32",
+                "--dpus", "4", "--queries", "10",
+            ]
+        )
+        assert rc == 0
+        payload, _ = _payload(capsys)
+        assert payload["results"]["adaptive"] is None
+        assert payload["config"]["engine"]["search"]["adaptive"] == "off"

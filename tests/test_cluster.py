@@ -163,6 +163,58 @@ class TestBitExactness:
         res, _ = ClusterFrontend(unreplicated_cluster, seed=0).search(queries)
         np.testing.assert_array_equal(res.ids, gold.ids)
 
+
+class TestAdaptiveRouting:
+    """Adaptive probing composes with the rack tier.
+
+    Shard-local bound termination is globally safe (a shard's candidate
+    pool is a subset of the global pool, so its k-th distance is an
+    overestimate), hence ``adaptive="bound"`` stays bit-identical to
+    the exhaustive oracle even when scattered across shards. Budget
+    modes truncate the probe matrix *before* the scatter, so coverage
+    accounting must only count the probes that were actually requested.
+    """
+
+    def test_bound_matches_oracle(self, replicated_cluster, queries, gold):
+        res, rep = ClusterFrontend(replicated_cluster, seed=0).search(
+            queries, adaptive="bound"
+        )
+        np.testing.assert_array_equal(res.ids, gold.ids)
+        np.testing.assert_array_equal(res.distances, gold.distances)
+        assert rep.mean_coverage == 1.0
+
+    def test_bound_matches_oracle_unreplicated(
+        self, unreplicated_cluster, queries, gold
+    ):
+        res, _ = ClusterFrontend(unreplicated_cluster, seed=0).search(
+            queries, adaptive="bound"
+        )
+        np.testing.assert_array_equal(res.ids, gold.ids)
+
+    @pytest.mark.parametrize("mode", ["budget", "full"])
+    def test_budget_modes_serve_with_full_coverage(
+        self, replicated_cluster, queries, mode
+    ):
+        res, rep = ClusterFrontend(replicated_cluster, seed=0).search(
+            queries, adaptive=mode
+        )
+        # Truncated probes are elided work, not failed coverage.
+        assert rep.mean_coverage == 1.0
+        assert rep.failed_shards == []
+        assert (res.ids >= 0).all()
+
+    def test_off_matches_default(self, replicated_cluster, queries, gold):
+        res, _ = ClusterFrontend(replicated_cluster, seed=0).search(
+            queries, adaptive="off"
+        )
+        np.testing.assert_array_equal(res.ids, gold.ids)
+
+    def test_bad_mode_rejected(self, replicated_cluster, queries):
+        with pytest.raises(ValueError, match="adaptive"):
+            ClusterFrontend(replicated_cluster, seed=0).search(
+                queries, adaptive="sometimes"
+            )
+
     def test_shard_count_invariance(
         self, small_ds, small_quantized, engine_config, queries, gold
     ):

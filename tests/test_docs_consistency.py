@@ -61,6 +61,7 @@ class TestReadme:
             "api.md",
             "static_analysis.md",
             "index_lifecycle.md",
+            "testing.md",
         ):
             assert os.path.exists(os.path.join(ROOT, "docs", doc))
 
@@ -68,6 +69,64 @@ class TestReadme:
         for f in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
                   "CONTRIBUTING.md", "pyproject.toml"):
             assert os.path.exists(os.path.join(ROOT, f))
+
+
+class TestAdaptiveDocs:
+    """The adaptive-probing surface must stay documented end to end."""
+
+    def test_cli_flag_matches_engine_modes(self):
+        """docs/usage.md documents --adaptive with the real mode names."""
+        from repro.core.params import ADAPTIVE_MODES
+
+        text = _read(os.path.join("docs", "usage.md"))
+        assert "--adaptive" in text
+        for mode in ADAPTIVE_MODES:
+            assert f'"{mode}"' in text or f"`{mode}`" in text, (
+                f"usage.md does not document adaptive mode {mode!r}"
+            )
+
+    def test_search_params_fields_documented(self):
+        text = _read(os.path.join("docs", "usage.md"))
+        for field in ("adaptive", "nprobe_min", "adaptive_gap"):
+            assert field in text
+
+    def test_performance_model_covers_bound_and_ledger(self):
+        text = _read(os.path.join("docs", "performance_model.md"))
+        for token in (
+            "cluster_radii",
+            "BOUND_SLACK",
+            "ledger honesty",
+            "bench_adaptive",
+        ):
+            assert token in text, f"performance_model.md missing {token!r}"
+
+    def test_testing_md_covers_conformance_suite(self):
+        text = _read(os.path.join("docs", "testing.md"))
+        for token in (
+            "Ledger honesty",
+            "golden_adaptive.json",
+            "test_adaptive.py",
+        ):
+            assert token in text, f"testing.md missing {token!r}"
+        # The fixture the doc names must exist.
+        assert os.path.exists(
+            os.path.join(ROOT, "tests", "fixtures", "golden_adaptive.json")
+        )
+
+    def test_cli_parser_exposes_adaptive_choices(self):
+        """The actual argparse surface agrees with ADAPTIVE_MODES."""
+        from repro.cli import _build_parser
+        from repro.core.params import ADAPTIVE_MODES
+
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["search", "--preset", "sift-like-20k", "--adaptive", "bound"]
+        )
+        assert args.adaptive == "bound"
+        for mode in ADAPTIVE_MODES:
+            parser.parse_args(
+                ["search", "--preset", "sift-like-20k", "--adaptive", mode]
+            )
 
 
 class TestExperimentsMd:

@@ -16,10 +16,17 @@ import os
 
 import pytest
 
-from repro.testing import CANONICAL_CONFIGS, run_canonical
+from repro.testing import (
+    CANONICAL_CONFIGS,
+    GOLDEN_ADAPTIVE_MODES,
+    run_canonical,
+)
 
 GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "fixtures", "golden_cycles.json"
+)
+GOLDEN_ADAPTIVE_PATH = os.path.join(
+    os.path.dirname(__file__), "fixtures", "golden_adaptive.json"
 )
 
 
@@ -90,3 +97,104 @@ class TestGoldenCyclesAcrossPlans:
         assert fresh["total_kernel_cycles"] == stored["total_kernel_cycles"]
         assert fresh["e2e_cycles_max_dpu"] == stored["e2e_cycles_max_dpu"]
         assert fresh["e2e_cycles_sum"] == stored["e2e_cycles_sum"]
+
+
+class TestGoldenAdaptiveOff:
+    """``adaptive="off"`` is the exhaustive engine, bit for bit.
+
+    Requesting the off mode explicitly must reproduce the default
+    engine — recall and every cycle count — for every config,
+    execution mode, and data-plane plan. Execution modes legitimately
+    shift cycle counts (chunking changes batch shapes), so the
+    reference for each cell is a default-parameter run of the same
+    config × execution; the ``batched`` references are additionally
+    tied to the frozen goldens. This pins the guarantee that the
+    adaptive machinery cannot perturb the default path (no extra
+    charging, no reordered accumulation) anywhere in the matrix.
+    """
+
+    @pytest.fixture(scope="class")
+    def references(self):
+        return {
+            (name, execution): run_canonical(name, execution=execution)
+            for name in CANONICAL_CONFIGS
+            for execution in ("batched", "chunked", "per_query")
+        }
+
+    def test_batched_references_match_goldens(self, references, goldens):
+        for name in CANONICAL_CONFIGS:
+            assert (
+                json.loads(json.dumps(references[(name, "batched")]))
+                == goldens[name]
+            )
+
+    @pytest.mark.parametrize("plan", ["serial", "vectorized", "pool", "auto"])
+    @pytest.mark.parametrize("execution", ["batched", "chunked", "per_query"])
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_off_matches_default_engine(
+        self, name, execution, plan, references
+    ):
+        workers = 2 if plan in ("pool", "auto") else 0
+        fresh = run_canonical(
+            name,
+            execution=execution,
+            plan=plan,
+            shard_workers=workers,
+            adaptive="off",
+        )
+        stored = references[(name, execution)]
+        assert fresh["recall_at_10"] == stored["recall_at_10"]
+        assert fresh["kernel_cycles"] == stored["kernel_cycles"], (
+            f"kernel cycle drift in {name!r} with adaptive='off' under "
+            f"execution={execution!r} plan={plan!r}"
+        )
+        assert fresh["total_kernel_cycles"] == stored["total_kernel_cycles"]
+        assert fresh["e2e_cycles_max_dpu"] == stored["e2e_cycles_max_dpu"]
+        assert fresh["e2e_cycles_sum"] == stored["e2e_cycles_sum"]
+        # The off path reports no adaptive telemetry at all.
+        assert "total_probes_executed" not in fresh
+
+
+class TestGoldenAdaptive:
+    """The ``bound``/``budget`` cells are frozen like everything else.
+
+    Any drift in the bound math, the gap heuristic, or the per-probe
+    charging shows up as a cycle or probe-count diff against
+    ``tests/fixtures/golden_adaptive.json``.
+    """
+
+    @pytest.fixture(scope="class")
+    def adaptive_goldens(self):
+        with open(GOLDEN_ADAPTIVE_PATH) as f:
+            return json.load(f)
+
+    def test_all_cells_present(self, adaptive_goldens):
+        assert sorted(adaptive_goldens) == sorted(CANONICAL_CONFIGS)
+        for name, modes in adaptive_goldens.items():
+            assert sorted(modes) == sorted(GOLDEN_ADAPTIVE_MODES)
+
+    @pytest.mark.parametrize("mode", GOLDEN_ADAPTIVE_MODES)
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_adaptive_cells_frozen(self, name, mode, adaptive_goldens):
+        fresh = run_canonical(name, adaptive=mode)
+        stored = adaptive_goldens[name][mode]
+        assert json.loads(json.dumps(fresh)) == stored, (
+            f"adaptive golden drift in {name!r} mode={mode!r}.\n"
+            f"  stored: {stored}\n  fresh:  {fresh}\n"
+            "If intentional, regenerate via tools/update_goldens.py."
+        )
+
+    @pytest.mark.parametrize("mode", GOLDEN_ADAPTIVE_MODES)
+    @pytest.mark.parametrize("name", sorted(CANONICAL_CONFIGS))
+    def test_adaptive_never_exceeds_exhaustive_work(
+        self, name, mode, adaptive_goldens, goldens
+    ):
+        """Adaptive cells do at most the exhaustive cells' work and
+        record the probe telemetry that justifies the difference."""
+        stored = adaptive_goldens[name][mode]
+        base = goldens[name]
+        assert stored["total_kernel_cycles"] <= base["total_kernel_cycles"]
+        max_probes = (
+            CANONICAL_CONFIGS[name]["nprobe"] * stored["num_queries"]
+        )
+        assert 0 < stored["total_probes_executed"] <= max_probes
