@@ -25,6 +25,15 @@ Rules (ids are stable; each finding carries file:line + severity):
   observability layer never see. The kernel package itself (the
   definitions) and ``analysis/`` (the cost cross-checker deliberately
   runs kernels standalone) are exempt.
+* ``kernel-registry-bypass`` (AL013) — calling the staged scan
+  internals (``scan_distances`` / ``scan_distances_stacked``) directly
+  instead of going through the ``repro.pim.backend`` registry. Direct
+  calls silently pin the serial NumPy implementation, dodging backend
+  selection, the guarded-fallback path, and the
+  ``drimann_kernel_*`` metrics. The kernel and backend packages (the
+  definitions and the registry's own dispatch) and ``analysis/`` are
+  exempt. (AL006–AL012 are the concurrency sanitizer's rules — see
+  :mod:`repro.analysis.concurrency`.)
 """
 
 from __future__ import annotations
@@ -324,12 +333,51 @@ def _check_uncharged_kernel_call(tree: ast.Module, path: str) -> List[Finding]:
     return findings
 
 
+_REGISTRY_INTERNALS = {"scan_distances", "scan_distances_stacked"}
+
+
+def _is_registry_exempt_file(path: str) -> bool:
+    p = _norm(path)
+    return (
+        "/pim/kernels/" in p or "/pim/backend/" in p or "/analysis/" in p
+    )
+
+
+def _check_registry_bypass(tree: ast.Module, path: str) -> List[Finding]:
+    if _is_registry_exempt_file(path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        tail = dotted.split(".")[-1]
+        if tail in _REGISTRY_INTERNALS:
+            findings.append(
+                _finding(
+                    "kernel-registry-bypass",
+                    Severity.ERROR,
+                    f"direct call to kernel internal {tail!r} bypasses the "
+                    f"repro.pim.backend registry; it pins the serial NumPy "
+                    f"implementation and skips backend selection, guarded "
+                    f"fallback, and the drimann_kernel_* metrics — scan "
+                    f"through resolve_backend(...) instead",
+                    path,
+                    node,
+                )
+            )
+    return findings
+
+
 _ALL_RULES = (
     _check_kernel_traffic,
     _check_rng_bypass,
     _check_float_in_integer_path,
     _check_mutable_default,
     _check_uncharged_kernel_call,
+    _check_registry_bypass,
 )
 
 

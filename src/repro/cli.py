@@ -193,6 +193,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="data-plane strategy per round: planner-chosen "
                         "(default), serial loop, stacked vectorized scan, "
                         "or persistent worker pool — all bit-identical")
+    s.add_argument("--kernel-backend", default="auto",
+                   choices=("auto", "numpy", "numba"),
+                   help="host kernel implementation for scans/LUT builds: "
+                        "auto (compiled numba when importable, else fused "
+                        "NumPy), or force one — bit-identical results and "
+                        "identical cycle ledgers either way")
     s.add_argument("--adaptive", default="off",
                    choices=("off", "bound", "budget", "full"),
                    help="query-adaptive probing: off (fixed nprobe), "
@@ -259,11 +265,31 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="data-plane strategy for every serving round")
     v.add_argument("--shard-workers", type=int, default=0,
                    help="worker processes for shard scans (0 = serial)")
+    v.add_argument("--kernel-backend", default="auto",
+                   choices=("auto", "numpy", "numba"),
+                   help="host kernel implementation for scans/LUT builds "
+                        "(bit-identical results either way)")
     v.add_argument("--metrics-out", metavar="PATH",
                    help="write the metrics snapshot (.prom -> Prometheus "
                         "text, else JSON); implies observability")
     _add_index_args(v)
     _add_json_arg(v)
+
+    be = sub.add_parser(
+        "bench", help="host-side microbenchmarks (kernel backends)"
+    )
+    bes = be.add_subparsers(dest="bench_command", required=True)
+    bk = bes.add_parser(
+        "kernels",
+        help="time every registered kernel backend against the staged "
+             "reference kernels and check bit-exactness",
+    )
+    bk.add_argument("--repeats", type=int, default=5,
+                    help="timing repetitions per kernel (best-of)")
+    bk.add_argument("--seed", type=int, default=0)
+    bk.add_argument("--artifact", metavar="PATH",
+                    help="also write the record as a bench artifact JSON")
+    _add_json_arg(bk)
 
     c = sub.add_parser(
         "characterize", help="measure the paper's Observations 1-3 on a preset"
@@ -616,12 +642,13 @@ def _cmd_search(args) -> int:
     config = EngineConfig(
         index=params,
         search=SearchParams(
-            execution=args.execution, plan=args.plan, adaptive=args.adaptive
+            execution=args.execution, plan=args.plan, adaptive=args.adaptive,
+            kernel_backend=args.kernel_backend,
         ),
         layout=layout,
         system=PimSystemConfig(
             num_dpus=args.dpus, shard_workers=args.shard_workers,
-            shard_pool=args.shard_pool,
+            shard_pool=args.shard_pool, kernel_backend=args.kernel_backend,
         ),
         use_opq=args.opq,
         obs=ObsConfig(enabled=obs_on),
@@ -836,7 +863,8 @@ def _cmd_serve(args) -> int:
     config = EngineConfig(
         index=params,
         system=PimSystemConfig(
-            num_dpus=args.dpus, shard_workers=args.shard_workers
+            num_dpus=args.dpus, shard_workers=args.shard_workers,
+            kernel_backend=args.kernel_backend,
         ),
         obs=ObsConfig(enabled=obs_on),
     )
@@ -1210,6 +1238,31 @@ def _cmd_sanitize(args) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_bench(args) -> int:
+    args.command = f"bench {args.bench_command}"
+    return _cmd_bench_kernels(args)
+
+
+def _cmd_bench_kernels(args) -> int:
+    from repro.pim.backend.microbench import format_record, run_microbench
+
+    _say(args, "timing kernel backends against the staged reference ...")
+    record = run_microbench(repeats=args.repeats, seed=args.seed)
+    if not args.as_json:
+        print(format_record(record))
+    if args.artifact:
+        with open(args.artifact, "w") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+            f.write("\n")
+        _say(args, f"wrote {args.artifact}")
+    _emit(
+        args,
+        config={"repeats": args.repeats, "seed": args.seed},
+        results=record,
+    )
+    return 0 if record["gate_ok"] else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "build": _cmd_build,
@@ -1218,6 +1271,7 @@ _COMMANDS = {
     "model": _cmd_model,
     "tune": _cmd_tune,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
     "characterize": _cmd_characterize,
     "frontier": _cmd_frontier,
     "chaos": _cmd_chaos,

@@ -48,6 +48,7 @@ from repro.core.opq_preprocess import OpqPreprocessor
 from repro.core.params import (
     ADAPTIVE_MODES,
     EXECUTION_MODES,
+    KERNEL_BACKEND_MODES,
     PLAN_MODES,
     DatasetShape,
     IndexParams,
@@ -841,6 +842,7 @@ class DrimAnnEngine:
         plan: Optional[str] = None,
         probes: Optional[np.ndarray] = None,
         adaptive: Optional[str] = None,
+        kernel_backend: Optional[str] = None,
     ) -> SearchOutcome:
         """Batched top-k search.
 
@@ -866,6 +868,13 @@ class DrimAnnEngine:
         see :mod:`repro.pim.parallel`). Like ``execution``, this is
         purely a wall-clock choice; results and cycle ledgers are
         identical on every path.
+
+        ``kernel_backend`` overrides ``search_params.kernel_backend``
+        for this call: the host-side kernel implementation for the
+        scans and LUT builds (``"auto"`` / ``"numpy"`` / ``"numba"`` —
+        see :mod:`repro.pim.backend`). Every backend is bit-identical
+        and the cycle ledgers are charged from closed forms over
+        shapes, so this too moves host wall-clock only.
 
         ``with_scheduler=False`` forces the static policy (replica 0,
         no filter) — the ablation arm of Fig. 11.
@@ -921,6 +930,16 @@ class DrimAnnEngine:
             raise ValueError(
                 f"plan must be one of {PLAN_MODES}, got {plan_mode!r}"
             )
+        kb_mode = (
+            kernel_backend
+            if kernel_backend is not None
+            else self.search_params.kernel_backend
+        )
+        if kb_mode not in KERNEL_BACKEND_MODES:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKEND_MODES}, "
+                f"got {kb_mode!r}"
+            )
         if probes is not None:
             probes = np.asarray(probes)
             if probes.ndim != 2 or probes.shape[0] != nq:
@@ -956,6 +975,7 @@ class DrimAnnEngine:
                     nq=nq,
                     bs=bs,
                     plan_mode=plan_mode,
+                    kb_mode=kb_mode,
                     probes=probes,
                     with_scheduler=with_scheduler,
                     amode=amode,
@@ -1030,10 +1050,11 @@ class DrimAnnEngine:
                 extra_cl_cycles=cl_cycles,
                 batch_span=max(span, 1),
                 plan=plan_mode,
+                kernel_backend=kb_mode,
             )
             self._recover(
                 failed, scheduler, queries, k, pools_i, pools_d, breakdown,
-                plan=plan_mode,
+                plan=plan_mode, kernel_backend=kb_mode,
             )
 
         # Drain deferred tasks (filter off so the queue empties).
@@ -1059,10 +1080,11 @@ class DrimAnnEngine:
             failed = self._execute(
                 outcome.assignments, queries, k, pools_i, pools_d, breakdown,
                 host_seconds=0.0, num_new_queries=0, plan=plan_mode,
+                kernel_backend=kb_mode,
             )
             self._recover(
                 failed, drain_sched, queries, k, pools_i, pools_d, breakdown,
-                plan=plan_mode,
+                plan=plan_mode, kernel_backend=kb_mode,
             )
             # Deaths discovered while draining must stick for the next
             # drain round (and for subsequent search() calls).
@@ -1087,6 +1109,7 @@ class DrimAnnEngine:
         nq: int,
         bs: int,
         plan_mode: str,
+        kb_mode: str,
         probes: Optional[np.ndarray],
         with_scheduler: bool,
         amode: str,
@@ -1229,10 +1252,11 @@ class DrimAnnEngine:
                     extra_cl_cycles=cl_cycles if first_round else 0.0,
                     batch_span=1,
                     plan=plan_mode,
+                    kernel_backend=kb_mode,
                 )
                 self._recover(
                     failed, scheduler, queries, k, pools_i, pools_d,
-                    breakdown, plan=plan_mode,
+                    breakdown, plan=plan_mode, kernel_backend=kb_mode,
                 )
                 first_round = False
                 for i in range(nb):
@@ -1276,10 +1300,11 @@ class DrimAnnEngine:
             failed = self._execute(
                 outcome.assignments, queries, k, pools_i, pools_d, breakdown,
                 host_seconds=0.0, num_new_queries=0, plan=plan_mode,
+                kernel_backend=kb_mode,
             )
             self._recover(
                 failed, drain_sched, queries, k, pools_i, pools_d, breakdown,
-                plan=plan_mode,
+                plan=plan_mode, kernel_backend=kb_mode,
             )
             scheduler.mark_dead(drain_sched.dead_dpus - scheduler.dead_dpus)
 
@@ -1333,6 +1358,7 @@ class DrimAnnEngine:
         extra_cl_cycles: float = 0.0,
         batch_span: int = 1,
         plan: str = "auto",
+        kernel_backend: Optional[str] = None,
     ) -> List[Tuple[int, str]]:
         """Run one PIM batch and fold results/timing in.
 
@@ -1362,6 +1388,7 @@ class DrimAnnEngine:
                 multiplier_less=self.search_params.multiplier_less,
                 batch_span=batch_span,
                 plan=plan,
+                kernel_backend=kernel_backend,
             )
             for p in partials:
                 gq = active[p.query_index]
@@ -1401,6 +1428,7 @@ class DrimAnnEngine:
         breakdown: TimingBreakdown,
         *,
         plan: str = "auto",
+        kernel_backend: Optional[str] = None,
     ) -> None:
         """Fail over tasks lost to dead DPUs.
 
@@ -1440,6 +1468,7 @@ class DrimAnnEngine:
             failed = self._execute(
                 assignments, queries, k, pools_i, pools_d, breakdown,
                 host_seconds=0.0, num_new_queries=0, plan=plan,
+                kernel_backend=kernel_backend,
             )
             attempt += 1
 

@@ -92,6 +92,12 @@ PLAN_MODES = ("auto", "serial", "vectorized", "pool")
 #: "budget" adds per-query nprobe selection; "full" combines both.
 ADAPTIVE_MODES = ("off", "bound", "budget", "full")
 
+#: Valid values of :attr:`SearchParams.kernel_backend` (the host-side
+#: kernel implementation — see repro.pim.backend, whose
+#: ``KERNEL_BACKEND_MODES`` this mirrors; kept as a literal here so
+#: importing the parameter bundles never pulls in the kernel package).
+KERNEL_BACKEND_MODES = ("auto", "numpy", "numba")
+
 
 @dataclass(frozen=True)
 class SearchParams:
@@ -132,6 +138,14 @@ class SearchParams:
     # Gap-heuristic sensitivity: cut the probe list at the first
     # centroid-distance gap exceeding adaptive_gap * (mean gap).
     adaptive_gap: float = 2.0
+    # Host-side kernel implementation for the functional scans and LUT
+    # builds (see repro.pim.backend): "auto" takes the compiled numba
+    # build when importable and the fused NumPy backend otherwise;
+    # "numpy"/"numba" request one explicitly (numba degrades to numpy
+    # with a recorded fallback when unavailable). Bit-identical results
+    # and identical cycle ledgers in every mode — only host wall-clock
+    # differs.
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -159,6 +173,11 @@ class SearchParams:
         if self.adaptive_gap <= 0:
             raise ValueError(
                 f"adaptive_gap must be > 0, got {self.adaptive_gap}"
+            )
+        if self.kernel_backend not in KERNEL_BACKEND_MODES:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKEND_MODES}, "
+                f"got {self.kernel_backend!r}"
             )
 
     def adc_lut_bytes(self, params: IndexParams, bits_lut: int = 32) -> int:

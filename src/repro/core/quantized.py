@@ -29,6 +29,7 @@ import numpy as np
 from repro.ann.heap import topk_canonical, topk_smallest
 from repro.ann.ivfpq import IVFPQIndex, SearchResult
 from repro.core.square_lut import SquareTermCache
+from repro.utils.cast_cache import CastCache
 from repro.utils import check_2d
 
 # Codebook entries are residual-scale; they are clipped to this bound at
@@ -85,6 +86,10 @@ class QuantizedIndexData:
         # Per-cluster ||centroid||² rows reused across locate() calls
         # (serving recomputed them every micro-batch otherwise).
         self._square_terms = SquareTermCache()
+        # Cached int64 casts of the trained tables — the LC/CL hot
+        # paths re-cast them on every batch otherwise.
+        self._codebooks_i64 = CastCache(np.int64)
+        self._centroids_i64 = CastCache(np.int64)
 
     def square_term_cache(self) -> SquareTermCache:
         """The per-cluster ||centroid||² cache, created on demand.
@@ -98,14 +103,34 @@ class QuantizedIndexData:
             cache = self._square_terms = SquareTermCache()
         return cache
 
+    def codebooks_int64(self) -> np.ndarray:
+        """Cached int64 cast of the codebooks (read-only; lazy like
+        :meth:`square_term_cache` so unpickled instances work)."""
+        cache = self.__dict__.get("_codebooks_i64")
+        if cache is None:
+            cache = self._codebooks_i64 = CastCache(np.int64)
+        return cache.cast(self.codebooks)
+
+    def centroids_int64(self) -> np.ndarray:
+        """Cached int64 cast of the centroids (read-only; lazy like
+        :meth:`square_term_cache` so unpickled instances work)."""
+        cache = self.__dict__.get("_centroids_i64")
+        if cache is None:
+            cache = self._centroids_i64 = CastCache(np.int64)
+        return cache.cast(self.centroids)
+
     def invalidate_caches(self) -> None:
         """Drop derived caches after mutating index data in place.
 
         Replacing the arrays (the normal rebuild path through
         :func:`build_quantized_index`) invalidates automatically; this
-        hook covers in-place edits to ``centroids``.
+        hook covers in-place edits to ``centroids`` or ``codebooks``.
         """
         self.square_term_cache().invalidate()
+        for name in ("_codebooks_i64", "_centroids_i64"):
+            cache = self.__dict__.get(name)
+            if cache is not None:
+                cache.invalidate()
 
     # ----- shape ----------------------------------------------------------
     @property
@@ -221,7 +246,7 @@ class QuantizedIndexData:
             )
         assign = self.locate(vectors, 1)[:, 0]
         codes = np.empty((n, m), dtype=code_dtype)
-        books = self.codebooks.astype(np.int64)[None]
+        books = self.codebooks_int64()[None]
         # Chunk the (chunk, M, CB, dsub) int64 workspace to ~128 MiB.
         chunk = max(1, (1 << 27) // max(1, m * cb * dsub * 8))
         for lo in range(0, n, chunk):
@@ -379,7 +404,7 @@ class QuantizedIndexData:
         if not 1 <= nprobe <= self.nlist:
             raise ValueError(f"nprobe must be in [1, {self.nlist}], got {nprobe}")
         q = queries.astype(np.int64)
-        c = self.centroids.astype(np.int64)
+        c = self.centroids_int64()
         qq = np.einsum("ij,ij->i", q, q)[:, None]
         cc = self.square_term_cache().terms(self.centroids)
         d = qq + cc - 2 * (q @ c.T)
@@ -394,7 +419,7 @@ class QuantizedIndexData:
         """LC phase: integer ADC LUT, ``(M, CB)`` int64."""
         m, dsub = self.num_subspaces, self.dsub
         r = residual.astype(np.int64).reshape(m, 1, dsub)
-        diff = r - self.codebooks.astype(np.int64)
+        diff = r - self.codebooks_int64()
         return np.einsum("mcd,mcd->mc", diff, diff)
 
     def build_luts(self, residuals: np.ndarray) -> np.ndarray:
@@ -403,7 +428,7 @@ class QuantizedIndexData:
         g = residuals.shape[0]
         m, dsub = self.num_subspaces, self.dsub
         r = residuals.astype(np.int64).reshape(g, m, 1, dsub)
-        diff = r - self.codebooks.astype(np.int64)[None]
+        diff = r - self.codebooks_int64()[None]
         return np.einsum("gmcd,gmcd->gmc", diff, diff)
 
     def reference_search(

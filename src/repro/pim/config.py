@@ -109,6 +109,14 @@ class PimSystemConfig:
     # (the legacy per-round ProcessPoolExecutor, kept as the perf-gate
     # baseline). Ignored when shard_workers <= 1.
     shard_pool: str = "persistent"
+    # Host-side kernel implementation for the functional scans and LUT
+    # builds (see repro.pim.backend; mirrors
+    # SearchParams.kernel_backend, which takes precedence when set to a
+    # non-"auto" value, as does a per-call run_batch override). "auto"
+    # resolves to the compiled numba build when importable, else the
+    # fused NumPy backend. Bit-identical results and identical cycle
+    # ledgers either way — only host wall-clock differs.
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_dpus <= 0:
@@ -121,6 +129,11 @@ class PimSystemConfig:
             raise ValueError(
                 "shard_pool must be 'persistent' or 'percall', "
                 f"got {self.shard_pool!r}"
+            )
+        if self.kernel_backend not in ("auto", "numpy", "numba"):
+            raise ValueError(
+                "kernel_backend must be 'auto', 'numpy', or 'numba', "
+                f"got {self.kernel_backend!r}"
             )
 
     @property

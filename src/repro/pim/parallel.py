@@ -12,10 +12,11 @@ Three executors and a planner live here:
 
 * :func:`scan_shard_group` — the single functional scan path. The
   serial loop, the vectorized fast path's per-group fallback, and both
-  worker pools all funnel through the same kernels
-  (:func:`~repro.pim.kernels.scan_distances` /
-  :func:`~repro.pim.kernels.topk_rows`), which is what makes every
-  execution strategy bit-exact by construction.
+  worker pools all funnel through the same kernel backend
+  (:mod:`repro.pim.backend` — every backend is bit-identical to the
+  reference :func:`~repro.pim.kernels.scan_distances` /
+  :func:`~repro.pim.kernels.topk_rows` pair), which is what makes
+  every execution strategy bit-exact by construction.
 * :class:`PersistentShardPool` — the default pool. Workers are spawned
   once, attach every shard's codes/ids through one
   :mod:`multiprocessing.shared_memory` segment (the arena), and keep
@@ -54,7 +55,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.pim.kernels import scan_distances, scan_distances_stacked, topk_rows
+from repro.pim.backend import (
+    SCAN_TOPK_N_CHUNK,
+    KernelBackend,
+    resolve_backend,
+)
+from repro.pim.kernels import topk_rows
 
 #: Rows of LUTs scanned per functional DC call; bounds the transient
 #: ``(rows, n, M)`` gather tensor without changing results (the scan
@@ -83,18 +89,22 @@ def scan_shard_group(
     ids: np.ndarray,
     k: int,
     row_chunk: int = ROW_CHUNK,
+    backend: Optional[KernelBackend] = None,
 ) -> ScanRows:
     """DC + TS over one shard group, chunked over LUT rows.
 
     The single functional scan path: the serial executor, the worker
     processes, and :meth:`PimSystem.run_batch` all funnel through this
-    function, which is what makes parallel execution bit-exact by
-    construction.
+    function — and through the same
+    :meth:`~repro.pim.backend.KernelBackend.scan_topk` selection rule —
+    which is what makes parallel execution bit-exact by construction.
+    ``backend=None`` resolves the process default (``auto``).
     """
+    if backend is None:
+        backend = resolve_backend("auto")
     rows: ScanRows = []
     for c0 in range(0, len(luts), row_chunk):
-        dists = scan_distances(luts[c0 : c0 + row_chunk], codes)
-        rows.extend(topk_rows(dists, ids, k))
+        rows.extend(backend.scan_topk(luts[c0 : c0 + row_chunk], codes, ids, k))
     return rows
 
 
@@ -109,19 +119,26 @@ def _scan_job(job: ScanJob) -> ScanRows:
 _STACK_CHUNK_BYTES = 64 * 1024 * 1024
 
 
-def scan_jobs_stacked(jobs: Sequence[ScanJob]) -> List[ScanRows]:
-    """Cross-DPU vectorized scan: same-shape jobs in single NumPy calls.
+def scan_jobs_stacked(
+    jobs: Sequence[ScanJob],
+    backend: Optional[KernelBackend] = None,
+) -> List[ScanRows]:
+    """Cross-DPU vectorized scan: same-shape jobs in single kernel calls.
 
     Jobs are bucketed by ``(lut shape, code shape, dtypes, k)``; each
     bucket's LUTs and codes are stacked and scanned with one
-    :func:`~repro.pim.kernels.scan_distances_stacked` gather instead of
-    J separate kernel dispatches — the host-side analogue of launching
-    one kernel across every DPU at once. Per-job results are
+    :meth:`~repro.pim.backend.KernelBackend.scan_stacked` dispatch
+    instead of J separate kernel calls — the host-side analogue of
+    launching one kernel across every DPU at once. Per-job results are
     bit-identical to :func:`scan_shard_group` (the stacked gather and
-    reduction are elementwise/row-independent), so this is purely a
+    reduction are elementwise/row-independent, and clusters large
+    enough for the chunked top-k path are excluded from stacking so
+    every path applies the same selection rule), so this is purely a
     wall-clock strategy. Odd-shaped or oversized jobs fall back to the
     per-group scan; results come back in submission order.
     """
+    if backend is None:
+        backend = resolve_backend("auto")
     results: List[ScanRows] = [None] * len(jobs)  # type: ignore[list-item]
     buckets: Dict[tuple, List[int]] = {}
     for ji, (luts, codes, _ids, k) in enumerate(jobs):
@@ -131,16 +148,23 @@ def scan_jobs_stacked(jobs: Sequence[ScanJob]) -> List[ScanRows]:
         g = lshape[0]
         n, m = cshape
         per_job = g * n * m * 8
-        if len(idxs) < 2 or per_job > _STACK_CHUNK_BYTES:
+        if (
+            len(idxs) < 2
+            or per_job > _STACK_CHUNK_BYTES
+            or n > SCAN_TOPK_N_CHUNK
+        ):
             for ji in idxs:
-                results[ji] = _scan_job(jobs[ji])
+                luts_j, codes_j, ids_j, k_j = jobs[ji]
+                results[ji] = scan_shard_group(
+                    luts_j, codes_j, ids_j, k_j, backend=backend
+                )
             continue
         step = max(1, _STACK_CHUNK_BYTES // max(per_job, 1))
         for c0 in range(0, len(idxs), step):
             sel = idxs[c0 : c0 + step]
             luts_s = np.stack([jobs[ji][0] for ji in sel])
             codes_s = np.stack([jobs[ji][1] for ji in sel])
-            dists = scan_distances_stacked(luts_s, codes_s)
+            dists = backend.scan_stacked(luts_s, codes_s)
             for off, ji in enumerate(sel):
                 results[ji] = topk_rows(dists[off], jobs[ji][2], k)
     return results
@@ -382,6 +406,7 @@ def _pool_worker(
     untrack: bool,
     san_spool: Optional[str] = None,
     san_clock=None,
+    backend_mode: str = "auto",
 ) -> None:
     """Persistent worker: attach the arena once, scan until told to stop.
 
@@ -390,11 +415,20 @@ def _pool_worker(
     ``san_clock`` arm the drimsan recorder in this process, seeded with
     the owner's clock at spawn so the arena ``publish`` is ordered
     before our ``attach``.
+
+    The kernel backend is chosen per process from ``backend_mode`` and
+    warmed (JIT compilation for compiled backends) before the warmup
+    ping is answered, so the pool's ``ready()`` already implies
+    compiled kernels — first queries never eat compile time. Results
+    are bit-identical across backends, so a per-round override in the
+    parent never needs to reach the workers.
     """
     if san_spool is not None:
         from repro.analysis import sanitizer
 
         sanitizer.worker_init(san_spool, san_clock)
+    backend = resolve_backend(backend_mode)
+    backend.warmup()
     arena = None
     views: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
     try:
@@ -423,7 +457,9 @@ def _pool_worker(
                     if live is not None:
                         codes = codes[live]
                         ids = ids[live]
-                    out.append(scan_shard_group(luts, codes, ids, k))
+                    out.append(
+                        scan_shard_group(luts, codes, ids, k, backend=backend)
+                    )
                 conn.send(("rows", out, _san_clock()))
             elif tag == "ping":
                 conn.send(("pong", _san_clock()))
@@ -469,10 +505,15 @@ class PersistentShardPool:
 
     kind = "persistent"
 
-    def __init__(self, num_workers: int) -> None:
+    def __init__(
+        self, num_workers: int, backend_mode: str = "auto"
+    ) -> None:
         if num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {num_workers}")
         self.num_workers = num_workers
+        #: Kernel-backend mode each worker resolves at spawn (see
+        #: ``_pool_worker``): JIT warmup happens inside pool warmup.
+        self.backend_mode = backend_mode
         self._arena: Optional[SharedShardArena] = None
         self._shard_keys: set = set()
         self._procs: list = []
@@ -569,6 +610,7 @@ class PersistentShardPool:
                         untrack,
                         _san_spool(),
                         _san_clock(),
+                        self.backend_mode,
                     ),
                     daemon=True,
                 )
@@ -835,8 +877,18 @@ class ShardExecutor:
             self._pool = None
 
 
-def make_executor(shard_workers: int, shard_pool: str = "persistent"):
-    """Build the configured executor (None when workers are disabled)."""
+def make_executor(
+    shard_workers: int,
+    shard_pool: str = "persistent",
+    kernel_backend: str = "auto",
+):
+    """Build the configured executor (None when workers are disabled).
+
+    ``kernel_backend`` is pinned per worker process at spawn by the
+    persistent pool; the legacy per-call pool's workers always resolve
+    ``auto`` (its jobs go through :func:`_scan_job`), which is
+    bit-identical anyway.
+    """
     if shard_pool not in ("persistent", "percall"):
         raise ValueError(
             f"shard_pool must be 'persistent' or 'percall', got {shard_pool!r}"
@@ -845,31 +897,47 @@ def make_executor(shard_workers: int, shard_pool: str = "persistent"):
         return None
     if shard_pool == "percall":
         return ShardExecutor(shard_workers)
-    return PersistentShardPool(shard_workers)
+    return PersistentShardPool(shard_workers, backend_mode=kernel_backend)
 
 
 # ---------------------------------------------------------------------------
 # Planner
 # ---------------------------------------------------------------------------
 
+#: Multiplier on :data:`POOL_MIN_POINTS` while the in-process backend
+#: is compiled and no per-path throughput has been measured yet: a
+#: compiled scan closes most of the gap the pool's parallelism buys,
+#: so the IPC overhead only pays off on much larger rounds. Once both
+#: paths have measured rates, the measurements decide instead.
+COMPILED_POOL_FACTOR = 8
+
+#: EMA weight of the newest measured round rate (points/second).
+_THROUGHPUT_EMA = 0.3
+
+
 @dataclass
 class ExecutionPlanner:
-    """Per-round choice between the serial, vectorized, and pool paths.
+    """Per-round choice between serial, vectorized, compiled, and pool.
 
     The choice is a pure wall-clock strategy: every path produces
     bit-identical results and charges identical cycles, so the planner
-    is free to pick from measured round size and worker warmup state.
-    Heuristics (``plan="auto"``):
+    is free to pick from measured round size, worker warmup state, and
+    the active kernel backend. Heuristics (``plan="auto"``):
 
     * a warm pool takes rounds with at least :data:`POOL_MIN_POINTS`
       LUT-entry gathers and two or more shard groups — below that, IPC
-      overhead dominates;
+      overhead dominates. With a compiled in-process backend the floor
+      rises by :data:`COMPILED_POOL_FACTOR` until measured per-path
+      throughput (fed back via :meth:`note_round`) settles the contest
+      empirically;
     * a configured-but-cold pool is warmed in the background while the
-      round runs vectorized (no round ever blocks on worker spawn);
-    * the stacked vectorized path takes fault-free rounds with at least
-      :data:`VECTOR_MIN_JOBS` groups; fault-plan rounds keep the
-      per-DPU serial traversal (conservative, and retries stay easy to
-      reason about);
+      round runs in-process (no round ever blocks on worker spawn);
+    * the stacked in-process path takes fault-free rounds with at
+      least :data:`VECTOR_MIN_JOBS` groups — labeled ``"compiled"``
+      when the active backend is a compiled one, ``"vectorized"``
+      otherwise (same dispatch, different kernels); fault-plan rounds
+      keep the per-DPU serial traversal (conservative, and retries
+      stay easy to reason about);
     * everything else runs serial.
 
     Explicit modes force their path, degrading one step (pool →
@@ -877,6 +945,23 @@ class ExecutionPlanner:
     """
 
     decisions: Dict[str, int] = field(default_factory=dict)
+    #: Measured LUT-entry gathers per second, EMA per decision path.
+    throughput: Dict[str, float] = field(default_factory=dict)
+
+    def note_round(
+        self, path: str, scan_points: int, seconds: float
+    ) -> None:
+        """Feed back one round's measured scan rate for ``path``."""
+        if scan_points <= 0 or seconds <= 0:
+            return
+        rate = scan_points / seconds
+        prev = self.throughput.get(path)
+        if prev is None:
+            self.throughput[path] = rate
+        else:
+            self.throughput[path] = (
+                (1.0 - _THROUGHPUT_EMA) * prev + _THROUGHPUT_EMA * rate
+            )
 
     def choose(
         self,
@@ -886,6 +971,7 @@ class ExecutionPlanner:
         scan_points: int,
         executor=None,
         fault_active: bool = False,
+        backend=None,
     ) -> str:
         path = self._choose(
             mode,
@@ -893,14 +979,17 @@ class ExecutionPlanner:
             scan_points=scan_points,
             executor=executor,
             fault_active=fault_active,
+            backend=backend,
         )
         self.decisions[path] = self.decisions.get(path, 0) + 1
         return path
 
     def _choose(
-        self, mode, *, num_jobs, scan_points, executor, fault_active
+        self, mode, *, num_jobs, scan_points, executor, fault_active, backend
     ) -> str:
         can_vector = not fault_active and num_jobs >= VECTOR_MIN_JOBS
+        compiled = backend is not None and getattr(backend, "compiled", False)
+        inproc = "compiled" if compiled else "vectorized"
         if mode == "serial":
             return "serial"
         if mode == "vectorized":
@@ -908,16 +997,28 @@ class ExecutionPlanner:
         if mode == "pool":
             if executor is not None and executor.parallel and num_jobs >= 2:
                 return "pool"
-            return "vectorized" if can_vector else "serial"
+            return inproc if can_vector else "serial"
         # auto
         if executor is not None and executor.parallel and num_jobs >= 2:
             if executor.ready():
-                if scan_points >= POOL_MIN_POINTS:
-                    return "pool"
+                t_pool = self.throughput.get("pool")
+                t_in = self.throughput.get(inproc)
+                if t_pool is not None and t_in is not None:
+                    # Both paths measured: let the rates arbitrate
+                    # (still gated on the base floor — tiny rounds are
+                    # all IPC no matter what the EMA says).
+                    if t_pool > t_in and scan_points >= POOL_MIN_POINTS:
+                        return "pool"
+                else:
+                    min_points = POOL_MIN_POINTS * (
+                        COMPILED_POOL_FACTOR if compiled else 1
+                    )
+                    if scan_points >= min_points:
+                        return "pool"
             else:
                 # Warm the workers in the background; this round keeps
                 # moving on the in-process paths.
                 executor.ensure_started()
         if can_vector:
-            return "vectorized"
+            return inproc
         return "serial"

@@ -26,6 +26,7 @@ identical to per-group execution and the results are bit-exact.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -33,6 +34,13 @@ import numpy as np
 
 from repro.core.square_lut import SquareLut
 from repro.faults.plan import FaultPlan
+from repro.pim.backend import (
+    KernelBackend,
+    resolve_backend,
+)
+from repro.pim.backend import (
+    take_fallback_events as take_backend_fallback_events,
+)
 from repro.pim.config import PimSystemConfig
 from repro.pim.dpu import Dpu
 from repro.pim.kernels import (
@@ -132,7 +140,11 @@ class PimSystem:
         # per-round serial/vectorized/pool strategy chooser. The
         # persistent pool attaches shard arrays lazily (first pool
         # round) via _ensure_pool_residency.
-        self.executor = make_executor(config.shard_workers, config.shard_pool)
+        self.executor = make_executor(
+            config.shard_workers,
+            config.shard_pool,
+            kernel_backend=config.kernel_backend,
+        )
         self.planner = ExecutionPlanner()
         self._residency_dirty = True
         # Tombstone liveness: shard key → live row indices (None / absent
@@ -378,6 +390,7 @@ class PimSystem:
         multiplier_less: bool = True,
         batch_span: int = 1,
         plan: str = "auto",
+        kernel_backend: Optional[str] = None,
     ) -> Tuple[List[PartialResult], BatchTiming]:
         """Execute one batch of (query, shard) tasks.
 
@@ -393,6 +406,12 @@ class PimSystem:
             :class:`~repro.pim.parallel.ExecutionPlanner`). Purely a
             wall-clock choice: results and cycle ledgers are identical
             in every mode.
+        kernel_backend: per-call kernel-backend override ("auto" /
+            "numpy" / "numba" — see :mod:`repro.pim.backend`); None
+            takes :attr:`PimSystemConfig.kernel_backend`. Like
+            ``plan``, purely a wall-clock choice — every backend is
+            bit-identical and the cycle ledgers are charged from
+            closed forms over shapes, never from the backend.
         batch_span: how many *logical* batches this round covers. Fault
             plans index events by logical batch (``batch_size`` query
             chunks); batched execution folds several logical batches
@@ -431,6 +450,12 @@ class PimSystem:
                 "plan must be one of ('auto', 'serial', 'vectorized', "
                 f"'pool'), got {plan!r}"
             )
+        backend_mode = (
+            kernel_backend
+            if kernel_backend is not None
+            else self.config.kernel_backend
+        )
+        backend = resolve_backend(backend_mode)
         queries = np.asarray(queries)
         num_tasks = sum(len(t) for t in assignments.values())
         batch = self._batch_index
@@ -443,6 +468,7 @@ class PimSystem:
         obs = self.observer
         if obs is not None:
             obs.on_batch()
+            obs.on_kernel_backend(backend.name)
 
         # Host->PIM: queries are broadcast, per-DPU task lists scattered.
         bcast = self.transfer.broadcast("queries", queries.nbytes, len(self.dpus))
@@ -492,7 +518,13 @@ class PimSystem:
         # per shard group via the planner-chosen path (serial loop,
         # stacked cross-DPU NumPy calls, or worker processes).
         group_rows, group_misses = self._run_groups_functional(
-            groups, queries, k, sq, plan=plan, fault_active=fplan is not None
+            groups,
+            queries,
+            k,
+            sq,
+            plan=plan,
+            fault_active=fplan is not None,
+            backend=backend,
         )
 
         # ---- charging pass: replay the per-DPU group order, charging
@@ -596,6 +628,7 @@ class PimSystem:
         *,
         plan: str = "auto",
         fault_active: bool = False,
+        backend: Optional[KernelBackend] = None,
     ) -> Tuple[List[list], List[int]]:
         """Numeric results for every shard group, vectorized per centroid.
 
@@ -610,10 +643,13 @@ class PimSystem:
         Returns per-group result rows and per-group square-LUT miss
         counts (for LC cost charging), indexed like ``groups``.
         """
+        if backend is None:
+            backend = resolve_backend(self.config.kernel_backend)
         # One strategy decision per round, from the round's measured
         # size; the per-centroid dispatch below then applies it while
         # keeping the centroid-major LUT memory bound.
         path = "serial"
+        scan_points = 0
         if groups:
             num_jobs = 0
             scan_points = 0
@@ -631,6 +667,7 @@ class PimSystem:
                 scan_points=scan_points,
                 executor=self.executor,
                 fault_active=fault_active,
+                backend=backend,
             )
             if self.observer is not None:
                 self.observer.on_plan_decision(path)
@@ -645,6 +682,7 @@ class PimSystem:
         empty_row = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
         group_rows: List[list] = [None] * len(groups)  # type: ignore[list-item]
         group_misses: List[int] = [0] * len(groups)
+        scan_seconds = 0.0
         for cent_id, gis in cent_groups.items():
             # Unique queries probing this centroid, first-use order.
             row_of: Dict[int, int] = {}
@@ -653,7 +691,11 @@ class PimSystem:
                     if qidx not in row_of:
                         row_of[qidx] = len(row_of)
             luts, pair_misses = self._build_cent_luts(
-                list(row_of), self._centroid_by_id[cent_id], queries, sq
+                list(row_of),
+                self._centroid_by_id[cent_id],
+                queries,
+                sq,
+                backend=backend,
             )
             jobs = []
             job_gis = []
@@ -672,6 +714,7 @@ class PimSystem:
                 else:
                     group_rows[gi] = [empty_row] * len(qidxs)
             if jobs:
+                t0 = time.perf_counter()
                 if path == "pool" and self.executor is not None:
                     if getattr(self.executor, "kind", "") == "persistent":
                         results = self.executor.scan_groups(
@@ -684,14 +727,21 @@ class PimSystem:
                         )
                     else:
                         results = self.executor.scan_groups(jobs)
-                elif path == "vectorized":
-                    results = scan_jobs_stacked(jobs)
+                elif path in ("vectorized", "compiled"):
+                    results = scan_jobs_stacked(jobs, backend=backend)
                 else:
                     results = [
-                        scan_shard_group(*job) for job in jobs
+                        scan_shard_group(*job, backend=backend)
+                        for job in jobs
                     ]
+                scan_seconds += time.perf_counter() - t0
                 for gi, rows in zip(job_gis, results):
                     group_rows[gi] = rows
+
+        # Measured rate feedback: plan="auto" arbitrates pool vs the
+        # in-process (possibly compiled) path empirically once both
+        # have been observed. Purely advisory — never touches results.
+        self.planner.note_round(path, scan_points, scan_seconds)
 
         # Surface every pool degradation (instead of swallowing it):
         # drained here so events land even when the observer was
@@ -701,6 +751,12 @@ class PimSystem:
             if self.observer is not None:
                 for reason in events:
                     self.observer.on_pool_fallback(reason)
+        # Same for kernel-backend degradations (numba missing, JIT
+        # failure mid-flight): drained every round so the module-level
+        # buffer never grows unbounded, reported when observed.
+        for reason in take_backend_fallback_events():
+            if self.observer is not None:
+                self.observer.on_kernel_fallback(reason)
         return group_rows, group_misses
 
     def _ensure_pool_residency(self) -> None:
@@ -729,12 +785,18 @@ class PimSystem:
         centroid: np.ndarray,
         queries: np.ndarray,
         sq: Optional[SquareLut],
+        backend: Optional[KernelBackend] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Batched RC+LC: LUTs for every (query, centroid) pair.
 
         Identical integer math to ``run_residual`` + ``run_lut_build``,
-        chunked over pairs to bound the transient diff tensor. Returns
-        ``(g, M, CB)`` int64 LUTs and per-pair square-LUT miss counts.
+        chunked over pairs to bound the transient diff tensor. The
+        multiplier-less path keeps its square-LUT table gathers (the
+        miss accounting needs the diff tensor anyway); the plain
+        squaring path dispatches to the kernel backend's fused
+        :meth:`~repro.pim.backend.KernelBackend.build_luts` — exact
+        int64 either way. Returns ``(g, M, CB)`` int64 LUTs and
+        per-pair square-LUT miss counts.
         """
         codebooks = self.codebooks
         m, cb, dsub = codebooks.shape
@@ -752,6 +814,9 @@ class PimSystem:
         for c0 in range(0, g, chunk):
             sel = qidxs[c0 : c0 + chunk]
             residuals = queries[sel].astype(np.int32) - centroid.astype(np.int32)
+            if sq is None and backend is not None:
+                luts[c0 : c0 + chunk] = backend.build_luts(residuals, cb64[0])
+                continue
             r = residuals.astype(np.int64).reshape(len(sel), m, 1, dsub)
             diff = r - cb64
             if sq is not None:

@@ -92,6 +92,7 @@ def canonical_config(
     plan: Optional[str] = None,
     shard_workers: int = 0,
     shard_pool: str = "persistent",
+    kernel_backend: Optional[str] = None,
 ) -> EngineConfig:
     """The :class:`EngineConfig` for one canonical config name."""
     c = CANONICAL_CONFIGS[name]
@@ -106,6 +107,8 @@ def canonical_config(
         search_kwargs["execution"] = execution
     if plan is not None:
         search_kwargs["plan"] = plan
+    if kernel_backend is not None:
+        search_kwargs["kernel_backend"] = kernel_backend
     search = SearchParams(**search_kwargs)
     return EngineConfig(
         index=params,
@@ -126,6 +129,7 @@ def build_canonical_engine(
     plan: Optional[str] = None,
     shard_workers: int = 0,
     shard_pool: str = "persistent",
+    kernel_backend: Optional[str] = None,
     index_path: Optional[str] = None,
 ) -> DrimAnnEngine:
     """A fresh engine for one canonical config (index reuse is cached).
@@ -143,6 +147,7 @@ def build_canonical_engine(
         plan=plan,
         shard_workers=shard_workers,
         shard_pool=shard_pool,
+        kernel_backend=kernel_backend,
     )
     engine = DrimAnnEngine.from_config(
         ds.base,
@@ -197,6 +202,7 @@ def run_canonical(
     plan: Optional[str] = None,
     shard_workers: int = 0,
     adaptive: Optional[str] = None,
+    kernel_backend: Optional[str] = None,
 ) -> dict:
     """One golden run: recall vs the oracle + frozen cycle counts.
 
@@ -204,12 +210,15 @@ def run_canonical(
     (``None`` leaves the engine default, i.e. ``"off"``). The
     ``adaptive="off"`` cells must stay bit-identical to the frozen
     goldens; the ``bound``/``budget`` cells are frozen separately in
-    ``tests/fixtures/golden_adaptive.json``.
+    ``tests/fixtures/golden_adaptive.json``. ``kernel_backend``
+    forces a kernel backend (``None`` leaves the default ``"auto"``);
+    every backend must reproduce the same frozen goldens byte-equal.
     """
     c = CANONICAL_CONFIGS[name]
     ds = canonical_dataset()
     engine = build_canonical_engine(
-        name, execution=execution, plan=plan, shard_workers=shard_workers
+        name, execution=execution, plan=plan, shard_workers=shard_workers,
+        kernel_backend=kernel_backend,
     )
     queries = ds.queries[: c["num_queries"]]
     try:

@@ -1,0 +1,42 @@
+"""Cached dtype casts of long-lived arrays.
+
+The hot LUT-build and locate paths re-cast the same trained tables
+(codebooks, centroids) on every call; for small batches the cast
+rivals the math itself. :class:`CastCache` memoizes one
+``source.astype(dtype)`` result per cache instance — the cached array
+is bit-identical to what a fresh cast would produce, so reuse is
+invisible to results.
+
+Keyed on the source array's identity and shape/dtype (the same scheme
+as ``repro.core.square_lut.SquareTermCache``), so swapping in a rebuilt
+table invalidates automatically; call :meth:`CastCache.invalidate`
+explicitly after in-place mutation. Callers must treat the returned
+array as read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class CastCache:
+    """Cached dtype cast of one source array."""
+
+    def __init__(self, dtype) -> None:
+        self._dtype = np.dtype(dtype)
+        self._key: Tuple = ()
+        self._view = None
+
+    def cast(self, source: np.ndarray) -> np.ndarray:
+        key = (id(source), source.shape, source.dtype.str)
+        if self._view is None or self._key != key:
+            self._view = source.astype(self._dtype)
+            self._key = key
+        return self._view
+
+    def invalidate(self) -> None:
+        """Drop the cached cast (table rebuild / in-place mutation)."""
+        self._key = ()
+        self._view = None

@@ -1,0 +1,16 @@
+"""Deliberate kernel-registry bypass for the AL013 lint tests.
+
+Calls the staged scan internal directly instead of resolving a backend
+through ``repro.pim.backend`` — exactly the pattern the
+``kernel-registry-bypass`` rule must flag (exactly once on this file).
+Never import this module; it exists only to be linted.
+"""
+
+from repro.pim.kernels import scan_distances, topk_rows
+
+
+def sneaky_scan(luts, codes, ids, k):
+    # Wrong: pins the serial NumPy implementation and skips backend
+    # selection, guarded fallback, and the kernel metrics.
+    dists = scan_distances(luts, codes)
+    return topk_rows(dists, ids, k)

@@ -177,6 +177,59 @@ class TestUnchargedKernelCall:
         assert "uncharged-kernel-call" not in _rules(src, path)
 
 
+class TestRegistryBypass:
+    def test_direct_scan_call_flagged(self):
+        src = (
+            "def sneaky(luts, codes):\n"
+            "    return scan_distances(luts, codes)\n"
+        )
+        assert "kernel-registry-bypass" in _rules(src, OTHER_PATH)
+
+    def test_stacked_variant_flagged(self):
+        src = (
+            "def sneaky(jobs):\n"
+            "    return kernels.scan_distances_stacked(jobs.luts, jobs.codes)\n"
+        )
+        assert "kernel-registry-bypass" in _rules(src, OTHER_PATH)
+
+    def test_registry_scan_clean(self):
+        src = (
+            "def fine(luts, codes):\n"
+            "    backend = resolve_backend('auto')\n"
+            "    return backend.scan(luts, codes)\n"
+        )
+        assert "kernel-registry-bypass" not in _rules(src, OTHER_PATH)
+
+    def test_kernel_package_exempt(self):
+        src = (
+            "def run_fused(luts, codes):\n"
+            "    return scan_distances(luts, codes)\n"
+        )
+        assert "kernel-registry-bypass" not in _rules(src, KERNEL_PATH)
+
+    def test_backend_package_exempt(self):
+        src = (
+            "def scan(self, luts, codes):\n"
+            "    return scan_distances(luts, codes)\n"
+        )
+        path = "src/repro/pim/backend/fake.py"
+        assert "kernel-registry-bypass" not in _rules(src, path)
+
+    def test_seeded_fixture_trips_exactly_once(self):
+        import os
+
+        from repro.analysis.astlint import lint_file
+
+        fixture = os.path.join(
+            os.path.dirname(__file__), "fixtures", "broken_backend_bypass.py"
+        )
+        hits = [
+            f for f in lint_file(fixture)
+            if f.rule == "kernel-registry-bypass"
+        ]
+        assert len(hits) == 1
+
+
 class TestEntryPoints:
     def test_syntax_error_is_a_finding(self):
         findings = lint_source("def broken(:\n", OTHER_PATH)
